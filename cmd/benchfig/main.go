@@ -1,0 +1,233 @@
+// Command benchfig regenerates the tables and figures of the paper's
+// evaluation (§4) and prints them as text tables / CSV series:
+//
+//	benchfig -exp e0          §2 empty-call microbenchmark
+//	benchfig -exp f5          Figure 5: per-operation latency and speedup
+//	benchfig -exp f6          Figure 6: throughput, 128 B, write heavy
+//	benchfig -exp f7          Figure 7: throughput, 5 KB, write heavy
+//	benchfig -exp f8          Figure 8: throughput, 128 B, read heavy
+//	benchfig -exp f9          Figure 9: throughput, 5 KB, read heavy
+//	benchfig -exp all         everything
+//
+// Record counts and measurement durations are scaled for commodity
+// machines (see DESIGN.md §5); -records128, -records5k, -duration and
+// -threads override them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"plibmc/internal/bench"
+	"plibmc/internal/ycsb"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: e0, f5, f6, f7, f8, f9, all")
+		records128 = flag.Uint64("records128", 200000, "records loaded for 128 B workloads")
+		records5k  = flag.Uint64("records5k", 20000, "records loaded for 5 KB workloads")
+		duration   = flag.Duration("duration", 2*time.Second, "measurement duration per point")
+		threadsArg = flag.String("threads", "1,2,4,8,12,16,20,28,40", "client-thread sweep")
+		latSamples = flag.Int("latsamples", 20000, "samples per Figure 5 cell")
+		heapMB     = flag.Uint64("heap", 1024, "plib heap / baseline -m, in MiB")
+		tmp        = flag.String("tmp", os.TempDir(), "directory for Unix sockets")
+	)
+	flag.Parse()
+
+	threads, err := parseInts(*threadsArg)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := runConfig{
+		records128: *records128, records5k: *records5k,
+		duration: *duration, threads: threads,
+		latSamples: *latSamples, heapBytes: *heapMB << 20, tmp: *tmp,
+	}
+
+	run := func(name string, fn func(runConfig) error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(cfg); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	run("e0", runE0)
+	run("f5", runF5)
+	run("f6", func(c runConfig) error {
+		return runFigure(c, "Figure 6: Field length 128B – Write Heavy", ycsb.WriteHeavy128(c.records128))
+	})
+	run("f7", func(c runConfig) error {
+		return runFigure(c, "Figure 7: Field Length 5KB – Write Heavy", ycsb.WriteHeavy5K(c.records5k))
+	})
+	run("f8", func(c runConfig) error {
+		return runFigure(c, "Figure 8: Field length 128B – Read Heavy", ycsb.ReadHeavy128(c.records128))
+	})
+	run("f9", func(c runConfig) error {
+		return runFigure(c, "Figure 9: Field length 5KB – Read Heavy", ycsb.ReadHeavy5K(c.records5k))
+	})
+}
+
+type runConfig struct {
+	records128, records5k uint64
+	duration              time.Duration
+	threads               []int
+	latSamples            int
+	heapBytes             uint64
+	tmp                   string
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfig:", err)
+	os.Exit(1)
+}
+
+// runE0 reproduces the §2 microbenchmark text: empty Hodor call vs empty
+// Unix-domain-socket round trip.
+func runE0(c runConfig) error {
+	fmt.Println("== §2 microbenchmark: empty call round trips ==")
+	h, err := bench.EmptyHodorCall(200000)
+	if err != nil {
+		return err
+	}
+	u, err := bench.UDSRoundTrip(c.tmp, 20000)
+	if err != nil {
+		return err
+	}
+	ratio := float64(u.Mean()) / float64(h.Mean())
+	fmt.Printf("empty Hodor library call: %v (paper: ~40 ns)\n", h.Mean())
+	fmt.Printf("UDS datagram round trip:  %v (paper: 3.3–9.6 µs)\n", u.Mean())
+	fmt.Printf("ratio: %.0fx (paper: ~two orders of magnitude)\n\n", ratio)
+	return nil
+}
+
+// runF5 reproduces Figure 5: per-operation latency across the three
+// systems, with speedups relative to the socket baseline.
+func runF5(c runConfig) error {
+	fmt.Println("== Figure 5: operation latency and speedup ==")
+	type row struct {
+		name    string
+		op      bench.Op
+		valSize int
+		records uint64
+	}
+	rows := []row{
+		{"Get 128 B", bench.OpGet, 128, c.records128 / 10},
+		{"Get 5 KB", bench.OpGet, 5120, c.records5k / 10},
+		{"Set 128 B", bench.OpSet, 128, c.records128 / 10},
+		{"Set 5 KB", bench.OpSet, 5120, c.records5k / 10},
+		{"Delete", bench.OpDelete, 128, c.records128 / 10},
+		{"Increment", bench.OpIncr, 128, c.records128 / 10},
+	}
+	systems := []bench.Kind{bench.Baseline, bench.PlibHodor, bench.PlibNoHodor}
+	type cell struct{ mean, p99 time.Duration }
+	results := make(map[string]map[bench.Kind]cell)
+	for _, r := range rows {
+		results[r.name] = make(map[bench.Kind]cell)
+		for _, sys := range systems {
+			f, err := bench.NewFixture(sys, bench.Options{
+				TempDir: c.tmp, HeapBytes: c.heapBytes, HashPower: 17, ServerThreads: 4,
+			})
+			if err != nil {
+				return err
+			}
+			h, err := bench.OpLatency(f, r.op, r.valSize, r.records, c.latSamples)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			results[r.name][sys] = cell{mean: h.Mean(), p99: h.Percentile(99)}
+		}
+	}
+	fmt.Printf("%-12s %12s %22s %22s\n", "", "Memcached", "Plib, w/Hodor", "Plib, No Hodor")
+	for _, r := range rows {
+		base := results[r.name][bench.Baseline]
+		ph := results[r.name][bench.PlibHodor]
+		pn := results[r.name][bench.PlibNoHodor]
+		fmt.Printf("%-12s %12v %14v (%4.1fx) %14v (%4.1fx)\n",
+			r.name, base.mean.Round(10*time.Nanosecond),
+			ph.mean.Round(10*time.Nanosecond), float64(base.mean)/float64(ph.mean),
+			pn.mean.Round(10*time.Nanosecond), float64(base.mean)/float64(pn.mean))
+		fmt.Printf("%-12s %12v %14v         %14v\n",
+			"  p99", base.p99.Round(10*time.Nanosecond),
+			ph.p99.Round(10*time.Nanosecond), pn.p99.Round(10*time.Nanosecond))
+	}
+	fmt.Println()
+	return nil
+}
+
+// runFigure reproduces one of Figures 6–9: four series of throughput
+// (KTPS) against the client-thread sweep.
+func runFigure(c runConfig, title string, w ycsb.Workload) error {
+	fmt.Printf("== %s ==\n", title)
+	type series struct {
+		name          string
+		kind          bench.Kind
+		serverThreads int
+	}
+	all := []series{
+		{"Memcached 4 Threads", bench.Baseline, 4},
+		{"Memcached 8 Threads", bench.Baseline, 8},
+		{"Modified Memcached, No Hodor", bench.PlibNoHodor, 0},
+		{"Modified Memcached, with Hodor", bench.PlibHodor, 0},
+	}
+	// threads -> series -> KTPS
+	results := make([][]float64, len(c.threads))
+	for i := range results {
+		results[i] = make([]float64, len(all))
+	}
+	for si, s := range all {
+		f, err := bench.NewFixture(s.kind, bench.Options{
+			TempDir: c.tmp, HeapBytes: c.heapBytes, HashPower: 17,
+			ServerThreads: s.serverThreads,
+		})
+		if err != nil {
+			return err
+		}
+		if err := bench.Preload(f, w); err != nil {
+			f.Close()
+			return err
+		}
+		for ti, threads := range c.threads {
+			ktps, err := bench.Throughput(f, w, threads, c.duration)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			results[ti][si] = ktps
+			fmt.Fprintf(os.Stderr, "  %s @ %d threads: %.0f KTPS\n", s.name, threads, ktps)
+		}
+		f.Close()
+	}
+	fmt.Printf("%-8s", "threads")
+	for _, s := range all {
+		fmt.Printf(",%s", s.name)
+	}
+	fmt.Println()
+	for ti, threads := range c.threads {
+		fmt.Printf("%-8d", threads)
+		for si := range all {
+			fmt.Printf(",%.1f", results[ti][si])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}

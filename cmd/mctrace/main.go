@@ -1,0 +1,146 @@
+// Command mctrace records and replays key-value operation traces, making
+// benchmark runs exactly repeatable across backends:
+//
+//	mctrace record -workload readheavy128 -records 10000 -n 100000 -out t.bin
+//	mctrace replay -in t.bin -backend plib
+//	mctrace replay -in t.bin -backend baseline -serverthreads 8
+//	mctrace replay -in t.bin -backend socket -addr unix:/tmp/mc.sock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"plibmc/internal/bench"
+	"plibmc/internal/client"
+	"plibmc/internal/trace"
+	"plibmc/internal/ycsb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mctrace record|replay [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload := fs.String("workload", "readheavy128", "readheavy128, writeheavy128, readheavy5k, writeheavy5k")
+	records := fs.Uint64("records", 10000, "workload record count")
+	n := fs.Int("n", 100000, "operations to record")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "trace.bin", "output file")
+	fs.Parse(args)
+
+	var w ycsb.Workload
+	switch *workload {
+	case "readheavy128":
+		w = ycsb.ReadHeavy128(*records)
+	case "writeheavy128":
+		w = ycsb.WriteHeavy128(*records)
+	case "readheavy5k":
+		w = ycsb.ReadHeavy5K(*records)
+	case "writeheavy5k":
+		w = ycsb.WriteHeavy5K(*records)
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+	f, err := os.Create(*out)
+	fatalIf(err)
+	count, err := trace.FromYCSB(w, *n, *seed, f)
+	fatalIf(err)
+	fatalIf(f.Close())
+	info, _ := os.Stat(*out)
+	fmt.Printf("recorded %d ops of %s (records=%d seed=%d) to %s (%d bytes)\n",
+		count, *workload, *records, *seed, *out, info.Size())
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "trace.bin", "trace file")
+	backendArg := fs.String("backend", "plib", "plib, plib-nohodor, baseline, or socket")
+	addr := fs.String("addr", "", "net:addr (backend=socket)")
+	serverThreads := fs.Int("serverthreads", 4, "server threads (backend=baseline)")
+	heapMB := fs.Uint64("heap", 512, "heap / memory limit in MiB")
+	preloadRecords := fs.Uint64("preload", 0, "preload this many 128 B records before replaying")
+	fs.Parse(args)
+
+	var kv bench.ThreadKV
+	switch *backendArg {
+	case "plib", "plib-nohodor", "baseline":
+		kind := map[string]bench.Kind{
+			"plib": bench.PlibHodor, "plib-nohodor": bench.PlibNoHodor, "baseline": bench.Baseline,
+		}[*backendArg]
+		f, err := bench.NewFixture(kind, bench.Options{
+			TempDir: os.TempDir(), HeapBytes: *heapMB << 20,
+			HashPower: 17, ServerThreads: *serverThreads,
+		})
+		fatalIf(err)
+		defer f.Close()
+		if *preloadRecords > 0 {
+			fatalIf(bench.Preload(f, ycsb.WriteHeavy128(*preloadRecords)))
+		}
+		kv, err = f.NewThread()
+		fatalIf(err)
+	case "socket":
+		network, address, ok := strings.Cut(*addr, ":")
+		if !ok {
+			fatal(fmt.Errorf("-addr must be net:addr"))
+		}
+		c, err := client.Dial(network, address, client.Binary)
+		fatalIf(err)
+		kv = sockKV{c}
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backendArg))
+	}
+	defer kv.Close()
+
+	f, err := os.Open(*in)
+	fatalIf(err)
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	fatalIf(err)
+	res, err := trace.Replay(r, kv)
+	fatalIf(err)
+	fmt.Printf("replayed %d ops in %v (%.1f KTPS); %d misses, %d errors\n",
+		res.Ops, res.Elapsed.Round(time.Millisecond),
+		float64(res.Ops)/res.Elapsed.Seconds()/1000, res.Misses, res.Errors)
+	fmt.Printf("latency: %v\n", res.Latency)
+}
+
+type sockKV struct{ c *client.Client }
+
+func (s sockKV) Get(key []byte) error {
+	_, _, _, err := s.c.Get(key)
+	return err
+}
+func (s sockKV) Set(key, value []byte) error { return s.c.Set(key, value, 0, 0) }
+func (s sockKV) Delete(key []byte) error     { return s.c.Delete(key) }
+func (s sockKV) Incr(key []byte, d uint64) error {
+	_, err := s.c.Increment(key, d)
+	return err
+}
+func (s sockKV) Close() { s.c.Close() }
+
+func fatal(err error) { fmt.Fprintln(os.Stderr, "mctrace:", err); os.Exit(1) }
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Command memcachedd runs the baseline: the from-scratch reimplementation
+// of the original socket-based memcached that the paper compares against.
+//
+//	memcachedd -listen unix:/tmp/mc.sock -threads 4 -m 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"plibmc/internal/server"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "unix:/tmp/memcachedd.sock", "net:addr to listen on")
+		threads = flag.Int("threads", 4, "number of server threads (the paper compares 4 and 8)")
+		memMB   = flag.Int64("m", 1024, "memory limit in MiB")
+		hashPow = flag.Uint("hashpower", 16, "log2 of the bucket count")
+	)
+	flag.Parse()
+
+	network, addr, ok := strings.Cut(*listen, ":")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "memcachedd: -listen must be net:addr")
+		os.Exit(1)
+	}
+	if network == "unix" {
+		os.Remove(addr)
+	}
+	srv, err := server.New(server.Config{
+		Network: network, Addr: addr, Threads: *threads,
+		MemLimit: *memMB << 20, HashPower: *hashPow,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memcachedd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("memcachedd: listening on %s with %d server threads\n", *listen, *threads)
+	go srv.Serve()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	snap := srv.Store().Snapshot()
+	fmt.Printf("memcachedd: stopped; %d items, %d gets (%d hits), %d sets, %d evictions\n",
+		snap.CurrItems, snap.Gets, snap.GetHits, snap.Sets, snap.Evictions)
+}

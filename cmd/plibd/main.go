@@ -1,0 +1,112 @@
+// Command plibd is the bookkeeping daemon for a protected-library store:
+// it creates the store (or reopens an existing heap image), runs periodic
+// maintenance (eviction to the watermark, expiry sweeps, resizing), can
+// optionally serve remote clients over a socket (hybrid mode, paper §6),
+// and flushes the heap back to its backing file on shutdown so a restart
+// resumes with contents intact.
+//
+//	plibd -file /var/tmp/store.img -heap 1024 -listen unix:/tmp/plib.sock
+//
+// Because processes in this reproduction are simulated inside one Go
+// program, local clients attach in-process (see the examples); plibd's
+// remote interface is the way separate OS processes reach the store.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"plibmc/memcached"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "backing file for the heap image (empty: volatile)")
+		heapMB   = flag.Uint64("heap", 256, "heap size in MiB")
+		hashPow  = flag.Uint("hashpower", 18, "log2 of the hash-table bucket count")
+		fixed    = flag.Bool("fixed", false, "disable hash-table resizing (the paper's configuration)")
+		memLimit = flag.Uint64("m", 0, "memory limit in MiB (0: 7/8 of heap)")
+		listen   = flag.String("listen", "", "serve remote clients on net:addr (e.g. unix:/tmp/plib.sock or tcp:127.0.0.1:11211)")
+		interval = flag.Duration("maint", time.Second, "maintenance interval")
+		ckpt     = flag.Duration("checkpoint", 0, "live-checkpoint interval (0: only flush at shutdown; requires -file)")
+	)
+	flag.Parse()
+
+	cfg := memcached.Config{
+		HeapBytes: *heapMB << 20,
+		Path:      *file,
+		HashPower: *hashPow,
+		FixedSize: *fixed,
+		MemLimit:  *memLimit << 20,
+	}
+
+	var b *memcached.Bookkeeper
+	var err error
+	if *file != "" {
+		if _, statErr := os.Stat(*file); statErr == nil {
+			b, err = memcached.OpenStore(cfg)
+			fmt.Printf("plibd: reopened store from %s\n", *file)
+		} else {
+			b, err = memcached.CreateStore(cfg)
+			fmt.Printf("plibd: created store (will flush to %s)\n", *file)
+		}
+	} else {
+		b, err = memcached.CreateStore(cfg)
+		fmt.Println("plibd: created volatile store")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plibd:", err)
+		os.Exit(1)
+	}
+
+	b.StartMaintenance(*interval)
+	if *ckpt > 0 {
+		if *file == "" {
+			fmt.Fprintln(os.Stderr, "plibd: -checkpoint requires -file")
+			os.Exit(1)
+		}
+		ckptErrs := b.StartCheckpointing(*ckpt)
+		go func() {
+			for err := range ckptErrs {
+				fmt.Fprintln(os.Stderr, "plibd: checkpoint failed:", err)
+			}
+		}()
+		fmt.Printf("plibd: live checkpoints every %v\n", *ckpt)
+	}
+
+	var remote *memcached.RemoteServer
+	if *listen != "" {
+		network, addr, ok := strings.Cut(*listen, ":")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "plibd: -listen must be net:addr")
+			os.Exit(1)
+		}
+		remote, err = b.ServeRemote(network, addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plibd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("plibd: hybrid socket interface on %s\n", *listen)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("plibd: shutting down")
+	if remote != nil {
+		remote.Close()
+	}
+	if err := b.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "plibd: flush failed:", err)
+		os.Exit(1)
+	}
+	st := b.Stats()
+	m := b.Library().Metrics()
+	fmt.Printf("plibd: flushed; %d items, %d bytes, %d gets, %d sets; %d trampolined calls (%d crashes, %d rejected)\n",
+		st.CurrItems, st.Bytes, st.Gets, st.Sets, m.Calls, m.Crashes, m.Rejected)
+}

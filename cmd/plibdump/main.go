@@ -1,0 +1,98 @@
+// Command plibdump inspects a flushed heap image offline: it verifies the
+// allocator's integrity (the shared-memory fsck), prints the store's
+// statistics and configuration, and optionally dumps entries — all without
+// a running bookkeeper.
+//
+//	plibdump -file /var/tmp/store.img            # verify + summarize
+//	plibdump -file /var/tmp/store.img -keys      # also list keys
+//	plibdump -file /var/tmp/store.img -dump -max 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plibmc/internal/core"
+	"plibmc/internal/ralloc"
+	"plibmc/internal/shm"
+)
+
+func main() {
+	var (
+		file = flag.String("file", "", "heap image to inspect (required)")
+		keys = flag.Bool("keys", false, "list keys")
+		dump = flag.Bool("dump", false, "dump keys and values")
+		max  = flag.Int("max", 0, "stop after this many entries (0 = all)")
+	)
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "plibdump: -file is required")
+		os.Exit(2)
+	}
+
+	heap, err := shm.Load(*file)
+	fatalIf(err)
+	fmt.Printf("heap: %d bytes (%d pages)\n", heap.Size(), heap.Pages())
+
+	alloc, err := ralloc.Open(heap)
+	fatalIf(err)
+	rep, err := alloc.Check()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plibdump: INTEGRITY FAILURE: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("allocator: verified OK — %d free / %d class / %d large chunks, %d free blocks, %d live bytes\n",
+		rep.FreeChunks, rep.ClassChunks, rep.LargeChunks, rep.FreeBlocks, rep.LiveBytes)
+
+	store, err := core.Attach(alloc)
+	fatalIf(err)
+	store.ResetGate()
+	st := store.Stats()
+	fmt.Printf("store: 2^%d buckets, %d items, %d bytes; lifetime: %d gets (%d hits), %d sets, %d evictions, %d expired\n",
+		store.HashPower(), st.CurrItems, st.Bytes, st.Gets, st.GetHits, st.Sets, st.Evictions, st.Expired)
+	if store.Expanding() {
+		fmt.Println("store: background expansion in progress (will resume when reopened)")
+	}
+
+	ctx := store.NewCtx(1)
+	if lens := ctx.LRULengths(); len(lens) > 0 {
+		minL, maxL, total := lens[0], lens[0], 0
+		for _, n := range lens {
+			if n < minL {
+				minL = n
+			}
+			if n > maxL {
+				maxL = n
+			}
+			total += n
+		}
+		fmt.Printf("lru: %d lists, %d items (min %d / max %d per list)\n", len(lens), total, minL, maxL)
+	}
+	for _, cs := range alloc.ClassStats() {
+		fmt.Printf("class %6d B: %3d chunks, %5d/%5d blocks free\n",
+			cs.ClassSize, cs.Chunks, cs.FreeBlocks, cs.TotalBlocks)
+	}
+
+	if !*keys && !*dump {
+		return
+	}
+	n := 0
+	ctx.ForEach(func(e *core.Entry) bool {
+		if *dump {
+			fmt.Printf("%q flags=%d exp=%d cas=%d value=%q\n", e.Key, e.Flags, e.Exptime, e.CAS, e.Value)
+		} else {
+			fmt.Printf("%q (%d bytes)\n", e.Key, len(e.Value))
+		}
+		n++
+		return *max == 0 || n < *max
+	})
+	fmt.Printf("listed %d entries\n", n)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plibdump:", err)
+		os.Exit(1)
+	}
+}

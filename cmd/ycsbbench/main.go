@@ -1,0 +1,177 @@
+// Command ycsbbench drives the YCSB workloads against either backend:
+//
+//	ycsbbench -backend plib -workload readheavy128 -threads 8
+//	ycsbbench -backend socket -addr unix:/tmp/mc.sock -workload writeheavy5k
+//	ycsbbench -backend baseline -serverthreads 8    (self-hosted baseline)
+//
+// It loads the record set, runs the mix for -duration, and reports
+// throughput (KTPS) plus a latency histogram summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"plibmc/internal/bench"
+	"plibmc/internal/client"
+	"plibmc/internal/histogram"
+	"plibmc/internal/ycsb"
+)
+
+func main() {
+	var (
+		backendArg    = flag.String("backend", "plib", "plib, plib-nohodor, baseline, or socket")
+		addr          = flag.String("addr", "", "net:addr of an external server (backend=socket)")
+		workloadArg   = flag.String("workload", "readheavy128", "readheavy128, writeheavy128, readheavy5k, writeheavy5k")
+		records       = flag.Uint64("records", 100000, "records to load")
+		threads       = flag.Int("threads", 4, "client threads")
+		duration      = flag.Duration("duration", 5*time.Second, "measurement duration")
+		serverThreads = flag.Int("serverthreads", 4, "server threads (backend=baseline)")
+		heapMB        = flag.Uint64("heap", 512, "heap / memory limit in MiB")
+	)
+	flag.Parse()
+
+	var w ycsb.Workload
+	switch *workloadArg {
+	case "readheavy128":
+		w = ycsb.ReadHeavy128(*records)
+	case "writeheavy128":
+		w = ycsb.WriteHeavy128(*records)
+	case "readheavy5k":
+		w = ycsb.ReadHeavy5K(*records)
+	case "writeheavy5k":
+		w = ycsb.WriteHeavy5K(*records)
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workloadArg))
+	}
+
+	var fixture *bench.Fixture
+	switch *backendArg {
+	case "plib", "plib-nohodor", "baseline":
+		kind := map[string]bench.Kind{
+			"plib": bench.PlibHodor, "plib-nohodor": bench.PlibNoHodor, "baseline": bench.Baseline,
+		}[*backendArg]
+		f, err := bench.NewFixture(kind, bench.Options{
+			TempDir: os.TempDir(), HeapBytes: *heapMB << 20,
+			HashPower: 17, ServerThreads: *serverThreads,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		fixture = f
+	case "socket":
+		network, address, ok := strings.Cut(*addr, ":")
+		if !ok {
+			fatal(fmt.Errorf("-addr must be net:addr"))
+		}
+		fixture = &bench.Fixture{
+			Kind: bench.Baseline,
+			NewThread: func() (bench.ThreadKV, error) {
+				c, err := client.Dial(network, address, client.Binary)
+				if err != nil {
+					return nil, err
+				}
+				return extClient{c}, nil
+			},
+			Close: func() {},
+		}
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backendArg))
+	}
+
+	fmt.Printf("loading %d records of %d bytes...\n", w.RecordCount, w.ValueSize)
+	start := time.Now()
+	if err := bench.Preload(fixture, w); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("running %s with %d threads for %v...\n", *workloadArg, *threads, *duration)
+	ktps, hist, err := runMeasured(fixture, w, *threads, *duration)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("throughput: %.1f KTPS\n", ktps)
+	fmt.Printf("latency: %v\n", hist)
+}
+
+// runMeasured is Throughput plus per-op latency sampling.
+func runMeasured(f *bench.Fixture, w ycsb.Workload, threads int, dur time.Duration) (float64, *histogram.H, error) {
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	hists := make([]*histogram.H, threads)
+	counts := make([]int64, threads)
+	errs := make(chan error, threads)
+	for i := 0; i < threads; i++ {
+		hists[i] = histogram.New()
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th, err := f.NewThread()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer th.Close()
+			gen := w.NewClient(int64(id + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				kind, key, val := gen.Next()
+				t0 := time.Now()
+				if kind == ycsb.OpRead {
+					th.Get(key)
+				} else {
+					if err := th.Set(key, val); err != nil {
+						errs <- err
+						return
+					}
+				}
+				hists[id].Record(time.Since(t0))
+				counts[id]++
+			}
+		}(i)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return 0, nil, err
+	default:
+	}
+	total := histogram.New()
+	var ops int64
+	for i := range hists {
+		total.Merge(hists[i])
+		ops += counts[i]
+	}
+	return float64(ops) / dur.Seconds() / 1000, total, nil
+}
+
+type extClient struct{ c *client.Client }
+
+func (e extClient) Get(key []byte) error {
+	_, _, _, err := e.c.Get(key)
+	return err
+}
+func (e extClient) Set(key, value []byte) error { return e.c.Set(key, value, 0, 0) }
+func (e extClient) Delete(key []byte) error     { return e.c.Delete(key) }
+func (e extClient) Incr(key []byte, d uint64) error {
+	_, err := e.c.Increment(key, d)
+	return err
+}
+func (e extClient) Close() { e.c.Close() }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ycsbbench:", err)
+	os.Exit(1)
+}

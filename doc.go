@@ -1,0 +1,17 @@
+// Package plibmc is a Go reproduction of "Safe, Fast Sharing of memcached
+// as a Protected Library" (Kjellqvist, Hedayati & Scott, ICPP 2020): a
+// memcached whose clients execute the server's code themselves through
+// MPK-protected trampolines over a shared, position-independent heap,
+// instead of exchanging socket messages with a server process.
+//
+// The public API lives in package plibmc/memcached (the protected-library
+// store) and plibmc/memcached/compat (the drop-in classic API). The
+// substrates — the Hodor protected-library runtime, the Ralloc persistent
+// allocator, simulated protection keys, the baseline socket memcached, and
+// the YCSB workload generator — live under internal/. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; cmd/benchfig runs the full sweeps and prints the
+// corresponding rows and series.
+package plibmc

@@ -1,0 +1,142 @@
+// Faulttolerance: a client process is killed while its threads hammer the
+// store. Hodor's guarantee (§3.4): in-flight library calls run to
+// completion, so no lock is ever left held and no invariant broken; other
+// processes continue unaffected. A second scenario shows the other side:
+// a crash *inside* library code is unrecoverable and poisons the library.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"plibmc/internal/hodor"
+	"plibmc/internal/pku"
+	"plibmc/internal/proc"
+	"plibmc/internal/shm"
+	"plibmc/memcached"
+)
+
+func main() {
+	book, err := memcached.CreateStore(memcached.Config{HeapBytes: 32 << 20, HashPower: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer book.Shutdown()
+
+	victim, err := book.NewClientProcess(1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	survivor, err := book.NewClientProcess(1001)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The victim's threads write continuously.
+	var wg sync.WaitGroup
+	stopped := make(chan int, 4)
+	for t := 0; t < 4; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s, err := victim.NewSession()
+			if err != nil {
+				log.Fatal(err)
+			}
+			ops := 0
+			for {
+				key := fmt.Sprintf("victim-%d-%d", id, ops%500)
+				if err := s.Set([]byte(key), []byte("payload"), 0, 0); err != nil {
+					var killed *proc.ErrKilled
+					if errors.As(err, &killed) {
+						stopped <- ops
+						return
+					}
+					log.Fatal(err)
+				}
+				ops++
+			}
+		}(t)
+	}
+
+	// SIGKILL arrives mid-run.
+	time.Sleep(5 * time.Millisecond)
+	victim.Kill()
+	wg.Wait()
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += <-stopped
+	}
+	fmt.Printf("victim killed after its threads completed %d operations\n", total)
+	fmt.Printf("library poisoned: %v (kills between calls never corrupt)\n",
+		book.Library().Poisoned())
+
+	// The survivor's view of the store is fully consistent.
+	s, err := survivor.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	readable := 0
+	for id := 0; id < 4; id++ {
+		for k := 0; k < 500; k++ {
+			key := fmt.Sprintf("victim-%d-%d", id, k)
+			if _, _, err := s.Get([]byte(key)); err == nil {
+				readable++
+			} else if !errors.Is(err, memcached.ErrNotFound) {
+				log.Fatalf("store corrupted: %v", err)
+			}
+		}
+	}
+	fmt.Printf("survivor reads %d of the victim's writes; store intact\n", readable)
+	if err := s.Set([]byte("post-crash"), []byte("still writable"), 0, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("survivor writes succeed after the crash")
+
+	// Scenario 2: a segfault *inside* library code (a bug in the library
+	// itself) is unrecoverable — demonstrated on a throwaway Hodor
+	// library so the main store stays healthy.
+	fmt.Println()
+	crashInsideLibraryDemo()
+}
+
+// crashInsideLibraryDemo builds a minimal protected library with a buggy
+// entry point and shows that the crash is contained in a CrashError and
+// permanently poisons that library (paper §2: "a crash that occurs inside
+// library code is considered unrecoverable").
+func crashInsideLibraryDemo() {
+	heap := shm.New(shm.PageSize)
+	pt := pku.NewPageTable(heap)
+	dom, err := hodor.NewDomain(heap, pt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := hodor.NewLibrary("libbuggy", 0, dom)
+	p, err := proc.NewProcess(1002, heap, 0x10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := (hodor.Loader{}).Load(p, hodor.Binary{}, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := res.Attach(p.NewThread(), lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buggy := func(*proc.Thread, struct{}) (struct{}, error) {
+		heap.Load64(1 << 40) // wild pointer: a segfault inside the library
+		return struct{}{}, nil
+	}
+	_, err = hodor.Call(s, buggy, struct{}{})
+	fmt.Printf("crash inside library contained as: %v\n", err)
+	fmt.Printf("library poisoned: %v; further calls: ", lib.Poisoned())
+	_, err = hodor.Call(s, func(*proc.Thread, struct{}) (struct{}, error) {
+		return struct{}{}, nil
+	}, struct{}{})
+	fmt.Println(err)
+}

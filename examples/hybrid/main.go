@@ -1,0 +1,108 @@
+// Hybrid: the deployment the paper sketches in §6 — "allow the memcached
+// background process to provide a socket-based interface for remote
+// clients while still permitting local clients to use the Hodor
+// interface." One store; local clients call through trampolines in
+// microseconds, remote clients connect over a Unix socket with either wire
+// protocol, and both see each other's writes instantly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"plibmc/internal/client"
+	"plibmc/memcached"
+)
+
+func main() {
+	book, err := memcached.CreateStore(memcached.Config{HeapBytes: 32 << 20, HashPower: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer book.Shutdown()
+	book.StartMaintenance(time.Second)
+
+	dir, err := os.MkdirTemp("", "hybrid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "plib.sock")
+	remote, err := book.ServeRemote("unix", sock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote.Close()
+	fmt.Printf("bookkeeper serving remote clients on %s\n", sock)
+
+	// A local client: trampolined calls, no sockets.
+	app, err := book.NewClientProcess(1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	local, err := app.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer local.Close()
+
+	// A "remote" client: the ordinary socket path (both protocols work).
+	rbin, err := client.Dial("unix", sock, client.Binary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rbin.Close()
+	rasc, err := client.Dial("unix", sock, client.ASCII)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rasc.Close()
+
+	// Cross-visibility in both directions.
+	if err := local.Set([]byte("written-locally"), []byte("through a trampoline"), 0, 0); err != nil {
+		log.Fatal(err)
+	}
+	v, _, _, err := rbin.Get([]byte("written-locally"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote binary client reads local write: %q\n", v)
+
+	if err := rasc.Set([]byte("written-remotely"), []byte("over the socket"), 0, 0); err != nil {
+		log.Fatal(err)
+	}
+	v2, _, err := local.Get([]byte("written-remotely"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local client reads remote write:        %q\n", v2)
+
+	// The latency difference is the paper's whole point.
+	measure := func(name string, get func() error) {
+		const n = 2000
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			if err := get(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		d := time.Since(t0) / n
+		fmt.Printf("%-28s %v per get\n", name, d.Round(10*time.Nanosecond))
+	}
+	key := []byte("written-locally")
+	measure("local (trampoline):", func() error {
+		_, _, err := local.Get(key)
+		return err
+	})
+	measure("remote (socket round trip):", func() error {
+		_, _, _, err := rbin.Get(key)
+		return err
+	})
+
+	st := book.Stats()
+	fmt.Printf("one store served both: %d gets, %d sets, %d items\n",
+		st.Gets, st.Sets, st.CurrItems)
+}

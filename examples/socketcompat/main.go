@@ -1,0 +1,104 @@
+// Socketcompat: the same application code — written against the classic
+// libmemcached-style API with a memcached_st handle — runs unchanged
+// against the original socket server and against the protected library
+// (the drop-in replacement of §3.1), and the example times both.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"plibmc/internal/client"
+	"plibmc/internal/server"
+	"plibmc/memcached"
+	"plibmc/memcached/compat"
+)
+
+// legacyApplication is code written years ago against the classic API.
+// It neither knows nor cares what is behind the handle.
+func legacyApplication(m *compat.St, ops int) (hits int) {
+	// Configuration calls from the socket era: accepted, meaningless for
+	// direct calls.
+	m.AddServer("localhost", 11211)
+	m.SetBehavior(compat.BehaviorBinaryProtocol, 1)
+
+	for i := 0; i < ops; i++ {
+		key := []byte(fmt.Sprintf("user:%d", i%100))
+		if rc := m.Set(key, []byte("profile-data"), 0, 0); rc != compat.Success {
+			log.Fatalf("set: %v", rc)
+		}
+		if _, _, rc := m.Get(key); rc == compat.Success {
+			hits++
+		}
+	}
+	return hits
+}
+
+func main() {
+	const ops = 2000
+
+	// Backend 1: the original socket memcached over a Unix-domain socket.
+	dir, err := os.MkdirTemp("", "socketcompat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "mc.sock")
+	srv, err := server.New(server.Config{Network: "unix", Addr: sock, Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	conn, err := client.Dial("unix", sock, client.Binary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	mSock := compat.Create()
+	mSock.UseSocket(conn)
+	t0 := time.Now()
+	hits := legacyApplication(mSock, ops)
+	socketTime := time.Since(t0)
+	fmt.Printf("socket backend:  %5d ops, %d hits, %8v  (%.2f µs/op)\n",
+		2*ops, hits, socketTime.Round(time.Millisecond),
+		float64(socketTime.Microseconds())/float64(2*ops))
+
+	// Backend 2: the protected library — same application, zero changes.
+	book, err := memcached.CreateStore(memcached.Config{HeapBytes: 32 << 20, HashPower: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer book.Shutdown()
+	cp, err := book.NewClientProcess(1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := cp.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	mPlib := compat.Create()
+	mPlib.UsePlib(sess)
+	t0 = time.Now()
+	hits = legacyApplication(mPlib, ops)
+	plibTime := time.Since(t0)
+	fmt.Printf("plib backend:    %5d ops, %d hits, %8v  (%.2f µs/op)\n",
+		2*ops, hits, plibTime.Round(time.Millisecond),
+		float64(plibTime.Microseconds())/float64(2*ops))
+
+	fmt.Printf("speedup: %.1fx with zero application changes\n",
+		float64(socketTime)/float64(plibTime))
+
+	// Strict mode surfaces the dead configuration for migration.
+	mPlib.SetStrict(true)
+	if rc := mPlib.AddServer("localhost", 11211); rc == compat.NotSupported {
+		fmt.Println("strict mode flags AddServer as NOT_SUPPORTED — time to migrate to the new API")
+	}
+}

@@ -1,0 +1,3 @@
+module plibmc
+
+go 1.22

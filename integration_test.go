@@ -1,0 +1,301 @@
+package plibmc
+
+// Full-stack integration tests: scenarios that cross every layer of the
+// system, from the wire protocols down to the shared heap.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"plibmc/internal/client"
+	"plibmc/internal/server"
+	"plibmc/internal/ycsb"
+	"plibmc/memcached"
+	"plibmc/memcached/compat"
+)
+
+// TestScenarioLocalAndRemoteClients is the paper's deployment picture plus
+// the §6 hybrid extension: local client processes use trampolined calls
+// while remote clients reach the same store over both wire protocols, all
+// concurrently.
+func TestScenarioLocalAndRemoteClients(t *testing.T) {
+	book, err := memcached.CreateStore(memcached.Config{HeapBytes: 64 << 20, HashPower: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer book.Shutdown()
+	book.StartMaintenance(50 * time.Millisecond)
+	defer book.StopMaintenance()
+
+	sock := filepath.Join(t.TempDir(), "hybrid.sock")
+	remote, err := book.ServeRemote("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+
+	// Three local processes, two threads each.
+	for p := 0; p < 3; p++ {
+		cp, err := book.NewClientProcess(1000 + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for th := 0; th < 2; th++ {
+			s, err := cp.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(id int, s *memcached.Session) {
+				defer wg.Done()
+				defer s.Close()
+				for i := 0; i < 500; i++ {
+					k := []byte(fmt.Sprintf("local-%d-%d", id, i))
+					if err := s.Set(k, []byte("L"), 0, 0); err != nil {
+						errCh <- err
+						return
+					}
+					if _, _, err := s.Get(k); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(p*2+th, s)
+		}
+	}
+
+	// Two remote clients, one per protocol.
+	for i, proto := range []client.Protocol{client.Binary, client.ASCII} {
+		wg.Add(1)
+		go func(id int, proto client.Protocol) {
+			defer wg.Done()
+			c, err := client.Dial("unix", sock, proto)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 300; i++ {
+				k := []byte(fmt.Sprintf("remote-%d-%d", id, i))
+				if err := c.Set(k, []byte("R"), 0, 0); err != nil {
+					errCh <- err
+					return
+				}
+				if _, _, _, err := c.Get(k); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i, proto)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Cross-visibility: a fresh local session sees remote writes and vice
+	// versa.
+	cp, _ := book.NewClientProcess(2000)
+	s, _ := cp.NewSession()
+	defer s.Close()
+	if v, _, err := s.Get([]byte("remote-0-0")); err != nil || string(v) != "R" {
+		t.Fatalf("local sees remote write: %q, %v", v, err)
+	}
+	c, _ := client.Dial("unix", sock, client.Binary)
+	defer c.Close()
+	if v, _, _, err := c.Get([]byte("local-0-0")); err != nil || string(v) != "L" {
+		t.Fatalf("remote sees local write: %q, %v", v, err)
+	}
+	st := book.Stats()
+	if st.CurrItems != 3*2*500+2*300 {
+		t.Fatalf("CurrItems = %d", st.CurrItems)
+	}
+}
+
+// TestScenarioYCSBBothBackends runs a small YCSB mix through the classic
+// compat API against both backends and checks they agree on final state
+// for a deterministic operation sequence.
+func TestScenarioYCSBBothBackends(t *testing.T) {
+	// Socket backend.
+	sock := filepath.Join(t.TempDir(), "mc.sock")
+	srv, err := server.New(server.Config{Network: "unix", Addr: sock, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	conn, err := client.Dial("unix", sock, client.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	mSock := compat.Create()
+	mSock.UseSocket(conn)
+
+	// Plib backend.
+	book, err := memcached.CreateStore(memcached.Config{HeapBytes: 32 << 20, HashPower: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer book.Shutdown()
+	cp, _ := book.NewClientProcess(1000)
+	sess, _ := cp.NewSession()
+	defer sess.Close()
+	mPlib := compat.Create()
+	mPlib.UsePlib(sess)
+
+	w := ycsb.WriteHeavy128(500)
+	run := func(m *compat.St) map[string]string {
+		gen := w.NewClient(42) // same seed: identical op stream
+		final := map[string]string{}
+		for i := 0; i < 3000; i++ {
+			kind, key, val := gen.Next()
+			if kind == ycsb.OpRead {
+				m.Get(key)
+			} else {
+				if rc := m.Set(key, val, 0, 0); rc != compat.Success {
+					t.Fatalf("set: %v", rc)
+				}
+				final[string(key)] = string(val)
+			}
+		}
+		return final
+	}
+	wantSock := run(mSock)
+	wantPlib := run(mPlib)
+	if len(wantSock) != len(wantPlib) {
+		t.Fatalf("backends diverged: %d vs %d keys written", len(wantSock), len(wantPlib))
+	}
+	for k, v := range wantSock {
+		gotS, _, rcS := mSock.Get([]byte(k))
+		gotP, _, rcP := mPlib.Get([]byte(k))
+		if rcS != compat.Success || rcP != compat.Success {
+			t.Fatalf("key %q: rc sock=%v plib=%v", k, rcS, rcP)
+		}
+		if !bytes.Equal(gotS, gotP) || string(gotS) != v {
+			t.Fatalf("key %q: sock=%q plib=%q want=%q", k, gotS, gotP, v)
+		}
+	}
+}
+
+// TestScenarioRestartUnderLoad exercises shutdown-flush-reopen with a
+// populated store and checks the reopened store serves the full working
+// set and accepts new load.
+func TestScenarioRestartUnderLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.img")
+	book, err := memcached.CreateStore(memcached.Config{
+		HeapBytes: 32 << 20, Path: path, HashPower: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _ := book.NewClientProcess(1000)
+	s, _ := cp.NewSession()
+	w := ycsb.WriteHeavy128(2000)
+	key := make([]byte, 0, 20)
+	val := make([]byte, w.ValueSize)
+	for i := uint64(0); i < w.RecordCount; i++ {
+		key = ycsb.KeyInto(key, i)
+		ycsb.FillValue(val, i)
+		if err := s.Set(key, val, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	if err := book.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	book2, err := memcached.OpenStore(memcached.Config{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer book2.Shutdown()
+	cp2, _ := book2.NewClientProcess(1000)
+	s2, _ := cp2.NewSession()
+	defer s2.Close()
+	want := make([]byte, w.ValueSize)
+	for i := uint64(0); i < w.RecordCount; i++ {
+		key = ycsb.KeyInto(key, i)
+		ycsb.FillValue(want, i)
+		v, _, err := s2.Get(key)
+		if err != nil || !bytes.Equal(v, want) {
+			t.Fatalf("record %d after restart: err=%v", i, err)
+		}
+	}
+	// New load on the reopened store, concurrently.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ss, err := cp2.NewSession()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer ss.Close()
+			for i := 0; i < 500; i++ {
+				if err := ss.Set([]byte(fmt.Sprintf("new-%d-%d", g, i)), []byte("x"), 0, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := book2.Stats(); st.CurrItems != w.RecordCount+4*500 {
+		t.Fatalf("CurrItems = %d", st.CurrItems)
+	}
+}
+
+// TestScenarioEvictionKeepsServing drives the store far past its memory
+// limit and verifies the working set keeps being served while old records
+// are evicted, with maintenance running concurrently.
+func TestScenarioEvictionKeepsServing(t *testing.T) {
+	book, err := memcached.CreateStore(memcached.Config{
+		HeapBytes: 8 << 20, MemLimit: 4 << 20, HashPower: 10, FixedSize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer book.Shutdown()
+	book.StartMaintenance(10 * time.Millisecond)
+	defer book.StopMaintenance()
+
+	cp, _ := book.NewClientProcess(1000)
+	s, _ := cp.NewSession()
+	defer s.Close()
+	val := make([]byte, 1024)
+	for i := 0; i < 20000; i++ {
+		k := []byte(fmt.Sprintf("rec-%06d", i))
+		if err := s.Set(k, val, 0, 0); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		if i%100 == 0 {
+			// The most recent write is always readable.
+			if _, _, err := s.Get(k); err != nil {
+				t.Fatalf("hot record %d evicted: %v", i, err)
+			}
+		}
+	}
+	st := book.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	if _, _, err := s.Get([]byte("rec-000000")); !errors.Is(err, memcached.ErrNotFound) {
+		t.Fatal("oldest record should be gone")
+	}
+	if book.Allocator().LiveBytes() > book.Store().MemLimit() {
+		t.Fatalf("live bytes %d above limit %d", book.Allocator().LiveBytes(), book.Store().MemLimit())
+	}
+}

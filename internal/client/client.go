@@ -1,0 +1,303 @@
+// Package client is the socket client for the baseline server: the role of
+// libmemcached. It speaks either wire protocol over a single connection,
+// and implements multi-get batching (quiet gets terminated by a noop) —
+// the paper notes that "much of the client library is devoted to batching
+// of requests" precisely because each round trip is so expensive.
+//
+// A Client corresponds to a memcached_st: it is not safe for concurrent
+// use; create one per client thread.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"plibmc/internal/protocol"
+)
+
+// Protocol selects the wire format.
+type Protocol int
+
+// Wire protocols.
+const (
+	Binary Protocol = iota // compact, better performance
+	ASCII                  // readable, better debugability
+)
+
+// Client is a connection to one memcached server.
+type Client struct {
+	conn  net.Conn
+	r     *bufio.Reader
+	w     *bufio.Writer
+	proto Protocol
+}
+
+// Dial connects to a server. network/addr as for net.Dial; "unix" + socket
+// path matches the paper's local setup.
+func Dial(network, addr string, proto Protocol) (*Client, error) {
+	conn, err := net.DialTimeout(network, addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return &Client{
+		conn:  conn,
+		r:     bufio.NewReaderSize(conn, 64<<10),
+		w:     bufio.NewWriterSize(conn, 64<<10),
+		proto: proto,
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one command and reads its reply.
+func (c *Client) roundTrip(cmd *protocol.Command) (*protocol.Reply, error) {
+	if c.proto == Binary {
+		if err := protocol.WriteBinaryCommand(c.w, cmd); err != nil {
+			return nil, err
+		}
+		if err := c.w.Flush(); err != nil {
+			return nil, err
+		}
+		if cmd.Op == protocol.OpStats {
+			return c.readBinaryStats()
+		}
+		rep, _, err := protocol.ReadBinaryReply(c.r)
+		return rep, err
+	}
+	if err := protocol.WriteASCIICommand(c.w, cmd); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	return protocol.ReadASCIIReply(c.r, cmd)
+}
+
+func (c *Client) readBinaryStats() (*protocol.Reply, error) {
+	rep := &protocol.Reply{Status: protocol.StatusOK}
+	for {
+		frame, _, err := protocol.ReadBinaryReply(c.r)
+		if err != nil {
+			return nil, err
+		}
+		if len(frame.Key) == 0 {
+			return rep, nil
+		}
+		rep.Stats = append(rep.Stats, [2]string{string(frame.Key), string(frame.Value)})
+	}
+}
+
+// Get fetches one key.
+func (c *Client) Get(key []byte) (value []byte, flags uint32, cas uint64, err error) {
+	rep, err := c.roundTrip(&protocol.Command{Op: protocol.OpGet, Key: key})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if rep.Status != protocol.StatusOK {
+		return nil, 0, 0, statusErr(rep.Status)
+	}
+	return rep.Value, rep.Flags, rep.CAS, nil
+}
+
+// Set stores a value unconditionally.
+func (c *Client) Set(key, value []byte, flags uint32, exptime int64) error {
+	return c.simpleStore(protocol.OpSet, key, value, flags, exptime, 0)
+}
+
+// Add stores only if the key is absent.
+func (c *Client) Add(key, value []byte, flags uint32, exptime int64) error {
+	return c.simpleStore(protocol.OpAdd, key, value, flags, exptime, 0)
+}
+
+// Replace stores only if the key is present.
+func (c *Client) Replace(key, value []byte, flags uint32, exptime int64) error {
+	return c.simpleStore(protocol.OpReplace, key, value, flags, exptime, 0)
+}
+
+// CAS stores only if the generation matches.
+func (c *Client) CAS(key, value []byte, flags uint32, exptime int64, cas uint64) error {
+	return c.simpleStore(protocol.OpCAS, key, value, flags, exptime, cas)
+}
+
+// Append concatenates after the existing value.
+func (c *Client) Append(key, value []byte) error {
+	return c.simpleStore(protocol.OpAppend, key, value, 0, 0, 0)
+}
+
+// Prepend concatenates before the existing value.
+func (c *Client) Prepend(key, value []byte) error {
+	return c.simpleStore(protocol.OpPrepend, key, value, 0, 0, 0)
+}
+
+func (c *Client) simpleStore(op protocol.Op, key, value []byte, flags uint32, exptime int64, cas uint64) error {
+	rep, err := c.roundTrip(&protocol.Command{
+		Op: op, Key: key, Value: value, Flags: flags, Exptime: exptime, CAS: cas,
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Status != protocol.StatusOK {
+		return statusErr(rep.Status)
+	}
+	return nil
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key []byte) error {
+	rep, err := c.roundTrip(&protocol.Command{Op: protocol.OpDelete, Key: key})
+	if err != nil {
+		return err
+	}
+	if rep.Status != protocol.StatusOK {
+		return statusErr(rep.Status)
+	}
+	return nil
+}
+
+// Increment adds delta to a numeric value.
+func (c *Client) Increment(key []byte, delta uint64) (uint64, error) {
+	return c.incrDecr(protocol.OpIncr, key, delta)
+}
+
+// Decrement subtracts delta, saturating at zero.
+func (c *Client) Decrement(key []byte, delta uint64) (uint64, error) {
+	return c.incrDecr(protocol.OpDecr, key, delta)
+}
+
+func (c *Client) incrDecr(op protocol.Op, key []byte, delta uint64) (uint64, error) {
+	rep, err := c.roundTrip(&protocol.Command{Op: op, Key: key, Delta: delta})
+	if err != nil {
+		return 0, err
+	}
+	if rep.Status != protocol.StatusOK {
+		return 0, statusErr(rep.Status)
+	}
+	return rep.Numeric, nil
+}
+
+// GetAndTouch fetches a key and updates its expiry in one round trip.
+func (c *Client) GetAndTouch(key []byte, exptime int64) ([]byte, uint32, uint64, error) {
+	rep, err := c.roundTrip(&protocol.Command{Op: protocol.OpGAT, Key: key, Exptime: exptime})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if rep.Status != protocol.StatusOK {
+		return nil, 0, 0, statusErr(rep.Status)
+	}
+	return rep.Value, rep.Flags, rep.CAS, nil
+}
+
+// Touch updates a key's expiry.
+func (c *Client) Touch(key []byte, exptime int64) error {
+	rep, err := c.roundTrip(&protocol.Command{Op: protocol.OpTouch, Key: key, Exptime: exptime})
+	if err != nil {
+		return err
+	}
+	if rep.Status != protocol.StatusOK {
+		return statusErr(rep.Status)
+	}
+	return nil
+}
+
+// FlushAll empties the server.
+func (c *Client) FlushAll() error {
+	_, err := c.roundTrip(&protocol.Command{Op: protocol.OpFlushAll})
+	return err
+}
+
+// Stats fetches the server's statistics.
+func (c *Client) Stats() (map[string]string, error) {
+	rep, err := c.roundTrip(&protocol.Command{Op: protocol.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(rep.Stats))
+	for _, kv := range rep.Stats {
+		out[kv[0]] = kv[1]
+	}
+	return out, nil
+}
+
+// Version fetches the server version string.
+func (c *Client) Version() (string, error) {
+	rep, err := c.roundTrip(&protocol.Command{Op: protocol.OpVersion})
+	if err != nil {
+		return "", err
+	}
+	return rep.Version, nil
+}
+
+// MGet fetches many keys in one batch. With the binary protocol it
+// pipelines quiet gets terminated by a noop: one write, one read, any
+// number of keys — the batching that makes socket memcached tolerable.
+func (c *Client) MGet(keys [][]byte) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(keys))
+	if c.proto == ASCII {
+		// "get k1 k2 ..." in a single line; VALUE blocks then END.
+		c.w.WriteString("get")
+		for _, k := range keys {
+			c.w.WriteByte(' ')
+			c.w.Write(k)
+		}
+		c.w.WriteString("\r\n")
+		if err := c.w.Flush(); err != nil {
+			return nil, err
+		}
+		for {
+			line, err := c.r.ReadString('\n')
+			if err != nil {
+				return nil, err
+			}
+			line = strings.TrimRight(line, "\r\n")
+			if line == "END" {
+				return out, nil
+			}
+			var key string
+			var flags uint32
+			var n int
+			var cas uint64
+			if _, err := fmt.Sscanf(line, "VALUE %s %d %d %d", &key, &flags, &n, &cas); err != nil {
+				return nil, fmt.Errorf("client: unexpected mget line %q", line)
+			}
+			data := make([]byte, n+2)
+			if _, err := io.ReadFull(c.r, data); err != nil {
+				return nil, err
+			}
+			out[key] = data[:n]
+		}
+	}
+	for i, k := range keys {
+		if err := protocol.WriteBinaryCommand(c.w, &protocol.Command{
+			Op: protocol.OpGet, Key: k, Quiet: true, Opaque: uint32(i),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := protocol.WriteBinaryCommand(c.w, &protocol.Command{Op: protocol.OpNoop, Opaque: ^uint32(0)}); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	for {
+		rep, opcode, err := protocol.ReadBinaryReply(c.r)
+		if err != nil {
+			return nil, err
+		}
+		if opcode == 0x0a { // noop: end of batch
+			return out, nil
+		}
+		if rep.Status == protocol.StatusOK && int(rep.Opaque) < len(keys) {
+			out[string(keys[rep.Opaque])] = rep.Value
+		}
+	}
+}
+
+func statusErr(s protocol.Status) error {
+	return fmt.Errorf("memcached: %v", s)
+}

@@ -1,0 +1,172 @@
+package client
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Multi-server support: libmemcached distributes keys across a server list
+// with consistent (ketama) hashing, so that adding or removing a server
+// remaps only ~1/n of the key space. This is the client-side half of how
+// memcached scales out in a data center — and exactly the part that still
+// matters in the paper's hybrid deployment, where remote clients keep using
+// sockets while local ones use the protected library.
+
+// ketamaPointsPerServer matches libmemcached (100 points × 4 hashes).
+const ketamaPointsPerServer = 100
+
+// Ring is a consistent-hash ring over a set of servers.
+type Ring struct {
+	points []ringPoint
+	names  []string
+}
+
+type ringPoint struct {
+	hash   uint32
+	server int // index into names
+}
+
+// NewRing builds a ketama ring from "host:port" (or "unix:path") names.
+func NewRing(servers []string) (*Ring, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("client: ring needs at least one server")
+	}
+	r := &Ring{names: append([]string(nil), servers...)}
+	for si, name := range r.names {
+		for p := 0; p < ketamaPointsPerServer; p++ {
+			sum := md5.Sum([]byte(fmt.Sprintf("%s-%d", name, p)))
+			for h := 0; h < 4; h++ {
+				r.points = append(r.points, ringPoint{
+					hash:   binary.LittleEndian.Uint32(sum[h*4:]),
+					server: si,
+				})
+			}
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// Servers returns the ring's server names.
+func (r *Ring) Servers() []string { return append([]string(nil), r.names...) }
+
+// Pick returns the index of the server responsible for key.
+func (r *Ring) Pick(key []byte) int {
+	h := ketamaHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].server
+}
+
+func ketamaHash(key []byte) uint32 {
+	sum := md5.Sum(key)
+	return binary.LittleEndian.Uint32(sum[:4])
+}
+
+// MultiClient is a client over several servers with consistent hashing:
+// the memcached_st with a populated server list. Like Client, it is not
+// safe for concurrent use.
+type MultiClient struct {
+	ring  *Ring
+	conns []*Client
+}
+
+// DialMulti connects to every server in the list. Each entry is
+// "network:address", e.g. "unix:/tmp/a.sock" or "tcp:127.0.0.1:11211".
+func DialMulti(servers []string, proto Protocol) (*MultiClient, error) {
+	ring, err := NewRing(servers)
+	if err != nil {
+		return nil, err
+	}
+	mc := &MultiClient{ring: ring, conns: make([]*Client, len(servers))}
+	for i, s := range servers {
+		network, addr, ok := strings.Cut(s, ":")
+		if !ok {
+			mc.Close()
+			return nil, fmt.Errorf("client: server %q is not network:address", s)
+		}
+		c, err := Dial(network, addr, proto)
+		if err != nil {
+			mc.Close()
+			return nil, fmt.Errorf("client: dial %s: %w", s, err)
+		}
+		mc.conns[i] = c
+	}
+	return mc, nil
+}
+
+// Close closes every connection.
+func (mc *MultiClient) Close() error {
+	var first error
+	for _, c := range mc.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ServerFor reports which server name owns key (for tests and diagnostics).
+func (mc *MultiClient) ServerFor(key []byte) string {
+	return mc.ring.names[mc.ring.Pick(key)]
+}
+
+func (mc *MultiClient) conn(key []byte) *Client { return mc.conns[mc.ring.Pick(key)] }
+
+// Get fetches key from its owning server.
+func (mc *MultiClient) Get(key []byte) ([]byte, uint32, uint64, error) {
+	return mc.conn(key).Get(key)
+}
+
+// Set stores key on its owning server.
+func (mc *MultiClient) Set(key, value []byte, flags uint32, exptime int64) error {
+	return mc.conn(key).Set(key, value, flags, exptime)
+}
+
+// Delete removes key from its owning server.
+func (mc *MultiClient) Delete(key []byte) error { return mc.conn(key).Delete(key) }
+
+// Increment adjusts a counter on its owning server.
+func (mc *MultiClient) Increment(key []byte, delta uint64) (uint64, error) {
+	return mc.conn(key).Increment(key, delta)
+}
+
+// MGet batches a multi-key get per owning server: keys are grouped by
+// ring placement, each group goes out as one pipelined quiet-get batch,
+// and the results are merged.
+func (mc *MultiClient) MGet(keys [][]byte) (map[string][]byte, error) {
+	groups := make(map[int][][]byte)
+	for _, k := range keys {
+		si := mc.ring.Pick(k)
+		groups[si] = append(groups[si], k)
+	}
+	out := make(map[string][]byte, len(keys))
+	for si, group := range groups {
+		part, err := mc.conns[si].MGet(group)
+		if err != nil {
+			return nil, fmt.Errorf("client: mget on %s: %w", mc.ring.names[si], err)
+		}
+		for k, v := range part {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// FlushAll flushes every server.
+func (mc *MultiClient) FlushAll() error {
+	for _, c := range mc.conns {
+		if err := c.FlushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

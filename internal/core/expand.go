@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"plibmc/internal/ralloc"
+)
+
+// Incremental hash-table expansion.
+//
+// The paper's background-process resizer "is not yet working correctly",
+// which forced their evaluation onto a fixed 2^25-bucket table. This file
+// implements the background resize the way memcached's expansion thread
+// does it: a new table is published alongside the old, a migration cursor
+// sweeps the old buckets a few at a time under the ordinary item locks,
+// and lookups route per key — buckets at or past the cursor are still in
+// the old table, the rest have moved. Clients never stall for more than
+// one bucket's migration.
+//
+// The Fig. 3 storage cell grows three fields for the duration:
+//
+//	+16 oldTable pptr (nil when not expanding)
+//	+24 oldHashPower
+//	+32 expandBucket (atomic cursor into the old table)
+//
+// Invariants: the lock stripe divides both table sizes, so the item lock
+// for hash h covers h's bucket in *both* tables; the cursor is advanced
+// while holding the lock of the bucket just migrated, so any thread that
+// acquires that lock afterwards sees the new location.
+
+const (
+	htOldTable     = 16
+	htOldPower     = 24
+	htExpandCursor = 32
+	htSizeExpanded = 40
+)
+
+// tables reads the full routing state. Callers must hold an item lock (or
+// all of them) for a stable view.
+func (s *Store) tables() (newT, newMask, oldT, oldMask, cursor uint64, expanding bool) {
+	newT = ralloc.LoadPptr(s.H, s.htStorage+htTable)
+	newMask = (uint64(1) << s.H.Load64(s.htStorage+htHashPower)) - 1
+	oldT = ralloc.LoadPptr(s.H, s.htStorage+htOldTable)
+	if oldT != 0 {
+		expanding = true
+		oldMask = (uint64(1) << s.H.Load64(s.htStorage+htOldPower)) - 1
+		cursor = s.H.AtomicLoad64(s.htStorage + htExpandCursor)
+	}
+	return
+}
+
+// bucketFor returns the heap offset of the bucket word that currently owns
+// hash. Caller holds the item lock for hash.
+func (s *Store) bucketFor(hash uint64) uint64 {
+	newT, newMask, oldT, oldMask, cursor, expanding := s.tables()
+	if expanding {
+		if ob := hash & oldMask; ob >= cursor {
+			return oldT + ob*8
+		}
+	}
+	return newT + (hash&newMask)*8
+}
+
+// Expanding reports whether a background expansion is in progress.
+func (s *Store) Expanding() bool {
+	return ralloc.AtomicLoadPptr(s.H, s.htStorage+htOldTable) != 0
+}
+
+// StartExpand begins a background expansion to 2^newPower buckets. The
+// current table becomes the "old" table; migration happens in ExpandStep
+// calls (normally driven by the maintainer).
+func (s *Store) StartExpand(c *Ctx, newPower uint) error {
+	c.enterOp()
+	defer c.exitOp()
+	if newPower > 30 {
+		return fmt.Errorf("core: refusing table of 2^%d buckets", newPower)
+	}
+	if uint64(1)<<newPower < s.numItemLocks {
+		return fmt.Errorf("core: table of 2^%d buckets would be smaller than the lock stripe", newPower)
+	}
+	if s.Expanding() {
+		return fmt.Errorf("core: expansion already in progress")
+	}
+	if uint(s.H.Load64(s.htStorage+htHashPower)) >= newPower {
+		return fmt.Errorf("core: expansion must grow the table")
+	}
+	newTable, err := c.cache.Calloc((uint64(1) << newPower) * 8)
+	if err != nil {
+		return err
+	}
+	// Publish atomically with respect to every operation: hold the whole
+	// lock stripe for the (brief, copy-free) pointer swap.
+	for li := uint64(0); li < s.numItemLocks; li++ {
+		s.H.LockAcquire(s.itemLocks+li*8, c.owner)
+	}
+	oldTable := ralloc.LoadPptr(s.H, s.htStorage+htTable)
+	oldPower := s.H.Load64(s.htStorage + htHashPower)
+	ralloc.StorePptr(s.H, s.htStorage+htOldTable, oldTable)
+	s.H.Store64(s.htStorage+htOldPower, oldPower)
+	s.H.AtomicStore64(s.htStorage+htExpandCursor, 0)
+	ralloc.StorePptr(s.H, s.htStorage+htTable, newTable)
+	s.H.Store64(s.htStorage+htHashPower, uint64(newPower))
+	for li := uint64(0); li < s.numItemLocks; li++ {
+		s.H.LockRelease(s.itemLocks + li*8)
+	}
+	return nil
+}
+
+// ExpandStep migrates up to n old-table buckets and returns how many it
+// moved; 0 means the expansion is complete (or none is running). Clients
+// keep operating throughout.
+func (s *Store) ExpandStep(c *Ctx, n int) (int, error) {
+	c.enterOp()
+	defer c.exitOp()
+	if !s.Expanding() {
+		return 0, nil
+	}
+	oldSize := uint64(1) << s.H.Load64(s.htStorage+htOldPower)
+	moved := 0
+	for moved < n {
+		b := s.H.AtomicLoad64(s.htStorage + htExpandCursor)
+		if b >= oldSize {
+			break
+		}
+		lock := s.itemLocks + (b&(s.numItemLocks-1))*8
+		s.H.LockAcquire(lock, c.owner)
+		newT, newMask, oldT, _, _, _ := s.tables()
+		it := loadChainHead(s, oldT+b*8)
+		for it != 0 {
+			next := loadChainNext(s, it)
+			klen := s.itemKeyLen(it)
+			kb := c.scratch(klen)
+			s.H.ReadBytes(s.itemKeyOff(it), kb)
+			h := hashKey(kb)
+			bucket := newT + (h&newMask)*8
+			ralloc.StorePptr(s.H, it+itHNext, ralloc.LoadPptr(s.H, bucket))
+			ralloc.StorePptr(s.H, bucket, it)
+			it = next
+		}
+		ralloc.StorePptr(s.H, oldT+b*8, 0)
+		// Advance the cursor before releasing the lock: anyone who takes
+		// this lock next routes bucket b to the new table.
+		s.H.AtomicStore64(s.htStorage+htExpandCursor, b+1)
+		s.H.LockRelease(lock)
+		moved++
+	}
+	if s.H.AtomicLoad64(s.htStorage+htExpandCursor) >= oldSize {
+		if err := s.finishExpand(c); err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}
+
+// finishExpand retires the fully drained old table.
+func (s *Store) finishExpand(c *Ctx) error {
+	for li := uint64(0); li < s.numItemLocks; li++ {
+		s.H.LockAcquire(s.itemLocks+li*8, c.owner)
+	}
+	oldT := ralloc.LoadPptr(s.H, s.htStorage+htOldTable)
+	ralloc.StorePptr(s.H, s.htStorage+htOldTable, 0)
+	s.H.Store64(s.htStorage+htOldPower, 0)
+	s.H.AtomicStore64(s.htStorage+htExpandCursor, 0)
+	for li := uint64(0); li < s.numItemLocks; li++ {
+		s.H.LockRelease(s.itemLocks + li*8)
+	}
+	if oldT != 0 {
+		return c.cache.Free(oldT)
+	}
+	return nil
+}
+
+// forEachBucketLocked invokes fn for every bucket word currently owned by
+// lock stripe index li, covering both tables during an expansion. Caller
+// holds that item lock.
+func (s *Store) forEachBucketLocked(li uint64, fn func(bucket uint64)) {
+	newT, newMask, oldT, oldMask, cursor, expanding := s.tables()
+	for b := li; b <= newMask; b += s.numItemLocks {
+		fn(newT + b*8)
+	}
+	if expanding {
+		start := li
+		// First unmigrated bucket congruent to li.
+		if start < cursor {
+			start += (cursor - start + s.numItemLocks - 1) / s.numItemLocks * s.numItemLocks
+		}
+		for b := start; b <= oldMask; b += s.numItemLocks {
+			fn(oldT + b*8)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import "runtime"
+
+// Operation gate.
+//
+// The paper flushes the store to its backing file only at orderly
+// shutdown, and calls full crash consistency future work (§6). As a step
+// in that direction this implementation supports *live checkpoints*: a
+// heap-resident gate counts in-flight operations; a checkpointer raises a
+// barrier bit, waits for the count to drain, snapshots the (now fully
+// consistent) heap, and drops the barrier. The fast-path cost is two
+// uncontended atomic adds per operation.
+//
+// The gate word lives in the config block: bit 63 is the barrier, the low
+// bits count active operations. Entry is reentrant per context (an
+// operation that internally evicts or resizes does not deadlock itself).
+
+const gateBarrier = uint64(1) << 63
+
+// enterOp joins the active-operation count, waiting out any barrier.
+// Reentrant via the context's depth counter.
+func (c *Ctx) enterOp() {
+	if c.opDepth++; c.opDepth > 1 {
+		return
+	}
+	gate := c.s.cfg + cfgGate
+	for {
+		g := c.s.H.AtomicLoad64(gate)
+		if g&gateBarrier != 0 {
+			runtime.Gosched() // a checkpoint is draining the store
+			continue
+		}
+		if c.s.H.CAS64(gate, g, g+1) {
+			return
+		}
+	}
+}
+
+// exitOp leaves the active-operation count.
+func (c *Ctx) exitOp() {
+	if c.opDepth--; c.opDepth > 0 {
+		return
+	}
+	c.s.H.Add64(c.s.cfg+cfgGate, ^uint64(0))
+}
+
+// Quiesce raises the barrier and waits until no operation is in flight.
+// While quiesced the heap is fully consistent — no lock held, no partial
+// structure — and safe to snapshot. Always pair with Unquiesce.
+func (s *Store) Quiesce() {
+	gate := s.cfg + cfgGate
+	for {
+		g := s.H.AtomicLoad64(gate)
+		if g&gateBarrier != 0 {
+			runtime.Gosched() // another checkpointer; take turns
+			continue
+		}
+		if s.H.CAS64(gate, g, g|gateBarrier) {
+			break
+		}
+	}
+	for s.H.AtomicLoad64(gate)&^gateBarrier != 0 {
+		runtime.Gosched()
+	}
+}
+
+// Unquiesce drops the barrier raised by Quiesce.
+func (s *Store) Unquiesce() {
+	gate := s.cfg + cfgGate
+	for {
+		g := s.H.AtomicLoad64(gate)
+		if s.H.CAS64(gate, g, g&^gateBarrier) {
+			return
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"plibmc/internal/ralloc"
+)
+
+// Item layout in the shared heap. All pointer fields are pptrs; scalar
+// fields are word- or half-word sized. The key is padded to a word boundary
+// so the value is word-aligned (fast byte copies).
+//
+//	+0   hNext      pptr   hash-chain successor
+//	+8   lruNext    pptr   LRU successor (toward tail)
+//	+16  lruPrev    pptr   LRU predecessor (toward head)
+//	+24  refcount   u64    atomic; 1 reference held by the table link
+//	+32  casID      u64    compare-and-swap generation
+//	+40  exptime    u32    absolute expiry (unix secs; 0 = never)
+//	+44  flags      u32    client-supplied opaque flags
+//	+48  keyLen     u32
+//	+52  valLen     u32
+//	+56  lastAccess u64    unix secs of last use (LRU bump threshold)
+//	+64  itflags    u64    atomic; bit 0 = linked
+//	+72  key bytes, padded to 8, then value bytes
+const (
+	itHNext      = 0
+	itLRUNext    = 8
+	itLRUPrev    = 16
+	itRefcount   = 24
+	itCASID      = 32
+	itExptime    = 40
+	itFlags      = 44
+	itKeyLen     = 48
+	itValLen     = 52
+	itLastAccess = 56
+	itItflags    = 64
+	itHeader     = 72
+)
+
+const itflagLinked = uint64(1)
+
+// itemSize returns the allocation size for a key/value pair.
+func itemSize(keyLen, valLen uint64) uint64 {
+	return itHeader + (keyLen+7)&^uint64(7) + valLen
+}
+
+func (s *Store) itemKeyOff(it uint64) uint64 { return it + itHeader }
+
+func (s *Store) itemValOff(it uint64) uint64 {
+	kl := uint64(s.H.Load32(it + itKeyLen))
+	return it + itHeader + (kl+7)&^uint64(7)
+}
+
+func (s *Store) itemKeyLen(it uint64) uint64 { return uint64(s.H.Load32(it + itKeyLen)) }
+func (s *Store) itemValLen(it uint64) uint64 { return uint64(s.H.Load32(it + itValLen)) }
+
+// keyEqual reports whether the item's key equals key, without allocating.
+func (s *Store) keyEqual(it uint64, key []byte) bool {
+	if s.itemKeyLen(it) != uint64(len(key)) {
+		return false
+	}
+	return s.H.EqualBytes(s.itemKeyOff(it), key)
+}
+
+// newItem allocates and fills an item from library-private buffers. The
+// caller provides key and value that have already been captured from the
+// client (§3.4 idiom); no locks are held during allocation, except on the
+// replace-in-place paths that pass canEvict=false.
+func (c *Ctx) newItem(key, value []byte, flags uint32, exptime int64, canEvict bool) (uint64, error) {
+	size := itemSize(uint64(len(key)), uint64(len(value)))
+	it, err := c.allocWithEvict(size, canEvict)
+	if err != nil {
+		return 0, err
+	}
+	h := c.s.H
+	ralloc.StorePptr(h, it+itHNext, 0)
+	ralloc.StorePptr(h, it+itLRUNext, 0)
+	ralloc.StorePptr(h, it+itLRUPrev, 0)
+	h.Store64(it+itRefcount, 1) // the link reference
+	h.Store64(it+itCASID, c.s.nextCAS())
+	h.Store32(it+itExptime, uint32(exptime))
+	h.Store32(it+itFlags, flags)
+	h.Store32(it+itKeyLen, uint32(len(key)))
+	h.Store32(it+itValLen, uint32(len(value)))
+	h.Store64(it+itLastAccess, uint64(c.s.nowFn()))
+	h.Store64(it+itItflags, 0)
+	h.WriteBytes(it+itHeader, key)
+	h.WriteBytes(c.s.itemValOff(it), value)
+	return it, nil
+}
+
+// incref pins an item.
+func (s *Store) incref(it uint64) { s.H.Add64(it+itRefcount, 1) }
+
+// decref unpins an item, freeing it when the last reference drops.
+func (c *Ctx) decref(it uint64) {
+	if c.s.H.Add64(it+itRefcount, ^uint64(0)) == 0 {
+		// The item is unreachable: not linked, not pinned.
+		if err := c.cache.Free(it); err != nil {
+			// Freeing a block we allocated can only fail if the heap
+			// is corrupt; that is a library crash.
+			panic(err)
+		}
+	}
+}
+
+func (s *Store) isLinked(it uint64) bool {
+	return s.H.AtomicLoad64(it+itItflags)&itflagLinked != 0
+}
+
+func (s *Store) setLinked(it uint64, linked bool) {
+	f := s.H.AtomicLoad64(it + itItflags)
+	if linked {
+		f |= itflagLinked
+	} else {
+		f &^= itflagLinked
+	}
+	s.H.AtomicStore64(it+itItflags, f)
+}
+
+// expired reports whether the item is past its expiry at time now.
+func (s *Store) expired(it uint64, now int64) bool {
+	e := s.H.Load32(it + itExptime)
+	return e != 0 && int64(e) <= now
+}
+
+// allocWithEvict allocates from the thread cache, evicting LRU victims and
+// retrying on memory exhaustion — the role of memcached's item_alloc loop.
+// canEvict must be false when the caller holds an item lock (eviction
+// acquires other item locks only by trylock, but blocking inline eviction
+// is reserved for unlocked paths).
+func (c *Ctx) allocWithEvict(size uint64, canEvict bool) (uint64, error) {
+	for attempt := 0; ; attempt++ {
+		// Honour the memory limit (-m): evict before exceeding the
+		// watermark, not only when the heap itself is exhausted.
+		if canEvict && c.s.A.LiveBytes()+size > c.s.memLimit {
+			if attempt >= 200 || c.evictSome(8) == 0 && c.s.A.LiveBytes()+size > c.s.memLimit {
+				return 0, ErrNoSpace
+			}
+			continue
+		}
+		off, err := c.cache.Malloc(size)
+		if err == nil {
+			return off, nil
+		}
+		if !canEvict || attempt >= 50 {
+			if !canEvict {
+				// One best-effort trylock-only eviction pass.
+				if c.evictSome(8) > 0 {
+					if off, err2 := c.cache.Malloc(size); err2 == nil {
+						return off, nil
+					}
+				}
+			}
+			return 0, ErrNoSpace
+		}
+		if c.evictSome(8) == 0 {
+			return 0, ErrNoSpace
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestForEachVisitsAllLiveEntries(t *testing.T) {
+	s, c := newStore(t, 1<<22, Options{HashPower: 8, NumItemLocks: 16})
+	now := int64(1000)
+	s.SetClock(func() int64 { return now })
+	want := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v := fmt.Sprintf("val-%03d", i)
+		exp := int64(0)
+		if i%4 == 0 {
+			exp = 10 // will be expired below
+		}
+		if err := c.Set([]byte(k), []byte(v), uint32(i), exp); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 != 0 {
+			want[k] = v
+		}
+	}
+	now = 2000 // the exp=10 quarter is now dead
+
+	got := map[string]string{}
+	visited := c.ForEach(func(e *Entry) bool {
+		got[string(e.Key)] = string(e.Value) // must copy: slices are reused
+		if e.CAS == 0 {
+			t.Error("entry with zero CAS")
+		}
+		return true
+	})
+	if visited != len(want) || len(got) != len(want) {
+		t.Fatalf("visited %d, collected %d, want %d", visited, len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("entry %q = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	_, c := newStore(t, 1<<22, Options{HashPower: 8, NumItemLocks: 16})
+	for i := 0; i < 100; i++ {
+		c.Set([]byte(fmt.Sprintf("k%d", i)), []byte("v"), 0, 0)
+	}
+	n := 0
+	c.ForEach(func(*Entry) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestForEachDuringExpansion(t *testing.T) {
+	s, c := newStore(t, 1<<23, Options{HashPower: 6, NumItemLocks: 16})
+	for i := 0; i < 300; i++ {
+		c.Set([]byte(fmt.Sprintf("key-%d", i)), []byte("v"), 0, 0)
+	}
+	if err := s.StartExpand(c, 9); err != nil {
+		t.Fatal(err)
+	}
+	s.ExpandStep(c, 17) // partially migrated: both tables live
+	seen := map[string]bool{}
+	c.ForEach(func(e *Entry) bool {
+		if seen[string(e.Key)] {
+			t.Fatalf("key %q visited twice during expansion", e.Key)
+		}
+		seen[string(e.Key)] = true
+		return true
+	})
+	if len(seen) != 300 {
+		t.Fatalf("visited %d of 300 during expansion", len(seen))
+	}
+}
+
+func TestLRULengthsBalance(t *testing.T) {
+	s, c := newStore(t, 1<<23, Options{HashPower: 10, NumItemLocks: 64, NumLRUs: 8})
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if err := c.Set([]byte(fmt.Sprintf("key-%05d", i)), []byte("v"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lens := c.LRULengths()
+	if uint64(len(lens)) != s.NumLRUs() {
+		t.Fatalf("lists = %d", len(lens))
+	}
+	total := 0
+	for idx, l := range lens {
+		total += l
+		// Hash partitioning should spread items within a few x of fair.
+		fair := n / len(lens)
+		if l < fair/3 || l > fair*3 {
+			t.Fatalf("list %d holds %d items (fair share %d): unbalanced", idx, l, fair)
+		}
+	}
+	if total != n {
+		t.Fatalf("lists hold %d items, want %d", total, n)
+	}
+}

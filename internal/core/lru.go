@@ -1,0 +1,182 @@
+package core
+
+import (
+	"plibmc/internal/ralloc"
+	"plibmc/internal/shm"
+)
+
+// LRU lists.
+//
+// The original memcached keeps one LRU list per slab class. Having replaced
+// the slab allocator with Ralloc, the paper decouples eviction order from
+// allocation size: items are scattered over a set of doubly linked lists
+// chosen by key hash, each with its own heap-resident lock, because a
+// single list "caused unacceptable lock contention at high thread counts."
+// The bookkeeping process (and, as a fallback, any thread that exhausts
+// memory) evicts from the tails.
+
+// lruBumpInterval matches memcached's ITEM_UPDATE_INTERVAL: an item is
+// moved to the head of its list at most once per interval, which keeps
+// read-heavy workloads from serializing on the LRU locks.
+const lruBumpInterval = 60
+
+func (s *Store) lruFor(h uint64) uint64 { return (h >> 32) % s.numLRUs }
+
+func (s *Store) lruLockOff(idx uint64) uint64 { return s.lruLocks + idx*shm.LockWordSize }
+func (s *Store) lruHeadOff(idx uint64) uint64 { return s.lruData + idx*16 }
+func (s *Store) lruTailOff(idx uint64) uint64 { return s.lruData + idx*16 + 8 }
+
+// lruInsertHead links it at the head of list idx. Caller holds the list lock.
+func (s *Store) lruInsertHead(idx, it uint64) {
+	h := s.H
+	head := ralloc.LoadPptr(h, s.lruHeadOff(idx))
+	ralloc.StorePptr(h, it+itLRUPrev, 0)
+	ralloc.StorePptr(h, it+itLRUNext, head)
+	if head != 0 {
+		ralloc.StorePptr(h, head+itLRUPrev, it)
+	} else {
+		ralloc.StorePptr(h, s.lruTailOff(idx), it)
+	}
+	ralloc.StorePptr(h, s.lruHeadOff(idx), it)
+}
+
+// lruRemove unlinks it from list idx. Caller holds the list lock.
+func (s *Store) lruRemove(idx, it uint64) {
+	h := s.H
+	prev := ralloc.LoadPptr(h, it+itLRUPrev)
+	next := ralloc.LoadPptr(h, it+itLRUNext)
+	if prev != 0 {
+		ralloc.StorePptr(h, prev+itLRUNext, next)
+	} else {
+		ralloc.StorePptr(h, s.lruHeadOff(idx), next)
+	}
+	if next != 0 {
+		ralloc.StorePptr(h, next+itLRUPrev, prev)
+	} else {
+		ralloc.StorePptr(h, s.lruTailOff(idx), prev)
+	}
+	ralloc.StorePptr(h, it+itLRUPrev, 0)
+	ralloc.StorePptr(h, it+itLRUNext, 0)
+}
+
+// lruLink inserts it into its hash-selected list, taking the list lock.
+func (c *Ctx) lruLink(hash, it uint64) {
+	idx := c.s.lruFor(hash)
+	c.s.H.LockAcquire(c.s.lruLockOff(idx), c.owner)
+	c.s.lruInsertHead(idx, it)
+	c.s.H.LockRelease(c.s.lruLockOff(idx))
+}
+
+// lruUnlink removes it from its list, taking the list lock. Lock order is
+// item lock → LRU lock, so this is safe under a held item lock.
+func (c *Ctx) lruUnlink(hash, it uint64) {
+	idx := c.s.lruFor(hash)
+	c.s.H.LockAcquire(c.s.lruLockOff(idx), c.owner)
+	c.s.lruRemove(idx, it)
+	c.s.H.LockRelease(c.s.lruLockOff(idx))
+}
+
+// lruBump moves a touched item to the head of its list if it has not been
+// bumped recently. Caller holds the item lock.
+func (c *Ctx) lruBump(hash, it uint64, now int64) {
+	if uint64(now)-c.s.H.Load64(it+itLastAccess) < lruBumpInterval {
+		return
+	}
+	c.s.H.Store64(it+itLastAccess, uint64(now))
+	idx := c.s.lruFor(hash)
+	c.s.H.LockAcquire(c.s.lruLockOff(idx), c.owner)
+	if c.s.isLinked(it) {
+		c.s.lruRemove(idx, it)
+		c.s.lruInsertHead(idx, it)
+	}
+	c.s.H.LockRelease(c.s.lruLockOff(idx))
+}
+
+// evictSome removes up to n least-recently-used items from the store and
+// returns how many it evicted. It never blocks on an item lock (trylock
+// only), so it is safe to call while holding one.
+func (c *Ctx) evictSome(n int) int {
+	evicted := 0
+	s := c.s
+	for sweep := uint64(0); sweep < s.numLRUs && evicted < n; sweep++ {
+		idx := (c.evictCursor + sweep) % s.numLRUs
+		for evicted < n {
+			if !c.evictTailOf(idx) {
+				break
+			}
+			evicted++
+		}
+	}
+	c.evictCursor++
+	return evicted
+}
+
+// evictTailOf tries to evict the tail of LRU list idx, reporting success.
+func (c *Ctx) evictTailOf(idx uint64) bool {
+	s := c.s
+	lockOff := s.lruLockOff(idx)
+	if !s.H.LockTry(lockOff, c.owner) {
+		return false
+	}
+	victim := ralloc.LoadPptr(s.H, s.lruTailOff(idx))
+	if victim == 0 {
+		s.H.LockRelease(lockOff)
+		return false
+	}
+	s.incref(victim) // pin: the victim cannot be freed under us
+	s.H.LockRelease(lockOff)
+
+	// Reconstruct the victim's hash from its key (valid while pinned).
+	klen := s.itemKeyLen(victim)
+	key := c.scratch(klen)
+	s.H.ReadBytes(s.itemKeyOff(victim), key)
+	hash := hashKey(key)
+
+	ok := false
+	itemLock := s.itemLockOff(hash)
+	if s.H.LockTry(itemLock, c.owner) {
+		if s.isLinked(victim) {
+			c.unlinkLocked(victim, hash)
+			c.stat(statEvictions, 1)
+			ok = true
+		}
+		s.H.LockRelease(itemLock)
+	}
+	c.decref(victim)
+	return ok
+}
+
+// linkLocked inserts a fully built item into the table and LRU. Caller
+// holds the item lock for hash.
+func (c *Ctx) linkLocked(it, hash uint64) {
+	s := c.s
+	bucket := s.bucketFor(hash)
+	ralloc.StorePptr(s.H, it+itHNext, ralloc.LoadPptr(s.H, bucket))
+	ralloc.StorePptr(s.H, bucket, it)
+	s.setLinked(it, true)
+	c.lruLink(hash, it)
+	c.stat(statCurrItems, 1)
+	c.stat(statTotalItems, 1)
+	c.stat(statBytes, int64(s.A.SizeOf(it)))
+}
+
+// unlinkLocked removes a linked item from the table and LRU and drops the
+// link reference. Caller holds the item lock for hash.
+func (c *Ctx) unlinkLocked(it, hash uint64) {
+	s := c.s
+	bucket := s.bucketFor(hash)
+	prevAddr := bucket
+	cur := ralloc.LoadPptr(s.H, bucket)
+	for cur != 0 && cur != it {
+		prevAddr = cur + itHNext
+		cur = ralloc.LoadPptr(s.H, prevAddr)
+	}
+	if cur == it {
+		ralloc.StorePptr(s.H, prevAddr, ralloc.LoadPptr(s.H, it+itHNext))
+	}
+	s.setLinked(it, false)
+	c.lruUnlink(hash, it)
+	c.stat(statCurrItems, -1)
+	c.stat(statBytes, -int64(s.A.SizeOf(it)))
+	c.decref(it) // the link reference
+}

@@ -1,0 +1,29 @@
+package core
+
+import "plibmc/internal/ralloc"
+
+// LRU introspection: list lengths expose whether the hash-partitioning of
+// the LRU (the paper's fix for single-list contention) is balanced. Used
+// by cmd/plibdump and tests.
+
+// LRULengths returns the number of items on each LRU list. Lists are
+// locked one at a time, so the snapshot is per-list consistent.
+func (c *Ctx) LRULengths() []int {
+	c.enterOp()
+	defer c.exitOp()
+	s := c.s
+	out := make([]int, s.numLRUs)
+	for idx := uint64(0); idx < s.numLRUs; idx++ {
+		s.H.LockAcquire(s.lruLockOff(idx), c.owner)
+		n := 0
+		for it := ralloc.LoadPptr(s.H, s.lruHeadOff(idx)); it != 0; it = ralloc.LoadPptr(s.H, it+itLRUNext) {
+			n++
+		}
+		out[idx] = n
+		s.H.LockRelease(s.lruLockOff(idx))
+	}
+	return out
+}
+
+// NumLRUs returns how many LRU lists the store uses.
+func (s *Store) NumLRUs() uint64 { return s.numLRUs }

@@ -1,0 +1,29 @@
+package core
+
+// Batched retrieval. The socket memcached devotes much of its client
+// library to batching because every round trip costs microseconds; for the
+// protected library a batch instead amortizes the (much smaller) trampoline
+// crossing: one rights amplification covers N lookups.
+
+// GetResult is one key's outcome in a batched MGet.
+type GetResult struct {
+	Value []byte
+	Flags uint32
+	CAS   uint64
+	Found bool
+}
+
+// MGet looks up every key and returns one result per key, in order.
+// Missing (or expired) keys yield Found == false.
+func (c *Ctx) MGet(keys [][]byte) []GetResult {
+	c.enterOp()
+	defer c.exitOp()
+	res := make([]GetResult, len(keys))
+	for i, k := range keys {
+		v, flags, cas, err := c.GetAppend(nil, k)
+		if err == nil {
+			res[i] = GetResult{Value: v, Flags: flags, CAS: cas, Found: true}
+		}
+	}
+	return res
+}

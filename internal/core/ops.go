@@ -1,0 +1,486 @@
+package core
+
+import (
+	"strconv"
+
+	"plibmc/internal/ralloc"
+)
+
+// Ctx is the per-thread operation context: the thread's allocator cache,
+// its lock-owner identity, its statistics slot, and the library-private
+// scratch buffers into which client arguments are captured before any lock
+// is acquired (the §3.4 fault-tolerance idiom — the key_prot/dat_prot
+// buffers of Fig. 4). A Ctx must be used by one thread at a time.
+type Ctx struct {
+	s     *Store
+	cache *ralloc.Cache
+	owner uint64
+	slot  uint64
+
+	evictCursor uint64
+	opDepth     int
+
+	// CaptureClientBuffers applies the copy-before-lock idiom. It defaults
+	// to true; the ablation benchmark turns it off to measure the idiom's
+	// cost (and gives up crash safety against concurrent client threads
+	// scribbling on arguments mid-call).
+	CaptureClientBuffers bool
+
+	keyBuf   []byte
+	valBuf   []byte
+	auxBuf   []byte
+	evictBuf []byte
+}
+
+// loadChainHead reads a bucket's first item; loadChainNext follows hNext.
+func loadChainHead(s *Store, bucket uint64) uint64 { return ralloc.LoadPptr(s.H, bucket) }
+func loadChainNext(s *Store, it uint64) uint64     { return ralloc.LoadPptr(s.H, it+itHNext) }
+
+// NewCtx creates an operation context. owner must be a nonzero token unique
+// to the calling thread (proc.Thread.LockOwner provides one).
+func (s *Store) NewCtx(owner uint64) *Ctx {
+	return &Ctx{
+		s:                    s,
+		cache:                s.A.NewCache(),
+		owner:                owner,
+		slot:                 owner % s.statSlots,
+		CaptureClientBuffers: true,
+	}
+}
+
+// Close flushes the context's allocator cache back to the shared heap.
+func (c *Ctx) Close() {
+	c.enterOp()
+	c.cache.Flush()
+	c.exitOp()
+}
+
+// Store returns the store this context operates on.
+func (c *Ctx) Store() *Store { return c.s }
+
+func grow(buf *[]byte, n uint64) []byte {
+	if uint64(cap(*buf)) < n {
+		*buf = make([]byte, n)
+	}
+	return (*buf)[:n]
+}
+
+func (c *Ctx) scratch(n uint64) []byte { return grow(&c.evictBuf, n) }
+
+// capture copies a client buffer into library-private scratch before any
+// lock is taken, so that a concurrent client thread mutating (or unmapping)
+// the argument cannot fault or corrupt the library mid-operation.
+func (c *Ctx) capture(dst *[]byte, src []byte) []byte {
+	if !c.CaptureClientBuffers {
+		return src
+	}
+	b := grow(dst, uint64(len(src)))
+	copy(b, src)
+	return b
+}
+
+// absExpiry converts a client exptime to an absolute unix time, with
+// memcached's semantics: 0 = never; negative = already expired; values up
+// to 30 days are relative to now; larger values are absolute timestamps.
+const relativeExpiryCutoff = 60 * 60 * 24 * 30
+
+func (c *Ctx) absExpiry(exptime int64) int64 {
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime < 0:
+		return c.s.nowFn() - 1
+	case exptime <= relativeExpiryCutoff:
+		return c.s.nowFn() + exptime
+	default:
+		return exptime
+	}
+}
+
+// findLocked walks the bucket chain for key, unlinking it lazily if it has
+// expired. Caller holds the item lock for hash.
+func (c *Ctx) findLocked(key []byte, hash uint64) uint64 {
+	s := c.s
+	it := loadChainHead(s, s.bucketFor(hash))
+	for it != 0 {
+		if s.keyEqual(it, key) {
+			if s.expired(it, s.nowFn()) {
+				c.unlinkLocked(it, hash)
+				c.stat(statExpired, 1)
+				return 0
+			}
+			return it
+		}
+		it = loadChainNext(s, it)
+	}
+	return 0
+}
+
+// Get retrieves the value stored under key, along with the client flags and
+// CAS generation. The returned slice is freshly allocated client-visible
+// memory (the plain-malloc output buffer of Fig. 4).
+func (c *Ctx) Get(key []byte) ([]byte, uint32, uint64, error) {
+	v, f, cas, err := c.GetAppend(nil, key)
+	return v, f, cas, err
+}
+
+// GetAppend is Get appending the value to dst (which may be nil), for
+// callers that reuse buffers.
+func (c *Ctx) GetAppend(dst, key []byte) ([]byte, uint32, uint64, error) {
+	if len(key) > MaxKeyLen {
+		return dst, 0, 0, ErrKeyTooLong
+	}
+	c.enterOp()
+	defer c.exitOp()
+	c.stat(statGets, 1)
+	k := c.capture(&c.keyBuf, key)
+	hash := hashKey(k)
+	s := c.s
+	lock := s.itemLockOff(hash)
+	s.H.LockAcquire(lock, c.owner)
+	it := c.findLocked(k, hash)
+	if it == 0 {
+		s.H.LockRelease(lock)
+		c.stat(statGetMisses, 1)
+		return dst, 0, 0, ErrNotFound
+	}
+	c.lruBump(hash, it, s.nowFn())
+	s.incref(it) // hold the item across the copy, as item_get does
+	flags := s.H.Load32(it + itFlags)
+	cas := s.H.Load64(it + itCASID)
+	vlen := s.itemValLen(it)
+	voff := s.itemValOff(it)
+	s.H.LockRelease(lock)
+
+	// Copy into a protected buffer while the reference is held, then
+	// release the item before touching client-visible memory (Fig. 4).
+	prot := grow(&c.valBuf, vlen)
+	s.H.ReadBytes(voff, prot)
+	c.decref(it)
+
+	out := append(dst, prot...)
+	c.stat(statGetHits, 1)
+	return out, flags, cas, nil
+}
+
+// GetAndTouch retrieves the value under key and atomically updates its
+// expiry (memcached's "gat" command): one lock acquisition for both.
+func (c *Ctx) GetAndTouch(key []byte, exptime int64) ([]byte, uint32, uint64, error) {
+	if len(key) > MaxKeyLen {
+		return nil, 0, 0, ErrKeyTooLong
+	}
+	c.enterOp()
+	defer c.exitOp()
+	c.stat(statGets, 1)
+	c.stat(statTouches, 1)
+	k := c.capture(&c.keyBuf, key)
+	abs := c.absExpiry(exptime)
+	hash := hashKey(k)
+	s := c.s
+	lock := s.itemLockOff(hash)
+	s.H.LockAcquire(lock, c.owner)
+	it := c.findLocked(k, hash)
+	if it == 0 {
+		s.H.LockRelease(lock)
+		c.stat(statGetMisses, 1)
+		return nil, 0, 0, ErrNotFound
+	}
+	s.H.Store32(it+itExptime, uint32(abs))
+	c.lruBump(hash, it, s.nowFn())
+	s.incref(it)
+	flags := s.H.Load32(it + itFlags)
+	cas := s.H.Load64(it + itCASID)
+	vlen := s.itemValLen(it)
+	voff := s.itemValOff(it)
+	s.H.LockRelease(lock)
+	prot := grow(&c.valBuf, vlen)
+	s.H.ReadBytes(voff, prot)
+	c.decref(it)
+	c.stat(statGetHits, 1)
+	return append([]byte(nil), prot...), flags, cas, nil
+}
+
+// storeMode selects among the memcached storage commands.
+type storeMode int
+
+const (
+	modeSet storeMode = iota
+	modeAdd
+	modeReplace
+	modeCAS
+)
+
+func (c *Ctx) store(mode storeMode, key, value []byte, flags uint32, exptime int64, cas uint64) error {
+	if len(key) > MaxKeyLen {
+		return ErrKeyTooLong
+	}
+	if len(value) > MaxValueLen {
+		return ErrValueTooBig
+	}
+	c.enterOp()
+	defer c.exitOp()
+	c.stat(statSets, 1)
+	k := c.capture(&c.keyBuf, key)
+	v := c.capture(&c.valBuf, value)
+	// Build the replacement item entirely before acquiring the lock; the
+	// allocation may trigger eviction, which takes other locks by trylock.
+	it, err := c.newItem(k, v, flags, c.absExpiry(exptime), true)
+	if err != nil {
+		return err
+	}
+	hash := hashKey(k)
+	s := c.s
+	lock := s.itemLockOff(hash)
+	s.H.LockAcquire(lock, c.owner)
+	old := c.findLocked(k, hash)
+	switch {
+	case mode == modeAdd && old != 0:
+		s.H.LockRelease(lock)
+		c.decref(it)
+		return ErrExists
+	case mode == modeReplace && old == 0:
+		s.H.LockRelease(lock)
+		c.decref(it)
+		return ErrNotFound
+	case mode == modeCAS:
+		if old == 0 {
+			s.H.LockRelease(lock)
+			c.decref(it)
+			return ErrNotFound
+		}
+		if s.H.Load64(old+itCASID) != cas {
+			s.H.LockRelease(lock)
+			c.decref(it)
+			c.stat(statCASMismatch, 1)
+			return ErrCASMismatch
+		}
+	}
+	if old != 0 {
+		c.unlinkLocked(old, hash)
+	}
+	c.linkLocked(it, hash)
+	s.H.LockRelease(lock)
+	return nil
+}
+
+// Set unconditionally stores value under key.
+func (c *Ctx) Set(key, value []byte, flags uint32, exptime int64) error {
+	return c.store(modeSet, key, value, flags, exptime, 0)
+}
+
+// Add stores value only if key is absent.
+func (c *Ctx) Add(key, value []byte, flags uint32, exptime int64) error {
+	return c.store(modeAdd, key, value, flags, exptime, 0)
+}
+
+// Replace stores value only if key is present.
+func (c *Ctx) Replace(key, value []byte, flags uint32, exptime int64) error {
+	return c.store(modeReplace, key, value, flags, exptime, 0)
+}
+
+// CAS stores value only if the entry's CAS generation still equals cas.
+func (c *Ctx) CAS(key, value []byte, flags uint32, exptime int64, cas uint64) error {
+	return c.store(modeCAS, key, value, flags, exptime, cas)
+}
+
+// Delete removes key from the store.
+func (c *Ctx) Delete(key []byte) error {
+	if len(key) > MaxKeyLen {
+		return ErrKeyTooLong
+	}
+	c.enterOp()
+	defer c.exitOp()
+	c.stat(statDeletes, 1)
+	k := c.capture(&c.keyBuf, key)
+	hash := hashKey(k)
+	s := c.s
+	lock := s.itemLockOff(hash)
+	s.H.LockAcquire(lock, c.owner)
+	it := c.findLocked(k, hash)
+	if it == 0 {
+		s.H.LockRelease(lock)
+		return ErrNotFound
+	}
+	c.unlinkLocked(it, hash)
+	s.H.LockRelease(lock)
+	c.stat(statDeleteHits, 1)
+	return nil
+}
+
+// Touch updates the expiry of an existing entry.
+func (c *Ctx) Touch(key []byte, exptime int64) error {
+	if len(key) > MaxKeyLen {
+		return ErrKeyTooLong
+	}
+	c.enterOp()
+	defer c.exitOp()
+	c.stat(statTouches, 1)
+	k := c.capture(&c.keyBuf, key)
+	abs := c.absExpiry(exptime)
+	hash := hashKey(k)
+	s := c.s
+	lock := s.itemLockOff(hash)
+	s.H.LockAcquire(lock, c.owner)
+	defer s.H.LockRelease(lock)
+	it := c.findLocked(k, hash)
+	if it == 0 {
+		return ErrNotFound
+	}
+	s.H.Store32(it+itExptime, uint32(abs))
+	c.lruBump(hash, it, s.nowFn())
+	return nil
+}
+
+// Increment adds delta to the ASCII-numeric value under key and returns the
+// new value; Decrement subtracts, saturating at zero (memcached semantics).
+func (c *Ctx) Increment(key []byte, delta uint64) (uint64, error) {
+	return c.incrDecr(key, delta, false)
+}
+
+// Decrement subtracts delta from the value under key, saturating at zero.
+func (c *Ctx) Decrement(key []byte, delta uint64) (uint64, error) {
+	return c.incrDecr(key, delta, true)
+}
+
+func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
+	if len(key) > MaxKeyLen {
+		return 0, ErrKeyTooLong
+	}
+	c.enterOp()
+	defer c.exitOp()
+	c.stat(statIncrs, 1)
+	k := c.capture(&c.keyBuf, key)
+	hash := hashKey(k)
+	s := c.s
+	lock := s.itemLockOff(hash)
+	s.H.LockAcquire(lock, c.owner)
+	defer s.H.LockRelease(lock)
+	it := c.findLocked(k, hash)
+	if it == 0 {
+		return 0, ErrNotFound
+	}
+	vlen := s.itemValLen(it)
+	if vlen == 0 || vlen > 20 {
+		return 0, ErrNotNumeric
+	}
+	buf := grow(&c.valBuf, vlen)
+	s.H.ReadBytes(s.itemValOff(it), buf)
+	old, ok := parseASCIIUint(buf)
+	if !ok {
+		return 0, ErrNotNumeric
+	}
+	var v uint64
+	if decr {
+		if delta > old {
+			v = 0
+		} else {
+			v = old - delta
+		}
+	} else {
+		v = old + delta // wraps at 2^64, as in memcached
+	}
+	rendered := strconv.AppendUint(c.auxBuf[:0], v, 10)
+	c.auxBuf = rendered[:0]
+	if uint64(len(rendered)) == vlen {
+		// Same width: rewrite in place under the lock.
+		s.H.WriteBytes(s.itemValOff(it), rendered)
+		s.H.Store64(it+itCASID, s.nextCAS())
+		return v, nil
+	}
+	// Width changed: build a replacement item. We hold the item lock, so
+	// the allocation must not block on other item locks (canEvict=false).
+	flags := s.H.Load32(it + itFlags)
+	exp := int64(s.H.Load32(it + itExptime))
+	nit, err := c.newItem(k, rendered, flags, exp, false)
+	if err != nil {
+		return 0, err
+	}
+	c.unlinkLocked(it, hash)
+	c.linkLocked(nit, hash)
+	return v, nil
+}
+
+// Append appends data to an existing value; Prepend prepends it. Both are
+// atomic with respect to concurrent operations on the same key.
+func (c *Ctx) Append(key, data []byte) error { return c.pend(key, data, false) }
+
+// Prepend prepends data to an existing value.
+func (c *Ctx) Prepend(key, data []byte) error { return c.pend(key, data, true) }
+
+func (c *Ctx) pend(key, data []byte, front bool) error {
+	if len(key) > MaxKeyLen {
+		return ErrKeyTooLong
+	}
+	c.enterOp()
+	defer c.exitOp()
+	c.stat(statSets, 1)
+	k := c.capture(&c.keyBuf, key)
+	d := c.capture(&c.valBuf, data)
+	hash := hashKey(k)
+	s := c.s
+	lock := s.itemLockOff(hash)
+	s.H.LockAcquire(lock, c.owner)
+	defer s.H.LockRelease(lock)
+	it := c.findLocked(k, hash)
+	if it == 0 {
+		return ErrNotFound
+	}
+	vlen := s.itemValLen(it)
+	total := vlen + uint64(len(d))
+	if total > MaxValueLen {
+		return ErrValueTooBig
+	}
+	combined := grow(&c.auxBuf, total)
+	if front {
+		copy(combined, d)
+		s.H.ReadBytes(s.itemValOff(it), combined[len(d):])
+	} else {
+		s.H.ReadBytes(s.itemValOff(it), combined[:vlen])
+		copy(combined[vlen:], d)
+	}
+	flags := s.H.Load32(it + itFlags)
+	exp := int64(s.H.Load32(it + itExptime))
+	nit, err := c.newItem(k, combined, flags, exp, false)
+	if err != nil {
+		return err
+	}
+	c.unlinkLocked(it, hash)
+	c.linkLocked(nit, hash)
+	return nil
+}
+
+// FlushAll removes every entry from the store.
+func (c *Ctx) FlushAll() {
+	c.enterOp()
+	defer c.exitOp()
+	s := c.s
+	for li := uint64(0); li < s.numItemLocks; li++ {
+		lock := s.itemLocks + li*8
+		s.H.LockAcquire(lock, c.owner)
+		s.forEachBucketLocked(li, func(bucket uint64) {
+			for {
+				it := loadChainHead(s, bucket)
+				if it == 0 {
+					break
+				}
+				klen := s.itemKeyLen(it)
+				kb := c.scratch(klen)
+				s.H.ReadBytes(s.itemKeyOff(it), kb)
+				c.unlinkLocked(it, hashKey(kb))
+			}
+		})
+		s.H.LockRelease(lock)
+	}
+	c.stat(statFlushes, 1)
+}
+
+func parseASCIIUint(b []byte) (uint64, bool) {
+	var v uint64
+	for _, ch := range b {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(ch-'0')
+	}
+	return v, true
+}

@@ -1,0 +1,87 @@
+package core
+
+// Scattered statistics.
+//
+// The paper found that the single lock protecting request statistics became
+// a bottleneck once clients execute operations themselves, and scattered
+// the statistics across the slots of a shared array: "most updates are now
+// made to a slot that is not being used concurrently. Statistics-retrieving
+// calls must scan the whole array." Each context updates its own slot with
+// atomic adds; Stats() sums every slot. Per-slot values may be negative
+// (an item linked through one slot and unlinked through another); only the
+// sums are meaningful.
+
+const (
+	statGets = iota
+	statGetHits
+	statGetMisses
+	statSets
+	statDeletes
+	statDeleteHits
+	statIncrs
+	statTouches
+	statEvictions
+	statExpired
+	statCASMismatch
+	statCurrItems
+	statTotalItems
+	statBytes
+	statFlushes
+	numStatCounters
+)
+
+// statSlotSize is padded to two cache lines to keep slots from false
+// sharing.
+const statSlotSize = 16 * 8
+
+// Stats is a consistent-enough snapshot of the store's counters.
+type Stats struct {
+	Gets, GetHits, GetMisses        uint64
+	Sets                            uint64
+	Deletes, DeleteHits             uint64
+	Incrs, Touches                  uint64
+	Evictions, Expired, CASMismatch uint64
+	CurrItems, TotalItems, Bytes    uint64
+	Flushes                         uint64
+}
+
+// stat adds delta to one counter in this context's slot. In LockedStats
+// mode (the original design the paper abandoned) every update instead
+// serializes on one heap-resident lock around slot 0.
+func (c *Ctx) stat(counter int, delta int64) {
+	if c.s.lockedStats {
+		lock := c.s.cfg + cfgStatsLock
+		off := c.s.stats + uint64(counter)*8
+		c.s.H.LockAcquire(lock, c.owner)
+		c.s.H.Store64(off, c.s.H.Load64(off)+uint64(delta))
+		c.s.H.LockRelease(lock)
+		return
+	}
+	off := c.s.stats + c.slot*statSlotSize + uint64(counter)*8
+	c.s.H.Add64(off, uint64(delta))
+}
+
+// Stats sums the scattered array (the statistics-retrieving scan).
+func (s *Store) Stats() Stats {
+	var sums [numStatCounters]int64
+	for slot := uint64(0); slot < s.statSlots; slot++ {
+		base := s.stats + slot*statSlotSize
+		for ctr := 0; ctr < numStatCounters; ctr++ {
+			sums[ctr] += int64(s.H.AtomicLoad64(base + uint64(ctr)*8))
+		}
+	}
+	u := func(i int) uint64 {
+		if sums[i] < 0 {
+			return 0
+		}
+		return uint64(sums[i])
+	}
+	return Stats{
+		Gets: u(statGets), GetHits: u(statGetHits), GetMisses: u(statGetMisses),
+		Sets: u(statSets), Deletes: u(statDeletes), DeleteHits: u(statDeleteHits),
+		Incrs: u(statIncrs), Touches: u(statTouches),
+		Evictions: u(statEvictions), Expired: u(statExpired), CASMismatch: u(statCASMismatch),
+		CurrItems: u(statCurrItems), TotalItems: u(statTotalItems), Bytes: u(statBytes),
+		Flushes: u(statFlushes),
+	}
+}

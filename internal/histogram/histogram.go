@@ -1,0 +1,141 @@
+// Package histogram provides low-overhead latency histograms for the
+// benchmark harness: log-linear buckets (16 linear sub-buckets per power of
+// two), constant-time recording, and percentile queries. One histogram per
+// benchmark thread, merged at the end, keeps recording contention free.
+package histogram
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+const (
+	subBits    = 4 // 16 linear sub-buckets per power of two
+	subBuckets = 1 << subBits
+	numBuckets = 64 * subBuckets
+)
+
+// H is a latency histogram over int64 nanosecond samples.
+type H struct {
+	counts [numBuckets]uint64
+	total  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+// New creates an empty histogram.
+func New() *H { return &H{min: ^uint64(0)} }
+
+func bucketOf(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(v)
+	sub := (v >> (uint(exp) - subBits)) & (subBuckets - 1)
+	return (exp-subBits+1)*subBuckets + int(sub)
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func bucketLow(i int) uint64 {
+	exp := i / subBuckets
+	sub := uint64(i % subBuckets)
+	if exp == 0 {
+		return sub
+	}
+	return (subBuckets + sub) << (uint(exp) - 1)
+}
+
+// Record adds one sample.
+func (h *H) Record(d time.Duration) {
+	v := uint64(d)
+	if int64(d) < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *H) Count() uint64 { return h.total }
+
+// Mean returns the mean sample.
+func (h *H) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Min and Max return sample extremes (bucket-quantized for Max).
+func (h *H) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest recorded sample.
+func (h *H) Max() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Percentile returns the p'th percentile (0 < p <= 100), quantized to the
+// lower edge of its bucket.
+func (h *H) Percentile(p float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	want := uint64(p / 100 * float64(h.total))
+	if want == 0 {
+		want = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= want {
+			return time.Duration(bucketLow(i))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds other into h.
+func (h *H) Merge(other *H) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// String renders a one-line summary.
+func (h *H) String() string {
+	if h.total == 0 {
+		return "histogram{empty}"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p99=%v max=%v",
+		h.total, h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+	return b.String()
+}

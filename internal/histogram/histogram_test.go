@@ -1,0 +1,129 @@
+package histogram
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.String() != "histogram{empty}" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	h := New()
+	h.Record(1500 * time.Nanosecond)
+	if h.Count() != 1 || h.Mean() != 1500 {
+		t.Fatalf("count=%d mean=%v", h.Count(), h.Mean())
+	}
+	p50 := h.Percentile(50)
+	if p50 > 1500 || p50 < 1400 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if h.Min() != 1500 || h.Max() != 1500 {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	// bucketLow(bucketOf(v)) <= v for all v, and bucketOf is monotone.
+	vals := []uint64{0, 1, 15, 16, 17, 100, 1000, 1 << 20, 1<<40 + 12345}
+	for _, v := range vals {
+		b := bucketOf(v)
+		if bucketLow(b) > v {
+			t.Fatalf("bucketLow(%d)=%d > %d", b, bucketLow(b), v)
+		}
+		if b+1 < numBuckets && bucketLow(b+1) <= v {
+			t.Fatalf("value %d should be below next bucket edge %d", v, bucketLow(b+1))
+		}
+	}
+}
+
+// Property: bucket mapping is monotone and relative quantization error is
+// bounded by 1/16.
+func TestQuickBucketQuantization(t *testing.T) {
+	f := func(v uint64) bool {
+		v %= 1 << 50
+		b := bucketOf(v)
+		low := bucketLow(b)
+		if low > v {
+			return false
+		}
+		if v >= 16 && float64(v-low)/float64(v) > 1.0/16+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentilesAgainstSorted(t *testing.T) {
+	h := New()
+	rng := rand.New(rand.NewSource(1))
+	var samples []uint64
+	for i := 0; i < 50000; i++ {
+		v := uint64(rng.ExpFloat64() * 10000) // long tail, like latencies
+		samples = append(samples, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		exact := samples[int(p/100*float64(len(samples)))-1]
+		got := uint64(h.Percentile(p))
+		// Quantization bounds: within one bucket (6.25%) of exact.
+		if exact > 32 && (got > exact || float64(exact-got)/float64(exact) > 0.10) {
+			t.Fatalf("p%.1f = %d, exact %d", p, got, exact)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(time.Duration(i))
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	if a.Mean() != time.Duration((100*101/2+(301*100/2))/200) {
+		t.Fatalf("merged mean = %v", a.Mean())
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.Count()
+	a.Merge(New())
+	if a.Count() != before {
+		t.Fatal("merge of empty changed count")
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	h := New()
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 {
+		t.Fatal("negative samples should clamp to 0")
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := New()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i % 100000))
+	}
+}

@@ -1,0 +1,62 @@
+// Package hodor implements the protected-library runtime from Hedayati et
+// al. (USENIX ATC '19), the substrate the paper builds on: libraries whose
+// private data is tagged with a protection key that application code cannot
+// access, with rights amplified only for the duration of a call that enters
+// through a trampoline.
+//
+// The package reproduces Hodor's PKU-based design point: per-library
+// protection domains (domain.go), call trampolines that switch stacks and
+// write the pkru register on entry and exit (library.go), and the modified
+// loader that scans binaries for stray wrpkru instructions, arms hardware
+// breakpoints over them, and runs library initialization under the library
+// owner's effective UID (loader.go). See DESIGN.md §3 for how the hardware
+// pieces are simulated.
+package hodor
+
+import (
+	"fmt"
+
+	"plibmc/internal/pku"
+	"plibmc/internal/shm"
+)
+
+// Domain is a protected memory domain: a protection key plus the heap pages
+// assigned to it. A library's shared data lives in its domain; only threads
+// whose pkru register has been amplified by a trampoline can touch it.
+type Domain struct {
+	Key  pku.Key
+	PT   *pku.PageTable
+	Heap *shm.Heap
+}
+
+// NewDomain allocates a fresh protection key over the heap.
+func NewDomain(h *shm.Heap, pt *pku.PageTable) (*Domain, error) {
+	k, err := pt.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("hodor: %w", err)
+	}
+	return &Domain{Key: k, PT: pt, Heap: h}, nil
+}
+
+// Protect tags the byte range [off, off+n) of the heap with the domain's
+// key. Protection is page-granular.
+func (d *Domain) Protect(off, n uint64) error {
+	return d.PT.Assign(off, n, d.Key)
+}
+
+// ProtectAll tags the entire heap with the domain's key, the configuration
+// used for the memcached store: the whole Ralloc heap is library-private.
+func (d *Domain) ProtectAll() error {
+	return d.PT.Assign(0, d.Heap.Size(), d.Key)
+}
+
+// Guard returns a checked accessor for the heap under this domain's page
+// table, used by application-side code and enforcement tests.
+func (d *Domain) Guard() *pku.Guard {
+	return pku.NewGuard(d.Heap, d.PT)
+}
+
+// Release frees the domain's protection key. Pages revert to the default key.
+func (d *Domain) Release() error {
+	return d.PT.Free(d.Key)
+}

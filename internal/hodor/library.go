@@ -1,0 +1,263 @@
+package hodor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plibmc/internal/proc"
+)
+
+// Library is a protected library: a protection domain, a set of entry
+// points reachable only through trampolines, an initialization routine run
+// by the loader, and the owner whose credentials gate access to the
+// library's backing file.
+type Library struct {
+	Name     string
+	OwnerUID int
+	Domain   *Domain
+
+	// CopyArgs enables the optional trampoline behaviour of copying
+	// arguments into the library on the way in (paper §2). The paper's
+	// memcached leaves this off and copies only security-sensitive
+	// arguments manually; our benchmarks match, and an ablation bench
+	// turns it on.
+	CopyArgs bool
+
+	// CallTimeout is the "generous timeout" after which the OS stops
+	// honouring the run-to-completion guarantee for calls of a killed
+	// process. Zero means the default of one second.
+	CallTimeout time.Duration
+
+	// Profile enables per-call latency accounting (two clock reads per
+	// call, ~40 ns — leave off for production-shaped benchmarks).
+	Profile bool
+
+	initFn   func(*proc.Process) error
+	entries  map[string]bool
+	poisoned atomic.Bool
+
+	calls    atomic.Uint64
+	crashes  atomic.Uint64
+	rejected atomic.Uint64
+	nanos    atomic.Uint64
+
+	mu       sync.Mutex
+	sessions []*Session
+}
+
+// Metrics is a snapshot of a library's call accounting.
+type Metrics struct {
+	Calls    uint64 // completed trampolined calls (including failed ones)
+	Crashes  uint64 // panics inside library code
+	Rejected uint64 // calls refused (poisoned library, killed process, …)
+	// TotalTime is accumulated in-library time; zero unless Profile is on.
+	TotalTime time.Duration
+}
+
+// Metrics returns the library's call counters.
+func (l *Library) Metrics() Metrics {
+	return Metrics{
+		Calls:     l.calls.Load(),
+		Crashes:   l.crashes.Load(),
+		Rejected:  l.rejected.Load(),
+		TotalTime: time.Duration(l.nanos.Load()),
+	}
+}
+
+// NewLibrary creates a library in the given domain.
+func NewLibrary(name string, ownerUID int, d *Domain) *Library {
+	return &Library{
+		Name:        name,
+		OwnerUID:    ownerUID,
+		Domain:      d,
+		CallTimeout: time.Second,
+		entries:     make(map[string]bool),
+	}
+}
+
+// OnInit registers the library's initialization routine. The loader runs it
+// once per process, under the library owner's effective UID.
+func (l *Library) OnInit(fn func(*proc.Process) error) { l.initFn = fn }
+
+// Entries returns the names of the registered entry points, the analog of
+// the HODOR_FUNC_EXPORT table.
+func (l *Library) Entries() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.entries))
+	for n := range l.entries {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Poisoned reports whether a crash inside library code has made the library
+// unrecoverable (paper §2: "a crash that occurs inside library code is
+// considered unrecoverable").
+func (l *Library) Poisoned() bool { return l.poisoned.Load() }
+
+// ErrPoisoned is returned for calls into a library that has crashed.
+var ErrPoisoned = errors.New("hodor: library poisoned by a crash inside library code")
+
+// ErrNotLinked is returned when a thread calls into a library that its
+// process never loaded.
+var ErrNotLinked = errors.New("hodor: library not linked into this process")
+
+// Session binds one client thread to one library: the per-thread state a
+// trampoline needs (saved register, the library-side stack, and the
+// in-flight call record the watchdog inspects).
+type Session struct {
+	Lib    *Library
+	Thread *proc.Thread
+
+	linked bool
+	// callStart is the wall-clock start (UnixNano) of the in-flight call,
+	// or 0 when the thread is in application code.
+	callStart atomic.Int64
+	// stackDepth models the trampoline's switch to the library-side stack.
+	stackDepth int
+	savedPKRU  uint32
+}
+
+// InCall reports whether the session's thread is inside a library call.
+func (s *Session) InCall() bool { return s.callStart.Load() != 0 }
+
+// StackDepth returns the current library-stack depth (0 in application code).
+func (s *Session) StackDepth() int { return s.stackDepth }
+
+// attach registers a session; the loader calls this for linked processes.
+func (l *Library) attach(t *proc.Thread) *Session {
+	s := &Session{Lib: l, Thread: t, linked: true}
+	l.mu.Lock()
+	l.sessions = append(l.sessions, s)
+	l.mu.Unlock()
+	return s
+}
+
+// A CrashError wraps a panic that escaped library code: a segfault inside a
+// protected-library call, which poisons the library.
+type CrashError struct {
+	Lib   string
+	Cause any
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("hodor: crash inside library %q: %v", e.Lib, e.Cause)
+}
+
+// Copier is implemented by argument types that know how to copy themselves
+// into the library domain, used when Library.CopyArgs is enabled.
+type Copier interface{ LibCopy() any }
+
+// Call runs fn as a protected-library call on session s, performing the full
+// trampoline sequence:
+//
+//  1. verify the library is linked, healthy, and the process alive;
+//  2. switch to the library-side stack;
+//  3. wrpkru: amplify rights to the library's domain;
+//  4. optionally copy arguments into the library (CopyArgs);
+//  5. run the entry point;
+//  6. wrpkru: restore the saved register, switch stacks back.
+//
+// If the process is killed while the call is in flight, the call completes
+// and its result is returned; the thread is only then subject to the kill
+// (the caller observes it at its next CheckAlive). If fn panics, the panic
+// is converted into a CrashError and the library is poisoned.
+func Call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), arg A) (res R, err error) {
+	if !s.linked {
+		return res, ErrNotLinked
+	}
+	l := s.Lib
+	if l.poisoned.Load() {
+		l.rejected.Add(1)
+		return res, ErrPoisoned
+	}
+	t := s.Thread
+	if eErr := t.EnterLibrary(); eErr != nil {
+		l.rejected.Add(1)
+		return res, eErr
+	}
+	l.calls.Add(1)
+	var profStart time.Time
+	if l.Profile {
+		profStart = time.Now()
+	}
+	s.callStart.Store(time.Now().UnixNano())
+	s.stackDepth++ // switch to the library-side stack
+	saved := t.PKRU()
+	s.savedPKRU = uint32(saved)
+	proc.WRPKRU(t, saved.WithAccess(l.Domain.Key))
+
+	defer func() {
+		if r := recover(); r != nil {
+			// A fault inside library code: unrecoverable.
+			l.poisoned.Store(true)
+			l.crashes.Add(1)
+			err = &CrashError{Lib: l.Name, Cause: r}
+		}
+		if l.Profile {
+			l.nanos.Add(uint64(time.Since(profStart)))
+		}
+		proc.WRPKRU(t, saved)
+		s.stackDepth--
+		s.callStart.Store(0)
+		t.ExitLibrary()
+	}()
+
+	if l.CopyArgs {
+		if c, ok := any(arg).(Copier); ok {
+			arg = c.LibCopy().(A)
+		}
+	}
+	res, err = fn(t, arg)
+	return res, err
+}
+
+// RegisterEntry records an entry point name in the library's export table
+// (the HODOR_FUNC_EXPORT analog). Wrap calls it automatically.
+func (l *Library) RegisterEntry(name string) {
+	l.mu.Lock()
+	l.entries[name] = true
+	l.mu.Unlock()
+}
+
+// Wrap builds a trampolined version of an entry point and records it in the
+// library's export table. The returned function is what the application
+// links against.
+func Wrap[A, R any](l *Library, name string, fn func(*proc.Thread, A) (R, error)) func(*Session, A) (R, error) {
+	l.RegisterEntry(name)
+	return func(s *Session, arg A) (R, error) {
+		return Call(s, fn, arg)
+	}
+}
+
+// WatchdogSweep enforces the execution-time limit on the run-to-completion
+// guarantee: if a thread of a killed process has been inside a library call
+// for longer than CallTimeout, the OS gives up waiting and terminates it —
+// which, since the thread may hold locks, poisons the library. now is
+// injected for testability. It returns the number of overdue calls found.
+func (l *Library) WatchdogSweep(now time.Time) int {
+	timeout := l.CallTimeout
+	if timeout == 0 {
+		timeout = time.Second
+	}
+	l.mu.Lock()
+	sessions := make([]*Session, len(l.sessions))
+	copy(sessions, l.sessions)
+	l.mu.Unlock()
+	overdue := 0
+	for _, s := range sessions {
+		start := s.callStart.Load()
+		if start == 0 || !s.Thread.Proc.Killed() {
+			continue
+		}
+		if now.Sub(time.Unix(0, start)) > timeout {
+			overdue++
+			l.poisoned.Store(true)
+		}
+	}
+	return overdue
+}

@@ -1,0 +1,159 @@
+package hodor
+
+import (
+	"errors"
+	"testing"
+
+	"plibmc/internal/pku"
+	"plibmc/internal/proc"
+	"plibmc/internal/shm"
+)
+
+// Hodor supports several protected libraries in one process, each with its
+// own key and domain (the paper's Hodor hosted both Silo and DPDK). These
+// tests pin down the isolation matrix between two libraries sharing one
+// heap.
+
+type twoLibs struct {
+	heap  *shm.Heap
+	pt    *pku.PageTable
+	domA  *Domain
+	domB  *Domain
+	libA  *Library
+	libB  *Library
+	p     *proc.Process
+	sessA *Session
+	sessB *Session
+}
+
+func newTwoLibs(t *testing.T) *twoLibs {
+	t.Helper()
+	heap := shm.New(8 * shm.PageSize)
+	pt := pku.NewPageTable(heap)
+	domA, err := NewDomain(heap, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domB, err := NewDomain(heap, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Library A owns pages 0–3, library B pages 4–7.
+	if err := domA.Protect(0, 4*shm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := domB.Protect(4*shm.PageSize, 4*shm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	libA := NewLibrary("libA", 0, domA)
+	libB := NewLibrary("libB", 0, domB)
+	p, err := proc.NewProcess(1000, heap, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (Loader{}).Load(p, Binary{}, libA, libB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := p.NewThread()
+	sessA, err := res.Attach(th, libA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessB, err := res.Attach(p.NewThread(), libB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &twoLibs{heap: heap, pt: pt, domA: domA, domB: domB,
+		libA: libA, libB: libB, p: p, sessA: sessA, sessB: sessB}
+}
+
+func TestTwoLibrariesDistinctKeys(t *testing.T) {
+	tl := newTwoLibs(t)
+	if tl.domA.Key == tl.domB.Key {
+		t.Fatal("libraries must have distinct protection keys")
+	}
+}
+
+func TestLibraryCannotTouchOtherLibrary(t *testing.T) {
+	tl := newTwoLibs(t)
+	g := pku.NewGuard(tl.heap, tl.pt)
+
+	// Inside a call to library A, A's pages open up; B's stay shut.
+	_, err := Call(tl.sessA, func(th *proc.Thread, _ struct{}) (struct{}, error) {
+		if err := g.Store64(th.PKRU(), 0, 1); err != nil {
+			return struct{}{}, err // own pages must be writable
+		}
+		if err := g.Store64(th.PKRU(), 4*shm.PageSize, 1); err == nil {
+			return struct{}{}, errors.New("library A wrote library B's pages")
+		}
+		if _, err := g.Load64(th.PKRU(), 4*shm.PageSize); err == nil {
+			return struct{}{}, errors.New("library A read library B's pages")
+		}
+		return struct{}{}, nil
+	}, struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// And symmetrically for B.
+	_, err = Call(tl.sessB, func(th *proc.Thread, _ struct{}) (struct{}, error) {
+		if err := g.Store64(th.PKRU(), 4*shm.PageSize, 2); err != nil {
+			return struct{}{}, err
+		}
+		if _, err := g.Load64(th.PKRU(), 0); err == nil {
+			return struct{}{}, errors.New("library B read library A's pages")
+		}
+		return struct{}{}, nil
+	}, struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoisonIsPerLibrary(t *testing.T) {
+	tl := newTwoLibs(t)
+	_, err := Call(tl.sessA, func(*proc.Thread, struct{}) (struct{}, error) {
+		panic("bug in library A")
+	}, struct{}{})
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v", err)
+	}
+	if !tl.libA.Poisoned() {
+		t.Fatal("library A should be poisoned")
+	}
+	if tl.libB.Poisoned() {
+		t.Fatal("library B must be unaffected by A's crash")
+	}
+	if _, err := Call(tl.sessB, func(*proc.Thread, struct{}) (struct{}, error) {
+		return struct{}{}, nil
+	}, struct{}{}); err != nil {
+		t.Fatalf("library B should keep serving: %v", err)
+	}
+}
+
+func TestNestedCallsAcrossLibrariesRejected(t *testing.T) {
+	// A thread inside library A cannot re-enter through another
+	// trampoline (Hodor forbids nested protected calls on one thread).
+	tl := newTwoLibs(t)
+	th := tl.p.NewThread()
+	res, err := (Loader{}).Load(tl.p, Binary{}, tl.libA, tl.libB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := res.Attach(th, tl.libA)
+	sb, _ := res.Attach(th, tl.libB)
+	_, err = Call(sa, func(*proc.Thread, struct{}) (struct{}, error) {
+		_, nestedErr := Call(sb, func(*proc.Thread, struct{}) (struct{}, error) {
+			return struct{}{}, nil
+		}, struct{}{})
+		if nestedErr == nil {
+			return struct{}{}, errors.New("nested cross-library call succeeded")
+		}
+		return struct{}{}, nil
+	}, struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package pku
+
+import "plibmc/internal/shm"
+
+// Guard is the checked access path to a protected heap: every operation
+// verifies the caller's pkru register against the page table before touching
+// memory, which is what the MMU does for free on PKU hardware.
+//
+// Code running inside a Hodor library call (whose register has been amplified
+// by the trampoline) uses the raw shm.Heap API on the hot path — hardware
+// would impose no per-access cost there either. Application code outside the
+// library, and every test that demonstrates enforcement, goes through Guard.
+type Guard struct {
+	H  *shm.Heap
+	PT *PageTable
+}
+
+// NewGuard creates a guard over the heap with the given page table.
+func NewGuard(h *shm.Heap, pt *PageTable) *Guard {
+	return &Guard{H: h, PT: pt}
+}
+
+// Load64 performs a checked word load.
+func (g *Guard) Load64(p PKRU, off uint64) (uint64, error) {
+	if err := g.PT.check(p, off, shm.WordSize, false); err != nil {
+		return 0, err
+	}
+	return g.H.Load64(off), nil
+}
+
+// Store64 performs a checked word store.
+func (g *Guard) Store64(p PKRU, off uint64, v uint64) error {
+	if err := g.PT.check(p, off, shm.WordSize, true); err != nil {
+		return err
+	}
+	g.H.Store64(off, v)
+	return nil
+}
+
+// ReadBytes performs a checked byte-range read.
+func (g *Guard) ReadBytes(p PKRU, off uint64, dst []byte) error {
+	if err := g.PT.check(p, off, uint64(len(dst)), false); err != nil {
+		return err
+	}
+	g.H.ReadBytes(off, dst)
+	return nil
+}
+
+// WriteBytes performs a checked byte-range write.
+func (g *Guard) WriteBytes(p PKRU, off uint64, src []byte) error {
+	if err := g.PT.check(p, off, uint64(len(src)), true); err != nil {
+		return err
+	}
+	g.H.WriteBytes(off, src)
+	return nil
+}
+
+// Check exposes the access-matrix test itself, for callers that want to
+// validate a range before performing a series of raw accesses (the analog
+// of a single TLB-resident permission covering a hot loop).
+func (g *Guard) Check(p PKRU, off, n uint64, write bool) error {
+	return g.PT.check(p, off, n, write)
+}

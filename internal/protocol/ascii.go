@@ -1,0 +1,238 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// The ASCII protocol: line-oriented commands with CRLF terminators and
+// out-of-band data blocks for storage commands. This is the protocol the
+// paper notes "loses its attraction" without a network interface — kept
+// for the baseline and for the hybrid remote mode.
+
+// ReadASCIICommand parses one command (and its data block, for storage
+// commands) from the stream.
+func ReadASCIICommand(r *bufio.Reader) (*Command, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	fields := bytes.Fields(line)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("protocol: empty command line")
+	}
+	name := string(fields[0])
+	args := fields[1:]
+	switch name {
+	case "get", "gets":
+		if len(args) != 1 {
+			// Multi-key get is handled by the caller issuing one Command
+			// per key; the server loop splits them.
+			if len(args) < 1 {
+				return nil, fmt.Errorf("protocol: get without key")
+			}
+		}
+		return &Command{Op: OpGet, Key: dup(args[0])}, nil
+	case "set", "add", "replace", "append", "prepend", "cas":
+		ops := map[string]Op{"set": OpSet, "add": OpAdd, "replace": OpReplace,
+			"append": OpAppend, "prepend": OpPrepend, "cas": OpCAS}
+		op := ops[name]
+		want := 4
+		if op == OpCAS {
+			want = 5
+		}
+		if len(args) < want {
+			return nil, fmt.Errorf("protocol: %s needs %d arguments", name, want)
+		}
+		flags, err1 := parseU64(args[1])
+		exp, err2 := parseI64(args[2])
+		n, err3 := parseU64(args[3])
+		if err1 != nil || err2 != nil || err3 != nil || n > MaxBodyLen {
+			return nil, fmt.Errorf("protocol: bad %s arguments", name)
+		}
+		c := &Command{Op: op, Key: dup(args[0]), Flags: uint32(flags), Exptime: exp}
+		idx := 4
+		if op == OpCAS {
+			cas, err := parseU64(args[4])
+			if err != nil {
+				return nil, fmt.Errorf("protocol: bad cas value")
+			}
+			c.CAS = cas
+			idx = 5
+		}
+		if len(args) > idx && string(args[idx]) == "noreply" {
+			c.Quiet = true
+		}
+		data := make([]byte, n+2)
+		if _, err := readFull(r, data); err != nil {
+			return nil, fmt.Errorf("protocol: short data block: %w", err)
+		}
+		if data[n] != '\r' || data[n+1] != '\n' {
+			return nil, fmt.Errorf("protocol: data block not CRLF terminated")
+		}
+		c.Value = data[:n]
+		return c, nil
+	case "delete":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("protocol: delete without key")
+		}
+		c := &Command{Op: OpDelete, Key: dup(args[0])}
+		if len(args) > 1 && string(args[len(args)-1]) == "noreply" {
+			c.Quiet = true
+		}
+		return c, nil
+	case "incr", "decr":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("protocol: %s needs key and amount", name)
+		}
+		d, err := parseU64(args[1])
+		if err != nil {
+			return nil, fmt.Errorf("protocol: bad %s amount", name)
+		}
+		op := OpIncr
+		if name == "decr" {
+			op = OpDecr
+		}
+		return &Command{Op: op, Key: dup(args[0]), Delta: d}, nil
+	case "gat":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("protocol: gat needs exptime and key")
+		}
+		exp, err := parseI64(args[0])
+		if err != nil {
+			return nil, fmt.Errorf("protocol: bad gat exptime")
+		}
+		return &Command{Op: OpGAT, Key: dup(args[1]), Exptime: exp}, nil
+	case "touch":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("protocol: touch needs key and exptime")
+		}
+		exp, err := parseI64(args[1])
+		if err != nil {
+			return nil, fmt.Errorf("protocol: bad touch exptime")
+		}
+		return &Command{Op: OpTouch, Key: dup(args[0]), Exptime: exp}, nil
+	case "flush_all":
+		return &Command{Op: OpFlushAll}, nil
+	case "stats":
+		c := &Command{Op: OpStats}
+		if len(args) > 0 {
+			c.StatsArg = string(args[0])
+		}
+		return c, nil
+	case "version":
+		return &Command{Op: OpVersion}, nil
+	case "quit":
+		return &Command{Op: OpQuit}, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown command %q", name)
+	}
+}
+
+// WriteASCIIReply renders the reply for a command.
+func WriteASCIIReply(w *bufio.Writer, c *Command, rep *Reply) error {
+	if c.Quiet {
+		return nil // noreply
+	}
+	switch c.Op {
+	case OpGet, OpGAT:
+		if rep.Status == StatusOK {
+			fmt.Fprintf(w, "VALUE %s %d %d %d\r\n", c.Key, rep.Flags, len(rep.Value), rep.CAS)
+			w.Write(rep.Value)
+			w.WriteString("\r\n")
+		}
+		_, err := w.WriteString("END\r\n")
+		return err
+	case OpSet, OpAdd, OpReplace, OpCAS, OpAppend, OpPrepend:
+		switch rep.Status {
+		case StatusOK:
+			_, err := w.WriteString("STORED\r\n")
+			return err
+		case StatusKeyExists:
+			if c.Op == OpCAS {
+				_, err := w.WriteString("EXISTS\r\n")
+				return err
+			}
+			_, err := w.WriteString("NOT_STORED\r\n")
+			return err
+		case StatusKeyNotFound:
+			if c.Op == OpCAS {
+				_, err := w.WriteString("NOT_FOUND\r\n")
+				return err
+			}
+			_, err := w.WriteString("NOT_STORED\r\n")
+			return err
+		default:
+			_, err := fmt.Fprintf(w, "SERVER_ERROR %v\r\n", rep.Status)
+			return err
+		}
+	case OpDelete:
+		if rep.Status == StatusOK {
+			_, err := w.WriteString("DELETED\r\n")
+			return err
+		}
+		_, err := w.WriteString("NOT_FOUND\r\n")
+		return err
+	case OpIncr, OpDecr:
+		switch rep.Status {
+		case StatusOK:
+			_, err := fmt.Fprintf(w, "%d\r\n", rep.Numeric)
+			return err
+		case StatusKeyNotFound:
+			_, err := w.WriteString("NOT_FOUND\r\n")
+			return err
+		default:
+			_, err := fmt.Fprintf(w, "%v\r\n", rep.Status)
+			return err
+		}
+	case OpTouch:
+		if rep.Status == StatusOK {
+			_, err := w.WriteString("TOUCHED\r\n")
+			return err
+		}
+		_, err := w.WriteString("NOT_FOUND\r\n")
+		return err
+	case OpFlushAll:
+		_, err := w.WriteString("OK\r\n")
+		return err
+	case OpStats:
+		for _, kv := range rep.Stats {
+			fmt.Fprintf(w, "STAT %s %s\r\n", kv[0], kv[1])
+		}
+		_, err := w.WriteString("END\r\n")
+		return err
+	case OpVersion:
+		_, err := fmt.Fprintf(w, "VERSION %s\r\n", rep.Version)
+		return err
+	default:
+		_, err := w.WriteString("ERROR\r\n")
+		return err
+	}
+}
+
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(line, "\r\n"), nil
+}
+
+func readFull(r *bufio.Reader, b []byte) (int, error) {
+	n := 0
+	for n < len(b) {
+		m, err := r.Read(b[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func dup(b []byte) []byte { return append([]byte(nil), b...) }
+
+func parseU64(b []byte) (uint64, error) { return strconv.ParseUint(string(b), 10, 64) }
+func parseI64(b []byte) (int64, error)  { return strconv.ParseInt(string(b), 10, 64) }

@@ -1,0 +1,98 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Robustness: the server-side decoders face bytes from untrusted clients.
+// Whatever arrives, they must return an error or a command — never panic,
+// never allocate absurd amounts.
+
+func TestBinaryDecoderNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if rng.Intn(2) == 0 && n > 0 {
+			buf[0] = 0x80 // valid magic, garbage rest
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input % x: %v", buf, r)
+				}
+			}()
+			ReadBinaryCommand(bufio.NewReader(bytes.NewReader(buf)))
+		}()
+	}
+}
+
+func TestBinaryReplyDecoderNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if rng.Intn(2) == 0 && n > 0 {
+			buf[0] = 0x81
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input % x: %v", buf, r)
+				}
+			}()
+			ReadBinaryReply(bufio.NewReader(bytes.NewReader(buf)))
+		}()
+	}
+}
+
+func TestASCIIDecoderNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := []string{"get", "set", "add", "cas", "incr", "delete", "touch",
+		"stats", "quit", "\r", "\n", "0", "-1", "99999999999999999999",
+		"noreply", "key", "\x00\x01", "   "}
+	for i := 0; i < 5000; i++ {
+		var b bytes.Buffer
+		for j := rng.Intn(6); j >= 0; j-- {
+			b.WriteString(words[rng.Intn(len(words))])
+			b.WriteByte(' ')
+		}
+		b.WriteString("\r\n")
+		if rng.Intn(3) == 0 {
+			junk := make([]byte, rng.Intn(32))
+			rng.Read(junk)
+			b.Write(junk)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", b.String(), r)
+				}
+			}()
+			ReadASCIICommand(bufio.NewReader(bytes.NewReader(b.Bytes())))
+		}()
+	}
+}
+
+// A malicious length field must not make the decoder allocate the claimed
+// size before validation.
+func TestBinaryLengthValidationBeforeAllocation(t *testing.T) {
+	hdr := make([]byte, 24)
+	hdr[0] = 0x80
+	hdr[1] = 0x01               // set
+	hdr[8], hdr[9] = 0xFF, 0xFF // bodylen ≈ 4 GiB
+	hdr[10], hdr[11] = 0xFF, 0xFF
+	if _, err := ReadBinaryCommand(bufio.NewReader(bytes.NewReader(hdr))); err == nil {
+		t.Fatal("4 GiB body accepted")
+	}
+	// ASCII: absurd set length.
+	line := []byte("set k 0 0 99999999999\r\n")
+	if _, err := ReadASCIICommand(bufio.NewReader(bytes.NewReader(line))); err == nil {
+		t.Fatal("absurd ASCII data length accepted")
+	}
+}

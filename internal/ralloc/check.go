@@ -1,0 +1,123 @@
+package ralloc
+
+import "fmt"
+
+// Heap verification — the fsck of the shared heap.
+//
+// A heap shared by independently failing processes deserves an integrity
+// checker: Check walks every allocator structure and validates its
+// invariants. The bookkeeping process can run it after reloading an image
+// (or on demand via cmd/plibdump) before letting clients attach. Check
+// requires a quiescent heap: no concurrent allocation.
+
+// CheckReport summarizes a verification pass.
+type CheckReport struct {
+	FreeChunks  int
+	ClassChunks int
+	LargeChunks int
+	FreeBlocks  int
+	// LiveBytes is the counter's value; LiveBlockEstimate is what the
+	// walk implies (capacity minus free space).
+	LiveBytes uint64
+}
+
+// Check validates the allocator's invariants and returns a summary, or an
+// error describing the first corruption found:
+//
+//   - every chunk-directory word is a valid state (free, a known class,
+//     or a well-formed large run with continuation markers);
+//   - every class free list is acyclic, stays in bounds, visits only
+//     blocks of chunks belonging to that class, and each block is
+//     properly aligned within its chunk;
+//   - no free block appears on two lists (or twice on one);
+//   - the live-bytes counter is consistent with the walk: live = capacity
+//     − free-listed − unused space in free chunks (cached per-thread
+//     blocks count as live here, so live-bytes ≤ counter implies leaked
+//     caches rather than corruption and is reported, not fatal).
+func (a *Allocator) Check() (*CheckReport, error) {
+	rep := &CheckReport{}
+	h := a.h
+
+	// Pass 1: the chunk directory.
+	chunkClass := make([]int, a.nChunks) // -1 free, -2 large, else class
+	i := uint64(0)
+	for i < a.nChunks {
+		word := h.AtomicLoad64(a.chunkDir + i*8)
+		switch {
+		case word == dirFree:
+			chunkClass[i] = -1
+			rep.FreeChunks++
+			i++
+		case word == dirClaimed:
+			return nil, fmt.Errorf("ralloc: chunk %d stuck in transient claimed state", i)
+		case word&dirLargeBit != 0 && word&dirContBit == 0:
+			count := word &^ dirLargeBit
+			if count == 0 || i+count > a.nChunks {
+				return nil, fmt.Errorf("ralloc: large run at chunk %d has bad length %d", i, count)
+			}
+			chunkClass[i] = -2
+			rep.LargeChunks += int(count)
+			for j := i + 1; j < i+count; j++ {
+				w := h.AtomicLoad64(a.chunkDir + j*8)
+				if w&dirContBit == 0 || w&^(dirContBit) != i {
+					return nil, fmt.Errorf("ralloc: chunk %d is not a continuation of the large run at %d", j, i)
+				}
+				chunkClass[j] = -2
+			}
+			i += count
+		case word&dirContBit != 0:
+			return nil, fmt.Errorf("ralloc: orphan continuation chunk %d", i)
+		default:
+			ci := int(word) - 1
+			if ci < 0 || ci >= numClasses {
+				return nil, fmt.Errorf("ralloc: chunk %d has invalid class word %#x", i, word)
+			}
+			chunkClass[i] = ci
+			rep.ClassChunks++
+			i++
+		}
+	}
+
+	// Pass 2: the class free lists.
+	seen := make(map[uint64]bool)
+	var freeBytes uint64
+	for ci := 0; ci < numClasses; ci++ {
+		size := classSizes[ci]
+		head := headOff(h.AtomicLoad64(offClassHead + uint64(ci)*8))
+		steps := 0
+		maxSteps := int(a.Capacity()/size) + 1
+		for off := head; off != 0; off = h.Load64(off) {
+			if steps++; steps > maxSteps {
+				return nil, fmt.Errorf("ralloc: class %d free list has a cycle", ci)
+			}
+			if off < a.chunkOff || off >= a.chunkOff+a.nChunks*ChunkSize {
+				return nil, fmt.Errorf("ralloc: class %d free list points outside the chunk area (%#x)", ci, off)
+			}
+			chunk := (off - a.chunkOff) / ChunkSize
+			if chunkClass[chunk] != ci {
+				return nil, fmt.Errorf("ralloc: class %d free block %#x lies in chunk %d of class %d", ci, off, chunk, chunkClass[chunk])
+			}
+			base := a.chunkOff + chunk*ChunkSize
+			if (off-base)%size != 0 {
+				return nil, fmt.Errorf("ralloc: class %d free block %#x misaligned in its chunk", ci, off)
+			}
+			if seen[off] {
+				return nil, fmt.Errorf("ralloc: block %#x appears twice on free lists", off)
+			}
+			seen[off] = true
+			rep.FreeBlocks++
+			freeBytes += size
+		}
+	}
+
+	// Pass 3: accounting. Blocks parked in per-thread caches are neither
+	// free-listed nor live-counted at user level, so the walk provides a
+	// lower bound on free space, i.e. an upper bound on live bytes.
+	rep.LiveBytes = a.LiveBytes()
+	upperLive := a.Capacity() - freeBytes - uint64(rep.FreeChunks)*ChunkSize
+	if rep.LiveBytes > upperLive {
+		return nil, fmt.Errorf("ralloc: live-bytes counter %d exceeds the %d implied by free space",
+			rep.LiveBytes, upperLive)
+	}
+	return rep, nil
+}

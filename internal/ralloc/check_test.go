@@ -1,0 +1,258 @@
+package ralloc
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"plibmc/internal/shm"
+)
+
+func TestCheckCleanHeap(t *testing.T) {
+	_, a := newHeapAlloc(t, 1<<21)
+	rep, err := a.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FreeChunks != int(a.nChunks) || rep.ClassChunks != 0 {
+		t.Fatalf("fresh heap report: %+v", rep)
+	}
+}
+
+func TestCheckAfterChurn(t *testing.T) {
+	h := shm.New(1 << 24)
+	a, _ := Format(h)
+	c := a.NewCache()
+	rng := rand.New(rand.NewSource(3))
+	var live []uint64
+	for i := 0; i < 3000; i++ {
+		if rng.Intn(3) != 0 || len(live) == 0 {
+			off, err := c.Malloc(uint64(rng.Intn(8000)) + 1)
+			if err == nil {
+				live = append(live, off)
+			}
+		} else {
+			idx := rng.Intn(len(live))
+			if err := c.Free(live[idx]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:idx], live[idx+1:]...)
+		}
+	}
+	// Large allocations too.
+	big, err := c.Malloc(3 * ChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	rep, err := a.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LargeChunks != 3 {
+		t.Fatalf("LargeChunks = %d", rep.LargeChunks)
+	}
+	if rep.FreeBlocks == 0 {
+		t.Fatal("churned heap should have free blocks")
+	}
+	c2 := a.NewCache()
+	c2.Free(big)
+	for _, off := range live {
+		if err := c2.Free(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2.Flush()
+	a.Reclaim()
+	rep, err = a.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LiveBytes != 0 {
+		t.Fatalf("LiveBytes = %d after freeing everything", rep.LiveBytes)
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(h *shm.Heap, a *Allocator, block uint64)
+		want    string
+	}{
+		{
+			"free-list cycle",
+			func(h *shm.Heap, a *Allocator, block uint64) {
+				// Point the block's next pointer at itself.
+				h.Store64(block, block)
+			},
+			"twice", // a self-loop is caught as a duplicate visit
+		},
+		{
+			"free-list out of bounds",
+			func(h *shm.Heap, a *Allocator, block uint64) {
+				h.Store64(block, 8) // into the header area
+			},
+			"outside the chunk area",
+		},
+		{
+			"orphan continuation",
+			func(h *shm.Heap, a *Allocator, _ uint64) {
+				// Find a free chunk and mark it as a continuation.
+				for i := uint64(0); i < a.nChunks; i++ {
+					addr := a.chunkDir + i*8
+					if h.AtomicLoad64(addr) == dirFree {
+						h.AtomicStore64(addr, dirContBit|0)
+						return
+					}
+				}
+			},
+			"continuation",
+		},
+		{
+			"invalid class word",
+			func(h *shm.Heap, a *Allocator, _ uint64) {
+				for i := uint64(0); i < a.nChunks; i++ {
+					addr := a.chunkDir + i*8
+					if h.AtomicLoad64(addr) == dirFree {
+						h.AtomicStore64(addr, 9999)
+						return
+					}
+				}
+			},
+			"invalid class",
+		},
+		{
+			"stuck claimed chunk",
+			func(h *shm.Heap, a *Allocator, _ uint64) {
+				for i := uint64(0); i < a.nChunks; i++ {
+					addr := a.chunkDir + i*8
+					if h.AtomicLoad64(addr) == dirFree {
+						h.AtomicStore64(addr, dirClaimed)
+						return
+					}
+				}
+			},
+			"claimed",
+		},
+		{
+			"live-bytes overflow",
+			func(h *shm.Heap, a *Allocator, _ uint64) {
+				h.Store64(offLiveBytes, a.Capacity()+1)
+			},
+			"live-bytes",
+		},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			h := shm.New(1 << 21)
+			a, _ := Format(h)
+			c := a.NewCache()
+			// One allocation + free so a class free list exists.
+			off, _ := c.Malloc(64)
+			blockNeighbor, _ := c.Malloc(64)
+			c.Free(blockNeighbor)
+			c.Free(off)
+			c.Flush()
+			cse.corrupt(h, a, off)
+			_, err := a.Check()
+			if err == nil {
+				t.Fatalf("corruption %q not detected", cse.name)
+			}
+			if !strings.Contains(err.Error(), cse.want) {
+				t.Fatalf("error %q does not mention %q", err, cse.want)
+			}
+		})
+	}
+}
+
+func TestCheckDoubleFreeDetection(t *testing.T) {
+	// A block pushed onto the free list twice (the classic double free,
+	// forced here by raw list surgery) is caught.
+	h := shm.New(1 << 21)
+	a, _ := Format(h)
+	c := a.NewCache()
+	o1, _ := c.Malloc(64)
+	o2, _ := c.Malloc(64)
+	c.Free(o1)
+	c.Free(o2)
+	c.Flush()
+	// Splice o1 in twice: o1 -> o2 -> o1 would be a cycle, so instead
+	// make the second element point at a duplicate chain o1 -> o2, then
+	// set head o2 -> o1 and o1 -> o2... simplest: find list head and
+	// append the head block again at the tail.
+	head := headOff(h.AtomicLoad64(offClassHead + uint64(classFor(64))*8))
+	// Walk to the tail.
+	tail := head
+	for n := h.Load64(tail); n != 0; n = h.Load64(tail) {
+		tail = n
+	}
+	h.Store64(tail, head) // tail now points back at head: duplicate + cycle
+	if _, err := a.Check(); err == nil {
+		t.Fatal("double free / cycle not detected")
+	}
+}
+
+// Reclaim is documented safe to run concurrently with allocation; hammer
+// both and verify no block is double-owned and the heap stays sound.
+func TestReclaimConcurrentWithAlloc(t *testing.T) {
+	h := shm.New(1 << 23)
+	a, _ := Format(h)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				a.Reclaim()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			c := a.NewCache()
+			defer c.Flush()
+			var mine []uint64
+			for i := 0; i < 3000; i++ {
+				off, err := c.Malloc(uint64(i%2000) + 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				h.Store64(off, id<<32|uint64(i))
+				mine = append(mine, off)
+				if len(mine) > 20 {
+					victim := mine[0]
+					mine = mine[1:]
+					if h.Load64(victim)>>32 != id {
+						t.Error("block stolen during concurrent reclaim")
+						return
+					}
+					if err := c.Free(victim); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			for _, off := range mine {
+				c.Free(off)
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	close(stop)
+	<-done
+	a.Reclaim()
+	if _, err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if a.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes = %d", a.LiveBytes())
+	}
+}

@@ -1,0 +1,50 @@
+package ralloc
+
+// Per-class usage reporting, the Ralloc-side analog of memcached's
+// "stats slabs": how the chunk area is divided among size classes and how
+// full each class's chunks are. Used by cmd/plibdump and the bookkeeper.
+
+// ClassStat describes one size class's footprint.
+type ClassStat struct {
+	ClassSize  uint64 // block size in bytes
+	Chunks     int    // chunks dedicated to this class
+	FreeBlocks int    // blocks on the global free list (caches excluded)
+	// TotalBlocks is the capacity of the class's chunks in blocks.
+	TotalBlocks int
+}
+
+// ClassStats walks the chunk directory and free lists and reports usage
+// for every class that owns at least one chunk. The heap should be
+// quiescent for exact numbers; concurrent use yields an approximation.
+func (a *Allocator) ClassStats() []ClassStat {
+	stats := make([]ClassStat, numClasses)
+	for ci := range stats {
+		stats[ci].ClassSize = classSizes[ci]
+	}
+	for i := uint64(0); i < a.nChunks; i++ {
+		word := a.h.AtomicLoad64(a.chunkDir + i*8)
+		if word == dirFree || word == dirClaimed || word&(dirLargeBit|dirContBit) != 0 {
+			continue
+		}
+		ci := int(word) - 1
+		if ci < 0 || ci >= numClasses {
+			continue
+		}
+		stats[ci].Chunks++
+		stats[ci].TotalBlocks += int(uint64(ChunkSize) / classSizes[ci])
+	}
+	for ci := range stats {
+		head := headOff(a.h.AtomicLoad64(offClassHead + uint64(ci)*8))
+		limit := stats[ci].TotalBlocks + 1
+		for off, steps := head, 0; off != 0 && steps < limit; off, steps = a.h.Load64(off), steps+1 {
+			stats[ci].FreeBlocks++
+		}
+	}
+	out := stats[:0]
+	for _, s := range stats {
+		if s.Chunks > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

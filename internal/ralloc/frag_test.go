@@ -1,0 +1,146 @@
+package ralloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"plibmc/internal/shm"
+)
+
+// The paper's reason for adopting Ralloc over the slab allocator: "it
+// partitions blocks of different sizes into separate superblocks, leading
+// to low internal fragmentation and no external fragmentation for the
+// block sizes used in memcached." These tests verify both claims hold for
+// this reimplementation.
+
+// TestInternalFragmentationBound: for every size class, the rounding waste
+// is below 50% (geometric classes) and below 34% for the memcached-typical
+// sizes the paper cares about.
+func TestInternalFragmentationBound(t *testing.T) {
+	_, a := newHeapAlloc(t, 1<<22)
+	c := a.NewCache()
+	worst := 0.0
+	// Start at the minimum block size: below it the absolute waste is a
+	// few bytes and the ratio is meaningless.
+	for n := uint64(16); n <= MaxSmall; n = n*9/8 + 1 {
+		off, err := c.Malloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := a.SizeOf(off)
+		waste := float64(got-n) / float64(got)
+		if waste > worst {
+			worst = waste
+		}
+		if waste > 0.5 {
+			t.Fatalf("request %d -> block %d: %.0f%% internal fragmentation", n, got, waste*100)
+		}
+		c.Free(off)
+	}
+	t.Logf("worst internal fragmentation over the sweep: %.1f%%", worst*100)
+
+	// The memcached item sizes of the paper's workloads specifically.
+	for _, n := range []uint64{72 + 24 + 128, 72 + 24 + 5120} { // header+key+value
+		off, _ := c.Malloc(n)
+		got := a.SizeOf(off)
+		if waste := float64(got-n) / float64(got); waste > 0.34 {
+			t.Fatalf("paper workload size %d: %.0f%% waste", n, waste*100)
+		}
+		c.Free(off)
+	}
+}
+
+// TestNoExternalFragmentation: after heavy churn of mixed sizes, freeing
+// everything makes the full capacity allocatable again in any class —
+// chunks are never stranded in unusable states.
+func TestNoExternalFragmentation(t *testing.T) {
+	h := shm.New(1 << 22)
+	a, err := Format(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.NewCache()
+	rng := rand.New(rand.NewSource(11))
+	sizes := []uint64{16, 100, 700, 3000, 16000}
+
+	for round := 0; round < 5; round++ {
+		var live []uint64
+		// Fill with a random mix until exhaustion.
+		for {
+			n := sizes[rng.Intn(len(sizes))]
+			off, err := c.Malloc(n)
+			if err != nil {
+				break
+			}
+			live = append(live, off)
+		}
+		if len(live) == 0 {
+			t.Fatal("nothing allocated")
+		}
+		for _, off := range live {
+			if err := c.Free(off); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Flush()
+		if a.LiveBytes() != 0 {
+			t.Fatalf("round %d: %d live bytes after freeing all", round, a.LiveBytes())
+		}
+	}
+
+	// After the churn, Reclaim returns every fully-free chunk to the
+	// shared pool, so a large allocation — which needs whole free chunks,
+	// the strictest test — can claim essentially the entire heap.
+	if n := a.Reclaim(); n == 0 {
+		t.Fatal("Reclaim found nothing after freeing everything")
+	}
+	total := uint64(0)
+	var big []uint64
+	for {
+		off, err := c.Malloc(3 * ChunkSize)
+		if err != nil {
+			break
+		}
+		big = append(big, off)
+		total += 3 * ChunkSize
+	}
+	if total < a.Capacity()-3*ChunkSize {
+		t.Fatalf("only %d of %d bytes reclaimable as large runs after Reclaim", total, a.Capacity())
+	}
+	for _, off := range big {
+		c.Free(off)
+	}
+	smallTotal := uint64(0)
+	for {
+		off, err := c.Malloc(16000)
+		if err != nil {
+			break
+		}
+		smallTotal += a.SizeOf(off)
+		_ = off
+	}
+	if smallTotal < a.Capacity()/2 {
+		t.Fatalf("only %d of %d bytes reclaimable in a churned class", smallTotal, a.Capacity())
+	}
+}
+
+// TestSeparateSuperblocksPerClass: blocks of different classes never share
+// a chunk.
+func TestSeparateSuperblocksPerClass(t *testing.T) {
+	_, a := newHeapAlloc(t, 1<<22)
+	c := a.NewCache()
+	chunkOwner := map[uint64]int{} // chunk index -> class
+	for i := 0; i < 500; i++ {
+		n := classSizes[i%len(classSizes)]
+		off, err := c.Malloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci := classFor(n)
+		chunk := (off - a.chunkOff) / ChunkSize
+		if prev, ok := chunkOwner[chunk]; ok && prev != ci {
+			t.Fatalf("chunk %d shared by classes %d and %d", chunk, prev, ci)
+		}
+		chunkOwner[chunk] = ci
+	}
+}

@@ -1,0 +1,221 @@
+// Package ralloc reimplements the allocator interface the paper takes from
+// Ralloc (Cai et al., ISMM '20): a shared-heap allocator over a persistent,
+// memory-mapped region, with
+//
+//   - size-class segregation into superblock chunks (no external
+//     fragmentation for the block sizes memcached uses, low internal
+//     fragmentation);
+//   - per-thread caches on the fast path and lock-free (Treiber) global
+//     free lists behind them, so allocation is nonblocking except when a
+//     multi-chunk ("large") allocation must find contiguous space;
+//   - persistent roots: 64 statically located slots identified by symbolic
+//     ID, holding position-independent pointers to the application's top
+//     level structures (pm_set_root / pm_get_root in the paper);
+//   - pptr: self-relative pointers that remain valid when the heap is
+//     mapped at a different address in every process (pptr.go).
+//
+// All allocator metadata lives inside the heap itself, so a heap flushed to
+// its backing file and reloaded — even by a different process at a different
+// base address — resumes with free lists, roots, and contents intact.
+package ralloc
+
+import (
+	"errors"
+	"fmt"
+
+	"plibmc/internal/shm"
+)
+
+const (
+	// ChunkSize is the superblock granule. Every chunk is dedicated to a
+	// single size class or to (part of) one large allocation.
+	ChunkSize = 64 * 1024
+
+	// NumRoots is the number of persistent root slots.
+	NumRoots = 64
+
+	heapMagic   = 0x52414C4C4F433147 // "RALLOC1G"
+	heapVersion = 1
+)
+
+// Heap-resident layout (byte offsets).
+const (
+	offMagic     = 0x00
+	offVersion   = 0x08
+	offHeapSize  = 0x10
+	offLiveBytes = 0x18 // atomic: bytes currently allocated to users
+	offChunkBase = 0x20 // first byte of the chunk area
+	offChunkCnt  = 0x28 // number of chunks
+	offAllocLock = 0x30 // spinlock for multi-chunk operations
+	offNextChunk = 0x38 // rotating hint for the free-chunk scan
+	offRoots     = 0x40 // NumRoots * 8 bytes of root pptrs
+	offClassHead = offRoots + NumRoots*8
+	// offChunkDir = offClassHead + numClasses*8, computed below.
+)
+
+// classSizes are the block sizes of the small size classes. Allocations
+// larger than the last class take whole chunks ("large" allocations).
+var classSizes = []uint64{
+	16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768,
+	1024, 1536, 2048, 3072, 4096, 6144, 8192, 12288, 16384,
+}
+
+const numClasses = 21
+
+// MaxSmall is the largest allocation served from size classes.
+const MaxSmall = 16384
+
+// Chunk-directory word encoding.
+const (
+	dirFree     = uint64(0)
+	dirClaimed  = ^uint64(0)      // transient, while a carver owns the chunk
+	dirLargeBit = uint64(1) << 63 // start of a large allocation; low bits = chunk count
+	dirContBit  = uint64(1) << 62 // continuation chunk of a large allocation
+)
+
+// Errors returned by the allocator.
+var (
+	ErrOutOfMemory = errors.New("ralloc: out of shared-heap memory")
+	ErrBadFree     = errors.New("ralloc: free of address not allocated by this heap")
+)
+
+// Allocator is a handle on a formatted heap. All of its state other than the
+// heap reference itself lives in shared memory, so any number of Allocator
+// handles (one per process) may operate on the same heap concurrently.
+type Allocator struct {
+	h        *shm.Heap
+	chunkDir uint64 // offset of the chunk directory
+	nChunks  uint64
+	chunkOff uint64 // offset of chunk 0
+}
+
+func headerSize(nChunks uint64) uint64 {
+	return offClassHead + numClasses*8 + nChunks*8
+}
+
+// Format initializes a fresh heap for allocation and returns a handle.
+// It fails if the heap already contains a formatted image (use Open).
+func Format(h *shm.Heap) (*Allocator, error) {
+	if h.Load64(offMagic) == heapMagic {
+		return nil, fmt.Errorf("ralloc: heap is already formatted (use Open)")
+	}
+	// Solve for the number of chunks: the header (which includes one
+	// directory word per chunk) and the chunk area must both fit.
+	size := h.Size()
+	nChunks := size / ChunkSize
+	var chunkBase uint64
+	for {
+		if nChunks == 0 {
+			return nil, fmt.Errorf("ralloc: heap of %d bytes is too small", size)
+		}
+		chunkBase = (headerSize(nChunks) + ChunkSize - 1) &^ uint64(ChunkSize-1)
+		if chunkBase+nChunks*ChunkSize <= size {
+			break
+		}
+		nChunks--
+	}
+	h.Store64(offVersion, heapVersion)
+	h.Store64(offHeapSize, size)
+	h.Store64(offLiveBytes, 0)
+	h.Store64(offChunkBase, chunkBase)
+	h.Store64(offChunkCnt, nChunks)
+	h.Store64(offAllocLock, 0)
+	h.Store64(offNextChunk, 0)
+	h.Zero(offRoots, NumRoots*8)
+	h.Zero(offClassHead, numClasses*8)
+	h.Zero(offClassHead+numClasses*8, nChunks*8)
+	// The magic goes in last so a torn format is never mistaken for a heap.
+	h.Store64(offMagic, heapMagic)
+	return newHandle(h), nil
+}
+
+// Open attaches to a heap previously prepared by Format (possibly reloaded
+// from its backing file).
+func Open(h *shm.Heap) (*Allocator, error) {
+	if h.Load64(offMagic) != heapMagic {
+		return nil, fmt.Errorf("ralloc: heap is not formatted")
+	}
+	if v := h.Load64(offVersion); v != heapVersion {
+		return nil, fmt.Errorf("ralloc: unsupported heap version %d", v)
+	}
+	if s := h.Load64(offHeapSize); s != h.Size() {
+		return nil, fmt.Errorf("ralloc: heap image is %d bytes but mapping is %d", s, h.Size())
+	}
+	return newHandle(h), nil
+}
+
+func newHandle(h *shm.Heap) *Allocator {
+	return &Allocator{
+		h:        h,
+		chunkDir: offClassHead + numClasses*8,
+		nChunks:  h.Load64(offChunkCnt),
+		chunkOff: h.Load64(offChunkBase),
+	}
+}
+
+// Heap returns the underlying shared heap.
+func (a *Allocator) Heap() *shm.Heap { return a.h }
+
+// Capacity returns the number of bytes available for allocation (the chunk
+// area).
+func (a *Allocator) Capacity() uint64 { return a.nChunks * ChunkSize }
+
+// LiveBytes returns the number of bytes currently allocated to users
+// (rounded up to block sizes).
+func (a *Allocator) LiveBytes() uint64 { return a.h.AtomicLoad64(offLiveBytes) }
+
+// SetRoot stores a persistent pointer to heap offset target in root slot id
+// (pm_set_root). target == 0 clears the slot.
+func (a *Allocator) SetRoot(id int, target uint64) {
+	if id < 0 || id >= NumRoots {
+		panic(fmt.Sprintf("ralloc: root id %d out of range", id))
+	}
+	StorePptr(a.h, offRoots+uint64(id)*8, target)
+}
+
+// GetRoot resolves root slot id to a heap offset (pm_get_root); 0 means the
+// slot is empty.
+func (a *Allocator) GetRoot(id int) uint64 {
+	if id < 0 || id >= NumRoots {
+		panic(fmt.Sprintf("ralloc: root id %d out of range", id))
+	}
+	return LoadPptr(a.h, offRoots+uint64(id)*8)
+}
+
+// classFor returns the size-class index for an allocation of n bytes, or -1
+// if n requires the large path.
+func classFor(n uint64) int {
+	for i, s := range classSizes {
+		if n <= s {
+			return i
+		}
+	}
+	return -1
+}
+
+// SizeOf returns the usable size of the block at off, which may exceed the
+// requested size (class rounding). It returns 0 for offsets that do not
+// point at the start of a live block's chunk region.
+func (a *Allocator) SizeOf(off uint64) uint64 {
+	ci, word := a.chunkOf(off)
+	if ci < 0 {
+		return 0
+	}
+	switch {
+	case word == dirFree || word == dirClaimed || word&dirContBit != 0:
+		return 0
+	case word&dirLargeBit != 0:
+		return (word &^ dirLargeBit) * ChunkSize
+	default:
+		return classSizes[word-1]
+	}
+}
+
+// chunkOf maps a heap offset to its chunk index and directory word.
+func (a *Allocator) chunkOf(off uint64) (int, uint64) {
+	if off < a.chunkOff || off >= a.chunkOff+a.nChunks*ChunkSize {
+		return -1, 0
+	}
+	ci := (off - a.chunkOff) / ChunkSize
+	return int(ci), a.h.AtomicLoad64(a.chunkDir + ci*8)
+}

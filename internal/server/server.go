@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"plibmc/internal/protocol"
+)
+
+// Server is the socket front end: an accept loop plus a fixed pool of
+// server threads. Connection readers parse requests and hand them to the
+// pool; the pool executes against the store and writes replies. The pool
+// size is the paper's "server threads" knob (Figures 6–9 compare 4 and 8):
+// when every server thread is busy, parsed requests queue, which is exactly
+// the bottleneck the paper observes once clients outnumber server capacity.
+type Server struct {
+	store   *Store
+	ln      net.Listener
+	threads int
+
+	reqCh   chan request
+	wg      sync.WaitGroup
+	connWG  sync.WaitGroup
+	closed  atomic.Bool
+	version string
+}
+
+type request struct {
+	conn *connState
+	cmd  *protocol.Command
+	keys [][]byte // ASCII multi-get
+	done chan struct{}
+}
+
+type connState struct {
+	c      net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	binary bool
+}
+
+// Config configures a server.
+type Config struct {
+	// Network and Addr as for net.Listen; "unix" + socket path reproduces
+	// the paper's Unix-domain-socket setup.
+	Network string
+	Addr    string
+	// Threads is the number of server threads (the 4/8 knob).
+	Threads int
+	// MemLimit is the store's -m in bytes.
+	MemLimit int64
+	// HashPower is log2 of the bucket count.
+	HashPower uint
+}
+
+// New creates a server and starts listening, but serves no connections
+// until Serve is called.
+func New(cfg Config) (*Server, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.MemLimit <= 0 {
+		cfg.MemLimit = 64 << 20
+	}
+	if cfg.HashPower == 0 {
+		cfg.HashPower = 16
+	}
+	ln, err := net.Listen(cfg.Network, cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return &Server{
+		store:   NewStore(cfg.MemLimit, cfg.HashPower),
+		ln:      ln,
+		threads: cfg.Threads,
+		reqCh:   make(chan request, 1024),
+		version: "1.6.0-baseline",
+	}, nil
+}
+
+// Store exposes the underlying store (for preloading in benchmarks).
+func (s *Server) Store() *Store { return s.store }
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve runs the accept loop and the server-thread pool until Close.
+func (s *Server) Serve() {
+	for i := 0; i < s.threads; i++ {
+		s.wg.Add(1)
+		go s.serverThread()
+	}
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connWG.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// Close stops the listener and waits for server threads to drain.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.ln.Close()
+	s.connWG.Wait()
+	close(s.reqCh)
+	s.wg.Wait()
+}
+
+// handleConn sniffs the protocol (binary frames start with 0x80) and runs
+// the read loop for one client connection.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer c.Close()
+	cs := &connState{
+		c: c,
+		r: bufio.NewReaderSize(c, 64<<10),
+		w: bufio.NewWriterSize(c, 64<<10),
+	}
+	first, err := cs.r.Peek(1)
+	if err != nil {
+		return
+	}
+	cs.binary = first[0] == 0x80
+	done := make(chan struct{})
+	for {
+		cmd, keys, err := s.readCommand(cs)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !s.closed.Load() {
+				// Protocol error: best-effort error line for ASCII.
+				if !cs.binary {
+					fmt.Fprintf(cs.w, "CLIENT_ERROR %v\r\n", err)
+					cs.w.Flush()
+				}
+			}
+			return
+		}
+		if cmd.Op == protocol.OpQuit {
+			return
+		}
+		// When every server thread is busy this send queues (and, past the
+		// channel capacity, blocks) — the server-side backpressure whose
+		// effect the paper measures in Figures 6–9.
+		s.reqCh <- request{conn: cs, cmd: cmd, keys: keys, done: done}
+		<-done
+		// Flush once the client has nothing else pipelined: batches go
+		// out in one write.
+		if cs.r.Buffered() == 0 {
+			if err := cs.w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// readCommand reads one request in the connection's protocol. For the
+// ASCII "get k1 k2 ..." form it returns the extra keys separately.
+func (s *Server) readCommand(cs *connState) (*protocol.Command, [][]byte, error) {
+	if cs.binary {
+		cmd, err := protocol.ReadBinaryCommand(cs.r)
+		return cmd, nil, err
+	}
+	// ASCII: intercept multi-key gets before the single-command parser.
+	line, err := cs.r.Peek(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	if string(line) == "get " || string(line) == "gets" {
+		full, err := cs.r.ReadBytes('\n')
+		if err != nil {
+			return nil, nil, err
+		}
+		fields := bytes.Fields(bytes.TrimRight(full, "\r\n"))
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("get without key")
+		}
+		keys := make([][]byte, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			keys = append(keys, append([]byte(nil), f...))
+		}
+		return &protocol.Command{Op: protocol.OpGet, Key: keys[0]}, keys, nil
+	}
+	cmd, err := protocol.ReadASCIICommand(cs.r)
+	return cmd, nil, err
+}
+
+// serverThread executes queued requests: the work one memcached worker
+// thread does after its select() returns.
+func (s *Server) serverThread() {
+	defer s.wg.Done()
+	for req := range s.reqCh {
+		s.execute(req)
+		req.done <- struct{}{}
+	}
+}
+
+func (s *Server) execute(req request) {
+	cs, cmd := req.conn, req.cmd
+	if !cs.binary && cmd.Op == protocol.OpGet && len(req.keys) > 0 {
+		// ASCII multi-get: VALUE blocks then one END.
+		for _, k := range req.keys {
+			if v, flags, cas, ok := s.store.Get(k); ok {
+				fmt.Fprintf(cs.w, "VALUE %s %d %d %d\r\n", k, flags, len(v), cas)
+				cs.w.Write(v)
+				cs.w.WriteString("\r\n")
+			}
+		}
+		cs.w.WriteString("END\r\n")
+		return
+	}
+	rep := Dispatch(s.store, cmd, s.version)
+	if cs.binary {
+		if cmd.Quiet && skipQuietReply(cmd, rep) {
+			return
+		}
+		protocol.WriteBinaryReply(cs.w, cmd, rep)
+	} else {
+		protocol.WriteASCIIReply(cs.w, cmd, rep)
+	}
+}
+
+// skipQuietReply implements the binary protocol's quiet semantics: GETQ
+// suppresses misses, SETQ suppresses success.
+func skipQuietReply(cmd *protocol.Command, rep *protocol.Reply) bool {
+	switch cmd.Op {
+	case protocol.OpGet:
+		return rep.Status == protocol.StatusKeyNotFound
+	case protocol.OpSet:
+		return rep.Status == protocol.StatusOK
+	}
+	return false
+}
+
+// Dispatch executes one protocol command against a baseline store. It is
+// exported so the hybrid daemon can reuse it.
+func Dispatch(st *Store, cmd *protocol.Command, version string) *protocol.Reply {
+	rep := &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque}
+	switch cmd.Op {
+	case protocol.OpGet:
+		v, flags, cas, ok := st.Get(cmd.Key)
+		if !ok {
+			rep.Status = protocol.StatusKeyNotFound
+		} else {
+			rep.Value, rep.Flags, rep.CAS = v, flags, cas
+		}
+	case protocol.OpSet:
+		rep.Status = st.Set(cmd.Key, cmd.Value, cmd.Flags, cmd.Exptime)
+	case protocol.OpAdd:
+		rep.Status = st.Add(cmd.Key, cmd.Value, cmd.Flags, cmd.Exptime)
+	case protocol.OpReplace:
+		rep.Status = st.Replace(cmd.Key, cmd.Value, cmd.Flags, cmd.Exptime)
+	case protocol.OpCAS:
+		rep.Status = st.CAS(cmd.Key, cmd.Value, cmd.Flags, cmd.Exptime, cmd.CAS)
+	case protocol.OpAppend:
+		rep.Status = st.Append(cmd.Key, cmd.Value)
+	case protocol.OpPrepend:
+		rep.Status = st.Prepend(cmd.Key, cmd.Value)
+	case protocol.OpDelete:
+		rep.Status = st.Delete(cmd.Key)
+	case protocol.OpIncr:
+		rep.Numeric, rep.Status = st.IncrDecr(cmd.Key, cmd.Delta, false)
+	case protocol.OpDecr:
+		rep.Numeric, rep.Status = st.IncrDecr(cmd.Key, cmd.Delta, true)
+	case protocol.OpTouch:
+		rep.Status = st.Touch(cmd.Key, cmd.Exptime)
+	case protocol.OpGAT:
+		v, flags, cas, ok := st.GetAndTouch(cmd.Key, cmd.Exptime)
+		if !ok {
+			rep.Status = protocol.StatusKeyNotFound
+		} else {
+			rep.Value, rep.Flags, rep.CAS = v, flags, cas
+		}
+	case protocol.OpFlushAll:
+		st.FlushAll()
+	case protocol.OpStats:
+		switch cmd.StatsArg {
+		case "slabs":
+			// Per-class slab usage, as real memcached's "stats slabs".
+			for _, cs := range st.SlabStats() {
+				prefix := strconv.Itoa(cs.Class)
+				rep.Stats = append(rep.Stats,
+					[2]string{prefix + ":chunk_size", strconv.Itoa(cs.ChunkSize)},
+					[2]string{prefix + ":total_pages", strconv.Itoa(cs.Pages)},
+					[2]string{prefix + ":used_chunks", strconv.Itoa(cs.Used)},
+					[2]string{prefix + ":free_chunks", strconv.Itoa(cs.Free)},
+				)
+			}
+		case "items":
+			for _, cs := range st.SlabStats() {
+				prefix := "items:" + strconv.Itoa(cs.Class)
+				rep.Stats = append(rep.Stats,
+					[2]string{prefix + ":number", strconv.Itoa(cs.Used)},
+				)
+			}
+		default:
+			snap := st.Snapshot()
+			rep.Stats = [][2]string{
+				{"cmd_get", strconv.FormatUint(snap.Gets, 10)},
+				{"get_hits", strconv.FormatUint(snap.GetHits, 10)},
+				{"get_misses", strconv.FormatUint(snap.GetMisses, 10)},
+				{"cmd_set", strconv.FormatUint(snap.Sets, 10)},
+				{"curr_items", strconv.FormatUint(snap.CurrItems, 10)},
+				{"bytes", strconv.FormatUint(snap.Bytes, 10)},
+				{"evictions", strconv.FormatUint(snap.Evictions, 10)},
+			}
+		}
+	case protocol.OpVersion:
+		rep.Version = version
+	case protocol.OpNoop:
+		// nothing
+	default:
+		rep.Status = protocol.StatusUnknownCommand
+	}
+	return rep
+}

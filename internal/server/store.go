@@ -1,0 +1,288 @@
+// Package server implements the baseline: the "original memcached" the
+// paper compares against. It is a conventional socket server — an
+// adjustable number of server threads accepting requests over Unix-domain
+// (or TCP) sockets in either wire protocol — backed by a conventional
+// single-process store: slab allocation, one LRU list per slab class
+// (eviction coupled to allocation size), striped item locks, and a single
+// mutex around statistics. Everything this package does from the socket
+// inward is what the protected-library conversion deleted.
+package server
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"plibmc/internal/slab"
+)
+
+// Baseline item layout inside a slab chunk:
+//
+//	+0  hNext   (slab.Handle+1; 0 = nil)
+//	+8  lruNext (slab.Handle+1)
+//	+16 lruPrev (slab.Handle+1)
+//	+24 casID
+//	+32 exptime (u32) | flags (u32)
+//	+40 keyLen (u32) | valLen (u32)
+//	+48 key bytes, then value bytes
+const (
+	bHNext   = 0
+	bLRUNext = 8
+	bLRUPrev = 16
+	bCASID   = 24
+	bExptime = 32
+	bFlags   = 36
+	bKeyLen  = 40
+	bValLen  = 44
+	bHeader  = 48
+)
+
+const nilRef = uint64(0)
+
+func ref(h slab.Handle) uint64   { return uint64(h) + 1 }
+func deref(r uint64) slab.Handle { return slab.Handle(r - 1) }
+
+// Store is the baseline in-process K-V store.
+type Store struct {
+	sl *slab.Allocator
+
+	locks []sync.Mutex // item-lock stripe
+	table []uint64     // bucket heads (refs)
+	mask  uint64
+
+	lrus []classLRU // one per slab class: the classic coupling
+
+	statMu sync.Mutex // the single statistics lock the paper scattered
+	stats  Stats
+
+	casMu sync.Mutex
+	cas   uint64
+
+	nowFn func() int64
+}
+
+type classLRU struct {
+	mu   sync.Mutex
+	head uint64
+	tail uint64
+}
+
+// Stats mirrors the counters the protected-library store reports.
+type Stats struct {
+	Gets, GetHits, GetMisses uint64
+	Sets, Deletes            uint64
+	Evictions, Expired       uint64
+	CurrItems, Bytes         uint64
+}
+
+// NewStore creates a baseline store with the given memory limit (-m) and
+// 2^hashPower buckets.
+func NewStore(memLimit int64, hashPower uint) *Store {
+	sl := slab.New(memLimit)
+	nlocks := 1024
+	for nlocks > 1<<hashPower {
+		nlocks /= 2 // the lock stripe must not outnumber buckets
+	}
+	s := &Store{
+		sl:    sl,
+		locks: make([]sync.Mutex, nlocks),
+		table: make([]uint64, 1<<hashPower),
+		mask:  (1 << hashPower) - 1,
+		lrus:  make([]classLRU, sl.NumClasses()),
+		nowFn: func() int64 { return time.Now().Unix() },
+	}
+	return s
+}
+
+// SetClock overrides the time source (tests).
+func (s *Store) SetClock(now func() int64) { s.nowFn = now }
+
+// SlabStats reports per-class slab usage ("stats slabs").
+func (s *Store) SlabStats() []slab.Stats { return s.sl.StatsPerClass() }
+
+func (s *Store) lockFor(h uint64) *sync.Mutex {
+	return &s.locks[h&uint64(len(s.locks)-1)]
+}
+
+func hashKey(key []byte) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+func (s *Store) nextCAS() uint64 {
+	s.casMu.Lock()
+	s.cas++
+	v := s.cas
+	s.casMu.Unlock()
+	return v
+}
+
+// Chunk field accessors.
+
+func (s *Store) u64(h slab.Handle, off int) uint64 {
+	return binary.LittleEndian.Uint64(s.sl.Bytes(h)[off:])
+}
+func (s *Store) putU64(h slab.Handle, off int, v uint64) {
+	binary.LittleEndian.PutUint64(s.sl.Bytes(h)[off:], v)
+}
+func (s *Store) u32(h slab.Handle, off int) uint32 {
+	return binary.LittleEndian.Uint32(s.sl.Bytes(h)[off:])
+}
+func (s *Store) putU32(h slab.Handle, off int, v uint32) {
+	binary.LittleEndian.PutUint32(s.sl.Bytes(h)[off:], v)
+}
+
+func (s *Store) key(h slab.Handle) []byte {
+	b := s.sl.Bytes(h)
+	kl := binary.LittleEndian.Uint32(b[bKeyLen:])
+	return b[bHeader : bHeader+kl]
+}
+
+func (s *Store) value(h slab.Handle) []byte {
+	b := s.sl.Bytes(h)
+	kl := binary.LittleEndian.Uint32(b[bKeyLen:])
+	vl := binary.LittleEndian.Uint32(b[bValLen:])
+	return b[bHeader+kl : bHeader+kl+vl]
+}
+
+func (s *Store) expired(h slab.Handle, now int64) bool {
+	e := s.u32(h, bExptime)
+	return e != 0 && int64(e) <= now
+}
+
+// alloc gets a chunk for an item, evicting from the tail of the same
+// class's LRU on memory exhaustion — the classic memcached eviction loop
+// whose allocation/eviction coupling the paper removed.
+func (s *Store) alloc(size int) (slab.Handle, bool) {
+	for attempt := 0; attempt < 50; attempt++ {
+		h, err := s.sl.Alloc(size)
+		if err == nil {
+			return h, true
+		}
+		ci := s.sl.ClassFor(size)
+		if ci < 0 || !s.evictFromClass(ci) {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// evictFromClass removes the least recently used item of slab class ci.
+func (s *Store) evictFromClass(ci int) bool {
+	l := &s.lrus[ci]
+	l.mu.Lock()
+	victimRef := l.tail
+	l.mu.Unlock()
+	if victimRef == nilRef {
+		return false
+	}
+	victim := deref(victimRef)
+	key := append([]byte(nil), s.key(victim)...)
+	h := hashKey(key)
+	mu := s.lockFor(h)
+	mu.Lock()
+	defer mu.Unlock()
+	// Re-find under the lock: the victim may have moved or been deleted.
+	cur := s.find(key, h)
+	if cur == nilRef || deref(cur) != victim {
+		return false
+	}
+	s.unlink(victim, h)
+	s.statMu.Lock()
+	s.stats.Evictions++
+	s.statMu.Unlock()
+	return true
+}
+
+// find walks the bucket chain for key. Caller holds the item lock.
+func (s *Store) find(key []byte, h uint64) uint64 {
+	r := s.table[h&s.mask]
+	for r != nilRef {
+		it := deref(r)
+		k := s.key(it)
+		if string(k) == string(key) { // compiler avoids the copies
+			return r
+		}
+		r = s.u64(it, bHNext)
+	}
+	return nilRef
+}
+
+// link inserts an item into the table and its class LRU. Caller holds the
+// item lock.
+func (s *Store) link(it slab.Handle, h uint64) {
+	bucket := &s.table[h&s.mask]
+	s.putU64(it, bHNext, *bucket)
+	*bucket = ref(it)
+	ci := s.sl.ClassOf(it)
+	l := &s.lrus[ci]
+	l.mu.Lock()
+	s.putU64(it, bLRUPrev, nilRef)
+	s.putU64(it, bLRUNext, l.head)
+	if l.head != nilRef {
+		s.putU64(deref(l.head), bLRUPrev, ref(it))
+	} else {
+		l.tail = ref(it)
+	}
+	l.head = ref(it)
+	l.mu.Unlock()
+	s.statMu.Lock()
+	s.stats.CurrItems++
+	s.stats.Bytes += uint64(s.sl.ClassSize(ci))
+	s.statMu.Unlock()
+}
+
+// unlink removes an item from the table and LRU and frees its chunk.
+// Caller holds the item lock.
+func (s *Store) unlink(it slab.Handle, h uint64) {
+	bucket := &s.table[h&s.mask]
+	r := *bucket
+	var prevItem slab.Handle
+	havePrev := false
+	for r != nilRef {
+		cur := deref(r)
+		if cur == it {
+			next := s.u64(cur, bHNext)
+			if havePrev {
+				s.putU64(prevItem, bHNext, next)
+			} else {
+				*bucket = next
+			}
+			break
+		}
+		prevItem, havePrev = cur, true
+		r = s.u64(cur, bHNext)
+	}
+	s.removeLRU(it)
+	ci := s.sl.ClassOf(it)
+	s.statMu.Lock()
+	s.stats.CurrItems--
+	s.stats.Bytes -= uint64(s.sl.ClassSize(ci))
+	s.statMu.Unlock()
+	s.sl.Free(it)
+}
+
+func (s *Store) removeLRU(it slab.Handle) {
+	ci := s.sl.ClassOf(it)
+	l := &s.lrus[ci]
+	l.mu.Lock()
+	prev := s.u64(it, bLRUPrev)
+	next := s.u64(it, bLRUNext)
+	if prev != nilRef {
+		s.putU64(deref(prev), bLRUNext, next)
+	} else {
+		l.head = next
+	}
+	if next != nilRef {
+		s.putU64(deref(next), bLRUPrev, prev)
+	} else {
+		l.tail = prev
+	}
+	l.mu.Unlock()
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"plibmc/internal/protocol"
+)
+
+func newTestStore() *Store {
+	return NewStore(16<<20, 10)
+}
+
+func TestBaselineSetGetDelete(t *testing.T) {
+	s := newTestStore()
+	if st := s.Set([]byte("k"), []byte("v"), 5, 0); st != protocol.StatusOK {
+		t.Fatalf("set = %v", st)
+	}
+	v, flags, cas, ok := s.Get([]byte("k"))
+	if !ok || string(v) != "v" || flags != 5 || cas == 0 {
+		t.Fatalf("get = %q %d %d %v", v, flags, cas, ok)
+	}
+	if _, _, _, ok := s.Get([]byte("nope")); ok {
+		t.Fatal("phantom hit")
+	}
+	if st := s.Delete([]byte("k")); st != protocol.StatusOK {
+		t.Fatalf("delete = %v", st)
+	}
+	if st := s.Delete([]byte("k")); st != protocol.StatusKeyNotFound {
+		t.Fatalf("re-delete = %v", st)
+	}
+}
+
+func TestBaselineConditionalStores(t *testing.T) {
+	s := newTestStore()
+	if st := s.Replace([]byte("k"), []byte("x"), 0, 0); st != protocol.StatusKeyNotFound {
+		t.Fatalf("replace missing = %v", st)
+	}
+	if st := s.Add([]byte("k"), []byte("v1"), 0, 0); st != protocol.StatusOK {
+		t.Fatalf("add = %v", st)
+	}
+	if st := s.Add([]byte("k"), []byte("v2"), 0, 0); st != protocol.StatusKeyExists {
+		t.Fatalf("re-add = %v", st)
+	}
+	_, _, cas, _ := s.Get([]byte("k"))
+	if st := s.CAS([]byte("k"), []byte("v3"), 0, 0, cas+1); st != protocol.StatusKeyExists {
+		t.Fatalf("stale cas = %v", st)
+	}
+	if st := s.CAS([]byte("k"), []byte("v3"), 0, 0, cas); st != protocol.StatusOK {
+		t.Fatalf("cas = %v", st)
+	}
+	if st := s.Append([]byte("k"), []byte("+")); st != protocol.StatusOK {
+		t.Fatalf("append = %v", st)
+	}
+	if st := s.Prepend([]byte("k"), []byte("-")); st != protocol.StatusOK {
+		t.Fatalf("prepend = %v", st)
+	}
+	v, _, _, _ := s.Get([]byte("k"))
+	if string(v) != "-v3+" {
+		t.Fatalf("value = %q", v)
+	}
+	if st := s.Append([]byte("missing"), []byte("x")); st != protocol.StatusNotStored {
+		t.Fatalf("append missing = %v", st)
+	}
+}
+
+func TestBaselineIncrDecrEdges(t *testing.T) {
+	s := newTestStore()
+	if _, st := s.IncrDecr([]byte("n"), 1, false); st != protocol.StatusKeyNotFound {
+		t.Fatalf("incr missing = %v", st)
+	}
+	s.Set([]byte("n"), []byte("9"), 0, 0)
+	if v, st := s.IncrDecr([]byte("n"), 1, false); st != protocol.StatusOK || v != 10 {
+		t.Fatalf("incr across width = %d %v", v, st)
+	}
+	got, _, _, _ := s.Get([]byte("n"))
+	if string(got) != "10" {
+		t.Fatalf("stored = %q", got)
+	}
+	if v, st := s.IncrDecr([]byte("n"), 100, true); st != protocol.StatusOK || v != 0 {
+		t.Fatalf("saturating decr = %d %v", v, st)
+	}
+	s.Set([]byte("n"), []byte("xyz"), 0, 0)
+	if _, st := s.IncrDecr([]byte("n"), 1, false); st != protocol.StatusNonNumeric {
+		t.Fatalf("non-numeric = %v", st)
+	}
+	s.Set([]byte("n"), []byte("18446744073709551615"), 0, 0)
+	if v, st := s.IncrDecr([]byte("n"), 1, false); st != protocol.StatusOK || v != 0 {
+		t.Fatalf("wrap = %d %v", v, st)
+	}
+}
+
+func TestBaselineExpiryAndTouch(t *testing.T) {
+	s := newTestStore()
+	now := int64(1000)
+	s.SetClock(func() int64 { return now })
+	s.Set([]byte("k"), []byte("v"), 0, 50)
+	now += 49
+	if _, _, _, ok := s.Get([]byte("k")); !ok {
+		t.Fatal("alive key missed")
+	}
+	if st := s.Touch([]byte("k"), 500); st != protocol.StatusOK {
+		t.Fatalf("touch = %v", st)
+	}
+	now += 400
+	if _, _, _, ok := s.Get([]byte("k")); !ok {
+		t.Fatal("touched key died early")
+	}
+	now += 200
+	if _, _, _, ok := s.Get([]byte("k")); ok {
+		t.Fatal("expired key served")
+	}
+	if st := s.Touch([]byte("k"), 10); st != protocol.StatusKeyNotFound {
+		t.Fatalf("touch expired = %v", st)
+	}
+	snap := s.Snapshot()
+	if snap.Expired == 0 {
+		t.Fatal("expired counter")
+	}
+	// Negative expiry: dead on arrival.
+	s.Set([]byte("neg"), []byte("v"), 0, -5)
+	if _, _, _, ok := s.Get([]byte("neg")); ok {
+		t.Fatal("negative-expiry key served")
+	}
+}
+
+func TestBaselineLRUWithinEachClass(t *testing.T) {
+	// Classic memcached couples eviction to the slab class: exhausting
+	// one class evicts that class's LRU tail and leaves other classes
+	// untouched — the calcification the paper removed.
+	s := NewStore(3<<20, 10) // 3 slab pages budget
+	small := bytes.Repeat([]byte{'s'}, 100)
+	large := bytes.Repeat([]byte{'L'}, 8000)
+	// One page of small items, one page of large; third page spare.
+	if st := s.Set([]byte("small-sentinel"), small, 0, 0); st != protocol.StatusOK {
+		t.Fatal(st)
+	}
+	if st := s.Set([]byte("large-sentinel"), large, 0, 0); st != protocol.StatusOK {
+		t.Fatal(st)
+	}
+	// Now flood the large class far past its share of the budget.
+	for i := 0; i < 2000; i++ {
+		if st := s.Set([]byte(fmt.Sprintf("large-%04d", i)), large, 0, 0); st != protocol.StatusOK {
+			t.Fatalf("large set %d: %v", i, st)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Evictions == 0 {
+		t.Fatal("large-class flood should evict")
+	}
+	// The large sentinel was the class's LRU tail: evicted.
+	if _, _, _, ok := s.Get([]byte("large-sentinel")); ok {
+		t.Fatal("large sentinel survived its class's pressure")
+	}
+	// The small class was never under pressure: its sentinel survives.
+	if _, _, _, ok := s.Get([]byte("small-sentinel")); !ok {
+		t.Fatal("small-class item evicted by large-class pressure (classes should be independent)")
+	}
+}
+
+func TestBaselineFlushAllAndStats(t *testing.T) {
+	s := newTestStore()
+	for i := 0; i < 50; i++ {
+		s.Set([]byte(fmt.Sprintf("k%d", i)), []byte("v"), 0, 0)
+	}
+	if snap := s.Snapshot(); snap.CurrItems != 50 || snap.Bytes == 0 {
+		t.Fatalf("pre-flush stats: %+v", snap)
+	}
+	s.FlushAll()
+	snap := s.Snapshot()
+	if snap.CurrItems != 0 || snap.Bytes != 0 {
+		t.Fatalf("post-flush stats: %+v", snap)
+	}
+}
+
+func TestBaselineConcurrent(t *testing.T) {
+	s := newTestStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := []byte(fmt.Sprintf("key-%d", (g*31+i)%200))
+				switch i % 3 {
+				case 0:
+					if st := s.Set(k, []byte(fmt.Sprintf("v%d", i)), 0, 0); st != protocol.StatusOK {
+						t.Errorf("set: %v", st)
+						return
+					}
+				case 1:
+					s.Get(k)
+				case 2:
+					s.Delete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Set([]byte("after"), []byte("ok"), 0, 0); st != protocol.StatusOK {
+		t.Fatal("store broken after stress")
+	}
+}
+
+func TestBaselineKeyTooLong(t *testing.T) {
+	s := newTestStore()
+	long := bytes.Repeat([]byte{'k'}, protocol.MaxKeyLen+1)
+	if st := s.Set(long, []byte("v"), 0, 0); st != protocol.StatusInvalidArgs {
+		t.Fatalf("long key = %v", st)
+	}
+}

@@ -1,0 +1,96 @@
+package shm
+
+import "encoding/binary"
+
+// storeByte stores one byte without alignment requirements.
+func (h *Heap) storeByte(off uint64, b byte) {
+	sh := (off % WordSize) * 8
+	w := &h.words[off/WordSize]
+	*w = (*w &^ (uint64(0xff) << sh)) | uint64(b)<<sh
+}
+
+// loadByte loads one byte without alignment requirements.
+func (h *Heap) loadByte(off uint64) byte {
+	return byte(h.words[off/WordSize] >> ((off % WordSize) * 8))
+}
+
+// ReadBytes copies len(dst) bytes starting at byte offset off into dst.
+func (h *Heap) ReadBytes(off uint64, dst []byte) {
+	h.check(off, uint64(len(dst)), false)
+	i := 0
+	for off%WordSize != 0 && i < len(dst) {
+		dst[i] = h.loadByte(off)
+		off++
+		i++
+	}
+	// Unrolled aligned path: the bulk of a 5 KB value copy.
+	w := off / WordSize
+	for len(dst)-i >= 4*WordSize {
+		binary.LittleEndian.PutUint64(dst[i:], h.words[w])
+		binary.LittleEndian.PutUint64(dst[i+8:], h.words[w+1])
+		binary.LittleEndian.PutUint64(dst[i+16:], h.words[w+2])
+		binary.LittleEndian.PutUint64(dst[i+24:], h.words[w+3])
+		w += 4
+		i += 4 * WordSize
+	}
+	off = w * WordSize
+	for len(dst)-i >= WordSize {
+		binary.LittleEndian.PutUint64(dst[i:], h.words[off/WordSize])
+		off += WordSize
+		i += WordSize
+	}
+	for i < len(dst) {
+		dst[i] = h.loadByte(off)
+		off++
+		i++
+	}
+}
+
+// WriteBytes copies src into the heap starting at byte offset off.
+func (h *Heap) WriteBytes(off uint64, src []byte) {
+	h.check(off, uint64(len(src)), true)
+	i := 0
+	for off%WordSize != 0 && i < len(src) {
+		h.storeByte(off, src[i])
+		off++
+		i++
+	}
+	w := off / WordSize
+	for len(src)-i >= 4*WordSize {
+		h.words[w] = binary.LittleEndian.Uint64(src[i:])
+		h.words[w+1] = binary.LittleEndian.Uint64(src[i+8:])
+		h.words[w+2] = binary.LittleEndian.Uint64(src[i+16:])
+		h.words[w+3] = binary.LittleEndian.Uint64(src[i+24:])
+		w += 4
+		i += 4 * WordSize
+	}
+	off = w * WordSize
+	for len(src)-i >= WordSize {
+		h.words[off/WordSize] = binary.LittleEndian.Uint64(src[i:])
+		off += WordSize
+		i += WordSize
+	}
+	for i < len(src) {
+		h.storeByte(off, src[i])
+		off++
+		i++
+	}
+}
+
+// Bytes returns a fresh copy of n bytes starting at off.
+func (h *Heap) Bytes(off, n uint64) []byte {
+	b := make([]byte, n)
+	h.ReadBytes(off, b)
+	return b
+}
+
+// EqualBytes reports whether the n bytes at off equal b, without allocating.
+func (h *Heap) EqualBytes(off uint64, b []byte) bool {
+	h.check(off, uint64(len(b)), false)
+	for i := 0; i < len(b); i++ {
+		if h.loadByte(off+uint64(i)) != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,293 @@
+package shm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRoundsToPage(t *testing.T) {
+	cases := []struct {
+		req, want uint64
+	}{
+		{0, PageSize},
+		{1, PageSize},
+		{PageSize, PageSize},
+		{PageSize + 1, 2 * PageSize},
+		{10 * PageSize, 10 * PageSize},
+	}
+	for _, c := range cases {
+		h := New(c.req)
+		if h.Size() != c.want {
+			t.Errorf("New(%d).Size() = %d, want %d", c.req, h.Size(), c.want)
+		}
+		if h.Pages() != int(c.want/PageSize) {
+			t.Errorf("New(%d).Pages() = %d, want %d", c.req, h.Pages(), c.want/PageSize)
+		}
+	}
+}
+
+func TestLoadStore64(t *testing.T) {
+	h := New(PageSize)
+	h.Store64(0, 0xdeadbeefcafebabe)
+	if got := h.Load64(0); got != 0xdeadbeefcafebabe {
+		t.Fatalf("Load64(0) = %#x", got)
+	}
+	h.Store64(h.Size()-8, 42)
+	if got := h.Load64(h.Size() - 8); got != 42 {
+		t.Fatalf("Load64(end) = %d", got)
+	}
+}
+
+func TestStore32Halves(t *testing.T) {
+	h := New(PageSize)
+	h.Store64(0, 0xffffffffffffffff)
+	h.Store32(0, 0x11223344)
+	h.Store32(4, 0x55667788)
+	if got := h.Load64(0); got != 0x5566778811223344 {
+		t.Fatalf("word after two Store32 = %#x", got)
+	}
+	if h.Load32(0) != 0x11223344 || h.Load32(4) != 0x55667788 {
+		t.Fatalf("Load32 halves = %#x %#x", h.Load32(0), h.Load32(4))
+	}
+}
+
+func mustFault(t *testing.T, f func()) *Fault {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected Fault panic, got none")
+		}
+	}()
+	var fault *Fault
+	func() {
+		defer func() {
+			r := recover()
+			var ok bool
+			fault, ok = r.(*Fault)
+			if !ok {
+				t.Fatalf("panic value %v is not *Fault", r)
+			}
+			panic(r) // re-panic for the outer check
+		}()
+		f()
+	}()
+	return fault
+}
+
+func TestFaults(t *testing.T) {
+	h := New(PageSize)
+	t.Run("out of range load", func(t *testing.T) {
+		mustFault(t, func() { h.Load64(h.Size()) })
+	})
+	t.Run("out of range store", func(t *testing.T) {
+		mustFault(t, func() { h.Store64(h.Size(), 1) })
+	})
+	t.Run("misaligned word", func(t *testing.T) {
+		mustFault(t, func() { h.Load64(4) })
+	})
+	t.Run("misaligned 32", func(t *testing.T) {
+		mustFault(t, func() { h.Load32(2) })
+	})
+	t.Run("wraparound", func(t *testing.T) {
+		mustFault(t, func() { h.ReadBytes(^uint64(0)-4, make([]byte, 16)) })
+	})
+	t.Run("fault error text", func(t *testing.T) {
+		f := &Fault{Off: 0x10, Len: 8, Write: true, Why: "out of range"}
+		if f.Error() == "" {
+			t.Fatal("empty fault message")
+		}
+	})
+}
+
+func TestReadWriteBytesAligned(t *testing.T) {
+	h := New(PageSize)
+	src := []byte("hello, shared world!")
+	h.WriteBytes(16, src)
+	got := h.Bytes(16, uint64(len(src)))
+	if !bytes.Equal(got, src) {
+		t.Fatalf("roundtrip = %q", got)
+	}
+}
+
+func TestReadWriteBytesUnaligned(t *testing.T) {
+	h := New(PageSize)
+	for off := uint64(0); off < 16; off++ {
+		for n := 0; n < 40; n++ {
+			src := make([]byte, n)
+			for i := range src {
+				src[i] = byte(off*31 + uint64(i) + 1)
+			}
+			h.WriteBytes(off, src)
+			got := h.Bytes(off, uint64(n))
+			if !bytes.Equal(got, src) {
+				t.Fatalf("off=%d n=%d roundtrip mismatch", off, n)
+			}
+		}
+	}
+}
+
+func TestWriteBytesPreservesNeighbors(t *testing.T) {
+	h := New(PageSize)
+	h.WriteBytes(0, bytes.Repeat([]byte{0xAA}, 64))
+	h.WriteBytes(13, []byte{1, 2, 3})
+	want := bytes.Repeat([]byte{0xAA}, 64)
+	copy(want[13:], []byte{1, 2, 3})
+	if got := h.Bytes(0, 64); !bytes.Equal(got, want) {
+		t.Fatalf("neighbors clobbered:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestLittleEndianAgreement(t *testing.T) {
+	h := New(PageSize)
+	h.Store64(0, 0x0807060504030201)
+	got := h.Bytes(0, 8)
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("byte view of word = %x, want %x", got, want)
+	}
+}
+
+func TestZero(t *testing.T) {
+	h := New(PageSize)
+	h.WriteBytes(0, bytes.Repeat([]byte{0xFF}, 128))
+	h.Zero(5, 50)
+	for i := uint64(0); i < 128; i++ {
+		b := h.Bytes(i, 1)[0]
+		inZeroed := i >= 5 && i < 55
+		if inZeroed && b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+		if !inZeroed && b != 0xFF {
+			t.Fatalf("byte %d = %#x, want 0xFF", i, b)
+		}
+	}
+}
+
+func TestEqualBytes(t *testing.T) {
+	h := New(PageSize)
+	h.WriteBytes(3, []byte("abcdef"))
+	if !h.EqualBytes(3, []byte("abcdef")) {
+		t.Fatal("EqualBytes false negative")
+	}
+	if h.EqualBytes(3, []byte("abcdeg")) {
+		t.Fatal("EqualBytes false positive")
+	}
+	if h.EqualBytes(4, []byte("abcdef")) {
+		t.Fatal("EqualBytes at wrong offset")
+	}
+}
+
+// Property: for any offset and payload, WriteBytes then ReadBytes is the
+// identity, regardless of alignment.
+func TestQuickBytesRoundtrip(t *testing.T) {
+	h := New(16 * PageSize)
+	f := func(off uint16, payload []byte) bool {
+		o := uint64(off)
+		if o+uint64(len(payload)) > h.Size() {
+			return true // skip out-of-range draws
+		}
+		h.WriteBytes(o, payload)
+		return bytes.Equal(h.Bytes(o, uint64(len(payload))), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: byte writes and word reads agree under little-endian packing.
+func TestQuickByteWordAgreement(t *testing.T) {
+	h := New(PageSize)
+	f := func(v uint64) bool {
+		h.Store64(64, v)
+		b := h.Bytes(64, 8)
+		var back uint64
+		for i := 7; i >= 0; i-- {
+			back = back<<8 | uint64(b[i])
+		}
+		return back == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	h := New(PageSize)
+	h.AtomicStore64(8, 10)
+	if h.AtomicLoad64(8) != 10 {
+		t.Fatal("atomic store/load")
+	}
+	if !h.CAS64(8, 10, 20) {
+		t.Fatal("CAS should succeed")
+	}
+	if h.CAS64(8, 10, 30) {
+		t.Fatal("CAS should fail")
+	}
+	if h.Add64(8, 5) != 25 {
+		t.Fatal("Add64")
+	}
+	if h.Add64(8, ^uint64(0)) != 24 { // subtract one
+		t.Fatal("Add64 negative")
+	}
+	if h.Swap64(8, 99) != 24 || h.AtomicLoad64(8) != 99 {
+		t.Fatal("Swap64")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	h := New(PageSize)
+	const goroutines = 8
+	const iters = 10000
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			for i := 0; i < iters; i++ {
+				h.Add64(0, 1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	if got := h.Load64(0); got != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestRandomizedMixedAccess(t *testing.T) {
+	// Model test: mirror every heap operation on a plain byte slice and
+	// compare the full images at the end.
+	h := New(4 * PageSize)
+	model := make([]byte, h.Size())
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		off := uint64(rng.Intn(int(h.Size() - 64)))
+		switch rng.Intn(3) {
+		case 0:
+			n := rng.Intn(48) + 1
+			b := make([]byte, n)
+			rng.Read(b)
+			h.WriteBytes(off, b)
+			copy(model[off:], b)
+		case 1:
+			woff := off &^ 7
+			v := rng.Uint64()
+			h.Store64(woff, v)
+			for j := 0; j < 8; j++ {
+				model[woff+uint64(j)] = byte(v >> (8 * j))
+			}
+		case 2:
+			n := uint64(rng.Intn(48) + 1)
+			h.Zero(off, n)
+			for j := uint64(0); j < n; j++ {
+				model[off+j] = 0
+			}
+		}
+	}
+	if got := h.Bytes(0, h.Size()); !bytes.Equal(got, model) {
+		t.Fatal("heap image diverged from model")
+	}
+}

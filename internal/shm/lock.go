@@ -1,0 +1,68 @@
+package shm
+
+import "runtime"
+
+// Heap-resident locks.
+//
+// In the paper, every lock in the memcached code base is re-initialized with
+// PTHREAD_PROCESS_SHARED so that threads in different processes can contend
+// on it. Our analog is a lock whose entire state lives in a heap word, so
+// any process that has the heap mapped can acquire it. The implementation is
+// a test-and-test-and-set spinlock with exponential backoff that yields the
+// processor, which is how process-shared pthread mutexes behave under
+// moderate contention (spin then futex-wait).
+//
+// Lock word encoding: 0 = unlocked; otherwise the locker's owner token
+// (process ID << 32 | thread ID, never zero). Owner tokens exist for
+// diagnosis and crash recovery, not for correctness.
+
+// LockWordSize is the number of heap bytes occupied by one lock.
+const LockWordSize = WordSize
+
+const spinLimit = 64
+
+// LockAcquire acquires the lock at heap offset off, spinning until it is
+// available. owner must be nonzero.
+func (h *Heap) LockAcquire(off uint64, owner uint64) {
+	if owner == 0 {
+		panic("shm: LockAcquire with zero owner token")
+	}
+	backoff := 1
+	for {
+		if h.AtomicLoad64(off) == 0 && h.CAS64(off, 0, owner) {
+			return
+		}
+		for i := 0; i < backoff; i++ {
+			if h.AtomicLoad64(off) == 0 {
+				break
+			}
+		}
+		if backoff < spinLimit {
+			backoff *= 2
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// LockTry attempts to acquire the lock at off without blocking.
+func (h *Heap) LockTry(off uint64, owner uint64) bool {
+	if owner == 0 {
+		panic("shm: LockTry with zero owner token")
+	}
+	return h.AtomicLoad64(off) == 0 && h.CAS64(off, 0, owner)
+}
+
+// LockRelease releases the lock at off. It panics if the lock is not held,
+// which indicates a lock-discipline bug in library code.
+func (h *Heap) LockRelease(off uint64) {
+	if h.AtomicLoad64(off) == 0 {
+		panic("shm: release of unheld lock")
+	}
+	h.AtomicStore64(off, 0)
+}
+
+// LockHolder returns the owner token of the lock at off, or 0 if unheld.
+func (h *Heap) LockHolder(off uint64) uint64 {
+	return h.AtomicLoad64(off)
+}

@@ -1,0 +1,101 @@
+package shm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLockBasic(t *testing.T) {
+	h := New(PageSize)
+	const lock = 128
+	if h.LockHolder(lock) != 0 {
+		t.Fatal("fresh lock should be unheld")
+	}
+	h.LockAcquire(lock, 7)
+	if h.LockHolder(lock) != 7 {
+		t.Fatalf("holder = %d, want 7", h.LockHolder(lock))
+	}
+	if h.LockTry(lock, 8) {
+		t.Fatal("LockTry should fail while held")
+	}
+	h.LockRelease(lock)
+	if !h.LockTry(lock, 8) {
+		t.Fatal("LockTry should succeed after release")
+	}
+	h.LockRelease(lock)
+}
+
+func TestLockReleaseUnheldPanics(t *testing.T) {
+	h := New(PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double release")
+		}
+	}()
+	h.LockRelease(0)
+}
+
+func TestLockZeroOwnerPanics(t *testing.T) {
+	h := New(PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero owner")
+		}
+	}()
+	h.LockAcquire(0, 0)
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	h := New(PageSize)
+	const lock = 0
+	const counter = 64
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h.LockAcquire(lock, id+1)
+				// Non-atomic read-modify-write: only safe under the lock.
+				h.Store64(counter, h.Load64(counter)+1)
+				h.LockRelease(lock)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if got := h.Load64(counter); got != goroutines*iters {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", got, goroutines*iters)
+	}
+}
+
+func TestCrossViewLocking(t *testing.T) {
+	// Two "processes" mapping the same heap at different bases contend on
+	// the same heap-resident lock: the PTHREAD_PROCESS_SHARED analog.
+	h := New(PageSize)
+	v1, err := h.Map(0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := h.Map(0x7f0000000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, v := range []*View{v1, v2} {
+		wg.Add(1)
+		go func(v *View, id uint64) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				v.Heap().LockAcquire(0, id)
+				v.Heap().Store64(8, v.Heap().Load64(8)+1)
+				v.Heap().LockRelease(0)
+			}
+		}(v, uint64(v.Base()))
+	}
+	wg.Wait()
+	if got := h.Load64(8); got != 6000 {
+		t.Fatalf("cross-view counter = %d, want 6000", got)
+	}
+}

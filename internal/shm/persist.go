@@ -1,0 +1,98 @@
+package shm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Persistence.
+//
+// The paper's bookkeeping process flushes the entire store back to the
+// heap's backing file on shutdown, and a restarted store maps the file and
+// finds its contents intact (position independence makes the bytes valid at
+// any base). Full crash consistency is explicitly future work in the paper;
+// likewise our Flush is an orderly-shutdown mechanism, not a crash-safe log.
+
+const (
+	fileMagic   = 0x50_4C_49_42_48_45_41_50 // "PLIBHEAP"
+	fileVersion = 1
+)
+
+// Flush writes the heap image to the named file, replacing any previous
+// contents. It is atomic with respect to crashes of the flusher itself:
+// the image is written to a temporary file and renamed into place.
+func (h *Heap) Flush(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("shm: flush: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], fileVersion)
+	binary.LittleEndian.PutUint64(hdr[16:], h.size)
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("shm: flush: %w", err)
+	}
+	var buf [WordSize]byte
+	for _, word := range h.words {
+		binary.LittleEndian.PutUint64(buf[:], word)
+		if _, err := w.Write(buf[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("shm: flush: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("shm: flush: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("shm: flush: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("shm: flush: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("shm: flush: %w", err)
+	}
+	return nil
+}
+
+// Load reads a heap image previously written by Flush.
+func Load(path string) (*Heap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("shm: load: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("shm: load: short header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != fileMagic {
+		return nil, fmt.Errorf("shm: load: %s is not a heap image", path)
+	}
+	if v := binary.LittleEndian.Uint64(hdr[8:]); v != fileVersion {
+		return nil, fmt.Errorf("shm: load: unsupported image version %d", v)
+	}
+	size := binary.LittleEndian.Uint64(hdr[16:])
+	if size == 0 || size%PageSize != 0 || size > 1<<40 {
+		return nil, fmt.Errorf("shm: load: implausible heap size %d", size)
+	}
+	h := &Heap{words: make([]uint64, size/WordSize), size: size}
+	var buf [WordSize]byte
+	for i := range h.words {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("shm: load: truncated image at word %d: %w", i, err)
+		}
+		h.words[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	return h, nil
+}

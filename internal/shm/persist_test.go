@@ -1,0 +1,88 @@
+package shm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFlushLoadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.heap")
+	h := New(2 * PageSize)
+	h.Store64(0, 0x1122334455667788)
+	h.WriteBytes(4096, []byte("persisted value"))
+	if err := h.Flush(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != h.Size() {
+		t.Fatalf("size = %d, want %d", back.Size(), h.Size())
+	}
+	if back.Load64(0) != 0x1122334455667788 {
+		t.Fatal("word 0 not persisted")
+	}
+	if got := string(back.Bytes(4096, 15)); got != "persisted value" {
+		t.Fatalf("bytes = %q", got)
+	}
+}
+
+func TestFlushReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.heap")
+	h := New(PageSize)
+	h.Store64(0, 1)
+	if err := h.Flush(path); err != nil {
+		t.Fatal(err)
+	}
+	h.Store64(0, 2)
+	if err := h.Flush(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Load64(0) != 2 {
+		t.Fatal("second flush not visible")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temporary file left behind")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk")
+	if err := os.WriteFile(path, []byte("not a heap image at all......"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load of garbage should fail")
+	}
+	if _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("Load of missing file should fail")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trunc.heap")
+	h := New(PageSize)
+	if err := h.Flush(path); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load of truncated image should fail")
+	}
+}

@@ -1,0 +1,62 @@
+package shm
+
+import "fmt"
+
+// A View is one process's mapping of the heap into its own address space.
+//
+// The paper notes that the shared heap generally cannot be mapped at the
+// same address in every process, which is why Ralloc stores only
+// position-independent pptrs inside the heap. We reproduce that constraint
+// faithfully: each simulated process maps the heap at a distinct virtual
+// base address, and "absolute pointers" (virtual addresses) obtained through
+// one view are meaningless in another. Tests exercise the same heap bytes
+// under several bases to prove position independence.
+type View struct {
+	h    *Heap
+	base uint64
+}
+
+// Map creates a view of the heap at the given virtual base address. base
+// must be page-aligned and nonzero (so that virtual address 0 remains an
+// invalid pointer in every view).
+func (h *Heap) Map(base uint64) (*View, error) {
+	if base == 0 {
+		return nil, fmt.Errorf("shm: cannot map heap at address 0")
+	}
+	if base%PageSize != 0 {
+		return nil, fmt.Errorf("shm: map base %#x is not page-aligned", base)
+	}
+	if base+h.size < base {
+		return nil, fmt.Errorf("shm: map base %#x overflows the address space", base)
+	}
+	return &View{h: h, base: base}, nil
+}
+
+// Heap returns the underlying shared heap.
+func (v *View) Heap() *Heap { return v.h }
+
+// Base returns the virtual address at which this view maps the heap.
+func (v *View) Base() uint64 { return v.base }
+
+// Addr translates a heap offset into a virtual address in this view.
+func (v *View) Addr(off uint64) uint64 {
+	if off > v.h.size {
+		panic(&Fault{Off: off, Why: "Addr of offset beyond heap"})
+	}
+	return v.base + off
+}
+
+// Off translates a virtual address in this view back into a heap offset.
+// It panics with a Fault if the address does not fall inside the mapping,
+// which models dereferencing a wild pointer.
+func (v *View) Off(addr uint64) uint64 {
+	if addr < v.base || addr >= v.base+v.h.size {
+		panic(&Fault{Off: addr, Why: "virtual address outside mapping"})
+	}
+	return addr - v.base
+}
+
+// Contains reports whether addr falls inside this mapping.
+func (v *View) Contains(addr uint64) bool {
+	return addr >= v.base && addr < v.base+v.h.size
+}

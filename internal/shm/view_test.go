@@ -1,0 +1,64 @@
+package shm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapValidation(t *testing.T) {
+	h := New(PageSize)
+	if _, err := h.Map(0); err == nil {
+		t.Fatal("Map(0) should fail")
+	}
+	if _, err := h.Map(123); err == nil {
+		t.Fatal("unaligned Map should fail")
+	}
+	if _, err := h.Map(^uint64(0) &^ (PageSize - 1)); err == nil {
+		t.Fatal("overflowing Map should fail")
+	}
+	if _, err := h.Map(PageSize); err != nil {
+		t.Fatalf("valid Map failed: %v", err)
+	}
+}
+
+func TestAddrOffRoundtrip(t *testing.T) {
+	h := New(4 * PageSize)
+	v, err := h.Map(0x7000_0000_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off32 uint16) bool {
+		off := uint64(off32) % h.Size()
+		return v.Off(v.Addr(off)) == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffOutsideMappingFaults(t *testing.T) {
+	h := New(PageSize)
+	v, _ := h.Map(0x10000)
+	defer func() {
+		if _, ok := recover().(*Fault); !ok {
+			t.Fatal("expected Fault for wild pointer")
+		}
+	}()
+	v.Off(0x9000) // below the mapping
+}
+
+func TestTwoViewsSeeSameData(t *testing.T) {
+	h := New(PageSize)
+	v1, _ := h.Map(0x10000)
+	v2, _ := h.Map(0x3fff0000)
+	v1.Heap().WriteBytes(100, []byte("shared"))
+	if got := string(v2.Heap().Bytes(100, 6)); got != "shared" {
+		t.Fatalf("view 2 sees %q", got)
+	}
+	if v1.Addr(100) == v2.Addr(100) {
+		t.Fatal("distinct views should yield distinct virtual addresses")
+	}
+	if !v1.Contains(v1.Addr(100)) || v1.Contains(v2.Addr(100)) {
+		t.Fatal("Contains misclassifies addresses")
+	}
+}

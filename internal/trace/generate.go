@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"io"
+
+	"plibmc/internal/bench"
+	"plibmc/internal/histogram"
+	"plibmc/internal/ycsb"
+	"time"
+)
+
+// FromYCSB renders n operations of a YCSB workload into a trace — a
+// deterministic, shareable artifact of the benchmark configuration.
+func FromYCSB(w ycsb.Workload, n int, seed int64, out io.Writer) (uint64, error) {
+	tw := NewWriter(out)
+	gen := w.NewClient(seed)
+	for i := 0; i < n; i++ {
+		kind, key, val := gen.Next()
+		rec := &Record{Key: key}
+		if kind == ycsb.OpRead {
+			rec.Op = OpGet
+		} else {
+			rec.Op = OpSet
+			rec.Value = val
+		}
+		if err := tw.Write(rec); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// ReplayResult summarizes a replay run.
+type ReplayResult struct {
+	Ops     uint64
+	Misses  uint64
+	Errors  uint64
+	Elapsed time.Duration
+	Latency *histogram.H
+}
+
+// Replay streams a trace against a system under test through one thread
+// handle, timing each operation.
+func Replay(r *Reader, kv bench.ThreadKV) (*ReplayResult, error) {
+	res := &ReplayResult{Latency: histogram.New()}
+	start := time.Now()
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		var opErr error
+		switch rec.Op {
+		case OpGet:
+			opErr = kv.Get(rec.Key)
+		case OpSet:
+			opErr = kv.Set(rec.Key, rec.Value)
+		case OpDelete:
+			opErr = kv.Delete(rec.Key)
+		case OpIncr:
+			opErr = kv.Incr(rec.Key, rec.Delta)
+		case OpTouch:
+			// ThreadKV has no touch; emulate with a get (closest cost).
+			opErr = kv.Get(rec.Key)
+		}
+		res.Latency.Record(time.Since(t0))
+		res.Ops++
+		if opErr != nil {
+			if rec.Op == OpGet || rec.Op == OpDelete || rec.Op == OpIncr || rec.Op == OpTouch {
+				res.Misses++ // not-found outcomes are part of a trace's life
+			} else {
+				res.Errors++
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

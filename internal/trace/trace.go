@@ -1,0 +1,193 @@
+// Package trace provides a compact binary format for key-value operation
+// traces, plus a recorder and replayer. Traces make experiments shareable
+// and exactly repeatable: record a YCSB run (or capture a live workload)
+// once, then replay the identical operation stream against any backend.
+//
+// Format: a 16-byte header (magic, version, op count) followed by
+// length-prefixed records:
+//
+//	op      uint8   (Get/Set/Delete/Incr/Touch)
+//	flags   uint32
+//	exptime int64   (varint-free fixed width for simplicity)
+//	delta   uint64  (incr amount)
+//	keyLen  uint16
+//	valLen  uint32
+//	key, value bytes
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	magic   = 0x4D43545243453147 // "MCTRCE1G"
+	version = 1
+)
+
+// Op is a traced operation kind.
+type Op uint8
+
+// Trace operation kinds.
+const (
+	OpGet Op = iota
+	OpSet
+	OpDelete
+	OpIncr
+	OpTouch
+)
+
+func (o Op) String() string {
+	names := [...]string{"get", "set", "delete", "incr", "touch"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Record is one traced operation.
+type Record struct {
+	Op      Op
+	Flags   uint32
+	Exptime int64
+	Delta   uint64
+	Key     []byte
+	Value   []byte
+}
+
+// Writer streams records to an underlying writer.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	// the count lives in the header, so the caller must Finalize onto a
+	// seekable sink, or use WriteAll which handles it.
+	headerWritten bool
+}
+
+// NewWriter creates a trace writer. Call Flush when done; the header's
+// count field is written as zero (meaning "until EOF") unless the caller
+// uses WriteAll on a seekable file.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<20)}
+}
+
+func (tw *Writer) writeHeader(count uint64) error {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[8:], version)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(count)) // 0 = until EOF
+	_, err := tw.w.Write(hdr[:])
+	return err
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r *Record) error {
+	if !tw.headerWritten {
+		if err := tw.writeHeader(0); err != nil {
+			return err
+		}
+		tw.headerWritten = true
+	}
+	if len(r.Key) > 0xFFFF {
+		return fmt.Errorf("trace: key of %d bytes exceeds format limit", len(r.Key))
+	}
+	var fixed [1 + 4 + 8 + 8 + 2 + 4]byte
+	fixed[0] = byte(r.Op)
+	binary.LittleEndian.PutUint32(fixed[1:], r.Flags)
+	binary.LittleEndian.PutUint64(fixed[5:], uint64(r.Exptime))
+	binary.LittleEndian.PutUint64(fixed[13:], r.Delta)
+	binary.LittleEndian.PutUint16(fixed[21:], uint16(len(r.Key)))
+	binary.LittleEndian.PutUint32(fixed[23:], uint32(len(r.Value)))
+	if _, err := tw.w.Write(fixed[:]); err != nil {
+		return err
+	}
+	if _, err := tw.w.Write(r.Key); err != nil {
+		return err
+	}
+	if _, err := tw.w.Write(r.Value); err != nil {
+		return err
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns how many records have been written.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush drains buffered records to the underlying writer.
+func (tw *Writer) Flush() error {
+	if !tw.headerWritten {
+		if err := tw.writeHeader(0); err != nil {
+			return err
+		}
+		tw.headerWritten = true
+	}
+	return tw.w.Flush()
+}
+
+// Reader streams records from a trace.
+type Reader struct {
+	r     *bufio.Reader
+	count uint64 // 0 = until EOF
+	read  uint64
+}
+
+// NewReader validates the header and prepares to stream records.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != magic {
+		return nil, fmt.Errorf("trace: not a trace file")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{r: br, count: uint64(binary.LittleEndian.Uint32(hdr[12:]))}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the trace. The
+// record's slices are freshly allocated.
+func (tr *Reader) Next() (*Record, error) {
+	if tr.count != 0 && tr.read >= tr.count {
+		return nil, io.EOF
+	}
+	var fixed [27]byte
+	if _, err := io.ReadFull(tr.r, fixed[:]); err != nil {
+		if err == io.EOF && tr.count == 0 {
+			return nil, io.EOF
+		}
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	r := &Record{
+		Op:      Op(fixed[0]),
+		Flags:   binary.LittleEndian.Uint32(fixed[1:]),
+		Exptime: int64(binary.LittleEndian.Uint64(fixed[5:])),
+		Delta:   binary.LittleEndian.Uint64(fixed[13:]),
+	}
+	if r.Op > OpTouch {
+		return nil, fmt.Errorf("trace: record %d has invalid op %d", tr.read, fixed[0])
+	}
+	keyLen := int(binary.LittleEndian.Uint16(fixed[21:]))
+	valLen := int(binary.LittleEndian.Uint32(fixed[23:]))
+	if valLen > 16<<20 {
+		return nil, fmt.Errorf("trace: record %d has implausible value length %d", tr.read, valLen)
+	}
+	r.Key = make([]byte, keyLen)
+	if _, err := io.ReadFull(tr.r, r.Key); err != nil {
+		return nil, fmt.Errorf("trace: truncated key: %w", err)
+	}
+	r.Value = make([]byte, valLen)
+	if _, err := io.ReadFull(tr.r, r.Value); err != nil {
+		return nil, fmt.Errorf("trace: truncated value: %w", err)
+	}
+	tr.read++
+	return r, nil
+}

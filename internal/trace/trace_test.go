@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"plibmc/internal/bench"
+	"plibmc/internal/ycsb"
+)
+
+func TestRoundtrip(t *testing.T) {
+	recs := []*Record{
+		{Op: OpSet, Key: []byte("k1"), Value: []byte("v1"), Flags: 7, Exptime: 100},
+		{Op: OpGet, Key: []byte("k1")},
+		{Op: OpIncr, Key: []byte("n"), Delta: 42},
+		{Op: OpDelete, Key: []byte("k1")},
+		{Op: OpTouch, Key: []byte("k2"), Exptime: -1},
+		{Op: OpSet, Key: []byte("binary\x00key"), Value: bytes.Repeat([]byte{0xFF, 0x00}, 100)},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Fatalf("count = %d", w.Count())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Op != want.Op || !bytes.Equal(got.Key, want.Key) ||
+			!bytes.Equal(got.Value, want.Value) || got.Flags != want.Flags ||
+			got.Exptime != want.Exptime || got.Delta != want.Delta {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// Property: every record round-trips exactly.
+func TestQuickRecordRoundtrip(t *testing.T) {
+	f := func(op uint8, key, value []byte, flags uint32, exp int64, delta uint64) bool {
+		if len(key) > 0xFFFF {
+			key = key[:0xFFFF]
+		}
+		rec := &Record{Op: Op(op % 5), Key: key, Value: value, Flags: flags, Exptime: exp, Delta: delta}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if w.Write(rec) != nil || w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.Next()
+		if err != nil {
+			return false
+		}
+		return got.Op == rec.Op && bytes.Equal(got.Key, key) &&
+			bytes.Equal(got.Value, value) && got.Flags == flags &&
+			got.Exptime == exp && got.Delta == delta
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file at all.."))); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Valid header, truncated record.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(&Record{Op: OpSet, Key: []byte("k"), Value: []byte("v")})
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-1]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	// Invalid op byte.
+	var buf2 bytes.Buffer
+	w2 := NewWriter(&buf2)
+	w2.Write(&Record{Op: OpGet, Key: []byte("k")})
+	w2.Flush()
+	raw := buf2.Bytes()
+	raw[16] = 200 // first record's op byte
+	r2, _ := NewReader(bytes.NewReader(raw))
+	if _, err := r2.Next(); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestFromYCSBDeterministic(t *testing.T) {
+	w := ycsb.WriteHeavy128(500)
+	var a, b bytes.Buffer
+	na, err := FromYCSB(w, 1000, 7, &a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := FromYCSB(w, 1000, 7, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != 1000 || nb != 1000 {
+		t.Fatalf("counts %d %d", na, nb)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed must produce identical traces")
+	}
+	var c bytes.Buffer
+	FromYCSB(w, 1000, 8, &c)
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestReplayAgainstPlib(t *testing.T) {
+	f, err := bench.NewFixture(bench.PlibHodor, bench.Options{
+		TempDir: t.TempDir(), HeapBytes: 32 << 20, HashPower: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := ycsb.WriteHeavy128(200)
+	if err := bench.Preload(f, w); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := FromYCSB(w, 2000, 3, &buf); err != nil {
+		t.Fatal(err)
+	}
+	kv, err := f.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(r, kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 || res.Errors != 0 {
+		t.Fatalf("replay = %+v", res)
+	}
+	if res.Misses != 0 { // store fully preloaded: every get hits
+		t.Fatalf("unexpected misses: %d", res.Misses)
+	}
+	if res.Latency.Count() != 2000 || res.Latency.Mean() <= 0 {
+		t.Fatalf("latency histogram: %v", res.Latency)
+	}
+}

@@ -1,0 +1,269 @@
+// Package ycsb reimplements the workload-generation side of the Yahoo!
+// Cloud Serving Benchmark (Cooper et al., SoCC '10) used in the paper's
+// evaluation: Zipfian-distributed key popularity over a loaded key space,
+// configurable read/write mix and value size. The paper's four workloads
+// are value sizes {128 B, 5 KB} × read proportions {95/5 "read heavy",
+// 50/50 "write heavy"}, with operations drawn Zipfian over the keys.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ZipfianConstant is YCSB's default skew parameter.
+const ZipfianConstant = 0.99
+
+// Zipfian draws items 0..n-1 with Zipfian popularity (item 0 most popular),
+// using the Gray et al. algorithm exactly as YCSB implements it.
+type Zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+	rng   *rand.Rand
+}
+
+// NewZipfian creates a generator over n items with the given skew.
+func NewZipfian(n uint64, theta float64, seed int64) *Zipfian {
+	if n == 0 {
+		panic("ycsb: zipfian over zero items")
+	}
+	z := &Zipfian{n: n, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next item.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Scrambled wraps a Zipfian so that popular items are scattered across the
+// key space (YCSB's ScrambledZipfianGenerator): the rank is hashed before
+// being mapped to an item.
+type Scrambled struct {
+	z *Zipfian
+	n uint64
+}
+
+// NewScrambled creates a scrambled Zipfian over n items.
+func NewScrambled(n uint64, seed int64) *Scrambled {
+	return &Scrambled{z: NewZipfian(n, ZipfianConstant, seed), n: n}
+}
+
+// Next draws the next item.
+func (s *Scrambled) Next() uint64 {
+	return fnv64(s.z.Next()) % s.n
+}
+
+func fnv64(v uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// Uniform draws items uniformly.
+type Uniform struct {
+	n   uint64
+	rng *rand.Rand
+}
+
+// NewUniform creates a uniform generator over n items.
+func NewUniform(n uint64, seed int64) *Uniform {
+	return &Uniform{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws the next item.
+func (u *Uniform) Next() uint64 { return uint64(u.rng.Int63n(int64(u.n))) }
+
+// Latest draws items with Zipfian popularity skewed toward the most
+// recently inserted records (YCSB's SkewedLatestGenerator, used by its
+// workload D): item (count-1) is the most popular. Call Grow as records
+// are inserted.
+type Latest struct {
+	z     *Zipfian
+	count uint64
+}
+
+// NewLatest creates a latest-skewed generator over an initial count.
+func NewLatest(count uint64, seed int64) *Latest {
+	return &Latest{z: NewZipfian(count, ZipfianConstant, seed), count: count}
+}
+
+// Grow extends the item space; recency skew follows automatically.
+func (l *Latest) Grow(newCount uint64) {
+	if newCount <= l.count {
+		return
+	}
+	// YCSB rebuilds the underlying zipfian lazily; for our scales a
+	// rebuild per growth step is affordable and exact.
+	l.z = NewZipfian(newCount, ZipfianConstant, l.z.rng.Int63())
+	l.count = newCount
+}
+
+// Next draws an item, most-recent-first.
+func (l *Latest) Next() uint64 {
+	return l.count - 1 - l.z.Next()
+}
+
+// Generator is any key-index chooser.
+type Generator interface{ Next() uint64 }
+
+// Workload describes one of the paper's benchmark configurations.
+type Workload struct {
+	// RecordCount is the number of loaded key-value pairs (the paper used
+	// 4×10^7 for 128 B values and 10^6 for 5 KB, keeping total memory
+	// roughly equal).
+	RecordCount uint64
+	// ValueSize in bytes (128 or 5120 in the paper).
+	ValueSize int
+	// ReadProportion: 0.95 = read heavy, 0.50 = write heavy.
+	ReadProportion float64
+	// Uniform selects uniform instead of Zipfian key popularity.
+	Uniform bool
+}
+
+// Validate checks the workload parameters.
+func (w *Workload) Validate() error {
+	if w.RecordCount == 0 {
+		return fmt.Errorf("ycsb: RecordCount must be positive")
+	}
+	if w.ValueSize <= 0 {
+		return fmt.Errorf("ycsb: ValueSize must be positive")
+	}
+	if w.ReadProportion < 0 || w.ReadProportion > 1 {
+		return fmt.Errorf("ycsb: ReadProportion out of [0,1]")
+	}
+	return nil
+}
+
+// WriteHeavy128 and friends are the paper's four workloads, parameterized
+// by record count so benches can scale.
+func WriteHeavy128(records uint64) Workload {
+	return Workload{RecordCount: records, ValueSize: 128, ReadProportion: 0.50}
+}
+
+// ReadHeavy128 is 128-byte values at a 95/5 read/write mix.
+func ReadHeavy128(records uint64) Workload {
+	return Workload{RecordCount: records, ValueSize: 128, ReadProportion: 0.95}
+}
+
+// WriteHeavy5K is 5 KB values at 50/50.
+func WriteHeavy5K(records uint64) Workload {
+	return Workload{RecordCount: records, ValueSize: 5120, ReadProportion: 0.50}
+}
+
+// ReadHeavy5K is 5 KB values at 95/5.
+func ReadHeavy5K(records uint64) Workload {
+	return Workload{RecordCount: records, ValueSize: 5120, ReadProportion: 0.95}
+}
+
+// Key renders the i'th record's key in YCSB's "user<hash>" style (fixed
+// width, so key length is constant across the run).
+func Key(i uint64) []byte {
+	return []byte(fmt.Sprintf("user%016d", fnv64(i)%1e16))
+}
+
+// KeyInto renders the key into dst to avoid allocation on hot paths.
+func KeyInto(dst []byte, i uint64) []byte {
+	dst = dst[:0]
+	dst = append(dst, 'u', 's', 'e', 'r')
+	v := fnv64(i) % 1e16
+	var digits [16]byte
+	for p := 15; p >= 0; p-- {
+		digits[p] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(dst, digits[:]...)
+}
+
+// Value builds a deterministic value of the workload's size for record i.
+func (w *Workload) Value(i uint64) []byte {
+	v := make([]byte, w.ValueSize)
+	FillValue(v, i)
+	return v
+}
+
+// FillValue fills buf with record i's deterministic payload.
+func FillValue(buf []byte, i uint64) {
+	seed := fnv64(i)
+	for j := range buf {
+		buf[j] = byte('a' + (seed+uint64(j))%26)
+	}
+}
+
+// OpKind is one benchmark operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+)
+
+// Client generates the operation stream for one benchmark thread. Each
+// thread gets its own Client (distinct seed) so threads don't contend on
+// the generator.
+type Client struct {
+	w   Workload
+	gen Generator
+	rng *rand.Rand
+	key []byte
+	val []byte
+}
+
+// NewClient creates a per-thread operation generator.
+func (w Workload) NewClient(seed int64) *Client {
+	var gen Generator
+	if w.Uniform {
+		gen = NewUniform(w.RecordCount, seed)
+	} else {
+		gen = NewScrambled(w.RecordCount, seed)
+	}
+	return &Client{
+		w:   w,
+		gen: gen,
+		rng: rand.New(rand.NewSource(seed ^ 0x5bd1e995)),
+		key: make([]byte, 0, 20),
+		val: make([]byte, w.ValueSize),
+	}
+}
+
+// Next returns the next operation. The returned key and value alias the
+// client's internal buffers and are valid until the next call.
+func (c *Client) Next() (OpKind, []byte, []byte) {
+	idx := c.gen.Next()
+	c.key = KeyInto(c.key, idx)
+	if c.rng.Float64() < c.w.ReadProportion {
+		return OpRead, c.key, nil
+	}
+	FillValue(c.val, idx)
+	return OpUpdate, c.key, c.val
+}

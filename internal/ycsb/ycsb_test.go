@@ -1,0 +1,245 @@
+package ycsb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	const n = 1000
+	z := NewZipfian(n, ZipfianConstant, 42)
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v >= n {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must dominate: with theta=0.99 over 1000 items it gets ~13%.
+	if counts[0] < draws/20 {
+		t.Fatalf("item 0 drawn %d/%d times; not Zipfian", counts[0], draws)
+	}
+	// Popularity must be (roughly) monotonically decreasing in rank:
+	// compare aggregated halves.
+	low, high := 0, 0
+	for i := 0; i < n/2; i++ {
+		low += counts[i]
+	}
+	for i := n / 2; i < n; i++ {
+		high += counts[i]
+	}
+	if low < 5*high {
+		t.Fatalf("first half %d vs second half %d: insufficient skew", low, high)
+	}
+	// Ratio of top two ranks approximates 2^theta.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if math.Abs(ratio-math.Pow(2, ZipfianConstant)) > 0.6 {
+		t.Logf("rank ratio %.2f (expected ~%.2f) — tolerated", ratio, math.Pow(2, ZipfianConstant))
+	}
+}
+
+func TestScrambledSpreadsHotKeys(t *testing.T) {
+	const n = 1000
+	s := NewScrambled(n, 1)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		v := s.Next()
+		if v >= n {
+			t.Fatalf("draw out of range")
+		}
+		counts[v]++
+	}
+	// The hottest item must NOT be item 0 systematically — scrambling
+	// scatters popularity. Find the hottest item; it should still absorb
+	// a Zipfian share.
+	hot, hotCount := uint64(0), 0
+	for k, c := range counts {
+		if c > hotCount {
+			hot, hotCount = k, c
+		}
+	}
+	if hotCount < 100000/20 {
+		t.Fatalf("hottest item only %d draws; scrambling broke skew", hotCount)
+	}
+	t.Logf("hottest item %d with %d draws", hot, hotCount)
+}
+
+func TestUniform(t *testing.T) {
+	u := NewUniform(100, 7)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[u.Next()]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("item %d drawn %d times; not uniform", i, c)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewScrambled(500, 99), NewScrambled(500, 99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := NewScrambled(500, 100)
+	same := 0
+	a2 := NewScrambled(500, 99)
+	for i := 0; i < 1000; i++ {
+		if a2.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	k := Key(5)
+	if len(k) != 20 || string(k[:4]) != "user" {
+		t.Fatalf("key = %q", k)
+	}
+	if !bytes.Equal(Key(5), Key(5)) {
+		t.Fatal("keys must be deterministic")
+	}
+	if bytes.Equal(Key(5), Key(6)) {
+		t.Fatal("distinct records must have distinct keys")
+	}
+	var buf []byte
+	buf = KeyInto(buf, 5)
+	if !bytes.Equal(buf, Key(5)) {
+		t.Fatalf("KeyInto %q != Key %q", buf, Key(5))
+	}
+}
+
+// Property: KeyInto always agrees with Key, at constant width.
+func TestQuickKeyInto(t *testing.T) {
+	buf := make([]byte, 0, 20)
+	f := func(i uint64) bool {
+		buf = KeyInto(buf, i)
+		return bytes.Equal(buf, Key(i)) && len(buf) == 20
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	for _, w := range []Workload{
+		WriteHeavy128(1000), ReadHeavy128(1000), WriteHeavy5K(100), ReadHeavy5K(100),
+	} {
+		if err := w.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if (&Workload{}).Validate() == nil {
+		t.Fatal("zero workload should be invalid")
+	}
+	if (&Workload{RecordCount: 1, ValueSize: 1, ReadProportion: 2}).Validate() == nil {
+		t.Fatal("bad read proportion should be invalid")
+	}
+	w := ReadHeavy128(1000)
+	if w.ValueSize != 128 || w.ReadProportion != 0.95 {
+		t.Fatalf("workload = %+v", w)
+	}
+	v := w.Value(3)
+	if len(v) != 128 {
+		t.Fatalf("value size %d", len(v))
+	}
+	if !bytes.Equal(v, w.Value(3)) {
+		t.Fatal("values must be deterministic")
+	}
+}
+
+func TestClientMix(t *testing.T) {
+	w := ReadHeavy128(1000)
+	c := w.NewClient(1)
+	reads, updates := 0, 0
+	for i := 0; i < 10000; i++ {
+		kind, key, val := c.Next()
+		if len(key) != 20 {
+			t.Fatalf("key %q", key)
+		}
+		switch kind {
+		case OpRead:
+			reads++
+			if val != nil {
+				t.Fatal("read op carries a value")
+			}
+		case OpUpdate:
+			updates++
+			if len(val) != 128 {
+				t.Fatalf("update value %d bytes", len(val))
+			}
+		}
+	}
+	frac := float64(reads) / 10000
+	if frac < 0.93 || frac > 0.97 {
+		t.Fatalf("read fraction %.3f, want ~0.95", frac)
+	}
+	// Write-heavy: ~50/50.
+	c2 := WriteHeavy128(1000).NewClient(2)
+	reads = 0
+	for i := 0; i < 10000; i++ {
+		kind, _, _ := c2.Next()
+		if kind == OpRead {
+			reads++
+		}
+	}
+	if reads < 4700 || reads > 5300 {
+		t.Fatalf("write-heavy read count %d, want ~5000", reads)
+	}
+}
+
+func TestZipfianPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipfian(0, 0.99, 1)
+}
+
+func TestLatestSkewsToRecent(t *testing.T) {
+	l := NewLatest(1000, 5)
+	counts := make(map[uint64]int)
+	for i := 0; i < 50000; i++ {
+		v := l.Next()
+		if v >= 1000 {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// The most recent item must dominate.
+	if counts[999] < 50000/20 {
+		t.Fatalf("latest item drawn %d times; not recency-skewed", counts[999])
+	}
+	if counts[999] < counts[0]*5 {
+		t.Fatalf("newest (%d) should far outdraw oldest (%d)", counts[999], counts[0])
+	}
+	// Growth shifts the skew to the new latest.
+	l.Grow(2000)
+	counts2 := make(map[uint64]int)
+	for i := 0; i < 50000; i++ {
+		v := l.Next()
+		if v >= 2000 {
+			t.Fatalf("draw %d out of grown range", v)
+		}
+		counts2[v]++
+	}
+	if counts2[1999] < 50000/20 {
+		t.Fatalf("grown latest drawn %d times", counts2[1999])
+	}
+	// Shrinking is a no-op.
+	l.Grow(100)
+	if l.count != 2000 {
+		t.Fatal("Grow must never shrink")
+	}
+}

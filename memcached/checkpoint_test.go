@@ -1,0 +1,164 @@
+package memcached
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCheckpointWhileServing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.img")
+	b, err := CreateStore(Config{HeapBytes: 16 << 20, Path: path, HashPower: 10, NumItemLocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+	cp, _ := b.NewClientProcess(1000)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var lastWritten [4]atomic.Int64
+	for w := 0; w < 4; w++ {
+		s, err := cp.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id int, s *Session) {
+			defer wg.Done()
+			defer s.Close()
+			for i := 0; !stop.Load(); i++ {
+				k := []byte(fmt.Sprintf("w%d-%06d", id, i))
+				if err := s.Set(k, []byte("data"), 0, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				lastWritten[id].Store(int64(i))
+			}
+		}(w, s)
+	}
+
+	// Take several live checkpoints under load.
+	for i := 0; i < 5; i++ {
+		time.Sleep(5 * time.Millisecond)
+		if err := b.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var atCkpt [4]int64
+	for i := range atCkpt {
+		atCkpt[i] = lastWritten[i].Load()
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Recover from the last checkpoint: everything written before it must
+	// be present and intact (later writes may or may not be).
+	b2, err := OpenStore(Config{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Shutdown()
+	cp2, _ := b2.NewClientProcess(1000)
+	s2, _ := cp2.NewSession()
+	defer s2.Close()
+	for id := 0; id < 4; id++ {
+		for i := int64(0); i < atCkpt[id]-1; i++ {
+			k := []byte(fmt.Sprintf("w%d-%06d", id, i))
+			if v, _, err := s2.Get(k); err != nil || string(v) != "data" {
+				t.Fatalf("writer %d record %d lost after recovery: %q, %v", id, i, v, err)
+			}
+		}
+	}
+	// The recovered store accepts new work.
+	if err := s2.Set([]byte("post-recovery"), []byte("ok"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRequiresPath(t *testing.T) {
+	b := newTestStore(t)
+	if err := b.Checkpoint(); err == nil {
+		t.Fatal("checkpoint without a backing file should fail")
+	}
+}
+
+func TestPeriodicCheckpointing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "periodic.img")
+	b, err := CreateStore(Config{HeapBytes: 8 << 20, Path: path, HashPower: 9, NumItemLocks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _ := b.NewClientProcess(1000)
+	s, _ := cp.NewSession()
+	if err := s.Set([]byte("k"), []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	errs := b.StartCheckpointing(5 * time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	b.StopCheckpointing()
+	b.StopCheckpointing() // idempotent
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	s.Close()
+	b.StopMaintenance()
+
+	// A "crash" now (no Shutdown flush): the periodic checkpoint already
+	// persisted the write.
+	b2, err := OpenStore(Config{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Shutdown()
+	cp2, _ := b2.NewClientProcess(1000)
+	s2, _ := cp2.NewSession()
+	defer s2.Close()
+	if v, _, err := s2.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("checkpointed write lost: %q, %v", v, err)
+	}
+}
+
+func TestSessionMGet(t *testing.T) {
+	b := newTestStore(t)
+	s := newTestSession(t, b)
+	for i := 0; i < 6; i += 2 {
+		if err := s.Set([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.MGet([][]byte{[]byte("k0"), []byte("k1"), []byte("k2"), []byte("k4")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 || !res[0].Found || res[1].Found || !res[2].Found || !res[3].Found {
+		t.Fatalf("mget = %+v", res)
+	}
+	if string(res[0].Value) != "v0" || string(res[3].Value) != "v4" {
+		t.Fatalf("mget values = %q %q", res[0].Value, res[3].Value)
+	}
+	// One trampoline crossing for the whole batch: wrpkru twice total.
+	cp, _ := b.NewClientProcess(1500)
+	s2, _ := cp.NewSession()
+	defer s2.Close()
+	before := cp.Process().WRPKRUCount()
+	if _, err := s2.MGet([][]byte{[]byte("k0"), []byte("k2"), []byte("k4")}); err != nil {
+		t.Fatal(err)
+	}
+	if n := cp.Process().WRPKRUCount() - before; n != 2 {
+		t.Fatalf("batched mget executed wrpkru %d times, want 2", n)
+	}
+	// Errors from a killed process propagate.
+	cp.Kill()
+	if _, err := s2.MGet([][]byte{[]byte("k0")}); err == nil {
+		t.Fatal("mget on killed process should fail")
+	}
+	var ek error = err
+	_ = errors.Is(ek, ek)
+}

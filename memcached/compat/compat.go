@@ -1,0 +1,384 @@
+// Package compat provides the classic libmemcached-style API — the one
+// that takes a memcached_st handle carrying "server information, protocol
+// details, and the state of the current operation, none of which are
+// required for direct-through-Hodor calls" (§3.1). Existing applications
+// keep their calls unchanged; the handle's backend can be the protected
+// library (drop-in acceleration) or a socket client (the original
+// behaviour), and connection-configuration calls become no-ops by default
+// or errors in strict mode "to facilitate migration to the newer
+// interface."
+package compat
+
+import (
+	"errors"
+	"fmt"
+
+	"plibmc/internal/client"
+	"plibmc/memcached"
+)
+
+// ReturnT is memcached_return_t.
+type ReturnT int
+
+// Return codes (a practical subset).
+const (
+	Success ReturnT = iota
+	Failure
+	NotFound
+	NotStored
+	DataExists
+	ClientError
+	ServerError
+	NotSupported
+	BadKeyProvided
+	E2Big
+)
+
+func (r ReturnT) String() string {
+	names := map[ReturnT]string{
+		Success: "SUCCESS", Failure: "FAILURE", NotFound: "NOTFOUND",
+		NotStored: "NOT_STORED", DataExists: "DATA_EXISTS",
+		ClientError: "CLIENT_ERROR", ServerError: "SERVER_ERROR",
+		NotSupported: "NOT_SUPPORTED", BadKeyProvided: "BAD_KEY_PROVIDED",
+		E2Big: "E2BIG",
+	}
+	if s, ok := names[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("RETURN(%d)", int(r))
+}
+
+// Behavior is memcached_behavior_t: connection and protocol knobs that are
+// meaningless for direct calls.
+type Behavior int
+
+// Behaviors (a practical subset; all are network-related).
+const (
+	BehaviorBinaryProtocol Behavior = iota
+	BehaviorTCPNoDelay
+	BehaviorNoBlock
+	BehaviorSndTimeout
+	BehaviorRcvTimeout
+	BehaviorConnectTimeout
+	BehaviorRetryTimeout
+)
+
+// St is memcached_st. Zero value is unusable; use Create.
+type St struct {
+	backend backend
+	strict  bool
+	servers []string
+	behav   map[Behavior]uint64
+}
+
+type backend interface {
+	mget(keys [][]byte) (map[string][]byte, error)
+	get(key []byte) ([]byte, uint32, error)
+	gat(key []byte, exptime int64) ([]byte, uint32, error)
+	set(key, value []byte, flags uint32, exptime int64) error
+	add(key, value []byte, flags uint32, exptime int64) error
+	replace(key, value []byte, flags uint32, exptime int64) error
+	delete(key []byte) error
+	increment(key []byte, delta uint64) (uint64, error)
+	decrement(key []byte, delta uint64) (uint64, error)
+	append(key, data []byte) error
+	prepend(key, data []byte) error
+	touch(key []byte, exptime int64) error
+	flush() error
+}
+
+// Create builds an unconnected handle (memcached_create).
+func Create() *St {
+	return &St{behav: make(map[Behavior]uint64)}
+}
+
+// SetStrict makes network-configuration calls return NotSupported instead
+// of silently succeeding, to surface dead configuration during migration.
+func (m *St) SetStrict(on bool) { m.strict = on }
+
+// UsePlib attaches the protected-library backend: the drop-in replacement.
+func (m *St) UsePlib(s *memcached.Session) { m.backend = plibBackend{s} }
+
+// UseSocket attaches the original socket backend.
+func (m *St) UseSocket(c *client.Client) { m.backend = sockBackend{c} }
+
+// AddServer records a server (memcached_server_add). With the plib backend
+// it is configuration with no effect, exactly as the paper treats it.
+func (m *St) AddServer(host string, port int) ReturnT {
+	if m.strict {
+		if _, ok := m.backend.(plibBackend); ok {
+			return NotSupported
+		}
+	}
+	m.servers = append(m.servers, fmt.Sprintf("%s:%d", host, port))
+	return Success
+}
+
+// SetBehavior configures a network behaviour (memcached_behavior_set):
+// a no-op for direct calls, an error in strict mode.
+func (m *St) SetBehavior(b Behavior, v uint64) ReturnT {
+	if m.strict {
+		if _, ok := m.backend.(plibBackend); ok {
+			return NotSupported
+		}
+	}
+	m.behav[b] = v
+	return Success
+}
+
+func (m *St) ret(err error) ReturnT {
+	switch {
+	case err == nil:
+		return Success
+	case errors.Is(err, memcached.ErrNotFound):
+		return NotFound
+	case errors.Is(err, memcached.ErrExists), errors.Is(err, memcached.ErrCASMismatch):
+		return DataExists
+	case errors.Is(err, memcached.ErrKeyTooLong):
+		return BadKeyProvided
+	case errors.Is(err, memcached.ErrValueTooBig):
+		return E2Big
+	case errors.Is(err, memcached.ErrNoSpace):
+		return ServerError
+	default:
+		return Failure
+	}
+}
+
+// Get is memcached_get: returns the value, its flags, and a return code.
+func (m *St) Get(key []byte) ([]byte, uint32, ReturnT) {
+	if m.backend == nil {
+		return nil, 0, ClientError
+	}
+	v, flags, err := m.backend.get(key)
+	return v, flags, m.ret(err)
+}
+
+// Set is memcached_set.
+func (m *St) Set(key, value []byte, exptime int64, flags uint32) ReturnT {
+	if m.backend == nil {
+		return ClientError
+	}
+	return m.ret(m.backend.set(key, value, flags, exptime))
+}
+
+// Add is memcached_add.
+func (m *St) Add(key, value []byte, exptime int64, flags uint32) ReturnT {
+	if m.backend == nil {
+		return ClientError
+	}
+	err := m.backend.add(key, value, flags, exptime)
+	if m.ret(err) == DataExists {
+		return NotStored
+	}
+	return m.ret(err)
+}
+
+// Replace is memcached_replace.
+func (m *St) Replace(key, value []byte, exptime int64, flags uint32) ReturnT {
+	if m.backend == nil {
+		return ClientError
+	}
+	err := m.backend.replace(key, value, flags, exptime)
+	if m.ret(err) == NotFound {
+		return NotStored
+	}
+	return m.ret(err)
+}
+
+// Delete is memcached_delete.
+func (m *St) Delete(key []byte) ReturnT {
+	if m.backend == nil {
+		return ClientError
+	}
+	return m.ret(m.backend.delete(key))
+}
+
+// Increment is memcached_increment.
+func (m *St) Increment(key []byte, delta uint64) (uint64, ReturnT) {
+	if m.backend == nil {
+		return 0, ClientError
+	}
+	v, err := m.backend.increment(key, delta)
+	return v, m.ret(err)
+}
+
+// Decrement is memcached_decrement.
+func (m *St) Decrement(key []byte, delta uint64) (uint64, ReturnT) {
+	if m.backend == nil {
+		return 0, ClientError
+	}
+	v, err := m.backend.decrement(key, delta)
+	return v, m.ret(err)
+}
+
+// Append is memcached_append.
+func (m *St) Append(key, data []byte) ReturnT {
+	if m.backend == nil {
+		return ClientError
+	}
+	return m.ret(m.backend.append(key, data))
+}
+
+// Prepend is memcached_prepend.
+func (m *St) Prepend(key, data []byte) ReturnT {
+	if m.backend == nil {
+		return ClientError
+	}
+	return m.ret(m.backend.prepend(key, data))
+}
+
+// Touch is memcached_touch.
+func (m *St) Touch(key []byte, exptime int64) ReturnT {
+	if m.backend == nil {
+		return ClientError
+	}
+	return m.ret(m.backend.touch(key, exptime))
+}
+
+// Flush is memcached_flush.
+func (m *St) Flush() ReturnT {
+	if m.backend == nil {
+		return ClientError
+	}
+	return m.ret(m.backend.flush())
+}
+
+// MGet is memcached_mget + memcached_fetch collapsed into one call:
+// retrieve many keys at once. Over the socket backend this is the batched
+// quiet-get pipeline; over the protected library it is one trampoline
+// crossing for the whole batch.
+func (m *St) MGet(keys [][]byte) (map[string][]byte, ReturnT) {
+	if m.backend == nil {
+		return nil, ClientError
+	}
+	out, err := m.backend.mget(keys)
+	if err != nil {
+		return nil, Failure
+	}
+	return out, Success
+}
+
+// GAT is memcached_get_by_key with expiration (get-and-touch).
+func (m *St) GAT(key []byte, exptime int64) ([]byte, uint32, ReturnT) {
+	if m.backend == nil {
+		return nil, 0, ClientError
+	}
+	v, flags, err := m.backend.gat(key, exptime)
+	return v, flags, m.ret(err)
+}
+
+// GetWithCallback is the asynchronous API (§3.1): the callback runs as soon
+// as the call returns, since direct calls complete immediately.
+func (m *St) GetWithCallback(key []byte, cb func(value []byte, flags uint32, rc ReturnT)) {
+	v, flags, rc := m.Get(key)
+	cb(v, flags, rc)
+}
+
+// plibBackend adapts a protected-library session.
+type plibBackend struct{ s *memcached.Session }
+
+func (b plibBackend) get(key []byte) ([]byte, uint32, error) { return b.s.Get(key) }
+func (b plibBackend) gat(key []byte, exptime int64) ([]byte, uint32, error) {
+	return b.s.GetAndTouch(key, exptime)
+}
+func (b plibBackend) mget(keys [][]byte) (map[string][]byte, error) {
+	res, err := b.s.MGet(keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(res))
+	for i, r := range res {
+		if r.Found {
+			out[string(keys[i])] = r.Value
+		}
+	}
+	return out, nil
+}
+func (b plibBackend) set(k, v []byte, f uint32, e int64) error {
+	return b.s.Set(k, v, f, e)
+}
+func (b plibBackend) add(k, v []byte, f uint32, e int64) error { return b.s.Add(k, v, f, e) }
+func (b plibBackend) replace(k, v []byte, f uint32, e int64) error {
+	return b.s.Replace(k, v, f, e)
+}
+func (b plibBackend) delete(k []byte) error                        { return b.s.Delete(k) }
+func (b plibBackend) increment(k []byte, d uint64) (uint64, error) { return b.s.Increment(k, d) }
+func (b plibBackend) decrement(k []byte, d uint64) (uint64, error) { return b.s.Decrement(k, d) }
+func (b plibBackend) append(k, d []byte) error                     { return b.s.Append(k, d) }
+func (b plibBackend) prepend(k, d []byte) error                    { return b.s.Prepend(k, d) }
+func (b plibBackend) touch(k []byte, e int64) error                { return b.s.Touch(k, e) }
+func (b plibBackend) flush() error                                 { return b.s.FlushAll() }
+
+// sockBackend adapts the socket client.
+type sockBackend struct{ c *client.Client }
+
+func (b sockBackend) get(key []byte) ([]byte, uint32, error) {
+	v, f, _, err := b.c.Get(key)
+	if err != nil {
+		return nil, 0, memcached.ErrNotFound
+	}
+	return v, f, nil
+}
+func (b sockBackend) set(k, v []byte, f uint32, e int64) error { return b.c.Set(k, v, f, e) }
+func (b sockBackend) mget(keys [][]byte) (map[string][]byte, error) {
+	return b.c.MGet(keys)
+}
+func (b sockBackend) gat(key []byte, exptime int64) ([]byte, uint32, error) {
+	v, f, _, err := b.c.GetAndTouch(key, exptime)
+	if err != nil {
+		return nil, 0, memcached.ErrNotFound
+	}
+	return v, f, nil
+}
+func (b sockBackend) add(k, v []byte, f uint32, e int64) error {
+	if err := b.c.Add(k, v, f, e); err != nil {
+		return memcached.ErrExists
+	}
+	return nil
+}
+func (b sockBackend) replace(k, v []byte, f uint32, e int64) error {
+	if err := b.c.Replace(k, v, f, e); err != nil {
+		return memcached.ErrNotFound
+	}
+	return nil
+}
+func (b sockBackend) delete(k []byte) error {
+	if err := b.c.Delete(k); err != nil {
+		return memcached.ErrNotFound
+	}
+	return nil
+}
+func (b sockBackend) increment(k []byte, d uint64) (uint64, error) {
+	v, err := b.c.Increment(k, d)
+	if err != nil {
+		return 0, memcached.ErrNotFound
+	}
+	return v, nil
+}
+func (b sockBackend) decrement(k []byte, d uint64) (uint64, error) {
+	v, err := b.c.Decrement(k, d)
+	if err != nil {
+		return 0, memcached.ErrNotFound
+	}
+	return v, nil
+}
+func (b sockBackend) append(k, d []byte) error {
+	if err := b.c.Append(k, d); err != nil {
+		return memcached.ErrNotFound
+	}
+	return nil
+}
+func (b sockBackend) prepend(k, d []byte) error {
+	if err := b.c.Prepend(k, d); err != nil {
+		return memcached.ErrNotFound
+	}
+	return nil
+}
+func (b sockBackend) touch(k []byte, e int64) error {
+	if err := b.c.Touch(k, e); err != nil {
+		return memcached.ErrNotFound
+	}
+	return nil
+}
+func (b sockBackend) flush() error { return b.c.FlushAll() }

@@ -1,0 +1,45 @@
+package compat_test
+
+import (
+	"fmt"
+
+	"plibmc/memcached"
+	"plibmc/memcached/compat"
+)
+
+// A legacy application written against the classic API runs unchanged on
+// the protected library: the memcached_st's connection configuration is
+// accepted and ignored.
+func Example() {
+	book, _ := memcached.CreateStore(memcached.Config{HeapBytes: 16 << 20})
+	defer book.Shutdown()
+	app, _ := book.NewClientProcess(1000)
+	sess, _ := app.NewSession()
+	defer sess.Close()
+
+	m := compat.Create()
+	m.UsePlib(sess)
+	m.AddServer("localhost", 11211) // vestigial; a no-op for direct calls
+	m.SetBehavior(compat.BehaviorBinaryProtocol, 1)
+
+	m.Set([]byte("k"), []byte("drop-in"), 0, 0)
+	v, _, rc := m.Get([]byte("k"))
+	fmt.Println(string(v), rc)
+	// Output: drop-in SUCCESS
+}
+
+// Strict mode flags the dead configuration so applications can migrate to
+// the new API (paper §3.1).
+func ExampleSt_SetStrict() {
+	book, _ := memcached.CreateStore(memcached.Config{HeapBytes: 16 << 20})
+	defer book.Shutdown()
+	app, _ := book.NewClientProcess(1000)
+	sess, _ := app.NewSession()
+	defer sess.Close()
+
+	m := compat.Create()
+	m.UsePlib(sess)
+	m.SetStrict(true)
+	fmt.Println(m.AddServer("localhost", 11211))
+	// Output: NOT_SUPPORTED
+}

@@ -1,0 +1,113 @@
+package memcached_test
+
+import (
+	"errors"
+	"fmt"
+
+	"plibmc/memcached"
+)
+
+// The canonical lifecycle: a bookkeeper creates the store, a client
+// process loads the library, a session performs direct calls.
+func Example() {
+	book, err := memcached.CreateStore(memcached.Config{HeapBytes: 16 << 20})
+	if err != nil {
+		panic(err)
+	}
+	defer book.Shutdown()
+
+	app, err := book.NewClientProcess(1000)
+	if err != nil {
+		panic(err)
+	}
+	sess, err := app.NewSession()
+	if err != nil {
+		panic(err)
+	}
+	defer sess.Close()
+
+	sess.Set([]byte("answer"), []byte("42"), 0, 0)
+	v, _, _ := sess.Get([]byte("answer"))
+	fmt.Println(string(v))
+	// Output: 42
+}
+
+// Sessions surface memcached's conditional stores directly.
+func ExampleSession_cas() {
+	book, _ := memcached.CreateStore(memcached.Config{HeapBytes: 16 << 20})
+	defer book.Shutdown()
+	app, _ := book.NewClientProcess(1000)
+	sess, _ := app.NewSession()
+	defer sess.Close()
+
+	sess.Set([]byte("k"), []byte("v1"), 0, 0)
+	_, _, cas, _ := sess.Gets([]byte("k"))
+
+	// A stale generation is rejected; the current one succeeds.
+	err := sess.CAS([]byte("k"), []byte("v2"), 0, 0, cas+1)
+	fmt.Println(errors.Is(err, memcached.ErrCASMismatch))
+	err = sess.CAS([]byte("k"), []byte("v2"), 0, 0, cas)
+	fmt.Println(err == nil)
+	// Output:
+	// true
+	// true
+}
+
+// MGet retrieves a whole batch through one trampoline crossing.
+func ExampleSession_MGet() {
+	book, _ := memcached.CreateStore(memcached.Config{HeapBytes: 16 << 20})
+	defer book.Shutdown()
+	app, _ := book.NewClientProcess(1000)
+	sess, _ := app.NewSession()
+	defer sess.Close()
+
+	sess.Set([]byte("a"), []byte("1"), 0, 0)
+	sess.Set([]byte("c"), []byte("3"), 0, 0)
+	res, _ := sess.MGet([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	for i, r := range res {
+		fmt.Printf("%d %v %q\n", i, r.Found, r.Value)
+	}
+	// Output:
+	// 0 true "1"
+	// 1 false ""
+	// 2 true "3"
+}
+
+// A pool hands sessions to short-lived workers.
+func ExampleSessionPool() {
+	book, _ := memcached.CreateStore(memcached.Config{HeapBytes: 16 << 20})
+	defer book.Shutdown()
+	app, _ := book.NewClientProcess(1000)
+	pool := app.NewSessionPool(4)
+	defer pool.Close()
+
+	err := pool.With(func(s *memcached.Session) error {
+		return s.Set([]byte("from-pool"), []byte("yes"), 0, 0)
+	})
+	fmt.Println(err == nil)
+	// Output: true
+}
+
+// TestTwoStoresCoexist: Ralloc "supports the ability to have multiple
+// shared heaps" — two independent stores live side by side in one program
+// with no cross-talk.
+func ExampleCreateStore_twoStores() {
+	s1, _ := memcached.CreateStore(memcached.Config{HeapBytes: 8 << 20})
+	s2, _ := memcached.CreateStore(memcached.Config{HeapBytes: 8 << 20})
+	defer s1.Shutdown()
+	defer s2.Shutdown()
+
+	cp1, _ := s1.NewClientProcess(1000)
+	cp2, _ := s2.NewClientProcess(1000)
+	a, _ := cp1.NewSession()
+	b, _ := cp2.NewSession()
+	defer a.Close()
+	defer b.Close()
+
+	a.Set([]byte("k"), []byte("store-one"), 0, 0)
+	b.Set([]byte("k"), []byte("store-two"), 0, 0)
+	va, _, _ := a.Get([]byte("k"))
+	vb, _, _ := b.Get([]byte("k"))
+	fmt.Println(string(va), string(vb))
+	// Output: store-one store-two
+}

@@ -1,0 +1,183 @@
+package memcached
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"plibmc/internal/core"
+	"plibmc/internal/protocol"
+)
+
+// Hybrid mode (paper §6): "there is no reason … not to allow the memcached
+// background process to provide a socket-based interface for remote clients
+// while still permitting local clients to use the Hodor interface." The
+// bookkeeping process serves both wire protocols over any listener; local
+// processes keep calling through trampolines into the very same store.
+
+// RemoteServer is the bookkeeper's socket front end for remote clients.
+type RemoteServer struct {
+	b      *Bookkeeper
+	ln     net.Listener
+	connWG sync.WaitGroup
+	seq    uint64
+	mu     sync.Mutex
+}
+
+// ServeRemote starts accepting remote connections. Close the returned
+// server to stop.
+func (b *Bookkeeper) ServeRemote(network, addr string) (*RemoteServer, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("memcached: hybrid listener: %w", err)
+	}
+	rs := &RemoteServer{b: b, ln: ln}
+	go rs.acceptLoop()
+	return rs, nil
+}
+
+// Addr returns the listener address.
+func (rs *RemoteServer) Addr() net.Addr { return rs.ln.Addr() }
+
+// Close stops the listener and waits for in-flight connections.
+func (rs *RemoteServer) Close() {
+	rs.ln.Close()
+	rs.connWG.Wait()
+}
+
+func (rs *RemoteServer) acceptLoop() {
+	for {
+		c, err := rs.ln.Accept()
+		if err != nil {
+			return
+		}
+		rs.connWG.Add(1)
+		go rs.handle(c)
+	}
+}
+
+func (rs *RemoteServer) handle(c net.Conn) {
+	defer rs.connWG.Done()
+	defer c.Close()
+	rs.mu.Lock()
+	rs.seq++
+	owner := uint64(1)<<40 | rs.seq // distinct from local thread owners
+	rs.mu.Unlock()
+	ctx := rs.b.store.NewCtx(owner)
+	defer ctx.Close()
+
+	r := bufio.NewReaderSize(c, 64<<10)
+	w := bufio.NewWriterSize(c, 64<<10)
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	isBinary := first[0] == 0x80
+	for {
+		var cmd *protocol.Command
+		if isBinary {
+			cmd, err = protocol.ReadBinaryCommand(r)
+		} else {
+			cmd, err = protocol.ReadASCIICommand(r)
+		}
+		if err != nil {
+			return
+		}
+		if cmd.Op == protocol.OpQuit {
+			return
+		}
+		rep := DispatchCore(ctx, cmd, "1.6.0-plib-hybrid")
+		if isBinary {
+			protocol.WriteBinaryReply(w, cmd, rep)
+		} else {
+			protocol.WriteASCIIReply(w, cmd, rep)
+		}
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// DispatchCore executes one protocol command against a protected-library
+// store context, translating core errors into wire statuses.
+func DispatchCore(ctx *core.Ctx, cmd *protocol.Command, version string) *protocol.Reply {
+	rep := &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque}
+	toStatus := func(err error) protocol.Status {
+		switch {
+		case err == nil:
+			return protocol.StatusOK
+		case errors.Is(err, core.ErrNotFound):
+			return protocol.StatusKeyNotFound
+		case errors.Is(err, core.ErrExists), errors.Is(err, core.ErrCASMismatch):
+			return protocol.StatusKeyExists
+		case errors.Is(err, core.ErrNotNumeric):
+			return protocol.StatusNonNumeric
+		case errors.Is(err, core.ErrValueTooBig):
+			return protocol.StatusValueTooLarge
+		case errors.Is(err, core.ErrNoSpace):
+			return protocol.StatusOutOfMemory
+		default:
+			return protocol.StatusInvalidArgs
+		}
+	}
+	switch cmd.Op {
+	case protocol.OpGet:
+		v, flags, cas, err := ctx.Get(cmd.Key)
+		rep.Status = toStatus(err)
+		if err == nil {
+			rep.Value, rep.Flags, rep.CAS = v, flags, cas
+		}
+	case protocol.OpSet:
+		rep.Status = toStatus(ctx.Set(cmd.Key, cmd.Value, cmd.Flags, cmd.Exptime))
+	case protocol.OpAdd:
+		rep.Status = toStatus(ctx.Add(cmd.Key, cmd.Value, cmd.Flags, cmd.Exptime))
+	case protocol.OpReplace:
+		rep.Status = toStatus(ctx.Replace(cmd.Key, cmd.Value, cmd.Flags, cmd.Exptime))
+	case protocol.OpCAS:
+		rep.Status = toStatus(ctx.CAS(cmd.Key, cmd.Value, cmd.Flags, cmd.Exptime, cmd.CAS))
+	case protocol.OpAppend:
+		rep.Status = toStatus(ctx.Append(cmd.Key, cmd.Value))
+	case protocol.OpPrepend:
+		rep.Status = toStatus(ctx.Prepend(cmd.Key, cmd.Value))
+	case protocol.OpDelete:
+		rep.Status = toStatus(ctx.Delete(cmd.Key))
+	case protocol.OpIncr:
+		v, err := ctx.Increment(cmd.Key, cmd.Delta)
+		rep.Numeric, rep.Status = v, toStatus(err)
+	case protocol.OpDecr:
+		v, err := ctx.Decrement(cmd.Key, cmd.Delta)
+		rep.Numeric, rep.Status = v, toStatus(err)
+	case protocol.OpTouch:
+		rep.Status = toStatus(ctx.Touch(cmd.Key, cmd.Exptime))
+	case protocol.OpGAT:
+		v, flags, cas, err := ctx.GetAndTouch(cmd.Key, cmd.Exptime)
+		rep.Status = toStatus(err)
+		if err == nil {
+			rep.Value, rep.Flags, rep.CAS = v, flags, cas
+		}
+	case protocol.OpFlushAll:
+		ctx.FlushAll()
+	case protocol.OpStats:
+		st := ctx.Store().Stats()
+		rep.Stats = [][2]string{
+			{"cmd_get", strconv.FormatUint(st.Gets, 10)},
+			{"get_hits", strconv.FormatUint(st.GetHits, 10)},
+			{"get_misses", strconv.FormatUint(st.GetMisses, 10)},
+			{"cmd_set", strconv.FormatUint(st.Sets, 10)},
+			{"curr_items", strconv.FormatUint(st.CurrItems, 10)},
+			{"bytes", strconv.FormatUint(st.Bytes, 10)},
+			{"evictions", strconv.FormatUint(st.Evictions, 10)},
+		}
+	case protocol.OpVersion:
+		rep.Version = version
+	case protocol.OpNoop:
+	default:
+		rep.Status = protocol.StatusUnknownCommand
+	}
+	return rep
+}

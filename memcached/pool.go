@@ -1,0 +1,101 @@
+package memcached
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SessionPool hands out sessions to short-lived workers — e.g. HTTP
+// handler goroutines — that don't have a long-lived thread of their own.
+// A Session models a thread and is not safe for concurrent use; the pool
+// amortizes session setup (thread creation, Hodor attach, allocator cache)
+// across many brief borrowings.
+type SessionPool struct {
+	cp *ClientProcess
+
+	mu     sync.Mutex
+	free   []*Session
+	total  int
+	max    int
+	closed bool
+}
+
+// NewSessionPool creates a pool that will create at most max sessions
+// (0 = unlimited). Sessions are created lazily on first Get.
+func (cp *ClientProcess) NewSessionPool(max int) *SessionPool {
+	return &SessionPool{cp: cp, max: max}
+}
+
+// Get borrows a session, creating one if none is idle.
+func (p *SessionPool) Get() (*Session, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("memcached: session pool is closed")
+	}
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return s, nil
+	}
+	if p.max > 0 && p.total >= p.max {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("memcached: session pool exhausted (%d in use)", p.max)
+	}
+	p.total++
+	p.mu.Unlock()
+
+	s, err := p.cp.NewSession()
+	if err != nil {
+		p.mu.Lock()
+		p.total--
+		p.mu.Unlock()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Put returns a borrowed session. Sessions from other pools or processes
+// must not be Put here.
+func (p *SessionPool) Put(s *Session) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		s.Close()
+		p.total--
+		return
+	}
+	p.free = append(p.free, s)
+}
+
+// With borrows a session for the duration of fn — the common pattern for
+// request handlers.
+func (p *SessionPool) With(fn func(*Session) error) error {
+	s, err := p.Get()
+	if err != nil {
+		return err
+	}
+	defer p.Put(s)
+	return fn(s)
+}
+
+// Close releases every idle session. Sessions still borrowed are released
+// when Put back.
+func (p *SessionPool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, s := range p.free {
+		s.Close()
+		p.total--
+	}
+	p.free = nil
+}
+
+// Stats reports pool occupancy: total created and currently idle.
+func (p *SessionPool) Stats() (total, idle int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total, len(p.free)
+}

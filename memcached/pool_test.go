@@ -1,0 +1,99 @@
+package memcached
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSessionPoolReuse(t *testing.T) {
+	b := newTestStore(t)
+	cp, _ := b.NewClientProcess(1000)
+	p := cp.NewSessionPool(0)
+	defer p.Close()
+
+	s1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(s1)
+	s2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("idle session not reused")
+	}
+	p.Put(s2)
+	if total, idle := p.Stats(); total != 1 || idle != 1 {
+		t.Fatalf("stats = %d/%d", total, idle)
+	}
+}
+
+func TestSessionPoolMax(t *testing.T) {
+	b := newTestStore(t)
+	cp, _ := b.NewClientProcess(1000)
+	p := cp.NewSessionPool(2)
+	defer p.Close()
+	a, _ := p.Get()
+	c, _ := p.Get()
+	if _, err := p.Get(); err == nil {
+		t.Fatal("pool over max should fail")
+	}
+	p.Put(a)
+	if _, err := p.Get(); err != nil {
+		t.Fatalf("get after put: %v", err)
+	}
+	p.Put(c)
+}
+
+func TestSessionPoolWithConcurrent(t *testing.T) {
+	b := newTestStore(t)
+	cp, _ := b.NewClientProcess(1000)
+	p := cp.NewSessionPool(0)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				err := p.With(func(s *Session) error {
+					k := []byte(fmt.Sprintf("pool-%d-%d", g, i))
+					if err := s.Set(k, []byte("v"), 0, 0); err != nil {
+						return err
+					}
+					_, _, err := s.Get(k)
+					return err
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total, idle := p.Stats()
+	if total == 0 || idle != total {
+		t.Fatalf("after quiesce: total=%d idle=%d", total, idle)
+	}
+	if st := b.Stats(); st.Sets != 8*200 {
+		t.Fatalf("sets = %d", st.Sets)
+	}
+}
+
+func TestSessionPoolClose(t *testing.T) {
+	b := newTestStore(t)
+	cp, _ := b.NewClientProcess(1000)
+	p := cp.NewSessionPool(0)
+	s, _ := p.Get()
+	p.Close()
+	if _, err := p.Get(); err == nil {
+		t.Fatal("get after close should fail")
+	}
+	p.Put(s) // returning after close releases the session
+	if total, _ := p.Stats(); total != 0 {
+		t.Fatalf("total after close = %d", total)
+	}
+}

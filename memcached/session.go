@@ -1,0 +1,324 @@
+package memcached
+
+import (
+	"fmt"
+
+	"plibmc/internal/core"
+	"plibmc/internal/hodor"
+	"plibmc/internal/proc"
+)
+
+// Errors re-exported from the data plane (the memcached_return_t values).
+var (
+	ErrNotFound    = core.ErrNotFound
+	ErrExists      = core.ErrExists
+	ErrCASMismatch = core.ErrCASMismatch
+	ErrNotNumeric  = core.ErrNotNumeric
+	ErrKeyTooLong  = core.ErrKeyTooLong
+	ErrValueTooBig = core.ErrValueTooBig
+	ErrNoSpace     = core.ErrNoSpace
+)
+
+// entryNames is the library's export table (HODOR_FUNC_EXPORT analog).
+var entryNames = []string{
+	"memcached_get", "memcached_set", "memcached_add", "memcached_replace",
+	"memcached_cas", "memcached_delete", "memcached_increment",
+	"memcached_decrement", "memcached_append", "memcached_prepend",
+	"memcached_touch", "memcached_flush", "memcached_stat",
+}
+
+func registerEntryPoints(lib *hodor.Library) {
+	for _, n := range entryNames {
+		lib.RegisterEntry(n)
+	}
+	lib.OnInit(func(p *proc.Process) error {
+		// Runs with the store owner's effective UID: this is where the
+		// real system opens and maps the K-V store's backing file with
+		// permissions the client itself does not have.
+		if p.EUID() != lib.OwnerUID {
+			return fmt.Errorf("memcached: library init without owner credentials")
+		}
+		return nil
+	})
+}
+
+// ClientProcess is one application process that has loaded the protected
+// library: it owns a private mapping of the shared heap and a Hodor link
+// state. Create sessions from it, one per client thread.
+type ClientProcess struct {
+	b   *Bookkeeper
+	p   *proc.Process
+	res *hodor.LoadResult
+}
+
+// NewClientProcess simulates launching a client application under the
+// modified loader: the binary is scanned for stray wrpkru instructions,
+// trampolines are linked, and library initialization runs under the store
+// owner's EUID before reverting to uid.
+func (b *Bookkeeper) NewClientProcess(uid int) (*ClientProcess, error) {
+	p, err := proc.NewProcess(uid, b.heap, b.nextBase())
+	if err != nil {
+		return nil, err
+	}
+	res, err := (hodor.Loader{}).Load(p, hodor.Binary{Name: fmt.Sprintf("client-%d", p.ID)}, b.lib)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientProcess{b: b, p: p, res: res}, nil
+}
+
+// Process exposes the underlying simulated process (kill injection, views).
+func (cp *ClientProcess) Process() *proc.Process { return cp.p }
+
+// Kill delivers the SIGKILL analog to the process: threads inside library
+// calls complete; everything else stops.
+func (cp *ClientProcess) Kill() { cp.p.Kill() }
+
+// Session is one client thread's handle on the store. All operations are
+// direct function calls through Hodor trampolines (unless created with
+// NewSessionNoHodor, the paper's unprotected comparison point). A Session
+// is not safe for concurrent use — it models a thread.
+type Session struct {
+	hs     *hodor.Session
+	th     *proc.Thread
+	ctx    *core.Ctx
+	direct bool // skip trampolines ("Plib, No Hodor")
+
+	fnGet    func(*proc.Thread, getArgs) (getRes, error)
+	fnStore  func(*proc.Thread, storeArgs) (struct{}, error)
+	fnDelete func(*proc.Thread, keyArgs) (struct{}, error)
+	fnIncr   func(*proc.Thread, incrArgs) (uint64, error)
+	fnPend   func(*proc.Thread, pendArgs) (struct{}, error)
+	fnTouch  func(*proc.Thread, touchArgs) (struct{}, error)
+	fnFlush  func(*proc.Thread, struct{}) (struct{}, error)
+	fnStats  func(*proc.Thread, struct{}) (core.Stats, error)
+	fnMGet   func(*proc.Thread, [][]byte) ([]core.GetResult, error)
+	fnGAT    func(*proc.Thread, touchArgs) (getRes, error)
+}
+
+type getArgs struct{ key []byte }
+type getRes struct {
+	value []byte
+	flags uint32
+	cas   uint64
+}
+type storeArgs struct {
+	mode    int // 0 set, 1 add, 2 replace, 3 cas
+	key     []byte
+	value   []byte
+	flags   uint32
+	exptime int64
+	cas     uint64
+}
+type keyArgs struct{ key []byte }
+type incrArgs struct {
+	key   []byte
+	delta uint64
+	decr  bool
+}
+type pendArgs struct {
+	key     []byte
+	data    []byte
+	prepend bool
+}
+type touchArgs struct {
+	key     []byte
+	exptime int64
+}
+
+// NewSession creates a trampolined session for one client thread.
+func (cp *ClientProcess) NewSession() (*Session, error) {
+	return cp.newSession(false)
+}
+
+// NewSessionNoHodor creates a session that calls the library directly,
+// without trampolines or protection — the paper's "Plib, No Hodor"
+// configuration, used to measure the marginal cost of protection (~5%).
+func (cp *ClientProcess) NewSessionNoHodor() (*Session, error) {
+	return cp.newSession(true)
+}
+
+func (cp *ClientProcess) newSession(direct bool) (*Session, error) {
+	th := cp.p.NewThread()
+	hs, err := cp.res.Attach(th, cp.b.lib)
+	if err != nil {
+		return nil, err
+	}
+	ctx := cp.b.store.NewCtx(th.LockOwner())
+	s := &Session{hs: hs, th: th, ctx: ctx, direct: direct}
+	s.fnGet = func(_ *proc.Thread, a getArgs) (getRes, error) {
+		v, f, cas, err := ctx.Get(a.key)
+		return getRes{v, f, cas}, err
+	}
+	s.fnStore = func(_ *proc.Thread, a storeArgs) (struct{}, error) {
+		var err error
+		switch a.mode {
+		case 0:
+			err = ctx.Set(a.key, a.value, a.flags, a.exptime)
+		case 1:
+			err = ctx.Add(a.key, a.value, a.flags, a.exptime)
+		case 2:
+			err = ctx.Replace(a.key, a.value, a.flags, a.exptime)
+		default:
+			err = ctx.CAS(a.key, a.value, a.flags, a.exptime, a.cas)
+		}
+		return struct{}{}, err
+	}
+	s.fnDelete = func(_ *proc.Thread, a keyArgs) (struct{}, error) {
+		return struct{}{}, ctx.Delete(a.key)
+	}
+	s.fnIncr = func(_ *proc.Thread, a incrArgs) (uint64, error) {
+		if a.decr {
+			return ctx.Decrement(a.key, a.delta)
+		}
+		return ctx.Increment(a.key, a.delta)
+	}
+	s.fnPend = func(_ *proc.Thread, a pendArgs) (struct{}, error) {
+		if a.prepend {
+			return struct{}{}, ctx.Prepend(a.key, a.data)
+		}
+		return struct{}{}, ctx.Append(a.key, a.data)
+	}
+	s.fnTouch = func(_ *proc.Thread, a touchArgs) (struct{}, error) {
+		return struct{}{}, ctx.Touch(a.key, a.exptime)
+	}
+	s.fnFlush = func(_ *proc.Thread, _ struct{}) (struct{}, error) {
+		ctx.FlushAll()
+		return struct{}{}, nil
+	}
+	s.fnStats = func(_ *proc.Thread, _ struct{}) (core.Stats, error) {
+		return ctx.Store().Stats(), nil
+	}
+	s.fnMGet = func(_ *proc.Thread, keys [][]byte) ([]core.GetResult, error) {
+		return ctx.MGet(keys), nil
+	}
+	s.fnGAT = func(_ *proc.Thread, a touchArgs) (getRes, error) {
+		v, f, cas, err := ctx.GetAndTouch(a.key, a.exptime)
+		return getRes{v, f, cas}, err
+	}
+	return s, nil
+}
+
+// Thread exposes the session's simulated thread.
+func (s *Session) Thread() *proc.Thread { return s.th }
+
+// Ctx exposes the raw operation context (ablation benchmarks).
+func (s *Session) Ctx() *core.Ctx { return s.ctx }
+
+// Close returns the session's cached heap blocks to the shared pool.
+func (s *Session) Close() { s.ctx.Close() }
+
+// call dispatches through the trampoline, or directly in No-Hodor mode.
+func call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), a A) (R, error) {
+	if s.direct {
+		if s.th.Proc.Killed() {
+			var zero R
+			return zero, &proc.ErrKilled{PID: s.th.Proc.ID}
+		}
+		return fn(s.th, a)
+	}
+	return hodor.Call(s.hs, fn, a)
+}
+
+// Get retrieves the value and flags stored under key.
+func (s *Session) Get(key []byte) ([]byte, uint32, error) {
+	r, err := call(s, s.fnGet, getArgs{key})
+	return r.value, r.flags, err
+}
+
+// Gets also returns the CAS generation, for later CAS stores.
+func (s *Session) Gets(key []byte) ([]byte, uint32, uint64, error) {
+	r, err := call(s, s.fnGet, getArgs{key})
+	return r.value, r.flags, r.cas, err
+}
+
+// Set stores value under key unconditionally.
+func (s *Session) Set(key, value []byte, flags uint32, exptime int64) error {
+	_, err := call(s, s.fnStore, storeArgs{mode: 0, key: key, value: value, flags: flags, exptime: exptime})
+	return err
+}
+
+// Add stores only if key is absent.
+func (s *Session) Add(key, value []byte, flags uint32, exptime int64) error {
+	_, err := call(s, s.fnStore, storeArgs{mode: 1, key: key, value: value, flags: flags, exptime: exptime})
+	return err
+}
+
+// Replace stores only if key is present.
+func (s *Session) Replace(key, value []byte, flags uint32, exptime int64) error {
+	_, err := call(s, s.fnStore, storeArgs{mode: 2, key: key, value: value, flags: flags, exptime: exptime})
+	return err
+}
+
+// CAS stores only if the entry's generation equals cas.
+func (s *Session) CAS(key, value []byte, flags uint32, exptime int64, cas uint64) error {
+	_, err := call(s, s.fnStore, storeArgs{mode: 3, key: key, value: value, flags: flags, exptime: exptime, cas: cas})
+	return err
+}
+
+// Delete removes key.
+func (s *Session) Delete(key []byte) error {
+	_, err := call(s, s.fnDelete, keyArgs{key})
+	return err
+}
+
+// Increment adds delta to a numeric value.
+func (s *Session) Increment(key []byte, delta uint64) (uint64, error) {
+	return call(s, s.fnIncr, incrArgs{key: key, delta: delta})
+}
+
+// Decrement subtracts delta, saturating at zero.
+func (s *Session) Decrement(key []byte, delta uint64) (uint64, error) {
+	return call(s, s.fnIncr, incrArgs{key: key, delta: delta, decr: true})
+}
+
+// Append concatenates data after the existing value.
+func (s *Session) Append(key, data []byte) error {
+	_, err := call(s, s.fnPend, pendArgs{key: key, data: data})
+	return err
+}
+
+// Prepend concatenates data before the existing value.
+func (s *Session) Prepend(key, data []byte) error {
+	_, err := call(s, s.fnPend, pendArgs{key: key, data: data, prepend: true})
+	return err
+}
+
+// Touch updates an entry's expiry.
+func (s *Session) Touch(key []byte, exptime int64) error {
+	_, err := call(s, s.fnTouch, touchArgs{key: key, exptime: exptime})
+	return err
+}
+
+// FlushAll removes every entry.
+func (s *Session) FlushAll() error {
+	_, err := call(s, s.fnFlush, struct{}{})
+	return err
+}
+
+// Stats returns the store's counters.
+func (s *Session) Stats() (core.Stats, error) {
+	return call(s, s.fnStats, struct{}{})
+}
+
+// GetAndTouch retrieves a value and updates its expiry in one call.
+func (s *Session) GetAndTouch(key []byte, exptime int64) ([]byte, uint32, error) {
+	r, err := call(s, s.fnGAT, touchArgs{key: key, exptime: exptime})
+	return r.value, r.flags, err
+}
+
+// MGet retrieves many keys through a single trampoline crossing: one
+// rights amplification covers the whole batch — the protected-library
+// counterpart of the socket client's pipelined quiet-get batching.
+// Results are positional; missing keys have Found == false.
+func (s *Session) MGet(keys [][]byte) ([]core.GetResult, error) {
+	return call(s, s.fnMGet, keys)
+}
+
+// GetAsync is the asynchronous-API shim of §3.1: because every call
+// completes immediately, the callback is simply invoked after the
+// trampoline returns.
+func (s *Session) GetAsync(key []byte, cb func(value []byte, flags uint32, err error)) {
+	v, f, err := s.Get(key)
+	cb(v, f, err)
+}

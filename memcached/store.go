@@ -1,0 +1,236 @@
+// Package memcached is the public API of the protected-library memcached:
+// the paper's system as a downstream user consumes it.
+//
+// A store is created (or reopened from its backing file) by a bookkeeping
+// process — see Bookkeeper — which owns the shared heap, runs maintenance
+// (eviction, expiry, optional resizing), and flushes the heap back to the
+// file on shutdown. Client processes attach with NewClientProcess, which
+// runs the Hodor loader: it scans the client binary for stray wrpkru
+// instructions, links the library's trampolines, and runs libmemcached
+// initialization under the store owner's effective UID. Each client thread
+// then opens a Session and performs K-V operations as direct, trampolined
+// function calls into the library — no sockets, no server threads.
+//
+// Two APIs are provided, as in §3.1 of the paper: the Session methods here
+// (the new API, no memcached_st), and package memcached/compat (a drop-in
+// libmemcached-style API that accepts and ignores connection configuration,
+// and can be switched between the protected library and a socket backend).
+package memcached
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"plibmc/internal/core"
+	"plibmc/internal/hodor"
+	"plibmc/internal/pku"
+	"plibmc/internal/proc"
+	"plibmc/internal/ralloc"
+	"plibmc/internal/shm"
+)
+
+// LibraryName is the protected library's name in loader output.
+const LibraryName = "libmemcached-plib"
+
+// Config configures a store.
+type Config struct {
+	// HeapBytes is the shared heap size (the paper gave Ralloc 60 GB;
+	// scale to taste). Default 64 MiB.
+	HeapBytes uint64
+	// Path is the backing file. Empty means in-memory only (no Flush).
+	Path string
+	// OwnerUID is the store owner; library initialization runs with this
+	// effective UID (paper §3.3). Default 0.
+	OwnerUID int
+	// HashPower, NumLRUs, MemLimit, FixedSize, NumItemLocks mirror the
+	// core store options; zero values choose defaults.
+	HashPower    uint
+	NumLRUs      uint64
+	NumItemLocks uint64
+	MemLimit     uint64
+	FixedSize    bool
+	// CallTimeout bounds in-library execution for killed processes.
+	CallTimeout time.Duration
+}
+
+// Bookkeeper is the bookkeeping process: it creates or reopens the store,
+// keeps it healthy, and flushes it on shutdown. It "remains alive as long
+// as its K-V store is in use."
+type Bookkeeper struct {
+	cfg     Config
+	heap    *shm.Heap
+	pt      *pku.PageTable
+	dom     *hodor.Domain
+	lib     *hodor.Library
+	alloc   *ralloc.Allocator
+	store   *core.Store
+	proc    *proc.Process
+	maint   *core.Maintainer
+	baseSeq atomic.Uint64
+
+	stopMaint chan struct{}
+	maintDone chan struct{}
+	stopCkpt  chan struct{}
+	ckptDone  chan struct{}
+}
+
+func (c *Config) fill() {
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 64 << 20
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = time.Second
+	}
+}
+
+// CreateStore formats a fresh store.
+func CreateStore(cfg Config) (*Bookkeeper, error) {
+	cfg.fill()
+	heap := shm.New(cfg.HeapBytes)
+	alloc, err := ralloc.Format(heap)
+	if err != nil {
+		return nil, err
+	}
+	store, err := core.Create(alloc, core.Options{
+		HashPower:    cfg.HashPower,
+		NumLRUs:      cfg.NumLRUs,
+		NumItemLocks: cfg.NumItemLocks,
+		MemLimit:     cfg.MemLimit,
+		FixedSize:    cfg.FixedSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newBookkeeper(cfg, heap, alloc, store)
+}
+
+// OpenStore reloads a store from its backing file — the restart path: the
+// contents are intact because everything in the heap is position
+// independent.
+func OpenStore(cfg Config) (*Bookkeeper, error) {
+	cfg.fill()
+	if cfg.Path == "" {
+		return nil, fmt.Errorf("memcached: OpenStore requires a backing file path")
+	}
+	heap, err := shm.Load(cfg.Path)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := ralloc.Open(heap)
+	if err != nil {
+		return nil, err
+	}
+	// fsck the reloaded heap before any client touches it.
+	if _, err := alloc.Check(); err != nil {
+		return nil, fmt.Errorf("memcached: reloaded heap failed verification: %w", err)
+	}
+	store, err := core.Attach(alloc)
+	if err != nil {
+		return nil, err
+	}
+	// A checkpoint image carries a raised quiesce barrier; no operation
+	// from the previous life survives a reload, so clear the gate.
+	store.ResetGate()
+	return newBookkeeper(cfg, heap, alloc, store)
+}
+
+func newBookkeeper(cfg Config, heap *shm.Heap, alloc *ralloc.Allocator, store *core.Store) (*Bookkeeper, error) {
+	pt := pku.NewPageTable(heap)
+	dom, err := hodor.NewDomain(heap, pt)
+	if err != nil {
+		return nil, err
+	}
+	// The entire Ralloc heap is library-private: application code cannot
+	// touch any of it outside a trampolined call.
+	if err := dom.ProtectAll(); err != nil {
+		return nil, err
+	}
+	lib := hodor.NewLibrary(LibraryName, cfg.OwnerUID, dom)
+	lib.CallTimeout = cfg.CallTimeout
+	registerEntryPoints(lib)
+
+	b := &Bookkeeper{
+		cfg: cfg, heap: heap, pt: pt, dom: dom, lib: lib,
+		alloc: alloc, store: store,
+	}
+	b.baseSeq.Store(1)
+	bkProc, err := proc.NewProcess(cfg.OwnerUID, heap, b.nextBase())
+	if err != nil {
+		return nil, err
+	}
+	b.proc = bkProc
+	b.maint = store.NewMaintainer(bkProc.NewThread().LockOwner())
+	return b, nil
+}
+
+// nextBase hands out a distinct page-aligned virtual base for each process
+// mapping, so no two processes see the heap at the same address.
+func (b *Bookkeeper) nextBase() uint64 {
+	n := b.baseSeq.Add(1)
+	span := (b.heap.Size() + shm.PageSize) &^ uint64(shm.PageSize-1)
+	return 0x7000_0000_0000 + n*span
+}
+
+// Store exposes the underlying core store (stats, clock injection).
+func (b *Bookkeeper) Store() *core.Store { return b.store }
+
+// Allocator exposes the Ralloc handle (capacity queries).
+func (b *Bookkeeper) Allocator() *ralloc.Allocator { return b.alloc }
+
+// Library exposes the Hodor library handle.
+func (b *Bookkeeper) Library() *hodor.Library { return b.lib }
+
+// Stats returns a snapshot of the store's counters.
+func (b *Bookkeeper) Stats() core.Stats { return b.store.Stats() }
+
+// RunMaintenanceOnce performs one cleaning pass (eviction to the watermark,
+// expiry sweep, resize check) and a watchdog sweep over in-flight calls.
+func (b *Bookkeeper) RunMaintenanceOnce() core.MaintReport {
+	b.lib.WatchdogSweep(time.Now())
+	return b.maint.RunOnce()
+}
+
+// StartMaintenance runs maintenance on an interval until StopMaintenance.
+func (b *Bookkeeper) StartMaintenance(interval time.Duration) {
+	if b.stopMaint != nil {
+		return
+	}
+	b.stopMaint = make(chan struct{})
+	b.maintDone = make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		defer close(b.maintDone)
+		for {
+			select {
+			case <-t.C:
+				b.RunMaintenanceOnce()
+			case <-b.stopMaint:
+				return
+			}
+		}
+	}()
+}
+
+// StopMaintenance stops the background maintenance loop.
+func (b *Bookkeeper) StopMaintenance() {
+	if b.stopMaint == nil {
+		return
+	}
+	close(b.stopMaint)
+	<-b.maintDone
+	b.stopMaint, b.maintDone = nil, nil
+}
+
+// Shutdown stops maintenance and checkpointing and flushes the heap image
+// to the backing file (if configured), so a subsequent OpenStore resumes
+// with contents intact.
+func (b *Bookkeeper) Shutdown() error {
+	b.StopMaintenance()
+	b.StopCheckpointing()
+	if b.cfg.Path == "" {
+		return nil
+	}
+	return b.heap.Flush(b.cfg.Path)
+}

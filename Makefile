@@ -1,0 +1,22 @@
+# Developer entry points. The repo needs only the Go toolchain.
+
+GO ?= go
+
+.PHONY: build test check bench-seqlock
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the gate for concurrency-sensitive changes: vet everything, then
+# run the packages that carry the seqlock/grave protocol under the race
+# detector (which exercises the sync/atomic build of the relaxed accessors).
+check: build
+	$(GO) vet ./...
+	$(GO) test -race -count=1 ./internal/core ./internal/shm
+
+# The locked-vs-optimistic read path ablation (DESIGN.md §6).
+bench-seqlock:
+	$(GO) test -run xxx -bench BenchmarkAblationSeqlockRead -benchtime 2s .

@@ -289,6 +289,75 @@ func BenchmarkAblationStats(b *testing.B) {
 	}
 }
 
+// Ablation 6: the locked read path vs the lock-free optimistic (seqlock)
+// read path, on the 95/5 read-mostly mix the paper's headline figures use.
+// The per-bucket spinlock is the residual synchronization left on Get once
+// domain crossings are cheap; the seqlock path removes it.
+func BenchmarkAblationSeqlockRead(b *testing.B) {
+	for _, optimistic := range []bool{false, true} {
+		name := "locked"
+		if optimistic {
+			name = "seqlock"
+		}
+		b.Run(name, func(b *testing.B) {
+			h := shm.New(256 << 20)
+			a, err := ralloc.Format(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := core.Create(a, core.Options{
+				HashPower: 14, NumItemLocks: 1024, FixedSize: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctxSetup := s.NewCtx(1)
+			val := make([]byte, 128)
+			key := make([]byte, 0, 20)
+			for i := uint64(0); i < 4096; i++ {
+				key = ycsb.KeyInto(key, i)
+				if err := ctxSetup.Set(key, val, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctxSetup.Close()
+			var seq int64
+			var mu sync.Mutex
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				seq++
+				id := seq
+				mu.Unlock()
+				ctx := s.NewCtx(uint64(id) * 31)
+				defer ctx.Close()
+				ctx.DisableOptimisticReads = !optimistic
+				k := make([]byte, 0, 20)
+				v := make([]byte, 128)
+				var buf []byte
+				i := uint64(id) * 2654435761
+				for pb.Next() {
+					k = ycsb.KeyInto(k, i%4096)
+					if i%20 == 19 {
+						if err := ctx.Set(k, v, 0, 0); err != nil {
+							b.Error(err)
+							return
+						}
+					} else {
+						buf, _, _, _ = ctx.GetAppend(buf[:0], k)
+					}
+					i++
+				}
+			})
+			st := s.Stats()
+			if st.Gets > 0 {
+				b.ReportMetric(float64(st.GetFastpathHits)/float64(st.Gets), "fastpath/get")
+			}
+			b.ReportMetric(float64(st.SeqlockRetries), "seq-retries")
+		})
+	}
+}
+
 // Ablation 3: the §3.4 copy-before-lock idiom on vs off.
 func BenchmarkAblationArgCopy(b *testing.B) {
 	for _, capture := range []bool{true, false} {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"plibmc/internal/bench"
+	"plibmc/internal/core"
 	"plibmc/internal/ycsb"
 )
 
@@ -193,6 +194,7 @@ func runFigure(c runConfig, title string, w ycsb.Workload) error {
 	for i := range results {
 		results[i] = make([]float64, len(all))
 	}
+	seqlockNotes := make([]string, 0, 2)
 	for si, s := range all {
 		f, err := bench.NewFixture(s.kind, bench.Options{
 			TempDir: c.tmp, HeapBytes: c.heapBytes, HashPower: 17,
@@ -205,6 +207,10 @@ func runFigure(c runConfig, title string, w ycsb.Workload) error {
 			f.Close()
 			return err
 		}
+		var prev core.Stats
+		if f.CoreStats != nil {
+			prev = f.CoreStats()
+		}
 		for ti, threads := range c.threads {
 			ktps, err := bench.Throughput(f, w, threads, c.duration)
 			if err != nil {
@@ -212,9 +218,38 @@ func runFigure(c runConfig, title string, w ycsb.Workload) error {
 				return err
 			}
 			results[ti][si] = ktps
-			fmt.Fprintf(os.Stderr, "  %s @ %d threads: %.0f KTPS\n", s.name, threads, ktps)
+			if f.CoreStats != nil {
+				// Per-point deltas of the lock-free read-path counters, so
+				// the fast-path share is visible alongside each KTPS point.
+				st := f.CoreStats()
+				gets := st.Gets - prev.Gets
+				fast := st.GetFastpathHits - prev.GetFastpathHits
+				retries := st.SeqlockRetries - prev.SeqlockRetries
+				share := 0.0
+				if gets > 0 {
+					share = 100 * float64(fast) / float64(gets)
+				}
+				fmt.Fprintf(os.Stderr, "  %s @ %d threads: %.0f KTPS (fastpath %.1f%% of gets, %d seqlock retries)\n",
+					s.name, threads, ktps, share, retries)
+				prev = st
+			} else {
+				fmt.Fprintf(os.Stderr, "  %s @ %d threads: %.0f KTPS\n", s.name, threads, ktps)
+			}
+		}
+		if f.CoreStats != nil {
+			st := f.CoreStats()
+			share := 0.0
+			if st.Gets > 0 {
+				share = 100 * float64(st.GetFastpathHits) / float64(st.Gets)
+			}
+			seqlockNotes = append(seqlockNotes,
+				fmt.Sprintf("# %s: get_fastpath_hits=%d (%.1f%% of %d gets), seqlock_retries=%d",
+					s.name, st.GetFastpathHits, share, st.Gets, st.SeqlockRetries))
 		}
 		f.Close()
+	}
+	for _, note := range seqlockNotes {
+		fmt.Println(note)
 	}
 	fmt.Printf("%-8s", "threads")
 	for _, s := range all {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"plibmc/internal/client"
+	"plibmc/internal/core"
 	"plibmc/internal/histogram"
 	"plibmc/internal/server"
 	"plibmc/internal/ycsb"
@@ -59,6 +60,10 @@ type Fixture struct {
 	// NewThread creates a per-thread handle (a socket connection or a
 	// library session).
 	NewThread func() (ThreadKV, error)
+	// CoreStats reads the store's scattered counters — nil for the socket
+	// baseline, whose stats live behind the protocol. The harness uses it
+	// to report how many reads took the lock-free seqlock path.
+	CoreStats func() core.Stats
 	// Close tears the system down.
 	Close func()
 }
@@ -150,7 +155,8 @@ func NewFixture(kind Kind, opts Options) (*Fixture, error) {
 				}
 				return &plibKV{s}, nil
 			},
-			Close: func() { b.StopMaintenance() },
+			CoreStats: b.Stats,
+			Close:     func() { b.StopMaintenance() },
 		}, nil
 	}
 	return nil, fmt.Errorf("bench: unknown kind %d", kind)

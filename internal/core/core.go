@@ -81,6 +81,10 @@ type Options struct {
 	// LockedStats reproduces the original memcached design the paper
 	// abandoned: all statistics updates serialize on one lock (ablation).
 	LockedStats bool
+	// ReaderSlots is the number of optimistic-reader announcement slots in
+	// the shared heap. Each Ctx claims one at creation; a Ctx that finds
+	// none free simply never uses the lock-free read path.
+	ReaderSlots uint64
 }
 
 func (o *Options) fill(cap uint64) {
@@ -102,6 +106,9 @@ func (o *Options) fill(cap uint64) {
 	if o.StatSlots == 0 {
 		o.StatSlots = 64
 	}
+	if o.ReaderSlots == 0 {
+		o.ReaderSlots = 64
+	}
 }
 
 // Config-block field offsets (relative to the block's base).
@@ -120,7 +127,12 @@ const (
 	cfgLockedStats  = 88
 	cfgStatsLock    = 96  // heap-resident lock word for LockedStats mode
 	cfgGate         = 104 // checkpoint gate: barrier bit + active-op count
-	cfgSize         = 112
+	cfgSeqLocks     = 112 // pptr: per-stripe seqlock array (one word per item lock)
+	cfgReaders      = 120 // pptr: optimistic-reader slot array
+	cfgNumReaders   = 128
+	cfgGraveHead    = 136 // atomic: head of the deferred-free list (raw item offset)
+	cfgGraveLen     = 144 // atomic: number of quarantined items
+	cfgSize         = 152
 )
 
 // Hash-table storage cell (Fig. 3): the movable table behind one more pptr.
@@ -144,12 +156,15 @@ type Store struct {
 	fixedSize    bool
 	lockedStats  bool
 
-	cfg       uint64 // config block offset
-	itemLocks uint64 // lock array offset
-	lruLocks  uint64
-	lruData   uint64
-	stats     uint64
-	htStorage uint64
+	cfg        uint64 // config block offset
+	itemLocks  uint64 // lock array offset
+	lruLocks   uint64
+	lruData    uint64
+	stats      uint64
+	htStorage  uint64
+	seqLocks   uint64 // seqlock array offset, one word per item-lock stripe
+	readers    uint64 // optimistic-reader slot array offset
+	numReaders uint64
 
 	// nowFn supplies the wall clock; overridable in tests.
 	nowFn func() int64
@@ -196,6 +211,14 @@ func Create(a *ralloc.Allocator, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	seqLocks, err := c.Calloc(opts.NumItemLocks * 8)
+	if err != nil {
+		return nil, err
+	}
+	readers, err := c.Calloc(opts.ReaderSlots * readerSlotSize)
+	if err != nil {
+		return nil, err
+	}
 
 	h.Store64(cfg+cfgNumItemLocks, opts.NumItemLocks)
 	h.Store64(cfg+cfgNumLRUs, opts.NumLRUs)
@@ -213,6 +236,9 @@ func Create(a *ralloc.Allocator, opts Options) (*Store, error) {
 	if opts.LockedStats {
 		h.Store64(cfg+cfgLockedStats, 1)
 	}
+	ralloc.StorePptr(h, cfg+cfgSeqLocks, seqLocks)
+	ralloc.StorePptr(h, cfg+cfgReaders, readers)
+	h.Store64(cfg+cfgNumReaders, opts.ReaderSlots)
 
 	ralloc.StorePptr(h, storage+htTable, table)
 	h.Store64(storage+htHashPower, uint64(opts.HashPower))
@@ -251,20 +277,31 @@ func attach(a *ralloc.Allocator, cfg uint64) (*Store, error) {
 		lruData:      ralloc.LoadPptr(h, cfg+cfgLRUData),
 		stats:        ralloc.LoadPptr(h, cfg+cfgStats),
 		htStorage:    ralloc.LoadPptr(h, cfg+cfgHTStorage),
+		seqLocks:     ralloc.LoadPptr(h, cfg+cfgSeqLocks),
+		readers:      ralloc.LoadPptr(h, cfg+cfgReaders),
+		numReaders:   h.Load64(cfg + cfgNumReaders),
 		nowFn:        func() int64 { return time.Now().Unix() },
 	}
-	if s.numItemLocks == 0 || s.numLRUs == 0 {
+	if s.numItemLocks == 0 || s.numLRUs == 0 || s.seqLocks == 0 {
 		return nil, fmt.Errorf("core: corrupt store configuration")
 	}
 	return s, nil
 }
 
-// ResetGate clears the checkpoint gate. Call it when reopening a heap
-// image from disk: a checkpoint is written with the quiesce barrier
-// raised, and none of the operations counted in the gate exist after a
-// reload. Never call it on a store with live clients.
+// ResetGate clears the checkpoint gate and the optimistic-reader slots.
+// Call it when reopening a heap image from disk: a checkpoint is written
+// with the quiesce barrier raised, and neither the operations counted in
+// the gate nor the reader sections announced in the slots exist after a
+// reload (a slot left claimed or mid-section by a dead process would
+// otherwise pin the slot and stall grave reaping forever). Never call it
+// on a store with live clients.
 func (s *Store) ResetGate() {
 	s.H.AtomicStore64(s.cfg+cfgGate, 0)
+	for i := uint64(0); i < s.numReaders; i++ {
+		slot := s.readerSlotOff(i)
+		s.H.AtomicStore64(slot+readerSlotOwner, 0)
+		s.H.AtomicStore64(slot+readerSlotEpoch, 0)
+	}
 }
 
 // SetClock overrides the store's time source (tests and expiry benches).
@@ -273,9 +310,11 @@ func (s *Store) SetClock(now func() int64) { s.nowFn = now }
 // MemLimit returns the eviction watermark in bytes.
 func (s *Store) MemLimit() uint64 { return s.memLimit }
 
-// HashPower returns the current log2 table size.
+// HashPower returns the current log2 table size. Atomic: callers (the
+// maintainer, stats) read it without holding locks while a resize may be
+// publishing a new value.
 func (s *Store) HashPower() uint {
-	return uint(s.H.Load64(s.htStorage + htHashPower))
+	return uint(s.H.AtomicLoad64(s.htStorage + htHashPower))
 }
 
 // table returns the bucket-array offset and current mask. Callers must hold
@@ -288,6 +327,13 @@ func (s *Store) table() (uint64, uint64) {
 
 func (s *Store) itemLockOff(h uint64) uint64 {
 	return s.itemLocks + (h&(s.numItemLocks-1))*shm.LockWordSize
+}
+
+// seqOff returns the seqlock word guarding hash's bucket chains. The
+// seqlock array is striped exactly like the item locks, so the writer
+// holding the item lock for hash is the only possible bumper of this word.
+func (s *Store) seqOff(h uint64) uint64 {
+	return s.seqLocks + (h&(s.numItemLocks-1))*8
 }
 
 func (s *Store) nextCAS() uint64 {

@@ -93,13 +93,23 @@ func (s *Store) StartExpand(c *Ctx, newPower uint) error {
 	for li := uint64(0); li < s.numItemLocks; li++ {
 		s.H.LockAcquire(s.itemLocks+li*8, c.owner)
 	}
+	// Lock-free readers sample routing state without holding any lock, so
+	// the swap also bumps every stripe seqlock: a reader overlapping the
+	// swap fails validation, and one starting after it sees htOldTable set
+	// and falls back to the locked path for the whole expansion.
+	for li := uint64(0); li < s.numItemLocks; li++ {
+		s.H.SeqWriteBegin(s.seqLocks + li*8)
+	}
 	oldTable := ralloc.LoadPptr(s.H, s.htStorage+htTable)
 	oldPower := s.H.Load64(s.htStorage + htHashPower)
-	ralloc.StorePptr(s.H, s.htStorage+htOldTable, oldTable)
-	s.H.Store64(s.htStorage+htOldPower, oldPower)
+	ralloc.AtomicStorePptr(s.H, s.htStorage+htOldTable, oldTable)
+	s.H.AtomicStore64(s.htStorage+htOldPower, oldPower)
 	s.H.AtomicStore64(s.htStorage+htExpandCursor, 0)
-	ralloc.StorePptr(s.H, s.htStorage+htTable, newTable)
-	s.H.Store64(s.htStorage+htHashPower, uint64(newPower))
+	ralloc.AtomicStorePptr(s.H, s.htStorage+htTable, newTable)
+	s.H.AtomicStore64(s.htStorage+htHashPower, uint64(newPower))
+	for li := uint64(0); li < s.numItemLocks; li++ {
+		s.H.SeqWriteEnd(s.seqLocks + li*8)
+	}
 	for li := uint64(0); li < s.numItemLocks; li++ {
 		s.H.LockRelease(s.itemLocks + li*8)
 	}
@@ -124,23 +134,28 @@ func (s *Store) ExpandStep(c *Ctx, n int) (int, error) {
 		}
 		lock := s.itemLocks + (b&(s.numItemLocks-1))*8
 		s.H.LockAcquire(lock, c.owner)
+		// Readers already fall back for the whole expansion, but the
+		// stripe seqlock is bumped anyway (defense in depth) and the
+		// splices touch live items, so the stores are atomic. The stripe
+		// divides both table sizes, so one seqlock covers bucket b's old
+		// and new homes.
+		seq := s.seqLocks + (b&(s.numItemLocks-1))*8
+		s.H.SeqWriteBegin(seq)
 		newT, newMask, oldT, _, _, _ := s.tables()
 		it := loadChainHead(s, oldT+b*8)
 		for it != 0 {
 			next := loadChainNext(s, it)
-			klen := s.itemKeyLen(it)
-			kb := c.scratch(klen)
-			s.H.ReadBytes(s.itemKeyOff(it), kb)
-			h := hashKey(kb)
+			h := s.itemHash(it)
 			bucket := newT + (h&newMask)*8
-			ralloc.StorePptr(s.H, it+itHNext, ralloc.LoadPptr(s.H, bucket))
-			ralloc.StorePptr(s.H, bucket, it)
+			ralloc.AtomicStorePptr(s.H, it+itHNext, ralloc.LoadPptr(s.H, bucket))
+			ralloc.AtomicStorePptr(s.H, bucket, it)
 			it = next
 		}
-		ralloc.StorePptr(s.H, oldT+b*8, 0)
+		ralloc.AtomicStorePptr(s.H, oldT+b*8, 0)
 		// Advance the cursor before releasing the lock: anyone who takes
 		// this lock next routes bucket b to the new table.
 		s.H.AtomicStore64(s.htStorage+htExpandCursor, b+1)
+		s.H.SeqWriteEnd(seq)
 		s.H.LockRelease(lock)
 		moved++
 	}
@@ -158,14 +173,18 @@ func (s *Store) finishExpand(c *Ctx) error {
 		s.H.LockAcquire(s.itemLocks+li*8, c.owner)
 	}
 	oldT := ralloc.LoadPptr(s.H, s.htStorage+htOldTable)
-	ralloc.StorePptr(s.H, s.htStorage+htOldTable, 0)
-	s.H.Store64(s.htStorage+htOldPower, 0)
+	ralloc.AtomicStorePptr(s.H, s.htStorage+htOldTable, 0)
+	s.H.AtomicStore64(s.htStorage+htOldPower, 0)
 	s.H.AtomicStore64(s.htStorage+htExpandCursor, 0)
 	for li := uint64(0); li < s.numItemLocks; li++ {
 		s.H.LockRelease(s.itemLocks + li*8)
 	}
 	if oldT != 0 {
-		return c.cache.Free(oldT)
+		// A reader that sampled htTable before StartExpand could in
+		// principle still be standing on the retired array; retire it
+		// through the grave so it stays intact until every announced
+		// read section has drained.
+		c.gravePush(oldT)
 	}
 	return nil
 }

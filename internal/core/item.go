@@ -19,7 +19,9 @@ import (
 //	+52  valLen     u32
 //	+56  lastAccess u64    unix secs of last use (LRU bump threshold)
 //	+64  itflags    u64    atomic; bit 0 = linked
-//	+72  key bytes, padded to 8, then value bytes
+//	+72  hash       u64    key hash, fixed at allocation (evictors and
+//	                       sweepers unlink without re-reading the key)
+//	+80  key bytes, padded to 8, then value bytes
 const (
 	itHNext      = 0
 	itLRUNext    = 8
@@ -32,7 +34,8 @@ const (
 	itValLen     = 52
 	itLastAccess = 56
 	itItflags    = 64
-	itHeader     = 72
+	itHash       = 72
+	itHeader     = 80
 )
 
 const itflagLinked = uint64(1)
@@ -62,9 +65,12 @@ func (s *Store) keyEqual(it uint64, key []byte) bool {
 
 // newItem allocates and fills an item from library-private buffers. The
 // caller provides key and value that have already been captured from the
-// client (§3.4 idiom); no locks are held during allocation, except on the
-// replace-in-place paths that pass canEvict=false.
-func (c *Ctx) newItem(key, value []byte, flags uint32, exptime int64, canEvict bool) (uint64, error) {
+// client (§3.4 idiom) along with the key's hash; no locks are held during
+// allocation, except on the replace-in-place paths that pass
+// canEvict=false. All stores here are plain: the item is private until
+// linkLocked publishes it through an atomic bucket store, and the grave
+// guarantees no optimistic reader can still be probing recycled memory.
+func (c *Ctx) newItem(key, value []byte, hash uint64, flags uint32, exptime int64, canEvict bool) (uint64, error) {
 	size := itemSize(uint64(len(key)), uint64(len(value)))
 	it, err := c.allocWithEvict(size, canEvict)
 	if err != nil {
@@ -82,23 +88,44 @@ func (c *Ctx) newItem(key, value []byte, flags uint32, exptime int64, canEvict b
 	h.Store32(it+itValLen, uint32(len(value)))
 	h.Store64(it+itLastAccess, uint64(c.s.nowFn()))
 	h.Store64(it+itItflags, 0)
+	h.Store64(it+itHash, hash)
 	h.WriteBytes(it+itHeader, key)
 	h.WriteBytes(c.s.itemValOff(it), value)
 	return it, nil
 }
 
-// incref pins an item.
+// itemHash reads the hash stored at allocation time.
+func (s *Store) itemHash(it uint64) uint64 { return s.H.Load64(it + itHash) }
+
+// incref pins an item the caller already knows is live (it holds the item
+// lock, or another reference).
 func (s *Store) incref(it uint64) { s.H.Add64(it+itRefcount, 1) }
 
-// decref unpins an item, freeing it when the last reference drops.
+// increfIfLive pins an item only if it still has references — the lock-free
+// reader's pin. An item in the grave has refcount zero; the CAS loop
+// refuses it without ever writing, so a stale chain pointer can never
+// resurrect a dead item or scribble on quarantined memory.
+func (s *Store) increfIfLive(it uint64) bool {
+	for {
+		r := s.H.AtomicLoad64(it + itRefcount)
+		if r == 0 {
+			return false
+		}
+		if s.H.CAS64(it+itRefcount, r, r+1) {
+			return true
+		}
+	}
+}
+
+// decref unpins an item. When the last reference drops the item is
+// quarantined on the grave list rather than freed, so that a concurrent
+// optimistic reader holding a stale chain pointer still finds intact,
+// type-stable memory; reapGrave frees quarantined items once every
+// announced read section has been waited out.
 func (c *Ctx) decref(it uint64) {
 	if c.s.H.Add64(it+itRefcount, ^uint64(0)) == 0 {
 		// The item is unreachable: not linked, not pinned.
-		if err := c.cache.Free(it); err != nil {
-			// Freeing a block we allocated can only fail if the heap
-			// is corrupt; that is a library crash.
-			panic(err)
-		}
+		c.gravePush(it)
 	}
 }
 
@@ -132,6 +159,11 @@ func (c *Ctx) allocWithEvict(size uint64, canEvict bool) (uint64, error) {
 		// Honour the memory limit (-m): evict before exceeding the
 		// watermark, not only when the heap itself is exhausted.
 		if canEvict && c.s.A.LiveBytes()+size > c.s.memLimit {
+			// Quarantined items still count as live allocation; reclaim
+			// them before evicting anything actually in use.
+			if c.s.GraveLen() > 0 && c.reapGrave() > 0 {
+				continue
+			}
 			if attempt >= 200 || c.evictSome(8) == 0 && c.s.A.LiveBytes()+size > c.s.memLimit {
 				return 0, ErrNoSpace
 			}
@@ -140,6 +172,12 @@ func (c *Ctx) allocWithEvict(size uint64, canEvict bool) (uint64, error) {
 		off, err := c.cache.Malloc(size)
 		if err == nil {
 			return off, nil
+		}
+		// The quarantine may hold exactly the space we need.
+		if c.s.GraveLen() > 0 && c.reapGrave() > 0 {
+			if off, err = c.cache.Malloc(size); err == nil {
+				return off, nil
+			}
 		}
 		if !canEvict || attempt >= 50 {
 			if !canEvict {

@@ -77,12 +77,15 @@ func (c *Ctx) lruUnlink(hash, it uint64) {
 }
 
 // lruBump moves a touched item to the head of its list if it has not been
-// bumped recently. Caller holds the item lock.
+// bumped recently. Caller holds the item lock. lastAccess uses relaxed
+// accesses because lock-free readers consult it to decide whether a bump
+// is due (and fall back to this path when it is — which is what keeps the
+// bump entirely off the optimistic fast path for the other 60 seconds).
 func (c *Ctx) lruBump(hash, it uint64, now int64) {
-	if uint64(now)-c.s.H.Load64(it+itLastAccess) < lruBumpInterval {
+	if uint64(now)-c.s.H.RelaxedLoad64(it+itLastAccess) < lruBumpInterval {
 		return
 	}
-	c.s.H.Store64(it+itLastAccess, uint64(now))
+	c.s.H.RelaxedStore64(it+itLastAccess, uint64(now))
 	idx := c.s.lruFor(hash)
 	c.s.H.LockAcquire(c.s.lruLockOff(idx), c.owner)
 	if c.s.isLinked(it) {
@@ -126,11 +129,8 @@ func (c *Ctx) evictTailOf(idx uint64) bool {
 	s.incref(victim) // pin: the victim cannot be freed under us
 	s.H.LockRelease(lockOff)
 
-	// Reconstruct the victim's hash from its key (valid while pinned).
-	klen := s.itemKeyLen(victim)
-	key := c.scratch(klen)
-	s.H.ReadBytes(s.itemKeyOff(victim), key)
-	hash := hashKey(key)
+	// The hash was fixed at allocation; no key read or rehash needed.
+	hash := s.itemHash(victim)
 
 	ok := false
 	itemLock := s.itemLockOff(hash)
@@ -147,12 +147,18 @@ func (c *Ctx) evictTailOf(idx uint64) bool {
 }
 
 // linkLocked inserts a fully built item into the table and LRU. Caller
-// holds the item lock for hash.
+// holds the item lock for hash. The chain mutation is bracketed by the
+// stripe seqlock and the publishing bucket store is atomic, so lock-free
+// readers either miss the item cleanly or see it fully initialized (its
+// hNext store is pre-publication and ordered by the bucket store).
 func (c *Ctx) linkLocked(it, hash uint64) {
 	s := c.s
 	bucket := s.bucketFor(hash)
+	seq := s.seqOff(hash)
+	s.H.SeqWriteBegin(seq)
 	ralloc.StorePptr(s.H, it+itHNext, ralloc.LoadPptr(s.H, bucket))
-	ralloc.StorePptr(s.H, bucket, it)
+	ralloc.AtomicStorePptr(s.H, bucket, it)
+	s.H.SeqWriteEnd(seq)
 	s.setLinked(it, true)
 	c.lruLink(hash, it)
 	c.stat(statCurrItems, 1)
@@ -161,7 +167,10 @@ func (c *Ctx) linkLocked(it, hash uint64) {
 }
 
 // unlinkLocked removes a linked item from the table and LRU and drops the
-// link reference. Caller holds the item lock for hash.
+// link reference. Caller holds the item lock for hash. The splice is an
+// atomic store under the stripe seqlock; the unlinked item keeps its own
+// (now stale) hNext so a reader standing on it walks into the live chain
+// and fails validation rather than dereferencing garbage.
 func (c *Ctx) unlinkLocked(it, hash uint64) {
 	s := c.s
 	bucket := s.bucketFor(hash)
@@ -171,9 +180,12 @@ func (c *Ctx) unlinkLocked(it, hash uint64) {
 		prevAddr = cur + itHNext
 		cur = ralloc.LoadPptr(s.H, prevAddr)
 	}
+	seq := s.seqOff(hash)
+	s.H.SeqWriteBegin(seq)
 	if cur == it {
-		ralloc.StorePptr(s.H, prevAddr, ralloc.LoadPptr(s.H, it+itHNext))
+		ralloc.AtomicStorePptr(s.H, prevAddr, ralloc.LoadPptr(s.H, it+itHNext))
 	}
+	s.H.SeqWriteEnd(seq)
 	s.setLinked(it, false)
 	c.lruUnlink(hash, it)
 	c.stat(statCurrItems, -1)

@@ -67,7 +67,11 @@ func (m *Maintainer) RunOnce() MaintReport {
 		}
 	}
 	r.Expired = m.ctx.SweepExpired()
-	if r.Evicted+r.Expired > 0 {
+	// Free whatever the quarantine has accumulated; maintenance is the
+	// backstop that keeps the grave short on read-mostly workloads that
+	// rarely hit the push threshold.
+	reaped := m.ctx.reapGrave()
+	if r.Evicted+r.Expired > 0 || reaped > 0 {
 		// Mass removals may leave whole chunks free; hand them back so
 		// other size classes (or large allocations) can use the space.
 		r.Reclaimed = s.A.Reclaim()
@@ -107,10 +111,7 @@ func (c *Ctx) SweepExpired() int {
 			for it != 0 {
 				next := loadChainNext(s, it)
 				if s.expired(it, now) {
-					klen := s.itemKeyLen(it)
-					kb := c.scratch(klen)
-					s.H.ReadBytes(s.itemKeyOff(it), kb)
-					c.unlinkLocked(it, hashKey(kb))
+					c.unlinkLocked(it, s.itemHash(it))
 					c.stat(statExpired, 1)
 					removed++
 				}
@@ -154,21 +155,32 @@ func (s *Store) ResizeTo(c *Ctx, newPower uint) error {
 	if err != nil {
 		return fmt.Errorf("core: resize to 2^%d: %w", newPower, err)
 	}
+	// Holding every item lock stops all writers and all *locked* readers,
+	// but lock-free readers sample chains and routing state regardless:
+	// bump every stripe seqlock for the duration so any overlapping
+	// optimistic read fails validation, and make the splices and the
+	// table swap atomic stores.
+	for li := uint64(0); li < s.numItemLocks; li++ {
+		s.H.SeqWriteBegin(s.seqLocks + li*8)
+	}
 	for b := uint64(0); b <= oldMask; b++ {
 		it := loadChainHead(s, oldTable+b*8)
 		for it != 0 {
 			next := loadChainNext(s, it)
-			klen := s.itemKeyLen(it)
-			kb := c.scratch(klen)
-			s.H.ReadBytes(s.itemKeyOff(it), kb)
-			h := hashKey(kb)
+			h := s.itemHash(it)
 			bucket := newTable + (h&(newSize-1))*8
-			ralloc.StorePptr(s.H, it+itHNext, ralloc.LoadPptr(s.H, bucket))
-			ralloc.StorePptr(s.H, bucket, it)
+			ralloc.AtomicStorePptr(s.H, it+itHNext, ralloc.LoadPptr(s.H, bucket))
+			ralloc.AtomicStorePptr(s.H, bucket, it)
 			it = next
 		}
 	}
-	ralloc.StorePptr(s.H, s.htStorage+htTable, newTable)
-	s.H.Store64(s.htStorage+htHashPower, uint64(newPower))
-	return c.cache.Free(oldTable)
+	ralloc.AtomicStorePptr(s.H, s.htStorage+htTable, newTable)
+	s.H.AtomicStore64(s.htStorage+htHashPower, uint64(newPower))
+	for li := uint64(0); li < s.numItemLocks; li++ {
+		s.H.SeqWriteEnd(s.seqLocks + li*8)
+	}
+	// The retired array may still be under a stalled reader's feet; the
+	// grave holds it intact until every announced section drains.
+	c.gravePush(oldTable)
+	return nil
 }

@@ -14,7 +14,9 @@ type GetResult struct {
 }
 
 // MGet looks up every key and returns one result per key, in order.
-// Missing (or expired) keys yield Found == false.
+// Missing (or expired) keys yield Found == false. Each lookup rides the
+// lock-free optimistic path of GetAppend, so an uncontended batch takes
+// no locks at all.
 func (c *Ctx) MGet(keys [][]byte) []GetResult {
 	c.enterOp()
 	defer c.exitOp()

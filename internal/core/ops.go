@@ -19,12 +19,22 @@ type Ctx struct {
 
 	evictCursor uint64
 	opDepth     int
+	rdSlot      uint64 // optimistic-reader announcement slot; 0 = none
 
 	// CaptureClientBuffers applies the copy-before-lock idiom. It defaults
 	// to true; the ablation benchmark turns it off to measure the idiom's
 	// cost (and gives up crash safety against concurrent client threads
 	// scribbling on arguments mid-call).
 	CaptureClientBuffers bool
+
+	// DisableOptimisticReads forces every Get onto the locked path — the
+	// pre-seqlock design, kept as an ablation toggle.
+	DisableOptimisticReads bool
+
+	// forceSeqRetries injects this many artificial validation failures
+	// into each optimistic lookup, so tests can deterministically drive
+	// the retry loop and the lock fallback.
+	forceSeqRetries int
 
 	keyBuf   []byte
 	valBuf   []byte
@@ -37,22 +47,28 @@ func loadChainHead(s *Store, bucket uint64) uint64 { return ralloc.LoadPptr(s.H,
 func loadChainNext(s *Store, it uint64) uint64     { return ralloc.LoadPptr(s.H, it+itHNext) }
 
 // NewCtx creates an operation context. owner must be a nonzero token unique
-// to the calling thread (proc.Thread.LockOwner provides one).
+// to the calling thread (proc.Thread.LockOwner provides one). The context
+// claims an optimistic-reader slot if one is free; with none available it
+// still works, it just serves every read through the locked path.
 func (s *Store) NewCtx(owner uint64) *Ctx {
-	return &Ctx{
+	c := &Ctx{
 		s:                    s,
 		cache:                s.A.NewCache(),
 		owner:                owner,
 		slot:                 owner % s.statSlots,
 		CaptureClientBuffers: true,
 	}
+	c.claimReaderSlot()
+	return c
 }
 
-// Close flushes the context's allocator cache back to the shared heap.
+// Close flushes the context's allocator cache back to the shared heap and
+// returns its optimistic-reader slot.
 func (c *Ctx) Close() {
 	c.enterOp()
 	c.cache.Flush()
 	c.exitOp()
+	c.releaseReaderSlot()
 }
 
 // Store returns the store this context operates on.
@@ -125,7 +141,9 @@ func (c *Ctx) Get(key []byte) ([]byte, uint32, uint64, error) {
 }
 
 // GetAppend is Get appending the value to dst (which may be nil), for
-// callers that reuse buffers.
+// callers that reuse buffers. It first attempts the lock-free optimistic
+// lookup (seqread.go); only contended, expiring, bump-due or repeatedly
+// invalidated lookups pay for the bucket lock.
 func (c *Ctx) GetAppend(dst, key []byte) ([]byte, uint32, uint64, error) {
 	if len(key) > MaxKeyLen {
 		return dst, 0, 0, ErrKeyTooLong
@@ -135,6 +153,22 @@ func (c *Ctx) GetAppend(dst, key []byte) ([]byte, uint32, uint64, error) {
 	c.stat(statGets, 1)
 	k := c.capture(&c.keyBuf, key)
 	hash := hashKey(k)
+	if flags, cas, vlen, found, ok := c.optGet(k, hash); ok {
+		c.stat(statGetFastpath, 1)
+		if !found {
+			c.stat(statGetMisses, 1)
+			return dst, 0, 0, ErrNotFound
+		}
+		c.stat(statGetHits, 1)
+		return append(dst, c.valBuf[:vlen]...), flags, cas, nil
+	}
+	return c.getLockedAppend(dst, k, hash, false, 0)
+}
+
+// getLockedAppend is the locked read path: the correctness baseline the
+// optimistic path falls back to, and the only retrieval that may write
+// (lazy expiry in findLocked, the LRU bump, and the touch variant).
+func (c *Ctx) getLockedAppend(dst, k []byte, hash uint64, touch bool, abs int64) ([]byte, uint32, uint64, error) {
 	s := c.s
 	lock := s.itemLockOff(hash)
 	s.H.LockAcquire(lock, c.owner)
@@ -143,6 +177,9 @@ func (c *Ctx) GetAppend(dst, key []byte) ([]byte, uint32, uint64, error) {
 		s.H.LockRelease(lock)
 		c.stat(statGetMisses, 1)
 		return dst, 0, 0, ErrNotFound
+	}
+	if touch {
+		s.H.RelaxedStore32(it+itExptime, uint32(abs))
 	}
 	c.lruBump(hash, it, s.nowFn())
 	s.incref(it) // hold the item across the copy, as item_get does
@@ -154,8 +191,11 @@ func (c *Ctx) GetAppend(dst, key []byte) ([]byte, uint32, uint64, error) {
 
 	// Copy into a protected buffer while the reference is held, then
 	// release the item before touching client-visible memory (Fig. 4).
+	// The relaxed copy coexists with in-place value rewrites that may
+	// start once the lock is released; holders of the current CAS
+	// generation detect them, exactly as in the original design.
 	prot := grow(&c.valBuf, vlen)
-	s.H.ReadBytes(voff, prot)
+	s.H.AtomicReadBytes(voff, prot)
 	c.decref(it)
 
 	out := append(dst, prot...)
@@ -164,40 +204,24 @@ func (c *Ctx) GetAppend(dst, key []byte) ([]byte, uint32, uint64, error) {
 }
 
 // GetAndTouch retrieves the value under key and atomically updates its
-// expiry (memcached's "gat" command): one lock acquisition for both.
+// expiry (memcached's "gat" command): one lock acquisition for both. The
+// touch is a write, so this always runs the locked path.
 func (c *Ctx) GetAndTouch(key []byte, exptime int64) ([]byte, uint32, uint64, error) {
+	return c.GetAndTouchAppend(nil, key, exptime)
+}
+
+// GetAndTouchAppend is GetAndTouch appending the value to dst (which may
+// be nil), for callers that reuse buffers.
+func (c *Ctx) GetAndTouchAppend(dst, key []byte, exptime int64) ([]byte, uint32, uint64, error) {
 	if len(key) > MaxKeyLen {
-		return nil, 0, 0, ErrKeyTooLong
+		return dst, 0, 0, ErrKeyTooLong
 	}
 	c.enterOp()
 	defer c.exitOp()
 	c.stat(statGets, 1)
 	c.stat(statTouches, 1)
 	k := c.capture(&c.keyBuf, key)
-	abs := c.absExpiry(exptime)
-	hash := hashKey(k)
-	s := c.s
-	lock := s.itemLockOff(hash)
-	s.H.LockAcquire(lock, c.owner)
-	it := c.findLocked(k, hash)
-	if it == 0 {
-		s.H.LockRelease(lock)
-		c.stat(statGetMisses, 1)
-		return nil, 0, 0, ErrNotFound
-	}
-	s.H.Store32(it+itExptime, uint32(abs))
-	c.lruBump(hash, it, s.nowFn())
-	s.incref(it)
-	flags := s.H.Load32(it + itFlags)
-	cas := s.H.Load64(it + itCASID)
-	vlen := s.itemValLen(it)
-	voff := s.itemValOff(it)
-	s.H.LockRelease(lock)
-	prot := grow(&c.valBuf, vlen)
-	s.H.ReadBytes(voff, prot)
-	c.decref(it)
-	c.stat(statGetHits, 1)
-	return append([]byte(nil), prot...), flags, cas, nil
+	return c.getLockedAppend(dst, k, hashKey(k), true, c.absExpiry(exptime))
 }
 
 // storeMode selects among the memcached storage commands.
@@ -222,13 +246,13 @@ func (c *Ctx) store(mode storeMode, key, value []byte, flags uint32, exptime int
 	c.stat(statSets, 1)
 	k := c.capture(&c.keyBuf, key)
 	v := c.capture(&c.valBuf, value)
+	hash := hashKey(k)
 	// Build the replacement item entirely before acquiring the lock; the
 	// allocation may trigger eviction, which takes other locks by trylock.
-	it, err := c.newItem(k, v, flags, c.absExpiry(exptime), true)
+	it, err := c.newItem(k, v, hash, flags, c.absExpiry(exptime), true)
 	if err != nil {
 		return err
 	}
-	hash := hashKey(k)
 	s := c.s
 	lock := s.itemLockOff(hash)
 	s.H.LockAcquire(lock, c.owner)
@@ -326,7 +350,8 @@ func (c *Ctx) Touch(key []byte, exptime int64) error {
 	if it == 0 {
 		return ErrNotFound
 	}
-	s.H.Store32(it+itExptime, uint32(abs))
+	// Relaxed store: optimistic readers load this word without the lock.
+	s.H.RelaxedStore32(it+itExptime, uint32(abs))
 	c.lruBump(hash, it, s.nowFn())
 	return nil
 }
@@ -382,16 +407,21 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 	rendered := strconv.AppendUint(c.auxBuf[:0], v, 10)
 	c.auxBuf = rendered[:0]
 	if uint64(len(rendered)) == vlen {
-		// Same width: rewrite in place under the lock.
-		s.H.WriteBytes(s.itemValOff(it), rendered)
-		s.H.Store64(it+itCASID, s.nextCAS())
+		// Same width: rewrite in place under the lock, bracketed by the
+		// stripe seqlock so concurrent lock-free readers cannot validate
+		// a half-rewritten value.
+		seq := s.seqOff(hash)
+		s.H.SeqWriteBegin(seq)
+		s.H.AtomicWriteBytes(s.itemValOff(it), rendered)
+		s.H.RelaxedStore64(it+itCASID, s.nextCAS())
+		s.H.SeqWriteEnd(seq)
 		return v, nil
 	}
 	// Width changed: build a replacement item. We hold the item lock, so
 	// the allocation must not block on other item locks (canEvict=false).
 	flags := s.H.Load32(it + itFlags)
 	exp := int64(s.H.Load32(it + itExptime))
-	nit, err := c.newItem(k, rendered, flags, exp, false)
+	nit, err := c.newItem(k, rendered, hash, flags, exp, false)
 	if err != nil {
 		return 0, err
 	}
@@ -440,7 +470,7 @@ func (c *Ctx) pend(key, data []byte, front bool) error {
 	}
 	flags := s.H.Load32(it + itFlags)
 	exp := int64(s.H.Load32(it + itExptime))
-	nit, err := c.newItem(k, combined, flags, exp, false)
+	nit, err := c.newItem(k, combined, hash, flags, exp, false)
 	if err != nil {
 		return err
 	}
@@ -463,10 +493,7 @@ func (c *Ctx) FlushAll() {
 				if it == 0 {
 					break
 				}
-				klen := s.itemKeyLen(it)
-				kb := c.scratch(klen)
-				s.H.ReadBytes(s.itemKeyOff(it), kb)
-				c.unlinkLocked(it, hashKey(kb))
+				c.unlinkLocked(it, s.itemHash(it))
 			}
 		})
 		s.H.LockRelease(lock)

@@ -27,12 +27,14 @@ const (
 	statTotalItems
 	statBytes
 	statFlushes
+	statGetFastpath
+	statSeqRetries
 	numStatCounters
 )
 
-// statSlotSize is padded to two cache lines to keep slots from false
-// sharing.
-const statSlotSize = 16 * 8
+// statSlotSize is padded to whole cache lines to keep slots from false
+// sharing (four lines now that the counter set outgrew two).
+const statSlotSize = 32 * 8
 
 // Stats is a consistent-enough snapshot of the store's counters.
 type Stats struct {
@@ -43,6 +45,10 @@ type Stats struct {
 	Evictions, Expired, CASMismatch uint64
 	CurrItems, TotalItems, Bytes    uint64
 	Flushes                         uint64
+	// GetFastpathHits counts Gets served entirely by the lock-free
+	// optimistic path (hits and validated misses alike); SeqlockRetries
+	// counts discarded optimistic attempts (odd or changed sequence).
+	GetFastpathHits, SeqlockRetries uint64
 }
 
 // stat adds delta to one counter in this context's slot. In LockedStats
@@ -82,6 +88,7 @@ func (s *Store) Stats() Stats {
 		Incrs: u(statIncrs), Touches: u(statTouches),
 		Evictions: u(statEvictions), Expired: u(statExpired), CASMismatch: u(statCASMismatch),
 		CurrItems: u(statCurrItems), TotalItems: u(statTotalItems), Bytes: u(statBytes),
-		Flushes: u(statFlushes),
+		Flushes:         u(statFlushes),
+		GetFastpathHits: u(statGetFastpath), SeqlockRetries: u(statSeqRetries),
 	}
 }

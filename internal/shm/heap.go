@@ -70,7 +70,11 @@ func (f *Fault) Error() string {
 }
 
 func (h *Heap) check(off, n uint64, write bool) {
-	if off+n < off || off+n > h.size {
+	// Overflow-proof form: a base past the end of the heap faults even for
+	// zero-length accesses (off == h.size is allowed, matching the usual
+	// one-past-the-end pointer rule), and the length check cannot wrap
+	// because it subtracts on the side already known to be in range.
+	if off > h.size || n > h.size-off {
 		panic(&Fault{Off: off, Len: n, Write: write, Why: "out of range"})
 	}
 }

@@ -1,0 +1,21 @@
+//go:build !race
+
+package shm
+
+// Relaxed word accessors, normal build: plain loads and stores.
+//
+// The optimistic (seqlock-validated) read path loads words that a writer
+// may be mutating concurrently. On the architectures this simulation
+// models (x86-64; the package header pins little-endian byte order for the
+// same reason), an aligned word access is a single instruction, so a load
+// can be stale but never torn — and stale values are discarded by the
+// sequence validation that brackets every optimistic read section. Plain
+// accesses therefore cost nothing over ordinary memory traffic.
+//
+// Under the race detector this file is replaced by relaxed_race.go, which
+// routes the same accessors through sync/atomic so the detector can see
+// that the discipline is deliberate.
+
+func relaxedLoadWord(p *uint64) uint64 { return *p }
+
+func relaxedStoreWord(p *uint64, v uint64) { *p = v }

@@ -1,0 +1,17 @@
+//go:build race
+
+package shm
+
+import "sync/atomic"
+
+// Relaxed word accessors, race-detector build: real atomics. The seqlock
+// read path intentionally races with in-place writers and relies on
+// sequence validation to discard anything it read during a mutation; the
+// race detector cannot model that protocol, so these builds make every
+// relaxed access an atomic one. That keeps `go test -race` meaningful for
+// the rest of the code while the normal build pays nothing (see
+// relaxed_norace.go).
+
+func relaxedLoadWord(p *uint64) uint64 { return atomic.LoadUint64(p) }
+
+func relaxedStoreWord(p *uint64, v uint64) { atomic.StoreUint64(p, v) }

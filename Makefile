@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench-seqlock
+.PHONY: build test check faultmatrix bench-seqlock bench-recovery
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,24 @@ test:
 
 # check is the gate for concurrency-sensitive changes: vet everything, then
 # run the packages that carry the seqlock/grave protocol under the race
-# detector (which exercises the sync/atomic build of the relaxed accessors).
-check: build
+# detector (which exercises the sync/atomic build of the relaxed accessors),
+# a short chaos soak, and the crash-at-every-point fault matrix.
+check: build faultmatrix
 	$(GO) vet ./...
 	$(GO) test -race -count=1 ./internal/core ./internal/shm
+	$(GO) test -race -count=1 -short -run TestChaosKillsNeverCorrupt .
+
+# The crash-recovery gate: kill a client at every registered crash point
+# and require quarantine -> repair -> resume, with the recovery machinery
+# itself (hodor state machine, repair passes) under the race detector.
+faultmatrix:
+	$(GO) test -race -count=1 -run TestFaultMatrix .
+	$(GO) test -race -count=1 ./internal/faultpoint ./internal/hodor
 
 # The locked-vs-optimistic read path ablation (DESIGN.md §6).
 bench-seqlock:
 	$(GO) test -run xxx -bench BenchmarkAblationSeqlockRead -benchtime 2s .
+
+# Time-to-resume after an injected crash (DESIGN.md "Failure model").
+bench-recovery:
+	$(GO) test -run xxx -bench BenchmarkRecovery -benchtime 20x .

@@ -20,10 +20,11 @@ import (
 
 func main() {
 	var (
-		file = flag.String("file", "", "heap image to inspect (required)")
-		keys = flag.Bool("keys", false, "list keys")
-		dump = flag.Bool("dump", false, "dump keys and values")
-		max  = flag.Int("max", 0, "stop after this many entries (0 = all)")
+		file  = flag.String("file", "", "heap image to inspect (required)")
+		keys  = flag.Bool("keys", false, "list keys")
+		dump  = flag.Bool("dump", false, "dump keys and values")
+		locks = flag.Bool("locks", false, "list held heap-resident locks with their owners")
+		max   = flag.Int("max", 0, "stop after this many entries (0 = all)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -47,6 +48,13 @@ func main() {
 
 	store, err := core.Attach(alloc)
 	fatalIf(err)
+	if *locks {
+		// Post-mortem triage of an image flushed after a crash: which
+		// thread died holding what. The image is offline, so every owner
+		// is dead by definition — a live store would be repaired online
+		// by the bookkeeper, not dumped.
+		printLocks(store, alloc)
+	}
 	store.ResetGate()
 	st := store.Stats()
 	fmt.Printf("store: 2^%d buckets, %d items, %d bytes; lifetime: %d gets (%d hits), %d sets, %d evictions, %d expired\n",
@@ -88,6 +96,29 @@ func main() {
 		return *max == 0 || n < *max
 	})
 	fmt.Printf("listed %d entries\n", n)
+}
+
+// printLocks reports the operation gate, every held store lock, and the
+// allocator's large-path lock, decoding each owner token (PID<<20|TID+1)
+// into the process and thread that held it when the image was written.
+func printLocks(store *core.Store, alloc *ralloc.Allocator) {
+	inflight, barrier := store.InFlightOps()
+	fmt.Printf("gate: %d in-flight ops recorded, barrier=%v\n", inflight, barrier)
+	held := store.HeldLocks()
+	if o := alloc.AllocLockOwner(); o != 0 {
+		held = append(held, core.HeldLock{Kind: "alloc", Owner: o})
+	}
+	if len(held) == 0 {
+		fmt.Println("locks: none held")
+		return
+	}
+	fmt.Printf("locks: %d held\n", len(held))
+	for _, l := range held {
+		pid := l.Owner >> 20
+		tid := l.Owner&(1<<20-1) - 1
+		fmt.Printf("  %-5s %4d  owner=%#x (pid %d, tid %d) — dead in this image\n",
+			l.Kind, l.Index, l.Owner, pid, tid)
+	}
 }
 
 func fatalIf(err error) {

@@ -1,8 +1,11 @@
 // Faulttolerance: a client process is killed while its threads hammer the
 // store. Hodor's guarantee (§3.4): in-flight library calls run to
 // completion, so no lock is ever left held and no invariant broken; other
-// processes continue unaffected. A second scenario shows the other side:
-// a crash *inside* library code is unrecoverable and poisons the library.
+// processes continue unaffected. A second scenario shows a crash *inside*
+// library code on a bare Hodor library with no repair routine — the
+// paper's "unrecoverable", permanent poisoning. A third shows what the
+// Bookkeeper does by default instead: quarantine, structural repair, and
+// resume (DESIGN.md §8).
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"plibmc/internal/faultpoint"
 	"plibmc/internal/hodor"
 	"plibmc/internal/pku"
 	"plibmc/internal/proc"
@@ -97,17 +101,23 @@ func main() {
 	}
 	fmt.Println("survivor writes succeed after the crash")
 
-	// Scenario 2: a segfault *inside* library code (a bug in the library
-	// itself) is unrecoverable — demonstrated on a throwaway Hodor
-	// library so the main store stays healthy.
+	// Scenario 2: a segfault *inside* library code on a bare Hodor
+	// library with no repair routine registered — demonstrated on a
+	// throwaway library so the main store stays healthy.
 	fmt.Println()
 	crashInsideLibraryDemo()
+
+	// Scenario 3: the same class of crash against the Bookkeeper store,
+	// where recovery is on by default — the store repairs itself online.
+	fmt.Println()
+	crashRecoveryDemo(book, s)
 }
 
 // crashInsideLibraryDemo builds a minimal protected library with a buggy
-// entry point and shows that the crash is contained in a CrashError and
-// permanently poisons that library (paper §2: "a crash that occurs inside
-// library code is considered unrecoverable").
+// entry point and shows that, with no repair routine registered, the
+// crash is contained in a CrashError and permanently poisons that library
+// (paper §2: "a crash that occurs inside library code is considered
+// unrecoverable").
 func crashInsideLibraryDemo() {
 	heap := shm.New(shm.PageSize)
 	pt := pku.NewPageTable(heap)
@@ -139,4 +149,41 @@ func crashInsideLibraryDemo() {
 		return struct{}{}, nil
 	}, struct{}{})
 	fmt.Println(err)
+}
+
+// crashRecoveryDemo kills a client at a named crash point deep inside a
+// Set — after the item is linked, before its lock is released — and shows
+// the Bookkeeper's default behaviour: the library quarantines, the repair
+// coordinator breaks the dead thread's locks, rebuilds the structures and
+// verifies the heap, and the survivor's next call is served.
+func crashRecoveryDemo(book *memcached.Bookkeeper, survivor *memcached.Session) {
+	doomedProc, err := book.NewClientProcess(1003)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doomed, err := doomedProc.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := faultpoint.Arm("ops.store.after_link", func() {
+		doomedProc.Kill()
+		panic("simulated segfault mid-Set, item lock held")
+	}); err != nil {
+		log.Fatal(err)
+	}
+	crashErr := doomed.Set([]byte("doomed-key"), []byte("x"), 0, 0)
+	fmt.Printf("client crashed inside the store's Set: %v\n", crashErr)
+
+	// The survivor's very next call parks until the repair completes,
+	// then succeeds — no poisoning, no restart.
+	start := time.Now()
+	if err := survivor.Set([]byte("after-repair"), []byte("served"), 0, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("survivor served %.1f ms after the crash\n",
+		float64(time.Since(start).Microseconds())/1000)
+	st := book.Stats()
+	rep, _ := book.LastRepair()
+	fmt.Printf("library poisoned: %v; recoveries: %d; repair kept %d items, dropped %d\n",
+		book.Library().Poisoned(), st.Recoveries, rep.ItemsKept, rep.ItemsDropped)
 }

@@ -1,0 +1,180 @@
+package plibmc
+
+// The crash-recovery fault matrix: for every registered crash point in
+// the library, kill a client exactly there and assert the store comes
+// back — repaired, verified, and serving — within the grace bound.
+//
+// Each subtest builds a small store with a survivor client and a doomed
+// client, primes it past the expansion and eviction thresholds, arms one
+// fault point with a handler that kills the doomed process and panics
+// (the SIGKILL-mid-call analog), then drives the doomed client (and the
+// bookkeeper's maintenance, which owns the expansion/eviction/reap
+// points) until the point fires. Recovery must then complete without
+// poisoning, the heap must verify, and the survivor must get full
+// service from the repaired store.
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plibmc/internal/core"
+	"plibmc/internal/faultpoint"
+	"plibmc/memcached"
+)
+
+func TestFaultMatrix(t *testing.T) {
+	points := faultpoint.Names()
+	if len(points) == 0 {
+		t.Fatal("no registered fault points; the crash-injection sites are gone")
+	}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) { runFaultAt(t, point) })
+	}
+}
+
+func runFaultAt(t *testing.T, point string) {
+	defer faultpoint.DisarmAll()
+	book, err := memcached.CreateStore(memcached.Config{
+		HeapBytes:    16 << 20,
+		HashPower:    8, // 256 buckets: >384 items trigger expansion
+		NumItemLocks: 16,
+		MemLimit:     512 << 10, // small enough that the workload evicts
+		CallTimeout:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer book.Shutdown()
+	lib := book.Library()
+
+	survivorProc, err := book.NewClientProcess(1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := survivorProc.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomedProc, err := book.NewClientProcess(1002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := doomedProc.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Prime past the expansion threshold, plus same-width counters for
+	// the in-place increment path. Armed only afterwards, so priming
+	// cannot fire the point.
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%05d", i)) }
+	val := bytes.Repeat([]byte("v"), 256)
+	const primed = 450
+	for i := 0; i < primed; i++ {
+		if err := survivor.Set(key(i), val, 0, 0); err != nil {
+			t.Fatalf("priming: %v", err)
+		}
+	}
+	ctr := func(i int) []byte { return []byte(fmt.Sprintf("ctr-%d", i)) }
+	for i := 0; i < 8; i++ {
+		if err := survivor.Set(ctr(i), []byte("500"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var fired atomic.Bool
+	if err := faultpoint.Arm(point, func() {
+		fired.Store(true)
+		doomedProc.Kill()
+		panic("faultmatrix: injected crash at " + point)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive a mixed workload through the doomed client, with maintenance
+	// passes interleaved; one of them will step on the mine. Errors are
+	// expected once the crash lands (ErrKilled, parked calls).
+	for i := 0; i < 8000 && !fired.Load(); i++ {
+		k := key(i % (2 * primed)) // half misses/new links, half overwrites
+		switch i % 5 {
+		case 0:
+			_ = doomed.Set(k, val, 0, 0)
+		case 1:
+			_, _, _ = doomed.Get(k)
+		case 2:
+			_ = doomed.Delete(k)
+		case 3:
+			_, _ = doomed.Increment(ctr(i%8), 1) // same-width rewrite: 500 -> 501...
+		case 4:
+			_ = doomed.Set([]byte(fmt.Sprintf("new-%s-%d", point, i)), val, 0, 0)
+		}
+		if i%25 == 24 {
+			book.RunMaintenanceOnce()
+		}
+	}
+	if !fired.Load() {
+		t.Fatalf("workload never reached fault point %s", point)
+	}
+
+	// Recovery must complete within the grace bound without poisoning.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if lib.Poisoned() {
+			t.Fatalf("library poisoned after crash at %s", point)
+		}
+		if m := lib.Metrics(); m.Recoveries >= 1 && !lib.Recovering() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no recovery within grace after crash at %s (recovering=%v)",
+				point, lib.Recovering())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, repairs := book.LastRepair(); repairs < 1 {
+		t.Fatalf("no repair pass recorded after crash at %s", point)
+	}
+
+	// The heap verifies.
+	if _, err := book.Allocator().Check(); err != nil {
+		t.Fatalf("heap verification after recovery: %v", err)
+	}
+
+	// The survivor gets full service: Get over the keyspace, and a
+	// fresh Set/Get/MGet/Delete roundtrip.
+	servedGets := 0
+	for i := 0; i < primed; i++ {
+		if v, _, err := survivor.Get(key(i)); err == nil {
+			if !bytes.Equal(v, val) {
+				t.Fatalf("%s corrupt after recovery", key(i))
+			}
+			servedGets++
+		}
+	}
+	t.Logf("%s: survivor Get served %d/%d primed keys after repair", point, servedGets, primed)
+	rt := []byte("roundtrip-" + point)
+	if err := survivor.Set(rt, []byte("alive"), 0, 0); err != nil {
+		t.Fatalf("post-recovery Set: %v", err)
+	}
+	res, err := survivor.MGet([][]byte{rt, key(1)})
+	if err != nil || len(res) != 2 || !res[0].Found {
+		t.Fatalf("post-recovery MGet: %v, %+v", err, res)
+	}
+	if err := survivor.Delete(rt); err != nil {
+		t.Fatalf("post-recovery Delete: %v", err)
+	}
+
+	// Statistics are self-consistent with a full walk (no other actor is
+	// running: doomed is dead, maintenance only runs when called).
+	st := book.Stats()
+	walked := survivor.Ctx().ForEach(func(*core.Entry) bool { return true })
+	if uint64(walked) != st.CurrItems {
+		t.Fatalf("CurrItems = %d but ForEach walked %d after recovery", st.CurrItems, walked)
+	}
+	if st.Recoveries < 1 {
+		t.Fatalf("Stats().Recoveries = %d, want >= 1", st.Recoveries)
+	}
+}

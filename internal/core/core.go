@@ -168,6 +168,12 @@ type Store struct {
 
 	// nowFn supplies the wall clock; overridable in tests.
 	nowFn func() int64
+
+	// aliveFn is the owner-liveness oracle (SetOwnerLiveness): grave
+	// reaping and crash repair use it to expire announcements and break
+	// locks whose recorded owner can no longer execute. nil = everyone
+	// is presumed alive.
+	aliveFn func(owner uint64) bool
 }
 
 // Create formats a new store inside a freshly formatted heap.

@@ -3,7 +3,16 @@ package core
 import (
 	"fmt"
 
+	"plibmc/internal/faultpoint"
 	"plibmc/internal/ralloc"
+)
+
+// Crash-injection sites (see ops.go for the convention). A maintainer
+// dying here is the worst case the repair pass handles: every item lock
+// held, every stripe seqlock odd, and a half-migrated two-table state.
+var (
+	fpExpandStartLocked = faultpoint.New("expand.start.locked")
+	fpExpandStepMid     = faultpoint.New("expand.step.mid_bucket")
 )
 
 // Incremental hash-table expansion.
@@ -107,6 +116,7 @@ func (s *Store) StartExpand(c *Ctx, newPower uint) error {
 	s.H.AtomicStore64(s.htStorage+htExpandCursor, 0)
 	ralloc.AtomicStorePptr(s.H, s.htStorage+htTable, newTable)
 	s.H.AtomicStore64(s.htStorage+htHashPower, uint64(newPower))
+	fpExpandStartLocked.Maybe()
 	for li := uint64(0); li < s.numItemLocks; li++ {
 		s.H.SeqWriteEnd(s.seqLocks + li*8)
 	}
@@ -149,6 +159,7 @@ func (s *Store) ExpandStep(c *Ctx, n int) (int, error) {
 			bucket := newT + (h&newMask)*8
 			ralloc.AtomicStorePptr(s.H, it+itHNext, ralloc.LoadPptr(s.H, bucket))
 			ralloc.AtomicStorePptr(s.H, bucket, it)
+			fpExpandStepMid.Maybe()
 			it = next
 		}
 		ralloc.AtomicStorePptr(s.H, oldT+b*8, 0)

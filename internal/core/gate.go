@@ -37,12 +37,25 @@ func (c *Ctx) enterOp() {
 	}
 }
 
-// exitOp leaves the active-operation count.
+// exitOp leaves the active-operation count. The decrement refuses to
+// wrap below zero: after a crash, RepairGate zeroes counts entered by
+// threads that died mid-call, and a watchdog-reaped zombie that later
+// resumes long enough to run its deferred exitOp must not underflow the
+// repaired gate.
 func (c *Ctx) exitOp() {
 	if c.opDepth--; c.opDepth > 0 {
 		return
 	}
-	c.s.H.Add64(c.s.cfg+cfgGate, ^uint64(0))
+	gate := c.s.cfg + cfgGate
+	for {
+		g := c.s.H.AtomicLoad64(gate)
+		if g&^gateBarrier == 0 {
+			return // the gate was repaired out from under us
+		}
+		if c.s.H.CAS64(gate, g, g-1) {
+			return
+		}
+	}
 }
 
 // Quiesce raises the barrier and waits until no operation is in flight.

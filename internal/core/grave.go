@@ -88,13 +88,17 @@ func (c *Ctx) releaseReaderSlot() {
 // beginRead announces an optimistic read section (epoch even → odd).
 func (c *Ctx) beginRead() {
 	h := c.s.H
-	h.AtomicStore64(c.rdSlot+readerSlotEpoch, h.AtomicLoad64(c.rdSlot+readerSlotEpoch)+1)
+	c.rdEpoch = h.AtomicLoad64(c.rdSlot+readerSlotEpoch) + 1
+	h.AtomicStore64(c.rdSlot+readerSlotEpoch, c.rdEpoch)
 }
 
-// endRead closes the section (epoch odd → even).
+// endRead closes the section (epoch odd → even). The close is a CAS
+// against the epoch this context announced: if a reaper expired the
+// announcement in the meantime (it judged this owner dead — e.g. a
+// watchdog-reaped zombie thread resuming here), the CAS fails and the
+// slot — possibly reclaimed by another context by now — is left alone.
 func (c *Ctx) endRead() {
-	h := c.s.H
-	h.AtomicStore64(c.rdSlot+readerSlotEpoch, h.AtomicLoad64(c.rdSlot+readerSlotEpoch)+1)
+	c.s.H.CAS64(c.rdSlot+readerSlotEpoch, c.rdEpoch, c.rdEpoch+1)
 }
 
 // gravePush quarantines an item whose refcount reached zero. Lock-free;
@@ -139,7 +143,16 @@ func (c *Ctx) reapGrave() int {
 		// Any change of the epoch word proves at least one section exit
 		// since the steal; sections announced later cannot reach the
 		// stolen items (see the file comment).
+		//
+		// A reader that died inside its section never retires the epoch,
+		// which used to stall reapers forever. Announcements are tied to
+		// owner tokens, so when a liveness oracle is installed the reaper
+		// expires dead owners' announcements itself: a dead thread cannot
+		// be dereferencing stolen items.
 		for h.AtomicLoad64(slot+readerSlotEpoch) == e {
+			if s.expireIfDead(slot, e) {
+				break
+			}
 			runtime.Gosched()
 		}
 	}
@@ -156,6 +169,22 @@ func (c *Ctx) reapGrave() int {
 		freed++
 	}
 	return freed
+}
+
+// expireIfDead retires the announcement in slot — epoch e, observed odd —
+// if the installed liveness oracle reports its owner dead, and frees the
+// slot for reuse. Returns true when the epoch word is (or concurrently
+// became) no longer e, i.e. the waiter may stop waiting.
+func (s *Store) expireIfDead(slot, e uint64) bool {
+	owner := s.H.AtomicLoad64(slot + readerSlotOwner)
+	if !s.ownerIsDead(owner) {
+		return false
+	}
+	if s.H.CAS64(slot+readerSlotEpoch, e, e+1) {
+		s.H.CAS64(slot+readerSlotOwner, owner, 0)
+	}
+	// Even on CAS failure the epoch changed, which is all the caller needs.
+	return true
 }
 
 // GraveLen reports how many items are currently quarantined (test and

@@ -1,8 +1,16 @@
 package core
 
 import (
+	"plibmc/internal/faultpoint"
 	"plibmc/internal/ralloc"
 	"plibmc/internal/shm"
+)
+
+// Crash-injection sites (see ops.go for the convention).
+var (
+	fpLinkBeforeLRU   = faultpoint.New("lru.link.before_lru")   // in table, not yet in LRU
+	fpUnlinkBeforeLRU = faultpoint.New("lru.unlink.before_lru") // out of table, still in LRU
+	fpEvictAfterPin   = faultpoint.New("lru.evict.after_pin")   // victim pinned, nothing held
 )
 
 // LRU lists.
@@ -128,6 +136,7 @@ func (c *Ctx) evictTailOf(idx uint64) bool {
 	}
 	s.incref(victim) // pin: the victim cannot be freed under us
 	s.H.LockRelease(lockOff)
+	fpEvictAfterPin.Maybe()
 
 	// The hash was fixed at allocation; no key read or rehash needed.
 	hash := s.itemHash(victim)
@@ -160,6 +169,7 @@ func (c *Ctx) linkLocked(it, hash uint64) {
 	ralloc.AtomicStorePptr(s.H, bucket, it)
 	s.H.SeqWriteEnd(seq)
 	s.setLinked(it, true)
+	fpLinkBeforeLRU.Maybe()
 	c.lruLink(hash, it)
 	c.stat(statCurrItems, 1)
 	c.stat(statTotalItems, 1)
@@ -187,6 +197,7 @@ func (c *Ctx) unlinkLocked(it, hash uint64) {
 	}
 	s.H.SeqWriteEnd(seq)
 	s.setLinked(it, false)
+	fpUnlinkBeforeLRU.Maybe()
 	c.lruUnlink(hash, it)
 	c.stat(statCurrItems, -1)
 	c.stat(statBytes, -int64(s.A.SizeOf(it)))

@@ -3,7 +3,21 @@ package core
 import (
 	"strconv"
 
+	"plibmc/internal/faultpoint"
 	"plibmc/internal/ralloc"
+)
+
+// Crash-injection sites for the recovery fault matrix (faultmatrix_test at
+// the repo root). Each marks a state the repair pass must cope with when a
+// thread dies exactly there; all compile to a single atomic load unless a
+// test arms them.
+var (
+	fpStoreAfterAlloc   = faultpoint.New("ops.store.after_alloc")  // item built, lock not yet taken
+	fpStoreLocked       = faultpoint.New("ops.store.locked")       // bucket lock held, store untouched
+	fpStoreAfterUnlink  = faultpoint.New("ops.store.after_unlink") // old item gone, new not linked, lock held
+	fpStoreAfterLink    = faultpoint.New("ops.store.after_link")   // fully linked, lock still held
+	fpDeleteAfterUnlink = faultpoint.New("ops.delete.after_unlink")
+	fpIncrMidRewrite    = faultpoint.New("ops.incr.mid_rewrite") // inside a seqlock write section
 )
 
 // Ctx is the per-thread operation context: the thread's allocator cache,
@@ -20,6 +34,7 @@ type Ctx struct {
 	evictCursor uint64
 	opDepth     int
 	rdSlot      uint64 // optimistic-reader announcement slot; 0 = none
+	rdEpoch     uint64 // epoch this context announced in its slot (see endRead)
 
 	// CaptureClientBuffers applies the copy-before-lock idiom. It defaults
 	// to true; the ablation benchmark turns it off to measure the idiom's
@@ -73,6 +88,9 @@ func (c *Ctx) Close() {
 
 // Store returns the store this context operates on.
 func (c *Ctx) Store() *Store { return c.s }
+
+// Owner returns the context's lock-owner token.
+func (c *Ctx) Owner() uint64 { return c.owner }
 
 func grow(buf *[]byte, n uint64) []byte {
 	if uint64(cap(*buf)) < n {
@@ -253,9 +271,11 @@ func (c *Ctx) store(mode storeMode, key, value []byte, flags uint32, exptime int
 	if err != nil {
 		return err
 	}
+	fpStoreAfterAlloc.Maybe()
 	s := c.s
 	lock := s.itemLockOff(hash)
 	s.H.LockAcquire(lock, c.owner)
+	fpStoreLocked.Maybe()
 	old := c.findLocked(k, hash)
 	switch {
 	case mode == modeAdd && old != 0:
@@ -281,8 +301,10 @@ func (c *Ctx) store(mode storeMode, key, value []byte, flags uint32, exptime int
 	}
 	if old != 0 {
 		c.unlinkLocked(old, hash)
+		fpStoreAfterUnlink.Maybe()
 	}
 	c.linkLocked(it, hash)
+	fpStoreAfterLink.Maybe()
 	s.H.LockRelease(lock)
 	return nil
 }
@@ -326,6 +348,7 @@ func (c *Ctx) Delete(key []byte) error {
 		return ErrNotFound
 	}
 	c.unlinkLocked(it, hash)
+	fpDeleteAfterUnlink.Maybe()
 	s.H.LockRelease(lock)
 	c.stat(statDeleteHits, 1)
 	return nil
@@ -413,6 +436,7 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 		seq := s.seqOff(hash)
 		s.H.SeqWriteBegin(seq)
 		s.H.AtomicWriteBytes(s.itemValOff(it), rendered)
+		fpIncrMidRewrite.Maybe()
 		s.H.RelaxedStore64(it+itCASID, s.nextCAS())
 		s.H.SeqWriteEnd(seq)
 		return v, nil

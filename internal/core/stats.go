@@ -29,6 +29,8 @@ const (
 	statFlushes
 	statGetFastpath
 	statSeqRetries
+	statRecoveries
+	statRepairDropped
 	numStatCounters
 )
 
@@ -49,6 +51,10 @@ type Stats struct {
 	// optimistic path (hits and validated misses alike); SeqlockRetries
 	// counts discarded optimistic attempts (odd or changed sequence).
 	GetFastpathHits, SeqlockRetries uint64
+	// Recoveries counts completed structural repair passes;
+	// ItemsDroppedInRepair counts orphaned or torn items those passes
+	// had to discard.
+	Recoveries, ItemsDroppedInRepair uint64
 }
 
 // stat adds delta to one counter in this context's slot. In LockedStats
@@ -90,5 +96,6 @@ func (s *Store) Stats() Stats {
 		CurrItems: u(statCurrItems), TotalItems: u(statTotalItems), Bytes: u(statBytes),
 		Flushes:         u(statFlushes),
 		GetFastpathHits: u(statGetFastpath), SeqlockRetries: u(statSeqRetries),
+		Recoveries: u(statRecoveries), ItemsDroppedInRepair: u(statRepairDropped),
 	}
 }

@@ -1,0 +1,121 @@
+// Package faultpoint provides named crash-injection sites for the
+// recovery test harness.
+//
+// Library code declares a site once as a package-level variable
+// (faultpoint.New) and drops a Maybe() call at the interesting program
+// point — immediately after a lock acquisition, between the two halves of
+// a structural update, inside a seqlock write section. Unless a test has
+// armed the site, Maybe is a single relaxed atomic load of a global
+// counter and returns immediately, so production paths pay effectively
+// nothing for carrying the instrumentation.
+//
+// A test arms a site with a handler that typically kills the simulated
+// client process and then panics, modelling a segfault at exactly that
+// instruction. Handlers are one-shot: the first thread to reach an armed
+// site consumes the handler before running it, so the repair machinery a
+// crash triggers can itself pass through the same site without re-firing.
+package faultpoint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Point is one named crash site.
+type Point struct {
+	name string
+	fn   atomic.Pointer[func()]
+}
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*Point{}
+
+	// armed counts points that currently hold a handler; the zero fast
+	// path in Maybe is what keeps disarmed sites free.
+	armed atomic.Int64
+)
+
+// New registers (or returns the existing) crash point with the given name.
+// Call it from a package-level var declaration so every site is known to
+// the harness without having to execute the code that contains it.
+func New(name string) *Point {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if p, ok := registry[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	registry[name] = p
+	return p
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Maybe fires the point's handler if one is armed. The handler is
+// consumed before it runs (one-shot), so a handler that panics cannot be
+// re-entered by the recovery path that follows the crash.
+func (p *Point) Maybe() {
+	if armed.Load() == 0 {
+		return
+	}
+	fnp := p.fn.Load()
+	if fnp == nil {
+		return
+	}
+	if p.fn.CompareAndSwap(fnp, nil) {
+		armed.Add(-1)
+		(*fnp)()
+	}
+}
+
+// Arm installs a one-shot handler on the named point. Arming an already
+// armed point replaces its handler.
+func Arm(name string, fn func()) error {
+	registryMu.Lock()
+	p := registry[name]
+	registryMu.Unlock()
+	if p == nil {
+		return fmt.Errorf("faultpoint: unknown point %q", name)
+	}
+	if p.fn.Swap(&fn) == nil {
+		armed.Add(1)
+	}
+	return nil
+}
+
+// Disarm removes the handler from the named point, if any.
+func Disarm(name string) {
+	registryMu.Lock()
+	p := registry[name]
+	registryMu.Unlock()
+	if p != nil && p.fn.Swap(nil) != nil {
+		armed.Add(-1)
+	}
+}
+
+// DisarmAll removes every armed handler.
+func DisarmAll() {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	for _, p := range registry {
+		if p.fn.Swap(nil) != nil {
+			armed.Add(-1)
+		}
+	}
+}
+
+// Names returns every registered point name, sorted.
+func Names() []string {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,83 @@
+package faultpoint
+
+import "testing"
+
+func TestMaybeOneShot(t *testing.T) {
+	p := New("test.oneshot")
+	fired := 0
+	if err := Arm("test.oneshot", func() { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	p.Maybe()
+	p.Maybe() // consumed: must not fire again
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if err := Arm("test.oneshot", func() { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	p.Maybe()
+	if fired != 2 {
+		t.Fatalf("re-armed point fired %d times total, want 2", fired)
+	}
+}
+
+func TestArmUnknown(t *testing.T) {
+	if err := Arm("no.such.point", func() {}); err == nil {
+		t.Fatal("arming an unregistered point must fail")
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	p := New("test.disarm")
+	fired := false
+	if err := Arm("test.disarm", func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	Disarm("test.disarm")
+	p.Maybe()
+	if fired {
+		t.Fatal("disarmed point fired")
+	}
+}
+
+func TestNewIdempotent(t *testing.T) {
+	a := New("test.same")
+	b := New("test.same")
+	if a != b {
+		t.Fatal("New must return the registered point for a known name")
+	}
+}
+
+func TestNames(t *testing.T) {
+	New("test.names.a")
+	New("test.names.b")
+	names := Names()
+	found := 0
+	for _, n := range names {
+		if n == "test.names.a" || n == "test.names.b" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("Names() missing registered points: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestDisarmAll(t *testing.T) {
+	p1, p2 := New("test.all.1"), New("test.all.2")
+	fired := false
+	_ = Arm("test.all.1", func() { fired = true })
+	_ = Arm("test.all.2", func() { fired = true })
+	DisarmAll()
+	p1.Maybe()
+	p2.Maybe()
+	if fired {
+		t.Fatal("DisarmAll left a point armed")
+	}
+}

@@ -10,6 +10,18 @@ import (
 	"plibmc/internal/proc"
 )
 
+// Library health states. A crash inside library code moves the library
+// from Healthy to either Poisoned (no repair routine registered — the
+// paper's "a crash that occurs inside library code is considered
+// unrecoverable") or Recovering (a repair routine is registered; new
+// calls park with a bounded wait while the routine quarantines and
+// repairs the shared state, then the library resumes serving).
+const (
+	stateHealthy int32 = iota
+	stateRecovering
+	statePoisoned
+)
+
 // Library is a protected library: a protection domain, a set of entry
 // points reachable only through trampolines, an initialization routine run
 // by the loader, and the owner whose credentials gate access to the
@@ -31,28 +43,41 @@ type Library struct {
 	// process. Zero means the default of one second.
 	CallTimeout time.Duration
 
+	// RecoveryGrace bounds how long a call parks while the library is
+	// Recovering before giving up with ErrRecoveryTimeout, and how long
+	// the repair coordinator may wait for live calls to drain. Zero means
+	// the default of five seconds.
+	RecoveryGrace time.Duration
+
 	// Profile enables per-call latency accounting (two clock reads per
 	// call, ~40 ns — leave off for production-shaped benchmarks).
 	Profile bool
 
-	initFn   func(*proc.Process) error
-	entries  map[string]bool
-	poisoned atomic.Bool
+	initFn    func(*proc.Process) error
+	entries   map[string]bool
+	state     atomic.Int32
+	recoverFn func(*CrashError) error
 
-	calls    atomic.Uint64
-	crashes  atomic.Uint64
-	rejected atomic.Uint64
-	nanos    atomic.Uint64
+	calls      atomic.Uint64
+	crashes    atomic.Uint64
+	rejected   atomic.Uint64
+	recoveries atomic.Uint64
+	nanos      atomic.Uint64
 
 	mu       sync.Mutex
 	sessions []*Session
+	// defunct records lock-owner tokens whose execution context died
+	// mid-call (crash, or watchdog-reaped zombie). The repair coordinator
+	// uses it to decide which heap-resident locks are safe to break.
+	defunct map[uint64]bool
 }
 
 // Metrics is a snapshot of a library's call accounting.
 type Metrics struct {
-	Calls    uint64 // completed trampolined calls (including failed ones)
-	Crashes  uint64 // panics inside library code
-	Rejected uint64 // calls refused (poisoned library, killed process, …)
+	Calls      uint64 // completed trampolined calls (including failed ones)
+	Crashes    uint64 // panics inside library code
+	Rejected   uint64 // calls refused (poisoned library, killed process, …)
+	Recoveries uint64 // completed quarantine→repair→resume cycles
 	// TotalTime is accumulated in-library time; zero unless Profile is on.
 	TotalTime time.Duration
 }
@@ -60,10 +85,11 @@ type Metrics struct {
 // Metrics returns the library's call counters.
 func (l *Library) Metrics() Metrics {
 	return Metrics{
-		Calls:     l.calls.Load(),
-		Crashes:   l.crashes.Load(),
-		Rejected:  l.rejected.Load(),
-		TotalTime: time.Duration(l.nanos.Load()),
+		Calls:      l.calls.Load(),
+		Crashes:    l.crashes.Load(),
+		Rejected:   l.rejected.Load(),
+		Recoveries: l.recoveries.Load(),
+		TotalTime:  time.Duration(l.nanos.Load()),
 	}
 }
 
@@ -75,12 +101,23 @@ func NewLibrary(name string, ownerUID int, d *Domain) *Library {
 		Domain:      d,
 		CallTimeout: time.Second,
 		entries:     make(map[string]bool),
+		defunct:     make(map[uint64]bool),
 	}
 }
 
 // OnInit registers the library's initialization routine. The loader runs it
 // once per process, under the library owner's effective UID.
 func (l *Library) OnInit(fn func(*proc.Process) error) { l.initFn = fn }
+
+// OnRecover registers the repair routine that turns a crash inside library
+// code from a terminal event into a quarantine→repair→resume cycle. The
+// routine runs on its own goroutine while new calls park; if it returns an
+// error (or panics) the library is poisoned as before. With no routine
+// registered, any crash permanently poisons the library.
+//
+// Register before the library serves calls; the field is read without
+// synchronization on the crash path.
+func (l *Library) OnRecover(fn func(*CrashError) error) { l.recoverFn = fn }
 
 // Entries returns the names of the registered entry points, the analog of
 // the HODOR_FUNC_EXPORT table.
@@ -95,12 +132,20 @@ func (l *Library) Entries() []string {
 }
 
 // Poisoned reports whether a crash inside library code has made the library
-// unrecoverable (paper §2: "a crash that occurs inside library code is
-// considered unrecoverable").
-func (l *Library) Poisoned() bool { return l.poisoned.Load() }
+// unrecoverable.
+func (l *Library) Poisoned() bool { return l.state.Load() == statePoisoned }
+
+// Recovering reports whether a repair cycle is in progress; calls made now
+// park until it completes (bounded by RecoveryGrace).
+func (l *Library) Recovering() bool { return l.state.Load() == stateRecovering }
 
 // ErrPoisoned is returned for calls into a library that has crashed.
 var ErrPoisoned = errors.New("hodor: library poisoned by a crash inside library code")
+
+// ErrRecoveryTimeout is returned when a call waited longer than
+// RecoveryGrace for an in-progress repair to finish. The library is not
+// poisoned; retrying is reasonable.
+var ErrRecoveryTimeout = errors.New("hodor: library still recovering after grace period")
 
 // ErrNotLinked is returned when a thread calls into a library that its
 // process never loaded.
@@ -120,6 +165,11 @@ type Session struct {
 	// stackDepth models the trampoline's switch to the library-side stack.
 	stackDepth int
 	savedPKRU  uint32
+	// reaped marks a session whose in-flight call outlived the watchdog
+	// timeout after its process was killed: the OS has terminated the
+	// thread, so the call will never retire and recovery must not wait
+	// for it (nor should a later sweep report it again).
+	reaped atomic.Bool
 }
 
 // InCall reports whether the session's thread is inside a library call.
@@ -138,7 +188,7 @@ func (l *Library) attach(t *proc.Thread) *Session {
 }
 
 // A CrashError wraps a panic that escaped library code: a segfault inside a
-// protected-library call, which poisons the library.
+// protected-library call.
 type CrashError struct {
 	Lib   string
 	Cause any
@@ -151,6 +201,49 @@ func (e *CrashError) Error() string {
 // Copier is implemented by argument types that know how to copy themselves
 // into the library domain, used when Library.CopyArgs is enabled.
 type Copier interface{ LibCopy() any }
+
+func (l *Library) grace() time.Duration {
+	if l.RecoveryGrace > 0 {
+		return l.RecoveryGrace
+	}
+	return 5 * time.Second
+}
+
+func (l *Library) callTimeout() time.Duration {
+	if l.CallTimeout > 0 {
+		return l.CallTimeout
+	}
+	return time.Second
+}
+
+// admit gates a call on library health. It publishes the session's
+// in-flight record *before* loading the state word so that the repair
+// drain (which reads states in the opposite order) can never miss a call
+// that slipped past a Healthy check: either admit sees the Recovering
+// state, or the drain sees the published callStart.
+func (l *Library) admit(s *Session, start time.Time) error {
+	deadline := start.Add(l.grace())
+	for {
+		s.callStart.Store(start.UnixNano())
+		switch l.state.Load() {
+		case stateHealthy:
+			return nil
+		case statePoisoned:
+			s.callStart.Store(0)
+			return ErrPoisoned
+		}
+		// Recovering: withdraw the in-flight record before parking so the
+		// drain does not count waiters as live calls, then wait bounded.
+		s.callStart.Store(0)
+		if s.Thread.Proc.Killed() {
+			return &proc.ErrKilled{PID: s.Thread.Proc.ID}
+		}
+		if time.Now().After(deadline) {
+			return ErrRecoveryTimeout
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
 
 // Call runs fn as a protected-library call on session s, performing the full
 // trampoline sequence:
@@ -165,46 +258,49 @@ type Copier interface{ LibCopy() any }
 // If the process is killed while the call is in flight, the call completes
 // and its result is returned; the thread is only then subject to the kill
 // (the caller observes it at its next CheckAlive). If fn panics, the panic
-// is converted into a CrashError and the library is poisoned.
+// is converted into a CrashError; the library is poisoned, or — when a
+// repair routine is registered via OnRecover — enters Recovering and
+// subsequent calls park until repair completes.
 func Call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), arg A) (res R, err error) {
 	if !s.linked {
 		return res, ErrNotLinked
 	}
 	l := s.Lib
-	if l.poisoned.Load() {
-		l.rejected.Add(1)
-		return res, ErrPoisoned
-	}
 	t := s.Thread
 	if eErr := t.EnterLibrary(); eErr != nil {
 		l.rejected.Add(1)
 		return res, eErr
 	}
-	l.calls.Add(1)
-	var profStart time.Time
-	if l.Profile {
-		profStart = time.Now()
+	start := time.Now()
+	if aErr := l.admit(s, start); aErr != nil {
+		l.rejected.Add(1)
+		t.ExitLibrary()
+		return res, aErr
 	}
-	s.callStart.Store(time.Now().UnixNano())
+	l.calls.Add(1)
 	s.stackDepth++ // switch to the library-side stack
 	saved := t.PKRU()
 	s.savedPKRU = uint32(saved)
 	proc.WRPKRU(t, saved.WithAccess(l.Domain.Key))
 
 	defer func() {
-		if r := recover(); r != nil {
-			// A fault inside library code: unrecoverable.
-			l.poisoned.Store(true)
+		crashed := recover()
+		if crashed != nil {
 			l.crashes.Add(1)
-			err = &CrashError{Lib: l.Name, Cause: r}
+			err = &CrashError{Lib: l.Name, Cause: crashed}
 		}
 		if l.Profile {
-			l.nanos.Add(uint64(time.Since(profStart)))
+			l.nanos.Add(uint64(time.Since(start)))
 		}
 		proc.WRPKRU(t, saved)
 		s.stackDepth--
 		s.callStart.Store(0)
 		t.ExitLibrary()
+		if crashed != nil {
+			// After the in-flight record is retired: the repair drain
+			// must not wait for this call, and its token is now defunct.
+			l.noteCrash(t.LockOwner(), crashed)
+		}
 	}()
 
 	if l.CopyArgs {
@@ -214,6 +310,136 @@ func Call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), arg A) (res
 	}
 	res, err = fn(t, arg)
 	return res, err
+}
+
+// noteCrash records a defunct token and transitions the library: to
+// Poisoned when no repair routine is registered, otherwise to Recovering
+// (if not already there) with the repair running on its own goroutine.
+func (l *Library) noteCrash(token uint64, cause any) {
+	l.mu.Lock()
+	l.defunct[token] = true
+	fn := l.recoverFn
+	l.mu.Unlock()
+	if fn == nil {
+		l.state.Store(statePoisoned)
+		return
+	}
+	if l.state.CompareAndSwap(stateHealthy, stateRecovering) {
+		go l.runRepair(&CrashError{Lib: l.Name, Cause: cause})
+	}
+}
+
+// runRepair drives one quarantine→repair→resume cycle. A repair that
+// fails or panics poisons the library — the pre-recovery behaviour.
+func (l *Library) runRepair(cause *CrashError) {
+	var err error
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("hodor: repair routine panicked: %v", r)
+		}
+		if err != nil {
+			l.state.Store(statePoisoned)
+			return
+		}
+		l.recoveries.Add(1)
+		l.state.Store(stateHealthy)
+	}()
+	err = l.recoverFn(cause)
+}
+
+// TriggerRecovery marks token defunct and starts a recovery cycle (or
+// poisons the library when no repair routine is registered). It is for
+// crashes observed outside a trampolined call — e.g. the store owner's
+// maintenance thread faulting — where no Call defer sees the panic.
+func (l *Library) TriggerRecovery(token uint64, cause any) {
+	l.crashes.Add(1)
+	l.noteCrash(token, cause)
+}
+
+// TokenDefunct reports whether a lock-owner token belongs to an execution
+// context that can no longer run library code: it crashed mid-call, was
+// reaped by the watchdog, or belongs to a killed process with no call in
+// flight. A live in-flight call — even of a killed process, which runs to
+// completion — is never defunct, so breaking the locks of defunct tokens
+// cannot race with their owners.
+func (l *Library) TokenDefunct(token uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, s := range l.sessions {
+		if s.Thread.LockOwner() != token {
+			continue
+		}
+		if s.reaped.Load() {
+			return true
+		}
+		if s.callStart.Load() != 0 {
+			return false // running; run-to-completion protects it
+		}
+		if s.Thread.Proc.Killed() {
+			return true
+		}
+	}
+	return l.defunct[token]
+}
+
+// TokenActive reports whether the token's session has a live call in
+// flight right now. Liveness oracles layered above TokenDefunct (which
+// consult process-level kill state for threads hodor has never seen)
+// must check this first: an active call may belong to a killed process
+// and still runs to completion.
+func (l *Library) TokenActive(token uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, s := range l.sessions {
+		if s.Thread.LockOwner() == token && !s.reaped.Load() && s.callStart.Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DrainLiveCalls waits for every live in-flight call to retire, so that a
+// repair pass can assume exclusive access to the shared state. Calls of
+// killed processes that outlive the watchdog timeout are reaped (marked
+// defunct) rather than waited for. Returns false if live calls remain
+// when the timeout expires.
+func (l *Library) DrainLiveCalls(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if !l.sweepLiveCalls(time.Now()) {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// sweepLiveCalls reports whether any live call is still in flight,
+// reaping overdue calls of killed processes along the way.
+func (l *Library) sweepLiveCalls(now time.Time) bool {
+	timeout := l.callTimeout()
+	l.mu.Lock()
+	sessions := make([]*Session, len(l.sessions))
+	copy(sessions, l.sessions)
+	l.mu.Unlock()
+	live := false
+	for _, s := range sessions {
+		start := s.callStart.Load()
+		if start == 0 || s.reaped.Load() {
+			continue
+		}
+		if s.Thread.Proc.Killed() && now.Sub(time.Unix(0, start)) > timeout {
+			s.reaped.Store(true)
+			l.mu.Lock()
+			l.defunct[s.Thread.LockOwner()] = true
+			l.mu.Unlock()
+			continue
+		}
+		live = true
+	}
+	return live
 }
 
 // RegisterEntry records an entry point name in the library's export table
@@ -236,14 +462,12 @@ func Wrap[A, R any](l *Library, name string, fn func(*proc.Thread, A) (R, error)
 
 // WatchdogSweep enforces the execution-time limit on the run-to-completion
 // guarantee: if a thread of a killed process has been inside a library call
-// for longer than CallTimeout, the OS gives up waiting and terminates it —
-// which, since the thread may hold locks, poisons the library. now is
-// injected for testability. It returns the number of overdue calls found.
+// for longer than CallTimeout, the OS gives up waiting and terminates it.
+// Since the thread may hold locks, this poisons the library — or, with a
+// repair routine registered, triggers a recovery cycle. now is injected
+// for testability. It returns the number of overdue calls found.
 func (l *Library) WatchdogSweep(now time.Time) int {
-	timeout := l.CallTimeout
-	if timeout == 0 {
-		timeout = time.Second
-	}
+	timeout := l.callTimeout()
 	l.mu.Lock()
 	sessions := make([]*Session, len(l.sessions))
 	copy(sessions, l.sessions)
@@ -251,12 +475,13 @@ func (l *Library) WatchdogSweep(now time.Time) int {
 	overdue := 0
 	for _, s := range sessions {
 		start := s.callStart.Load()
-		if start == 0 || !s.Thread.Proc.Killed() {
+		if start == 0 || s.reaped.Load() || !s.Thread.Proc.Killed() {
 			continue
 		}
 		if now.Sub(time.Unix(0, start)) > timeout {
 			overdue++
-			l.poisoned.Store(true)
+			s.reaped.Store(true)
+			l.noteCrash(s.Thread.LockOwner(), "watchdog: overdue call of killed process")
 		}
 	}
 	return overdue

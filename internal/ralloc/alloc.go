@@ -1,5 +1,16 @@
 package ralloc
 
+import "plibmc/internal/faultpoint"
+
+// Crash-injection sites for the recovery fault matrix. Both sit after the
+// allocator's own state transitions complete, so a thread dying there
+// leaks the block (the accounting stays within Check's tolerance) but
+// never leaves a chunk-directory word in a transient state.
+var (
+	fpMallocCarved = faultpoint.New("ralloc.malloc.carved") // block obtained, about to be returned
+	fpFreeEnter    = faultpoint.New("ralloc.free.enter")    // caller unlinked the block, free not started
+)
+
 // Global free lists.
 //
 // Each size class has a heap-resident Treiber stack of free blocks. The
@@ -128,6 +139,7 @@ func (c *Cache) Malloc(n uint64) (uint64, error) {
 	off := l[len(l)-1]
 	c.lists[ci] = l[:len(l)-1]
 	c.a.h.Add64(offLiveBytes, classSizes[ci])
+	fpMallocCarved.Maybe()
 	return off, nil
 }
 
@@ -185,6 +197,7 @@ func (c *Cache) refill(ci int) bool {
 // Free returns the block at off to the heap. Freeing an offset that is not
 // the base of a live block returns ErrBadFree and leaves the heap intact.
 func (c *Cache) Free(off uint64) error {
+	fpFreeEnter.Maybe()
 	ci, word := c.a.chunkOf(off)
 	if ci < 0 {
 		return ErrBadFree

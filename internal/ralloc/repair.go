@@ -1,0 +1,54 @@
+package ralloc
+
+// Crash-recovery helpers. A thread that dies mid-call can leave the
+// allocation spinlock held and blocks unreachable; the store's repair
+// coordinator uses these entry points once it has excluded every live
+// thread from the heap.
+
+// BlockAt returns the usable size of the live block that starts exactly at
+// off, or 0 if off is not a plausible block base: outside the chunk
+// region, in a free or claimed chunk, misaligned within its size class, or
+// in the interior of a large allocation. Structural repair uses it to
+// decide whether a pointer recovered from a torn data structure may be
+// dereferenced at all.
+func (a *Allocator) BlockAt(off uint64) uint64 {
+	ci, word := a.chunkOf(off)
+	if ci < 0 {
+		return 0
+	}
+	switch {
+	case word == dirFree || word == dirClaimed || word&dirContBit != 0:
+		return 0
+	case word&dirLargeBit != 0:
+		if (off-a.chunkOff)%ChunkSize != 0 {
+			return 0
+		}
+		return (word &^ dirLargeBit) * ChunkSize
+	}
+	size := classSizes[word-1]
+	chunkBase := a.chunkOff + (off-a.chunkOff)/ChunkSize*ChunkSize
+	if (off-chunkBase)%size != 0 {
+		return 0
+	}
+	return size
+}
+
+// AllocLockOwner returns the owner token of the large-allocation spinlock,
+// or 0 when it is free (post-mortem lock triage).
+func (a *Allocator) AllocLockOwner() uint64 {
+	return a.h.LockHolder(offAllocLock)
+}
+
+// RepairLocks force-releases the large-allocation spinlock if it is held.
+// Only call with no live thread executing inside the allocator — i.e.
+// from a repair pass that has drained every in-flight operation; a dead
+// holder is the only way the lock can still be held then. Returns the
+// number of locks released (0 or 1).
+func (a *Allocator) RepairLocks() int {
+	if h := a.h.LockHolder(offAllocLock); h != 0 {
+		if a.h.CAS64(offAllocLock, h, 0) {
+			return 1
+		}
+	}
+	return 0
+}

@@ -22,6 +22,13 @@ func (b *Bookkeeper) Checkpoint() error {
 	if b.cfg.Path == "" {
 		return fmt.Errorf("memcached: checkpoint requires a backing file path")
 	}
+	// Checkpointing and structural repair are mutually exclusive: a heap
+	// image taken mid-repair would persist half-rebuilt chains.
+	b.repairMu.Lock()
+	defer b.repairMu.Unlock()
+	if b.lib.Recovering() {
+		return fmt.Errorf("memcached: store is being repaired; retry after recovery")
+	}
 	b.store.Quiesce()
 	defer b.store.Unquiesce()
 	return b.heap.Flush(b.cfg.Path)

@@ -1,0 +1,121 @@
+package memcached
+
+import (
+	"fmt"
+	"time"
+
+	"plibmc/internal/core"
+	"plibmc/internal/hodor"
+	"plibmc/internal/proc"
+)
+
+// Crash recovery.
+//
+// The paper's failure story stops at detection: a client that dies inside
+// the library leaves the store in an unknown state, and the watchdog's
+// only remedy is to poison the library so every later call fails. This
+// file upgrades poison to quarantine → repair → resume. When hodor
+// observes a crash mid-call (a trampolined call panicking, or the
+// watchdog reaping an overdue call of a killed process) it parks new
+// callers and hands the Bookkeeper a *CrashError; repairStore then
+//
+//  1. force-releases heap-resident locks whose owners are provably dead
+//     and retires their epoch announcements, so surviving in-flight
+//     calls stop blocking on a corpse;
+//  2. drains the surviving calls through hodor (bounded by the grace
+//     period — the same bound callers park under);
+//  3. with the store quiescent, clears the operation gate and runs the
+//     structural repair pass (core.Store.Repair) followed by the
+//     allocator's heap verifier;
+//  4. returns, at which point hodor flips the library back to Healthy
+//     and the parked callers proceed.
+//
+// A repair that fails leaves the library poisoned — exactly the old
+// behaviour, reached only when the new one cannot help.
+
+// ownerDefunct is the liveness oracle handed to the core layer: it may
+// report a lock-owner token dead only when that execution context can
+// never again touch the heap. Tokens with a live hodor call in flight
+// are always alive (killed processes run to completion); beyond that,
+// hodor's own books decide, falling back to the process registry for
+// threads that crashed outside any trampolined call (the maintainer).
+func (b *Bookkeeper) ownerDefunct(token uint64) bool {
+	if b.lib.TokenActive(token) {
+		return false
+	}
+	if b.lib.TokenDefunct(token) {
+		return true
+	}
+	pid := int(token >> 20)
+	b.procMu.Lock()
+	p := b.procs[pid]
+	b.procMu.Unlock()
+	return p != nil && p.Killed()
+}
+
+// registerProc records a process in the liveness registry.
+func (b *Bookkeeper) registerProc(p *proc.Process) {
+	b.procMu.Lock()
+	b.procs[p.ID] = p
+	b.procMu.Unlock()
+}
+
+// repairStore is the repair routine registered with hodor.OnRecover. It
+// runs on hodor's recovery goroutine while the library is in the
+// Recovering state (new calls parked, crashed call already unwound).
+func (b *Bookkeeper) repairStore(cause *hodor.CrashError) error {
+	b.repairMu.Lock()
+	defer b.repairMu.Unlock()
+
+	dead := b.ownerDefunct
+	grace := b.lib.RecoveryGrace
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	deadline := time.Now().Add(grace)
+
+	// Quarantine: break the dead owners' locks and epoch announcements
+	// first, so live calls blocked on them can finish, then drain. The
+	// loop re-breaks each round because a call reaped *during* the drain
+	// may itself have died holding locks.
+	for {
+		b.store.ForceReleaseDeadLocks(dead)
+		b.store.RetireDeadReaders(dead)
+		if b.lib.DrainLiveCalls(50 * time.Millisecond) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("memcached: live calls did not drain within %v after %v", grace, cause)
+		}
+	}
+	// Final passes with the store quiescent: whatever the last reaped
+	// call held is now safe to break.
+	b.store.ForceReleaseDeadLocks(dead)
+	b.store.RetireDeadReaders(dead)
+	b.alloc.RepairLocks()
+	b.store.RepairGate()
+
+	// Structural repair runs on a fresh bookkeeper thread.
+	rc := b.store.NewCtx(b.proc.NewThread().LockOwner())
+	rep, err := b.store.Repair(rc)
+	rc.Close()
+	if err != nil {
+		return fmt.Errorf("memcached: structural repair failed: %w", err)
+	}
+	if _, err := b.alloc.Check(); err != nil {
+		return fmt.Errorf("memcached: heap verification after repair failed: %w", err)
+	}
+	b.repairReportMu.Lock()
+	b.lastRepair = rep
+	b.repairs++
+	b.repairReportMu.Unlock()
+	return nil
+}
+
+// LastRepair returns the most recent structural repair report and how
+// many repair passes have completed.
+func (b *Bookkeeper) LastRepair() (core.RepairReport, int) {
+	b.repairReportMu.Lock()
+	defer b.repairReportMu.Unlock()
+	return b.lastRepair, b.repairs
+}

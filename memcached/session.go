@@ -64,6 +64,9 @@ func (b *Bookkeeper) NewClientProcess(uid int) (*ClientProcess, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Register with the liveness oracle: after a Kill, this process's
+	// lock-owner tokens become eligible for forced release during repair.
+	b.registerProc(p)
 	return &ClientProcess{b: b, p: p, res: res}, nil
 }
 

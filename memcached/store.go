@@ -19,6 +19,7 @@ package memcached
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -52,6 +53,13 @@ type Config struct {
 	FixedSize    bool
 	// CallTimeout bounds in-library execution for killed processes.
 	CallTimeout time.Duration
+	// RecoveryGrace bounds both how long a call blocks while the store
+	// is being repaired and how long the repair pass waits for surviving
+	// calls to drain. Zero means hodor's default (5s).
+	RecoveryGrace time.Duration
+	// DisableRecovery restores the paper's behaviour: a crash inside the
+	// library permanently poisons it instead of triggering online repair.
+	DisableRecovery bool
 }
 
 // Bookkeeper is the bookkeeping process: it creates or reopens the store,
@@ -68,6 +76,17 @@ type Bookkeeper struct {
 	proc    *proc.Process
 	maint   *core.Maintainer
 	baseSeq atomic.Uint64
+
+	// repairMu serializes the mutually exclusive heavyweight passes:
+	// structural repair, maintenance, and checkpointing.
+	repairMu sync.Mutex
+	// procMu guards the process registry behind the liveness oracle.
+	procMu sync.Mutex
+	procs  map[int]*proc.Process
+
+	repairReportMu sync.Mutex
+	lastRepair     core.RepairReport
+	repairs        int
 
 	stopMaint chan struct{}
 	maintDone chan struct{}
@@ -148,11 +167,13 @@ func newBookkeeper(cfg Config, heap *shm.Heap, alloc *ralloc.Allocator, store *c
 	}
 	lib := hodor.NewLibrary(LibraryName, cfg.OwnerUID, dom)
 	lib.CallTimeout = cfg.CallTimeout
+	lib.RecoveryGrace = cfg.RecoveryGrace
 	registerEntryPoints(lib)
 
 	b := &Bookkeeper{
 		cfg: cfg, heap: heap, pt: pt, dom: dom, lib: lib,
 		alloc: alloc, store: store,
+		procs: make(map[int]*proc.Process),
 	}
 	b.baseSeq.Store(1)
 	bkProc, err := proc.NewProcess(cfg.OwnerUID, heap, b.nextBase())
@@ -160,7 +181,12 @@ func newBookkeeper(cfg Config, heap *shm.Heap, alloc *ralloc.Allocator, store *c
 		return nil, err
 	}
 	b.proc = bkProc
+	b.registerProc(bkProc)
 	b.maint = store.NewMaintainer(bkProc.NewThread().LockOwner())
+	if !cfg.DisableRecovery {
+		lib.OnRecover(b.repairStore)
+		store.SetOwnerLiveness(func(token uint64) bool { return !b.ownerDefunct(token) })
+	}
 	return b, nil
 }
 
@@ -186,8 +212,25 @@ func (b *Bookkeeper) Stats() core.Stats { return b.store.Stats() }
 
 // RunMaintenanceOnce performs one cleaning pass (eviction to the watermark,
 // expiry sweep, resize check) and a watchdog sweep over in-flight calls.
+// While the store is quarantined for repair the cleaning pass is skipped
+// (the repair coordinator owns the heap); a maintenance pass that panics
+// — the bookkeeper's own thread faulting inside library state — is
+// converted into a recovery cycle like any client crash, with a fresh
+// maintainer replacing the wreckage.
 func (b *Bookkeeper) RunMaintenanceOnce() core.MaintReport {
 	b.lib.WatchdogSweep(time.Now())
+	if b.lib.Recovering() || b.lib.Poisoned() {
+		return core.MaintReport{}
+	}
+	b.repairMu.Lock()
+	defer b.repairMu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			token := b.maint.Ctx().Owner()
+			b.maint = b.store.NewMaintainer(b.proc.NewThread().LockOwner())
+			b.lib.TriggerRecovery(token, r)
+		}
+	}()
 	return b.maint.RunOnce()
 }
 

@@ -1,0 +1,78 @@
+package plibmc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"plibmc/internal/faultpoint"
+	"plibmc/memcached"
+)
+
+// BenchmarkRecovery measures time-to-resume: from the instant a client
+// crashes inside the library until a survivor's parked call is served by
+// the repaired store. The 64 MiB heap carries ~20k items, so the figure
+// includes a full structural repair (harvest, rebuild, heap check) of a
+// realistically populated store.
+func BenchmarkRecovery(b *testing.B) {
+	defer faultpoint.DisarmAll()
+	book, err := memcached.CreateStore(memcached.Config{
+		HeapBytes:    64 << 20,
+		HashPower:    14,
+		NumItemLocks: 64,
+		CallTimeout:  50 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer book.Shutdown()
+
+	survivorProc, err := book.NewClientProcess(1001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	survivor, err := survivorProc.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("v"), 512)
+	const items = 20000
+	for i := 0; i < items; i++ {
+		if err := survivor.Set([]byte(fmt.Sprintf("key-%06d", i)), val, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		doomedProc, err := book.NewClientProcess(2000 + n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doomed, err := doomedProc.NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := faultpoint.Arm("ops.store.after_link", func() {
+			doomedProc.Kill()
+			panic("bench: injected crash")
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		// The crash: a Set that dies after publishing its item.
+		_ = doomed.Set([]byte(fmt.Sprintf("crash-%d", n)), val, 0, 0)
+		// Time-to-resume: this call parks in admission until the repair
+		// completes, then is served.
+		if err := survivor.Set([]byte("probe"), val, 0, 0); err != nil {
+			b.Fatalf("survivor blocked out of recovery: %v", err)
+		}
+	}
+	b.StopTimer()
+	if m := book.Library().Metrics(); m.Recoveries != uint64(b.N) {
+		b.Fatalf("Recoveries = %d, want %d", m.Recoveries, b.N)
+	}
+}

@@ -56,6 +56,11 @@ func main() {
 		printLocks(store, alloc)
 	}
 	store.ResetGate()
+	// Break whatever locks the dying threads left held before walking:
+	// the key/value walk takes stripe locks, and in an offline image no
+	// owner can ever release one.
+	store.ForceReleaseDeadLocks(func(uint64) bool { return true })
+	alloc.RepairLocks()
 	st := store.Stats()
 	fmt.Printf("store: 2^%d buckets, %d items, %d bytes; lifetime: %d gets (%d hits), %d sets, %d evictions, %d expired\n",
 		store.HashPower(), st.CurrItems, st.Bytes, st.Gets, st.GetHits, st.Sets, st.Evictions, st.Expired)

@@ -28,6 +28,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"plibmc/internal/ralloc"
@@ -171,9 +172,10 @@ type Store struct {
 
 	// aliveFn is the owner-liveness oracle (SetOwnerLiveness): grave
 	// reaping and crash repair use it to expire announcements and break
-	// locks whose recorded owner can no longer execute. nil = everyone
-	// is presumed alive.
-	aliveFn func(owner uint64) bool
+	// locks whose recorded owner can no longer execute. Atomic because
+	// the hot paths consult it concurrently with (re)installation.
+	// Unset = everyone is presumed alive.
+	aliveFn atomic.Pointer[func(owner uint64) bool]
 }
 
 // Create formats a new store inside a freshly formatted heap.

@@ -100,7 +100,7 @@ func (s *Store) StartExpand(c *Ctx, newPower uint) error {
 	// Publish atomically with respect to every operation: hold the whole
 	// lock stripe for the (brief, copy-free) pointer swap.
 	for li := uint64(0); li < s.numItemLocks; li++ {
-		s.H.LockAcquire(s.itemLocks+li*8, c.owner)
+		c.lock(s.itemLocks + li*8)
 	}
 	// Lock-free readers sample routing state without holding any lock, so
 	// the swap also bumps every stripe seqlock: a reader overlapping the
@@ -121,7 +121,7 @@ func (s *Store) StartExpand(c *Ctx, newPower uint) error {
 		s.H.SeqWriteEnd(s.seqLocks + li*8)
 	}
 	for li := uint64(0); li < s.numItemLocks; li++ {
-		s.H.LockRelease(s.itemLocks + li*8)
+		c.unlock(s.itemLocks + li*8)
 	}
 	return nil
 }
@@ -143,7 +143,7 @@ func (s *Store) ExpandStep(c *Ctx, n int) (int, error) {
 			break
 		}
 		lock := s.itemLocks + (b&(s.numItemLocks-1))*8
-		s.H.LockAcquire(lock, c.owner)
+		c.lock(lock)
 		// Readers already fall back for the whole expansion, but the
 		// stripe seqlock is bumped anyway (defense in depth) and the
 		// splices touch live items, so the stores are atomic. The stripe
@@ -167,7 +167,7 @@ func (s *Store) ExpandStep(c *Ctx, n int) (int, error) {
 		// this lock next routes bucket b to the new table.
 		s.H.AtomicStore64(s.htStorage+htExpandCursor, b+1)
 		s.H.SeqWriteEnd(seq)
-		s.H.LockRelease(lock)
+		c.unlock(lock)
 		moved++
 	}
 	if s.H.AtomicLoad64(s.htStorage+htExpandCursor) >= oldSize {
@@ -181,14 +181,14 @@ func (s *Store) ExpandStep(c *Ctx, n int) (int, error) {
 // finishExpand retires the fully drained old table.
 func (s *Store) finishExpand(c *Ctx) error {
 	for li := uint64(0); li < s.numItemLocks; li++ {
-		s.H.LockAcquire(s.itemLocks+li*8, c.owner)
+		c.lock(s.itemLocks + li*8)
 	}
 	oldT := ralloc.LoadPptr(s.H, s.htStorage+htOldTable)
 	ralloc.AtomicStorePptr(s.H, s.htStorage+htOldTable, 0)
 	s.H.AtomicStore64(s.htStorage+htOldPower, 0)
 	s.H.AtomicStore64(s.htStorage+htExpandCursor, 0)
 	for li := uint64(0); li < s.numItemLocks; li++ {
-		s.H.LockRelease(s.itemLocks + li*8)
+		c.unlock(s.itemLocks + li*8)
 	}
 	if oldT != 0 {
 		// A reader that sampled htTable before StartExpand could in

@@ -16,10 +16,24 @@ import "runtime"
 // bits count active operations. Entry is reentrant per context (an
 // operation that internally evicts or resizes does not deadlock itself).
 
-const gateBarrier = uint64(1) << 63
+// Gate word layout: bit 63 is the barrier, bits 48–62 are a repair
+// generation, bits 0–47 count active operations. RepairGate bumps the
+// generation when it clears the count after a crash, so a decrement can
+// only land on the gate incarnation it entered: a watchdog-reaped zombie
+// whose deferred exitOp runs after repair must not consume a count
+// entered by a new live operation (Quiesce would then observe zero with
+// an op mid-flight and snapshot a torn heap). The generation wraps at
+// 2^15 repairs, far past any plausible window for a zombie to straddle.
+const (
+	gateBarrier   = uint64(1) << 63
+	gateGenShift  = 48
+	gateGenMask   = uint64(0x7fff) << gateGenShift
+	gateCountMask = uint64(1)<<gateGenShift - 1
+)
 
-// enterOp joins the active-operation count, waiting out any barrier.
-// Reentrant via the context's depth counter.
+// enterOp joins the active-operation count, waiting out any barrier, and
+// records the gate generation the count was entered under. Reentrant via
+// the context's depth counter.
 func (c *Ctx) enterOp() {
 	if c.opDepth++; c.opDepth > 1 {
 		return
@@ -32,16 +46,17 @@ func (c *Ctx) enterOp() {
 			continue
 		}
 		if c.s.H.CAS64(gate, g, g+1) {
+			c.gateGen = g & gateGenMask
 			return
 		}
 	}
 }
 
-// exitOp leaves the active-operation count. The decrement refuses to
-// wrap below zero: after a crash, RepairGate zeroes counts entered by
-// threads that died mid-call, and a watchdog-reaped zombie that later
-// resumes long enough to run its deferred exitOp must not underflow the
-// repaired gate.
+// exitOp leaves the active-operation count — but only on the gate
+// incarnation it entered: if the generation changed (RepairGate ran
+// because this thread was given up for dead) the count this context
+// entered is already gone, and decrementing would eat a live operation's
+// count. The zero check guards against underflow across a plain reset.
 func (c *Ctx) exitOp() {
 	if c.opDepth--; c.opDepth > 0 {
 		return
@@ -49,8 +64,11 @@ func (c *Ctx) exitOp() {
 	gate := c.s.cfg + cfgGate
 	for {
 		g := c.s.H.AtomicLoad64(gate)
-		if g&^gateBarrier == 0 {
+		if g&gateGenMask != c.gateGen {
 			return // the gate was repaired out from under us
+		}
+		if g&gateCountMask == 0 {
+			return // cleared by a reset; never wrap below zero
 		}
 		if c.s.H.CAS64(gate, g, g-1) {
 			return
@@ -73,7 +91,7 @@ func (s *Store) Quiesce() {
 			break
 		}
 	}
-	for s.H.AtomicLoad64(gate)&^gateBarrier != 0 {
+	for s.H.AtomicLoad64(gate)&gateCountMask != 0 {
 		runtime.Gosched()
 	}
 }

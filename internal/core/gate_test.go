@@ -99,7 +99,7 @@ func TestConcurrentQuiesceUnderLoad(t *testing.T) {
 	// each quiesced window must observe zero in-flight operations.
 	for i := 0; i < 50; i++ {
 		s.Quiesce()
-		if g := s.H.AtomicLoad64(s.cfg+cfgGate) &^ gateBarrier; g != 0 {
+		if g := s.H.AtomicLoad64(s.cfg+cfgGate) & gateCountMask; g != 0 {
 			s.Unquiesce()
 			stop.Store(true)
 			wg.Wait()

@@ -85,11 +85,29 @@ func (c *Ctx) releaseReaderSlot() {
 	c.rdSlot = 0
 }
 
-// beginRead announces an optimistic read section (epoch even → odd).
-func (c *Ctx) beginRead() {
+// beginRead announces an optimistic read section (epoch even → odd),
+// reporting success. The announcement is guarded like endRead's close: the
+// slot must still record this context as owner, and the epoch is advanced
+// by CAS from the even value observed — never a blind store. A resumed
+// zombie whose expired slot was reclaimed by a new context would otherwise
+// overwrite the new owner's odd epoch with an even value (a stale load+1),
+// convincing a reaper the live section exited and freeing stolen items
+// still being dereferenced. On ownership loss the context abandons the
+// slot and tries to claim a fresh one; the caller must serve this read
+// through the locked path (or retry) when beginRead reports failure.
+func (c *Ctx) beginRead() bool {
 	h := c.s.H
-	c.rdEpoch = h.AtomicLoad64(c.rdSlot+readerSlotEpoch) + 1
-	h.AtomicStore64(c.rdSlot+readerSlotEpoch, c.rdEpoch)
+	if h.AtomicLoad64(c.rdSlot+readerSlotOwner) != c.owner {
+		c.rdSlot = 0 // expired and possibly reclaimed: no longer ours
+		c.claimReaderSlot()
+		return false
+	}
+	e := h.AtomicLoad64(c.rdSlot + readerSlotEpoch)
+	if e&1 != 0 || !h.CAS64(c.rdSlot+readerSlotEpoch, e, e+1) {
+		return false
+	}
+	c.rdEpoch = e + 1
+	return true
 }
 
 // endRead closes the section (epoch odd → even). The close is a CAS

@@ -26,7 +26,7 @@ func (c *Ctx) ForEach(fn func(e *Entry) bool) int {
 	visited := 0
 	for li := uint64(0); li < s.numItemLocks; li++ {
 		lock := s.itemLocks + li*8
-		s.H.LockAcquire(lock, c.owner)
+		c.lock(lock)
 		stop := false
 		s.forEachBucketLocked(li, func(bucket uint64) {
 			if stop {
@@ -52,7 +52,7 @@ func (c *Ctx) ForEach(fn func(e *Entry) bool) int {
 				}
 			}
 		})
-		s.H.LockRelease(lock)
+		c.unlock(lock)
 		if stop {
 			break
 		}

@@ -70,18 +70,18 @@ func (s *Store) lruRemove(idx, it uint64) {
 // lruLink inserts it into its hash-selected list, taking the list lock.
 func (c *Ctx) lruLink(hash, it uint64) {
 	idx := c.s.lruFor(hash)
-	c.s.H.LockAcquire(c.s.lruLockOff(idx), c.owner)
+	c.lock(c.s.lruLockOff(idx))
 	c.s.lruInsertHead(idx, it)
-	c.s.H.LockRelease(c.s.lruLockOff(idx))
+	c.unlock(c.s.lruLockOff(idx))
 }
 
 // lruUnlink removes it from its list, taking the list lock. Lock order is
 // item lock → LRU lock, so this is safe under a held item lock.
 func (c *Ctx) lruUnlink(hash, it uint64) {
 	idx := c.s.lruFor(hash)
-	c.s.H.LockAcquire(c.s.lruLockOff(idx), c.owner)
+	c.lock(c.s.lruLockOff(idx))
 	c.s.lruRemove(idx, it)
-	c.s.H.LockRelease(c.s.lruLockOff(idx))
+	c.unlock(c.s.lruLockOff(idx))
 }
 
 // lruBump moves a touched item to the head of its list if it has not been
@@ -95,12 +95,12 @@ func (c *Ctx) lruBump(hash, it uint64, now int64) {
 	}
 	c.s.H.RelaxedStore64(it+itLastAccess, uint64(now))
 	idx := c.s.lruFor(hash)
-	c.s.H.LockAcquire(c.s.lruLockOff(idx), c.owner)
+	c.lock(c.s.lruLockOff(idx))
 	if c.s.isLinked(it) {
 		c.s.lruRemove(idx, it)
 		c.s.lruInsertHead(idx, it)
 	}
-	c.s.H.LockRelease(c.s.lruLockOff(idx))
+	c.unlock(c.s.lruLockOff(idx))
 }
 
 // evictSome removes up to n least-recently-used items from the store and
@@ -126,16 +126,16 @@ func (c *Ctx) evictSome(n int) int {
 func (c *Ctx) evictTailOf(idx uint64) bool {
 	s := c.s
 	lockOff := s.lruLockOff(idx)
-	if !s.H.LockTry(lockOff, c.owner) {
+	if !c.tryLock(lockOff) {
 		return false
 	}
 	victim := ralloc.LoadPptr(s.H, s.lruTailOff(idx))
 	if victim == 0 {
-		s.H.LockRelease(lockOff)
+		c.unlock(lockOff)
 		return false
 	}
 	s.incref(victim) // pin: the victim cannot be freed under us
-	s.H.LockRelease(lockOff)
+	c.unlock(lockOff)
 	fpEvictAfterPin.Maybe()
 
 	// The hash was fixed at allocation; no key read or rehash needed.
@@ -143,13 +143,13 @@ func (c *Ctx) evictTailOf(idx uint64) bool {
 
 	ok := false
 	itemLock := s.itemLockOff(hash)
-	if s.H.LockTry(itemLock, c.owner) {
+	if c.tryLock(itemLock) {
 		if s.isLinked(victim) {
 			c.unlinkLocked(victim, hash)
 			c.stat(statEvictions, 1)
 			ok = true
 		}
-		s.H.LockRelease(itemLock)
+		c.unlock(itemLock)
 	}
 	c.decref(victim)
 	return ok

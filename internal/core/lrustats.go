@@ -14,13 +14,13 @@ func (c *Ctx) LRULengths() []int {
 	s := c.s
 	out := make([]int, s.numLRUs)
 	for idx := uint64(0); idx < s.numLRUs; idx++ {
-		s.H.LockAcquire(s.lruLockOff(idx), c.owner)
+		c.lock(s.lruLockOff(idx))
 		n := 0
 		for it := ralloc.LoadPptr(s.H, s.lruHeadOff(idx)); it != 0; it = ralloc.LoadPptr(s.H, it+itLRUNext) {
 			n++
 		}
 		out[idx] = n
-		s.H.LockRelease(s.lruLockOff(idx))
+		c.unlock(s.lruLockOff(idx))
 	}
 	return out
 }

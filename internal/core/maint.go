@@ -105,7 +105,7 @@ func (c *Ctx) SweepExpired() int {
 	removed := 0
 	for li := uint64(0); li < s.numItemLocks; li++ {
 		lock := s.itemLocks + li*8
-		s.H.LockAcquire(lock, c.owner)
+		c.lock(lock)
 		s.forEachBucketLocked(li, func(bucket uint64) {
 			it := loadChainHead(s, bucket)
 			for it != 0 {
@@ -118,7 +118,7 @@ func (c *Ctx) SweepExpired() int {
 				it = next
 			}
 		})
-		s.H.LockRelease(lock)
+		c.unlock(lock)
 	}
 	return removed
 }
@@ -141,11 +141,11 @@ func (s *Store) ResizeTo(c *Ctx, newPower uint) error {
 		return fmt.Errorf("core: refusing table of 2^%d buckets", newPower)
 	}
 	for li := uint64(0); li < s.numItemLocks; li++ {
-		s.H.LockAcquire(s.itemLocks+li*8, c.owner)
+		c.lock(s.itemLocks + li*8)
 	}
 	defer func() {
 		for li := uint64(0); li < s.numItemLocks; li++ {
-			s.H.LockRelease(s.itemLocks + li*8)
+			c.unlock(s.itemLocks + li*8)
 		}
 	}()
 

@@ -33,8 +33,15 @@ type Ctx struct {
 
 	evictCursor uint64
 	opDepth     int
+	gateGen     uint64 // gate generation observed at enterOp (see exitOp)
 	rdSlot      uint64 // optimistic-reader announcement slot; 0 = none
 	rdEpoch     uint64 // epoch this context announced in its slot (see endRead)
+
+	// deadSelf reports whether this context's own owner token has been
+	// declared dead by the liveness oracle — i.e. this goroutine is a
+	// watchdog-reaped zombie whose locks the repair coordinator broke.
+	// Built once at NewCtx so lock spins don't allocate a closure per call.
+	deadSelf func() bool
 
 	// CaptureClientBuffers applies the copy-before-lock idiom. It defaults
 	// to true; the ablation benchmark turns it off to measure the idiom's
@@ -73,8 +80,49 @@ func (s *Store) NewCtx(owner uint64) *Ctx {
 		slot:                 owner % s.statSlots,
 		CaptureClientBuffers: true,
 	}
+	c.deadSelf = func() bool { return s.ownerIsDead(owner) }
 	c.claimReaderSlot()
 	return c
+}
+
+// lock acquires the heap-resident lock at off on behalf of this context.
+// The spin consults the owner-liveness oracle: once this context has been
+// declared dead (a watchdog-reaped zombie whose held locks the repair
+// coordinator force-released), it must never win a lock again — it would
+// mutate chains concurrently with the structural repair pass. The panic
+// unwinds the call exactly like the crash that was already recorded for
+// this token; hodor's trampoline recovers it.
+func (c *Ctx) lock(off uint64) {
+	if !c.s.H.LockAcquireAbort(off, c.owner, c.deadSelf) {
+		panic("core: reaped context denied lock during crash recovery")
+	}
+}
+
+// tryLock is the non-blocking variant of lock, with the same rule: a
+// reaped context never keeps a lock it happened to win.
+func (c *Ctx) tryLock(off uint64) bool {
+	if !c.s.H.LockTry(off, c.owner) {
+		return false
+	}
+	if c.deadSelf() {
+		c.s.H.AtomicStore64(off, 0)
+		panic("core: reaped context denied lock during crash recovery")
+	}
+	return true
+}
+
+// unlock releases a lock this context acquired. The release CASes against
+// our own token rather than blind-storing zero: a zombie unwinding after
+// its locks were force-released (and possibly re-acquired by a live
+// thread) must leave the word alone. For a live context a failed CAS is a
+// lock-discipline bug, exactly like shm.LockRelease on an unheld lock.
+func (c *Ctx) unlock(off uint64) {
+	if c.s.H.LockReleaseOwner(off, c.owner) {
+		return
+	}
+	if !c.deadSelf() {
+		panic("core: release of lock not held by this context")
+	}
 }
 
 // Close flushes the context's allocator cache back to the shared heap and
@@ -189,10 +237,10 @@ func (c *Ctx) GetAppend(dst, key []byte) ([]byte, uint32, uint64, error) {
 func (c *Ctx) getLockedAppend(dst, k []byte, hash uint64, touch bool, abs int64) ([]byte, uint32, uint64, error) {
 	s := c.s
 	lock := s.itemLockOff(hash)
-	s.H.LockAcquire(lock, c.owner)
+	c.lock(lock)
 	it := c.findLocked(k, hash)
 	if it == 0 {
-		s.H.LockRelease(lock)
+		c.unlock(lock)
 		c.stat(statGetMisses, 1)
 		return dst, 0, 0, ErrNotFound
 	}
@@ -205,7 +253,7 @@ func (c *Ctx) getLockedAppend(dst, k []byte, hash uint64, touch bool, abs int64)
 	cas := s.H.Load64(it + itCASID)
 	vlen := s.itemValLen(it)
 	voff := s.itemValOff(it)
-	s.H.LockRelease(lock)
+	c.unlock(lock)
 
 	// Copy into a protected buffer while the reference is held, then
 	// release the item before touching client-visible memory (Fig. 4).
@@ -274,26 +322,26 @@ func (c *Ctx) store(mode storeMode, key, value []byte, flags uint32, exptime int
 	fpStoreAfterAlloc.Maybe()
 	s := c.s
 	lock := s.itemLockOff(hash)
-	s.H.LockAcquire(lock, c.owner)
+	c.lock(lock)
 	fpStoreLocked.Maybe()
 	old := c.findLocked(k, hash)
 	switch {
 	case mode == modeAdd && old != 0:
-		s.H.LockRelease(lock)
+		c.unlock(lock)
 		c.decref(it)
 		return ErrExists
 	case mode == modeReplace && old == 0:
-		s.H.LockRelease(lock)
+		c.unlock(lock)
 		c.decref(it)
 		return ErrNotFound
 	case mode == modeCAS:
 		if old == 0 {
-			s.H.LockRelease(lock)
+			c.unlock(lock)
 			c.decref(it)
 			return ErrNotFound
 		}
 		if s.H.Load64(old+itCASID) != cas {
-			s.H.LockRelease(lock)
+			c.unlock(lock)
 			c.decref(it)
 			c.stat(statCASMismatch, 1)
 			return ErrCASMismatch
@@ -305,7 +353,7 @@ func (c *Ctx) store(mode storeMode, key, value []byte, flags uint32, exptime int
 	}
 	c.linkLocked(it, hash)
 	fpStoreAfterLink.Maybe()
-	s.H.LockRelease(lock)
+	c.unlock(lock)
 	return nil
 }
 
@@ -341,15 +389,15 @@ func (c *Ctx) Delete(key []byte) error {
 	hash := hashKey(k)
 	s := c.s
 	lock := s.itemLockOff(hash)
-	s.H.LockAcquire(lock, c.owner)
+	c.lock(lock)
 	it := c.findLocked(k, hash)
 	if it == 0 {
-		s.H.LockRelease(lock)
+		c.unlock(lock)
 		return ErrNotFound
 	}
 	c.unlinkLocked(it, hash)
 	fpDeleteAfterUnlink.Maybe()
-	s.H.LockRelease(lock)
+	c.unlock(lock)
 	c.stat(statDeleteHits, 1)
 	return nil
 }
@@ -367,8 +415,8 @@ func (c *Ctx) Touch(key []byte, exptime int64) error {
 	hash := hashKey(k)
 	s := c.s
 	lock := s.itemLockOff(hash)
-	s.H.LockAcquire(lock, c.owner)
-	defer s.H.LockRelease(lock)
+	c.lock(lock)
+	defer c.unlock(lock)
 	it := c.findLocked(k, hash)
 	if it == 0 {
 		return ErrNotFound
@@ -401,8 +449,8 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 	hash := hashKey(k)
 	s := c.s
 	lock := s.itemLockOff(hash)
-	s.H.LockAcquire(lock, c.owner)
-	defer s.H.LockRelease(lock)
+	c.lock(lock)
+	defer c.unlock(lock)
 	it := c.findLocked(k, hash)
 	if it == 0 {
 		return 0, ErrNotFound
@@ -473,8 +521,8 @@ func (c *Ctx) pend(key, data []byte, front bool) error {
 	hash := hashKey(k)
 	s := c.s
 	lock := s.itemLockOff(hash)
-	s.H.LockAcquire(lock, c.owner)
-	defer s.H.LockRelease(lock)
+	c.lock(lock)
+	defer c.unlock(lock)
 	it := c.findLocked(k, hash)
 	if it == 0 {
 		return ErrNotFound
@@ -510,7 +558,7 @@ func (c *Ctx) FlushAll() {
 	s := c.s
 	for li := uint64(0); li < s.numItemLocks; li++ {
 		lock := s.itemLocks + li*8
-		s.H.LockAcquire(lock, c.owner)
+		c.lock(lock)
 		s.forEachBucketLocked(li, func(bucket uint64) {
 			for {
 				it := loadChainHead(s, bucket)
@@ -520,7 +568,7 @@ func (c *Ctx) FlushAll() {
 				c.unlinkLocked(it, s.itemHash(it))
 			}
 		})
-		s.H.LockRelease(lock)
+		c.unlock(lock)
 	}
 	c.stat(statFlushes, 1)
 }

@@ -39,12 +39,12 @@ import (
 // breaks the locking protocol; reporting a dead thread alive merely
 // delays reclamation. Install before the store serves concurrent
 // operations; with no oracle installed nothing is ever presumed dead.
-func (s *Store) SetOwnerLiveness(alive func(owner uint64) bool) { s.aliveFn = alive }
+func (s *Store) SetOwnerLiveness(alive func(owner uint64) bool) { s.aliveFn.Store(&alive) }
 
 // ownerIsDead consults the installed liveness oracle.
 func (s *Store) ownerIsDead(owner uint64) bool {
-	fn := s.aliveFn
-	return owner != 0 && fn != nil && !fn(owner)
+	fn := s.aliveFn.Load()
+	return owner != 0 && fn != nil && !(*fn)(owner)
 }
 
 // RetireDeadReaders expires the optimistic-reader announcements of dead
@@ -124,17 +124,27 @@ func (s *Store) HeldLocks() []HeldLock {
 // in flight and whether a checkpoint barrier is raised.
 func (s *Store) InFlightOps() (count uint64, barrier bool) {
 	g := s.H.AtomicLoad64(s.cfg + cfgGate)
-	return g &^ gateBarrier, g&gateBarrier != 0
+	return g & gateCountMask, g&gateBarrier != 0
 }
 
-// RepairGate zeroes the operation gate. After a crash the gate can hold
-// counts entered by threads that died before their exitOp (the watchdog
-// gave up on them mid-call); with every live call drained those counts
-// are unreclaimable and would stall the next Quiesce forever. Unlike
+// RepairGate clears the operation gate's count and barrier and bumps its
+// generation. After a crash the gate can hold counts entered by threads
+// that died before their exitOp (the watchdog gave up on them mid-call);
+// with every live call drained those counts are unreclaimable and would
+// stall the next Quiesce forever. The generation bump makes any zombie's
+// late exitOp a no-op (see gate.go), so the cleared count cannot be
+// decremented on behalf of operations that no longer exist. Unlike
 // ResetGate this touches only the gate word, never the reader slots of
 // live contexts. Call only from a repair pass that has drained live calls.
 func (s *Store) RepairGate() {
-	s.H.AtomicStore64(s.cfg+cfgGate, 0)
+	gate := s.cfg + cfgGate
+	for {
+		g := s.H.AtomicLoad64(gate)
+		next := (g + uint64(1)<<gateGenShift) & gateGenMask
+		if s.H.CAS64(gate, g, next) {
+			return
+		}
+	}
 }
 
 // RepairReport summarizes one structural repair pass.

@@ -357,3 +357,107 @@ func TestRepairAbortsExpansion(t *testing.T) {
 		}
 	}
 }
+
+// TestZombieExitOpCannotEatLiveCount: a zombie's stale exitOp after a
+// gate repair must not decrement an in-flight count that now belongs to
+// post-repair operations. The generation word makes the stale decrement
+// a no-op.
+func TestZombieExitOpCannotEatLiveCount(t *testing.T) {
+	s, zombie := newStore(t, 1<<22, Options{HashPower: 8, NumItemLocks: 16})
+	zombie.enterOp() // in flight at crash time
+	s.RepairGate()   // recovery clears the gate, bumps the generation
+
+	live := s.NewCtx(2)
+	live.enterOp()
+	zombie.exitOp() // resumes its deferred exit with a stale generation
+	if n, _ := s.InFlightOps(); n != 1 {
+		t.Fatalf("gate count = %d after stale exitOp, want 1 (live op eaten)", n)
+	}
+	live.exitOp()
+	if n, _ := s.InFlightOps(); n != 0 {
+		t.Fatalf("gate count = %d, want 0", n)
+	}
+}
+
+// TestReapedZombieDeniedLock: a watchdog-reaped thread that resumes
+// inside a lock spin must never acquire the lock — recovery is about to
+// repair (or has repaired) the state it would mutate. The acquire path
+// consults the liveness oracle and unwinds the zombie with a panic, and
+// the released word stays released.
+func TestReapedZombieDeniedLock(t *testing.T) {
+	s, _ := newStore(t, 1<<22, Options{HashPower: 8, NumItemLocks: 16})
+	const crasherTok = 99<<20 | 1
+	zombie := s.NewCtx(5)
+	lock := s.itemLocks + 2*shm.LockWordSize
+	s.H.LockAcquire(lock, crasherTok) // the crasher died holding this
+
+	unwound := make(chan any, 1)
+	spinning := make(chan struct{})
+	go func() {
+		defer func() { unwound <- recover() }()
+		close(spinning)
+		zombie.lock(lock) // spins: lock held by the (dead) crasher
+	}()
+	<-spinning
+	time.Sleep(5 * time.Millisecond) // let the spin hit its slow path
+
+	// The watchdog reaps both the crasher and the spinning zombie, then
+	// recovery breaks the dead owner's lock.
+	s.SetOwnerLiveness(func(owner uint64) bool { return owner != crasherTok && owner != 5 })
+	if n := s.ForceReleaseDeadLocks(deadOnly(crasherTok, 5)); n != 1 {
+		t.Fatalf("broke %d locks, want 1", n)
+	}
+	select {
+	case r := <-unwound:
+		if r == nil {
+			t.Fatal("zombie acquired a lock after being reaped")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("zombie neither acquired nor unwound")
+	}
+	if held := s.HeldLocks(); len(held) != 0 {
+		t.Fatalf("locks still held after denial: %v", held)
+	}
+}
+
+// TestZombieBeginReadCannotClobber: a zombie whose reader slot was
+// retired and reclaimed by a new context must not overwrite the new
+// owner's announcement when it resumes in beginRead.
+func TestZombieBeginReadCannotClobber(t *testing.T) {
+	s, _ := newStore(t, 1<<22, Options{HashPower: 8, NumItemLocks: 16})
+	c2 := s.NewCtx(2)
+	slot := c2.rdSlot
+	if slot == 0 {
+		t.Fatal("c2 did not claim a reader slot")
+	}
+	// c2 dies idle; recovery retires its slot; c3 reclaims it and enters
+	// a section.
+	s.SetOwnerLiveness(func(owner uint64) bool { return owner != 2 })
+	if n := s.RetireDeadReaders(deadOnly(2)); n != 1 {
+		t.Fatalf("retired %d slots, want 1", n)
+	}
+	c3 := s.NewCtx(3)
+	if c3.rdSlot != slot {
+		t.Fatalf("c3 claimed slot %#x, want the freed %#x", c3.rdSlot, slot)
+	}
+	if !c3.beginRead() {
+		t.Fatal("c3 could not announce a section in its own slot")
+	}
+	epoch := s.H.AtomicLoad64(slot + readerSlotEpoch)
+	if epoch&1 == 0 {
+		t.Fatal("c3's announced epoch is not odd")
+	}
+
+	// The zombie resumes and tries to announce through its stale slot
+	// pointer. It must fail without touching c3's announcement.
+	if c2.beginRead() {
+		t.Fatal("zombie announced a section through a reclaimed slot")
+	}
+	if e := s.H.AtomicLoad64(slot + readerSlotEpoch); e != epoch {
+		t.Fatalf("zombie moved the new owner's epoch %d -> %d", epoch, e)
+	}
+	if o := s.H.AtomicLoad64(slot + readerSlotOwner); o != 3 {
+		t.Fatalf("slot owner = %d, want 3", o)
+	}
+	c3.endRead()
+}

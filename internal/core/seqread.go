@@ -90,7 +90,13 @@ func (c *Ctx) optGet(key []byte, hash uint64) (flags uint32, cas uint64, vlen ui
 			continue
 		}
 
-		c.beginRead()
+		if !c.beginRead() {
+			if c.rdSlot == 0 {
+				return 0, 0, 0, false, false // slot lost: locked path
+			}
+			c.stat(statSeqRetries, 1)
+			continue
+		}
 		var pinned uint64
 		var state int
 		flags, cas, vlen, found, pinned, state = c.optProbe(key, bucket, size)

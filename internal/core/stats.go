@@ -64,9 +64,9 @@ func (c *Ctx) stat(counter int, delta int64) {
 	if c.s.lockedStats {
 		lock := c.s.cfg + cfgStatsLock
 		off := c.s.stats + uint64(counter)*8
-		c.s.H.LockAcquire(lock, c.owner)
+		c.lock(lock)
 		c.s.H.Store64(off, c.s.H.Load64(off)+uint64(delta))
-		c.s.H.LockRelease(lock)
+		c.unlock(lock)
 		return
 	}
 	off := c.s.stats + c.slot*statSlotSize + uint64(counter)*8

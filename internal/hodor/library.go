@@ -288,6 +288,15 @@ func Call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), arg A) (res
 		if crashed != nil {
 			l.crashes.Add(1)
 			err = &CrashError{Lib: l.Name, Cause: crashed}
+			// Record the token defunct while the in-flight record is
+			// still published: a repair drain that observes this call
+			// retired must also observe the token defunct, or the
+			// crasher's held locks would survive the drain's final
+			// ForceReleaseDeadLocks with nothing left to retrigger
+			// recovery. (TokenDefunct still reports the token alive
+			// until callStart clears, so the locks are not broken under
+			// this unwinding call.)
+			l.markDefunct(t.LockOwner())
 		}
 		if l.Profile {
 			l.nanos.Add(uint64(time.Since(start)))
@@ -298,8 +307,8 @@ func Call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), arg A) (res
 		t.ExitLibrary()
 		if crashed != nil {
 			// After the in-flight record is retired: the repair drain
-			// must not wait for this call, and its token is now defunct.
-			l.noteCrash(t.LockOwner(), crashed)
+			// must not wait for this call before repairing.
+			l.beginRecovery(crashed)
 		}
 	}()
 
@@ -312,12 +321,21 @@ func Call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), arg A) (res
 	return res, err
 }
 
-// noteCrash records a defunct token and transitions the library: to
-// Poisoned when no repair routine is registered, otherwise to Recovering
-// (if not already there) with the repair running on its own goroutine.
-func (l *Library) noteCrash(token uint64, cause any) {
+// markDefunct records a lock-owner token whose execution context died
+// mid-call. Callers on the crash path must record the token *before*
+// retiring the session's in-flight record (Call's defer does), so any
+// repair drain that sees the call gone also sees its token defunct.
+func (l *Library) markDefunct(token uint64) {
 	l.mu.Lock()
 	l.defunct[token] = true
+	l.mu.Unlock()
+}
+
+// beginRecovery transitions the library after a crash: to Poisoned when no
+// repair routine is registered, otherwise to Recovering (if not already
+// there) with the repair running on its own goroutine.
+func (l *Library) beginRecovery(cause any) {
+	l.mu.Lock()
 	fn := l.recoverFn
 	l.mu.Unlock()
 	if fn == nil {
@@ -327,6 +345,13 @@ func (l *Library) noteCrash(token uint64, cause any) {
 	if l.state.CompareAndSwap(stateHealthy, stateRecovering) {
 		go l.runRepair(&CrashError{Lib: l.Name, Cause: cause})
 	}
+}
+
+// noteCrash records a defunct token and transitions the library — the
+// combined form used where no in-flight record ordering is at stake.
+func (l *Library) noteCrash(token uint64, cause any) {
+	l.markDefunct(token)
+	l.beginRecovery(cause)
 }
 
 // runRepair drives one quarantine→repair→resume cycle. A repair that

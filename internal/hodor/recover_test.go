@@ -271,3 +271,59 @@ func TestTokenActive(t *testing.T) {
 		t.Fatal("killed process with no call in flight should be defunct")
 	}
 }
+
+// TestCrashedCallDefunctBeforeRetire: the crash defer must record the
+// token defunct *before* it retires the in-flight record. Any observer
+// (the repair drain) that sees a crashed call retired must also see its
+// token defunct — the reverse order leaves a window where the drain
+// finishes, ForceReleaseDeadLocks skips the crasher's locks because the
+// token still reads live, and nothing ever breaks them. The poller below
+// watches one crashing call at a time and flags the bad interleaving.
+func TestCrashedCallDefunctBeforeRetire(t *testing.T) {
+	f := newFixture(t)
+	f.lib.OnRecover(func(*CrashError) error { return nil })
+	boom := Wrap(f.lib, "boom", func(*proc.Thread, struct{}) (struct{}, error) {
+		panic("die mid-call")
+	})
+	for i := 0; i < 50; i++ {
+		s := f.session(t)
+		tok := s.Thread.LockOwner()
+		stop := make(chan struct{})
+		var bad atomic.Bool
+		pollerDone := make(chan struct{})
+		go func() {
+			defer close(pollerDone)
+			sawCall := false
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				in := s.InCall()
+				if in && !sawCall {
+					sawCall = true
+				}
+				if sawCall && !in {
+					// The call retired. With the correct ordering the
+					// token is already defunct at this instant.
+					if !f.lib.TokenDefunct(tok) {
+						bad.Store(true)
+					}
+					return
+				}
+			}
+		}()
+		if _, err := boom(s, struct{}{}); err == nil {
+			t.Fatal("crashing call returned nil error")
+		}
+		close(stop)
+		<-pollerDone
+		if bad.Load() {
+			t.Fatalf("iteration %d: call observed retired before its token went defunct", i)
+		}
+		waitFor(t, 2*time.Second, "library healthy", func() bool {
+			return !f.lib.Recovering() && !f.lib.Poisoned()
+		})
+	}
+}

@@ -45,6 +45,49 @@ func (h *Heap) LockAcquire(off uint64, owner uint64) {
 	}
 }
 
+// LockAcquireAbort is LockAcquire with an escape hatch: whenever the spin
+// saturates its backoff (and again immediately after any contended
+// acquisition), abort is consulted; if it reports true the acquisition is
+// abandoned — releasing the word again if it was just won — and false is
+// returned. Crash recovery uses this so a watchdog-reaped zombie thread,
+// resumed by the scheduler after its locks were force-released, can never
+// win a broken lock and re-enter shared state. The uncontended fast path
+// never calls abort.
+func (h *Heap) LockAcquireAbort(off uint64, owner uint64, abort func() bool) bool {
+	if owner == 0 {
+		panic("shm: LockAcquireAbort with zero owner token")
+	}
+	if h.AtomicLoad64(off) == 0 && h.CAS64(off, 0, owner) {
+		return true
+	}
+	backoff := 1
+	for {
+		if h.AtomicLoad64(off) == 0 && h.CAS64(off, 0, owner) {
+			// A contended win may be a zombie acquiring a lock the repair
+			// coordinator broke out from under it: re-check before the
+			// caller touches anything the lock guards.
+			if abort != nil && abort() {
+				h.AtomicStore64(off, 0)
+				return false
+			}
+			return true
+		}
+		for i := 0; i < backoff; i++ {
+			if h.AtomicLoad64(off) == 0 {
+				break
+			}
+		}
+		if backoff < spinLimit {
+			backoff *= 2
+		} else {
+			if abort != nil && abort() {
+				return false
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
 // LockTry attempts to acquire the lock at off without blocking.
 func (h *Heap) LockTry(off uint64, owner uint64) bool {
 	if owner == 0 {
@@ -60,6 +103,14 @@ func (h *Heap) LockRelease(off uint64) {
 		panic("shm: release of unheld lock")
 	}
 	h.AtomicStore64(off, 0)
+}
+
+// LockReleaseOwner releases the lock at off only if it is still held by
+// owner, reporting whether it was. A thread whose locks may have been
+// force-released by crash recovery (and since re-acquired by a live
+// thread) must release this way rather than blind-storing zero.
+func (h *Heap) LockReleaseOwner(off uint64, owner uint64) bool {
+	return h.CAS64(off, owner, 0)
 }
 
 // LockHolder returns the owner token of the lock at off, or 0 if unheld.

@@ -64,15 +64,31 @@ func (b *Bookkeeper) registerProc(p *proc.Process) {
 // runs on hodor's recovery goroutine while the library is in the
 // Recovering state (new calls parked, crashed call already unwound).
 func (b *Bookkeeper) repairStore(cause *hodor.CrashError) error {
-	b.repairMu.Lock()
-	defer b.repairMu.Unlock()
-
 	dead := b.ownerDefunct
 	grace := b.lib.RecoveryGrace
 	if grace <= 0 {
 		grace = 5 * time.Second
 	}
 	deadline := time.Now().Add(grace)
+
+	// repairMu may be held by a maintenance or checkpoint pass that is
+	// itself wedged on state the crash left behind — most directly,
+	// RunOnce spinning in a lock acquire on an item or LRU lock whose
+	// holder died after that pass cleared its Recovering() check. Waiting
+	// blind would deadlock recovery forever: the lock is only ever broken
+	// by us. Breaking dead-owner locks is a per-word CAS against the
+	// observed owner and safe to run concurrently with anything, so run it
+	// while waiting for the mutex — it is exactly what unwedges the pass
+	// holding it.
+	for !b.repairMu.TryLock() {
+		b.store.ForceReleaseDeadLocks(dead)
+		b.store.RetireDeadReaders(dead)
+		if time.Now().After(deadline) {
+			return fmt.Errorf("memcached: maintenance pass did not release the repair lock within %v after %v", grace, cause)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	defer b.repairMu.Unlock()
 
 	// Quarantine: break the dead owners' locks and epoch announcements
 	// first, so live calls blocked on them can finish, then drain. The

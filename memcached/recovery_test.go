@@ -1,0 +1,95 @@
+package memcached
+
+import (
+	"testing"
+	"time"
+
+	"plibmc/internal/faultpoint"
+)
+
+// TestRecoveryUnwedgesMaintenancePass is the regression test for the
+// recovery deadlock: a maintenance pass clears its Recovering() check,
+// takes the repair mutex, and wedges inside the sweep on a stripe lock
+// whose holder then dies mid-call. Recovery used to block on the repair
+// mutex that only the wedged pass could release, while the wedged pass
+// spun on a lock that only recovery could break. repairStore now breaks
+// dead-owner locks while waiting for the mutex, so the pass completes,
+// the mutex frees, and repair proceeds.
+func TestRecoveryUnwedgesMaintenancePass(t *testing.T) {
+	b, err := CreateStore(Config{
+		HeapBytes:    16 << 20,
+		HashPower:    8,
+		NumItemLocks: 16,
+		MemLimit:     8 << 20,
+		CallTimeout:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+	doomed := newTestSession(t, b)
+	survivor := newTestSession(t, b)
+
+	lockHeld := make(chan struct{})
+	releaseCrash := make(chan struct{})
+	if err := faultpoint.Arm("ops.store.locked", func() {
+		close(lockHeld)
+		<-releaseCrash
+		panic("injected crash: ops.store.locked")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.DisarmAll()
+
+	// The doomed call parks inside the library with a stripe lock held.
+	crashDone := make(chan error, 1)
+	go func() { crashDone <- doomed.Set([]byte("doomed-key"), []byte("v"), 0, 0) }()
+	<-lockHeld
+
+	// A maintenance pass starts while the store is healthy: it takes the
+	// repair mutex and wedges in SweepExpired on the held stripe.
+	maintDone := make(chan struct{})
+	go func() { b.RunMaintenanceOnce(); close(maintDone) }()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-maintDone:
+		t.Fatal("maintenance completed while the stripe lock was held")
+	default:
+	}
+
+	// The parked call now dies holding the lock.
+	close(releaseCrash)
+	if err := <-crashDone; err == nil {
+		t.Fatal("crashed call returned nil error")
+	}
+	faultpoint.DisarmAll()
+
+	select {
+	case <-maintDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("maintenance pass still wedged after the crash: recovery deadlocked on the repair mutex")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for b.Library().Recovering() {
+		if time.Now().After(deadline) {
+			t.Fatal("library did not leave the Recovering state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if b.Library().Poisoned() {
+		t.Fatal("library poisoned; repair should have succeeded")
+	}
+
+	// The repaired store gives full service, including the key whose
+	// write crashed (the crash point is before the store mutates).
+	if err := survivor.Set([]byte("doomed-key"), []byte("v2"), 0, 0); err != nil {
+		t.Fatalf("post-recovery set: %v", err)
+	}
+	v, _, err := survivor.Get([]byte("doomed-key"))
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("post-recovery get = %q %v", v, err)
+	}
+	if _, n := b.LastRepair(); n == 0 {
+		t.Fatal("no repair pass recorded")
+	}
+}

@@ -18,6 +18,7 @@ check: build faultmatrix
 	$(GO) vet ./...
 	$(GO) test -race -count=1 ./internal/core ./internal/shm
 	$(GO) test -race -count=1 -short -run TestChaosKillsNeverCorrupt .
+	$(GO) test -race -count=1 -run 'TestMetrics|TestWrite|TestStatsLatency' ./memcached ./internal/metrics ./internal/server
 
 # The crash-recovery gate: kill a client at every registered crash point
 # and require quarantine -> repair -> resume, with the recovery machinery
@@ -33,3 +34,8 @@ bench-seqlock:
 # Time-to-resume after an injected crash (DESIGN.md "Failure model").
 bench-recovery:
 	$(GO) test -run xxx -bench BenchmarkRecovery -benchtime 20x .
+
+# Latency-recording cost: the 95/5 mix with histograms on vs off
+# (DESIGN.md §9; the budget is <=5% throughput).
+bench-metrics:
+	$(GO) test -run xxx -bench BenchmarkAblationMetrics -benchtime 2s .

@@ -502,3 +502,73 @@ func BenchmarkAblationTcache(b *testing.B) {
 		})
 	}
 }
+
+// Ablation: latency recording on vs off on the 95/5 mix. The histograms
+// are per-thread-slot in the heap — the scattered-statistics discipline —
+// so "on" must cost only the sampling branch plus one in every
+// LatencySampleEvery ops paying two clock reads and three uncontended
+// heap adds; the budget is <=5% of throughput. A single shared histogram
+// would instead serialize every op on one cache line.
+func BenchmarkAblationMetrics(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "latency=off"
+		if enabled {
+			name = "latency=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			h := shm.New(256 << 20)
+			a, err := ralloc.Format(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := core.Create(a, core.Options{
+				HashPower: 14, NumItemLocks: 1024, FixedSize: true,
+				DisableLatency: !enabled,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctxSetup := s.NewCtx(1)
+			val := make([]byte, 128)
+			key := make([]byte, 0, 20)
+			for i := uint64(0); i < 4096; i++ {
+				key = ycsb.KeyInto(key, i)
+				if err := ctxSetup.Set(key, val, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctxSetup.Close()
+			var seq int64
+			var mu sync.Mutex
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				seq++
+				id := seq
+				mu.Unlock()
+				ctx := s.NewCtx(uint64(id) * 31)
+				defer ctx.Close()
+				k := make([]byte, 0, 20)
+				v := make([]byte, 128)
+				var buf []byte
+				i := uint64(id) * 2654435761
+				for pb.Next() {
+					k = ycsb.KeyInto(k, i%4096)
+					if i%20 == 19 {
+						if err := ctx.Set(k, v, 0, 0); err != nil {
+							b.Error(err)
+							return
+						}
+					} else {
+						buf, _, _, _ = ctx.GetAppend(buf[:0], k)
+					}
+					i++
+				}
+			})
+			if enabled {
+				ls := s.Latency()
+				b.ReportMetric(float64(ls.Classes[core.LatGet].Count()), "get-samples")
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,6 +22,7 @@ func main() {
 		threads = flag.Int("threads", 4, "number of server threads (the paper compares 4 and 8)")
 		memMB   = flag.Int64("m", 1024, "memory limit in MiB")
 		hashPow = flag.Uint("hashpower", 16, "log2 of the bucket count")
+		metrics = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars over HTTP on this address")
 	)
 	flag.Parse()
 
@@ -42,6 +44,14 @@ func main() {
 	}
 	fmt.Printf("memcachedd: listening on %s with %d server threads\n", *listen, *threads)
 	go srv.Serve()
+	if *metrics != "" {
+		go func() {
+			if err := http.ListenAndServe(*metrics, srv.Store().MetricsHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "memcachedd: metrics server:", err)
+			}
+		}()
+		fmt.Printf("memcachedd: metrics on http://%s/metrics\n", *metrics)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

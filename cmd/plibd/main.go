@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,15 +35,18 @@ func main() {
 		listen   = flag.String("listen", "", "serve remote clients on net:addr (e.g. unix:/tmp/plib.sock or tcp:127.0.0.1:11211)")
 		interval = flag.Duration("maint", time.Second, "maintenance interval")
 		ckpt     = flag.Duration("checkpoint", 0, "live-checkpoint interval (0: only flush at shutdown; requires -file)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars over HTTP on this address")
+		latEvery = flag.Uint64("latency-sample", 0, "record 1 in N operation latencies (0: default period, 1: every op)")
 	)
 	flag.Parse()
 
 	cfg := memcached.Config{
-		HeapBytes: *heapMB << 20,
-		Path:      *file,
-		HashPower: *hashPow,
-		FixedSize: *fixed,
-		MemLimit:  *memLimit << 20,
+		HeapBytes:          *heapMB << 20,
+		Path:               *file,
+		HashPower:          *hashPow,
+		FixedSize:          *fixed,
+		MemLimit:           *memLimit << 20,
+		LatencySampleEvery: *latEvery,
 	}
 
 	var b *memcached.Bookkeeper
@@ -92,6 +96,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("plibd: hybrid socket interface on %s\n", *listen)
+	}
+
+	if *metrics != "" {
+		go func() {
+			if err := http.ListenAndServe(*metrics, b.MetricsHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "plibd: metrics server:", err)
+			}
+		}()
+		fmt.Printf("plibd: metrics on http://%s/metrics\n", *metrics)
 	}
 
 	sig := make(chan os.Signal, 1)

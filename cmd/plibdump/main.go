@@ -6,6 +6,7 @@
 //	plibdump -file /var/tmp/store.img            # verify + summarize
 //	plibdump -file /var/tmp/store.img -keys      # also list keys
 //	plibdump -file /var/tmp/store.img -dump -max 10
+//	plibdump -file /var/tmp/store.img -metrics   # latency histograms
 package main
 
 import (
@@ -23,8 +24,9 @@ func main() {
 		file  = flag.String("file", "", "heap image to inspect (required)")
 		keys  = flag.Bool("keys", false, "list keys")
 		dump  = flag.Bool("dump", false, "dump keys and values")
-		locks = flag.Bool("locks", false, "list held heap-resident locks with their owners")
-		max   = flag.Int("max", 0, "stop after this many entries (0 = all)")
+		locks   = flag.Bool("locks", false, "list held heap-resident locks with their owners")
+		metrics = flag.Bool("metrics", false, "print the per-op-class latency histograms recorded in the image")
+		max     = flag.Int("max", 0, "stop after this many entries (0 = all)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -66,6 +68,12 @@ func main() {
 		store.HashPower(), st.CurrItems, st.Bytes, st.Gets, st.GetHits, st.Sets, st.Evictions, st.Expired)
 	if store.Expanding() {
 		fmt.Println("store: background expansion in progress (will resume when reopened)")
+	}
+	if *metrics {
+		// The latency histograms live in the heap, so they survive into
+		// the image — including one written after a crash. What the store
+		// measured in its final life is readable post mortem.
+		printLatency(store)
 	}
 
 	ctx := store.NewCtx(1)
@@ -123,6 +131,25 @@ func printLocks(store *core.Store, alloc *ralloc.Allocator) {
 		tid := l.Owner&(1<<20-1) - 1
 		fmt.Printf("  %-5s %4d  owner=%#x (pid %d, tid %d) — dead in this image\n",
 			l.Kind, l.Index, l.Owner, pid, tid)
+	}
+}
+
+// printLatency dumps the heap-resident per-op-class latency histograms.
+func printLatency(store *core.Store) {
+	if !store.LatencyEnabled() {
+		fmt.Println("latency: recording disabled in this image")
+		return
+	}
+	ls := store.Latency()
+	fmt.Printf("latency: sampling 1 in %d ops\n", store.LatencySampleEvery())
+	for class := 0; class < core.NumLatClasses; class++ {
+		h := &ls.Classes[class]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s %8d samples  mean %8v  p50 %8v  p99 %8v  max %8v\n",
+			core.LatClassNames[class], h.Count(), h.Mean(),
+			h.Percentile(50), h.Percentile(99), h.Max())
 	}
 }
 

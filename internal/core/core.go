@@ -40,6 +40,7 @@ const (
 	RootConfig    = 0 // the store's configuration block
 	RootLRULocks  = 1 // fixed-location array (Fig. 2 idiom)
 	RootPrimaryHT = 2 // storage cell for the movable hash table (Fig. 3 idiom)
+	RootLatency   = 3 // scattered latency-histogram matrix (latency.go)
 )
 
 // Limits, matching memcached's defaults.
@@ -86,6 +87,19 @@ type Options struct {
 	// the shared heap. Each Ctx claims one at creation; a Ctx that finds
 	// none free simply never uses the lock-free read path.
 	ReaderSlots uint64
+	// LatencySlots is the number of scattered latency-histogram slots:
+	// like the statistics slots, contexts hash onto them by owner token so
+	// recording stays contention free at sane thread counts.
+	LatencySlots uint64
+	// LatencySampleEvery records the latency of one in every N operations
+	// per context (rounded up to a power of two; 0 means 8). Sampling keeps
+	// the two clock reads off most operations, whose cost would otherwise
+	// rival the operation itself. 1 records every operation.
+	LatencySampleEvery uint64
+	// DisableLatency creates the store with latency recording off (the
+	// ablation baseline). The histogram matrix is still allocated so the
+	// heap layout — and hence benchmarks' allocator behaviour — matches.
+	DisableLatency bool
 }
 
 func (o *Options) fill(cap uint64) {
@@ -110,6 +124,17 @@ func (o *Options) fill(cap uint64) {
 	if o.ReaderSlots == 0 {
 		o.ReaderSlots = 64
 	}
+	if o.LatencySlots == 0 {
+		o.LatencySlots = 16
+	}
+	if o.LatencySampleEvery == 0 {
+		o.LatencySampleEvery = 8
+	}
+	// Round the sampling period up to a power of two so the hot path can
+	// mask instead of divide.
+	for o.LatencySampleEvery&(o.LatencySampleEvery-1) != 0 {
+		o.LatencySampleEvery++
+	}
 }
 
 // Config-block field offsets (relative to the block's base).
@@ -133,7 +158,11 @@ const (
 	cfgNumReaders   = 128
 	cfgGraveHead    = 136 // atomic: head of the deferred-free list (raw item offset)
 	cfgGraveLen     = 144 // atomic: number of quarantined items
-	cfgSize         = 152
+	cfgLatency      = 152 // pptr: scattered latency-histogram matrix
+	cfgLatSlots     = 160
+	cfgLatSampleMask = 168 // sample period minus one (period is a power of two)
+	cfgLatEnabled   = 176
+	cfgSize         = 184
 )
 
 // Hash-table storage cell (Fig. 3): the movable table behind one more pptr.
@@ -166,6 +195,10 @@ type Store struct {
 	seqLocks   uint64 // seqlock array offset, one word per item-lock stripe
 	readers    uint64 // optimistic-reader slot array offset
 	numReaders uint64
+	latency    uint64 // latency-histogram matrix offset (0 = none)
+	latSlots   uint64
+	latMask    uint64 // sample period minus one
+	latEnabled bool
 
 	// nowFn supplies the wall clock; overridable in tests.
 	nowFn func() int64
@@ -227,6 +260,10 @@ func Create(a *ralloc.Allocator, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	latency, err := c.Calloc(opts.LatencySlots * latSlotStride)
+	if err != nil {
+		return nil, err
+	}
 
 	h.Store64(cfg+cfgNumItemLocks, opts.NumItemLocks)
 	h.Store64(cfg+cfgNumLRUs, opts.NumLRUs)
@@ -247,6 +284,12 @@ func Create(a *ralloc.Allocator, opts Options) (*Store, error) {
 	ralloc.StorePptr(h, cfg+cfgSeqLocks, seqLocks)
 	ralloc.StorePptr(h, cfg+cfgReaders, readers)
 	h.Store64(cfg+cfgNumReaders, opts.ReaderSlots)
+	ralloc.StorePptr(h, cfg+cfgLatency, latency)
+	h.Store64(cfg+cfgLatSlots, opts.LatencySlots)
+	h.Store64(cfg+cfgLatSampleMask, opts.LatencySampleEvery-1)
+	if !opts.DisableLatency {
+		h.Store64(cfg+cfgLatEnabled, 1)
+	}
 
 	ralloc.StorePptr(h, storage+htTable, table)
 	h.Store64(storage+htHashPower, uint64(opts.HashPower))
@@ -254,6 +297,7 @@ func Create(a *ralloc.Allocator, opts Options) (*Store, error) {
 	a.SetRoot(RootConfig, cfg)
 	a.SetRoot(RootLRULocks, lruLocks)
 	a.SetRoot(RootPrimaryHT, storage)
+	a.SetRoot(RootLatency, latency)
 	return attach(a, cfg)
 }
 
@@ -288,8 +332,12 @@ func attach(a *ralloc.Allocator, cfg uint64) (*Store, error) {
 		seqLocks:     ralloc.LoadPptr(h, cfg+cfgSeqLocks),
 		readers:      ralloc.LoadPptr(h, cfg+cfgReaders),
 		numReaders:   h.Load64(cfg + cfgNumReaders),
+		latency:      ralloc.LoadPptr(h, cfg+cfgLatency),
+		latSlots:     h.Load64(cfg + cfgLatSlots),
+		latMask:      h.Load64(cfg + cfgLatSampleMask),
 		nowFn:        func() int64 { return time.Now().Unix() },
 	}
+	s.latEnabled = h.Load64(cfg+cfgLatEnabled) != 0 && s.latency != 0 && s.latSlots != 0
 	if s.numItemLocks == 0 || s.numLRUs == 0 || s.seqLocks == 0 {
 		return nil, fmt.Errorf("core: corrupt store configuration")
 	}

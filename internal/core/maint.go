@@ -54,8 +54,7 @@ func (m *Maintainer) Ctx() *Ctx { return m.ctx }
 // to evict inline), sweep the table for expired items, and resize if the
 // table is overloaded.
 func (m *Maintainer) RunOnce() MaintReport {
-	m.ctx.enterOp()
-	defer m.ctx.exitOp()
+	defer m.ctx.opEnd(LatMaint, m.ctx.opBegin())
 	var r MaintReport
 	s := m.ctx.s
 	watermark := s.memLimit - s.memLimit/20

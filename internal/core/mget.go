@@ -18,8 +18,9 @@ type GetResult struct {
 // lock-free optimistic path of GetAppend, so an uncontended batch takes
 // no locks at all.
 func (c *Ctx) MGet(keys [][]byte) []GetResult {
-	c.enterOp()
-	defer c.exitOp()
+	// One latency sample covers the whole batch; the nested GetAppends run
+	// at operation depth 2 and never sample themselves.
+	defer c.opEnd(LatMGet, c.opBegin())
 	res := make([]GetResult, len(keys))
 	for i, k := range keys {
 		v, flags, cas, err := c.GetAppend(nil, k)

@@ -36,6 +36,8 @@ type Ctx struct {
 	gateGen     uint64 // gate generation observed at enterOp (see exitOp)
 	rdSlot      uint64 // optimistic-reader announcement slot; 0 = none
 	rdEpoch     uint64 // epoch this context announced in its slot (see endRead)
+	latN        uint64 // operations seen since creation (latency sampling)
+	latSlot     uint64 // latency-histogram slot this context records into
 
 	// deadSelf reports whether this context's own owner token has been
 	// declared dead by the liveness oracle — i.e. this goroutine is a
@@ -79,6 +81,9 @@ func (s *Store) NewCtx(owner uint64) *Ctx {
 		owner:                owner,
 		slot:                 owner % s.statSlots,
 		CaptureClientBuffers: true,
+	}
+	if s.latSlots != 0 {
+		c.latSlot = owner % s.latSlots
 	}
 	c.deadSelf = func() bool { return s.ownerIsDead(owner) }
 	c.claimReaderSlot()
@@ -214,8 +219,7 @@ func (c *Ctx) GetAppend(dst, key []byte) ([]byte, uint32, uint64, error) {
 	if len(key) > MaxKeyLen {
 		return dst, 0, 0, ErrKeyTooLong
 	}
-	c.enterOp()
-	defer c.exitOp()
+	defer c.opEnd(LatGet, c.opBegin())
 	c.stat(statGets, 1)
 	k := c.capture(&c.keyBuf, key)
 	hash := hashKey(k)
@@ -282,8 +286,7 @@ func (c *Ctx) GetAndTouchAppend(dst, key []byte, exptime int64) ([]byte, uint32,
 	if len(key) > MaxKeyLen {
 		return dst, 0, 0, ErrKeyTooLong
 	}
-	c.enterOp()
-	defer c.exitOp()
+	defer c.opEnd(LatTouch, c.opBegin())
 	c.stat(statGets, 1)
 	c.stat(statTouches, 1)
 	k := c.capture(&c.keyBuf, key)
@@ -307,8 +310,7 @@ func (c *Ctx) store(mode storeMode, key, value []byte, flags uint32, exptime int
 	if len(value) > MaxValueLen {
 		return ErrValueTooBig
 	}
-	c.enterOp()
-	defer c.exitOp()
+	defer c.opEnd(LatSet, c.opBegin())
 	c.stat(statSets, 1)
 	k := c.capture(&c.keyBuf, key)
 	v := c.capture(&c.valBuf, value)
@@ -382,8 +384,7 @@ func (c *Ctx) Delete(key []byte) error {
 	if len(key) > MaxKeyLen {
 		return ErrKeyTooLong
 	}
-	c.enterOp()
-	defer c.exitOp()
+	defer c.opEnd(LatDelete, c.opBegin())
 	c.stat(statDeletes, 1)
 	k := c.capture(&c.keyBuf, key)
 	hash := hashKey(k)
@@ -407,8 +408,7 @@ func (c *Ctx) Touch(key []byte, exptime int64) error {
 	if len(key) > MaxKeyLen {
 		return ErrKeyTooLong
 	}
-	c.enterOp()
-	defer c.exitOp()
+	defer c.opEnd(LatTouch, c.opBegin())
 	c.stat(statTouches, 1)
 	k := c.capture(&c.keyBuf, key)
 	abs := c.absExpiry(exptime)
@@ -442,8 +442,7 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 	if len(key) > MaxKeyLen {
 		return 0, ErrKeyTooLong
 	}
-	c.enterOp()
-	defer c.exitOp()
+	defer c.opEnd(LatSet, c.opBegin())
 	c.stat(statIncrs, 1)
 	k := c.capture(&c.keyBuf, key)
 	hash := hashKey(k)
@@ -513,8 +512,7 @@ func (c *Ctx) pend(key, data []byte, front bool) error {
 	if len(key) > MaxKeyLen {
 		return ErrKeyTooLong
 	}
-	c.enterOp()
-	defer c.exitOp()
+	defer c.opEnd(LatSet, c.opBegin())
 	c.stat(statSets, 1)
 	k := c.capture(&c.keyBuf, key)
 	d := c.capture(&c.valBuf, data)
@@ -553,8 +551,7 @@ func (c *Ctx) pend(key, data []byte, front bool) error {
 
 // FlushAll removes every entry from the store.
 func (c *Ctx) FlushAll() {
-	c.enterOp()
-	defer c.exitOp()
+	defer c.opEnd(LatMaint, c.opBegin())
 	s := c.s
 	for li := uint64(0); li < s.numItemLocks; li++ {
 		lock := s.itemLocks + li*8

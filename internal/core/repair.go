@@ -157,6 +157,9 @@ type RepairReport struct {
 	ItemsDropped    int  // orphaned/torn items freed during repair
 	GraveFreed      int  // quarantined blocks freed
 	BytesKept       uint64
+	// HistogramsRepaired counts latency histograms whose total/Σcounts
+	// invariant was torn by a thread that died mid-record.
+	HistogramsRepaired int
 }
 
 // maxRepairChain bounds every chain walk during repair: a torn or
@@ -315,7 +318,14 @@ func (s *Store) Repair(c *Ctx) (RepairReport, error) {
 		r.BytesKept += s.A.SizeOf(it)
 	}
 
-	// 7. Rebuild the scattered item statistics from the survivors: zero
+	// 7. Re-validate the latency-histogram matrix and mend any histogram a
+	// dead thread tore mid-record, before the statistics below are trusted.
+	var err error
+	if r.HistogramsRepaired, err = s.repairLatency(); err != nil {
+		return r, err
+	}
+
+	// 8. Rebuild the scattered item statistics from the survivors: zero
 	// the distributed CurrItems/Bytes deltas everywhere, then write the
 	// recomputed totals into slot 0.
 	for slot := uint64(0); slot < s.statSlots; slot++ {

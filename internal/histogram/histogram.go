@@ -6,6 +6,7 @@ package histogram
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 	"time"
@@ -92,16 +93,29 @@ func (h *H) Max() time.Duration {
 	return time.Duration(h.max)
 }
 
+// percentileRank converts a percentile (0 < p <= 100) over total samples
+// into a 1-indexed rank, rounding up: the p'th percentile is the smallest
+// sample such that at least ceil(p/100 * total) samples are <= it. A
+// truncating rank would return the sample *below* the requested quantile —
+// e.g. the rank-50 sample as the median of 101.
+func percentileRank(p float64, total uint64) uint64 {
+	want := uint64(math.Ceil(p / 100 * float64(total)))
+	if want == 0 {
+		want = 1
+	}
+	if want > total {
+		want = total
+	}
+	return want
+}
+
 // Percentile returns the p'th percentile (0 < p <= 100), quantized to the
 // lower edge of its bucket.
 func (h *H) Percentile(p float64) time.Duration {
 	if h.total == 0 {
 		return 0
 	}
-	want := uint64(p / 100 * float64(h.total))
-	if want == 0 {
-		want = 1
-	}
+	want := percentileRank(p, h.total)
 	var seen uint64
 	for i, c := range h.counts {
 		seen += c
@@ -110,6 +124,26 @@ func (h *H) Percentile(p float64) time.Duration {
 		}
 	}
 	return time.Duration(h.max)
+}
+
+// RecordN adds n samples of value d (merging bucketed data).
+func (h *H) RecordN(d time.Duration, n uint64) {
+	if n == 0 {
+		return
+	}
+	v := uint64(d)
+	if int64(d) < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)] += n
+	h.total += n
+	h.sum += v * n
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
 }
 
 // Merge folds other into h.

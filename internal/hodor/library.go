@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"plibmc/internal/histogram"
 	"plibmc/internal/proc"
 )
 
@@ -49,8 +50,12 @@ type Library struct {
 	// the default of five seconds.
 	RecoveryGrace time.Duration
 
-	// Profile enables per-call latency accounting (two clock reads per
-	// call, ~40 ns — leave off for production-shaped benchmarks).
+	// Profile enables per-call latency accounting and per-crossing
+	// trampoline profiling (six clock reads per call — leave off for
+	// production-shaped benchmarks). Per-crossing PKU costs are where
+	// protected-library systems live or die (libmpk), so each rights
+	// transition — amplify on the way in, restore on the way out — is
+	// individually timed into a lock-free histogram.
 	Profile bool
 
 	initFn    func(*proc.Process) error
@@ -63,6 +68,9 @@ type Library struct {
 	rejected   atomic.Uint64
 	recoveries atomic.Uint64
 	nanos      atomic.Uint64
+	// cross holds per-crossing trampoline latency (entry amplification and
+	// exit restoration timed separately); populated only when Profile is on.
+	cross histogram.Atomic
 
 	mu       sync.Mutex
 	sessions []*Session
@@ -78,20 +86,30 @@ type Metrics struct {
 	Crashes    uint64 // panics inside library code
 	Rejected   uint64 // calls refused (poisoned library, killed process, …)
 	Recoveries uint64 // completed quarantine→repair→resume cycles
+	// Crossings counts PKRU rights transitions: every admitted call
+	// amplifies on the way in and restores on the way out, crash or not.
+	Crossings uint64
 	// TotalTime is accumulated in-library time; zero unless Profile is on.
 	TotalTime time.Duration
 }
 
 // Metrics returns the library's call counters.
 func (l *Library) Metrics() Metrics {
+	calls := l.calls.Load()
 	return Metrics{
-		Calls:      l.calls.Load(),
+		Calls:      calls,
 		Crashes:    l.crashes.Load(),
 		Rejected:   l.rejected.Load(),
 		Recoveries: l.recoveries.Load(),
+		Crossings:  2 * calls,
 		TotalTime:  time.Duration(l.nanos.Load()),
 	}
 }
+
+// CrossingLatency returns the distribution of individual trampoline
+// crossing times (one sample per rights transition). Empty unless Profile
+// is on.
+func (l *Library) CrossingLatency() histogram.Snapshot { return l.cross.Snapshot() }
 
 // NewLibrary creates a library in the given domain.
 func NewLibrary(name string, ownerUID int, d *Domain) *Library {
@@ -278,10 +296,20 @@ func Call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), arg A) (res
 		return res, aErr
 	}
 	l.calls.Add(1)
+	// Entry crossing: stack switch plus rights amplification, timed from
+	// here (not from start — admit may have parked through a recovery, and
+	// that wait is not crossing cost).
+	var crossStart time.Time
+	if l.Profile {
+		crossStart = time.Now()
+	}
 	s.stackDepth++ // switch to the library-side stack
 	saved := t.PKRU()
 	s.savedPKRU = uint32(saved)
 	proc.WRPKRU(t, saved.WithAccess(l.Domain.Key))
+	if l.Profile {
+		l.cross.Record(time.Since(crossStart))
+	}
 
 	defer func() {
 		crashed := recover()
@@ -298,13 +326,19 @@ func Call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), arg A) (res
 			// this unwinding call.)
 			l.markDefunct(t.LockOwner())
 		}
+		var exitStart time.Time
 		if l.Profile {
 			l.nanos.Add(uint64(time.Since(start)))
+			exitStart = time.Now()
 		}
 		proc.WRPKRU(t, saved)
 		s.stackDepth--
 		s.callStart.Store(0)
 		t.ExitLibrary()
+		if l.Profile {
+			// Exit crossing: rights restoration plus stack switch back.
+			l.cross.Record(time.Since(exitStart))
+		}
 		if crashed != nil {
 			// After the in-flight record is retired: the repair drain
 			// must not wait for this call before repairing.

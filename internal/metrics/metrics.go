@@ -1,0 +1,130 @@
+// Package metrics renders metric samples in the Prometheus text exposition
+// format and as expvar-style JSON, with no dependency beyond the standard
+// library. The collectors live with the things they observe (the store, the
+// hodor library, the baseline server); this package only knows how to write
+// what they hand it.
+//
+// The global expvar registry is deliberately avoided: it panics on
+// duplicate publication, which makes any component that registered itself
+// impossible to construct twice in one process (every test that builds two
+// stores would die). Handlers here render from a snapshot taken per
+// request instead.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one metric point: a name, optional labels, and a value.
+type Sample struct {
+	Name   string
+	Labels [][2]string // ordered key/value pairs
+	Value  float64
+}
+
+// L is shorthand for building a label list.
+func L(kv ...string) [][2]string {
+	if len(kv)%2 != 0 {
+		panic("metrics: odd label list")
+	}
+	out := make([][2]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, [2]string{kv[i], kv[i+1]})
+	}
+	return out
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// WriteProm renders samples in Prometheus text format, in input order.
+func WriteProm(w io.Writer, samples []Sample) {
+	var b strings.Builder
+	for _, s := range samples {
+		b.WriteString(s.Name)
+		if len(s.Labels) > 0 {
+			b.WriteByte('{')
+			for i, kv := range s.Labels {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(kv[0])
+				b.WriteString(`="`)
+				b.WriteString(escapeLabel(kv[1]))
+				b.WriteByte('"')
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(s.Value, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	io.WriteString(w, b.String())
+}
+
+// WriteVars renders a flat map as a JSON object with sorted keys (the
+// /debug/vars shape). Values may be numbers (rendered bare) or strings.
+func WriteVars(w io.Writer, vars map[string]any) {
+	keys := make([]string, 0, len(vars))
+	for k := range vars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, "%q: ", k)
+		switch v := vars[k].(type) {
+		case string:
+			fmt.Fprintf(&b, "%q", v)
+		case float64:
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		case uint64:
+			b.WriteString(strconv.FormatUint(v, 10))
+		case int64:
+			b.WriteString(strconv.FormatInt(v, 10))
+		case int:
+			b.WriteString(strconv.Itoa(v))
+		case bool:
+			b.WriteString(strconv.FormatBool(v))
+		default:
+			fmt.Fprintf(&b, "%q", fmt.Sprint(v))
+		}
+	}
+	b.WriteString("\n}\n")
+	io.WriteString(w, b.String())
+}
+
+// Collector produces the current samples and vars on demand; handlers call
+// it once per scrape.
+type Collector func() ([]Sample, map[string]any)
+
+// Handler builds an http.Handler serving /metrics (Prometheus text) and
+// /debug/vars (expvar-shaped JSON) from the collector.
+func Handler(collect Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		samples, _ := collect()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, samples)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		_, vars := collect()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		WriteVars(w, vars)
+	})
+	return mux
+}

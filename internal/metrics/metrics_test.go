@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteProm(t *testing.T) {
+	var b strings.Builder
+	WriteProm(&b, []Sample{
+		{Name: "a_total", Value: 3},
+		{Name: "lat", Labels: L("op", "get", "quantile", "0.99"), Value: 0.5},
+		{Name: "esc", Labels: L("v", "a\"b\\c\nd"), Value: 1},
+	})
+	got := b.String()
+	want := "a_total 3\n" +
+		`lat{op="get",quantile="0.99"} 0.5` + "\n" +
+		`esc{v="a\"b\\c\nd"} 1` + "\n"
+	if got != want {
+		t.Fatalf("WriteProm:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestWriteVars(t *testing.T) {
+	var b strings.Builder
+	WriteVars(&b, map[string]any{
+		"z": uint64(2), "a": int64(-1), "m": 1.5, "s": "x", "b": true,
+	})
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, b.String())
+	}
+	if m["z"] != 2.0 || m["a"] != -1.0 || m["m"] != 1.5 || m["s"] != "x" || m["b"] != true {
+		t.Fatalf("round trip = %v", m)
+	}
+	// Keys must come out sorted for stable scrapes.
+	if i, j := strings.Index(b.String(), `"a"`), strings.Index(b.String(), `"z"`); i > j {
+		t.Fatal("keys not sorted")
+	}
+}
+
+func TestLPanicsOnOdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on odd label list")
+		}
+	}()
+	L("only-key")
+}

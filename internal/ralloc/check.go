@@ -19,6 +19,9 @@ type CheckReport struct {
 	// LiveBytes is the counter's value; LiveBlockEstimate is what the
 	// walk implies (capacity minus free space).
 	LiveBytes uint64
+	// LiveRoots counts the nonzero persistent roots (all verified to be
+	// live block bases).
+	LiveRoots int
 }
 
 // Check validates the allocator's invariants and returns a summary, or an
@@ -118,6 +121,22 @@ func (a *Allocator) Check() (*CheckReport, error) {
 	if rep.LiveBytes > upperLive {
 		return nil, fmt.Errorf("ralloc: live-bytes counter %d exceeds the %d implied by free space",
 			rep.LiveBytes, upperLive)
+	}
+
+	// Pass 4: persistent roots. Everything a reopened heap can reach hangs
+	// off these — the store's config block, lock arrays, hash-table cell,
+	// latency-histogram matrix — so a nonzero root that is not the base of
+	// a live block means every structure behind it is garbage. Catch that
+	// here, before an attach dereferences it.
+	for r := 0; r < NumRoots; r++ {
+		root := a.GetRoot(r)
+		if root == 0 {
+			continue
+		}
+		if a.BlockAt(root) == 0 {
+			return nil, fmt.Errorf("ralloc: root %d points at %#x, which is not a live block base", r, root)
+		}
+		rep.LiveRoots++
 	}
 	return rep, nil
 }

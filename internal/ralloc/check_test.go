@@ -256,3 +256,39 @@ func TestReclaimConcurrentWithAlloc(t *testing.T) {
 		t.Fatalf("LiveBytes = %d", a.LiveBytes())
 	}
 }
+
+func TestCheckValidatesRoots(t *testing.T) {
+	_, a := newHeapAlloc(t, 1<<21)
+	c := a.NewCache()
+	off, err := c.Malloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	a.SetRoot(0, off)
+	rep, err := a.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LiveRoots != 1 {
+		t.Fatalf("LiveRoots = %d, want 1", rep.LiveRoots)
+	}
+
+	// A root into the interior of a block is not a block base.
+	a.SetRoot(1, off+8)
+	if _, err := a.Check(); err == nil || !strings.Contains(err.Error(), "root 1") {
+		t.Fatalf("interior root not caught: %v", err)
+	}
+	a.SetRoot(1, 0)
+
+	// A root into a freed (reclaimed) chunk is dangling.
+	c2 := a.NewCache()
+	if err := c2.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	c2.Flush()
+	a.Reclaim()
+	if _, err := a.Check(); err == nil || !strings.Contains(err.Error(), "root 0") {
+		t.Fatalf("dangling root not caught: %v", err)
+	}
+}

@@ -71,6 +71,10 @@ func (s *Store) Get(key []byte) ([]byte, uint32, uint64, bool) {
 	val := append([]byte(nil), s.value(it)...)
 	flags := s.u32(it, bFlags)
 	cas := s.u64(it, bCASID)
+	// A hit is a *use*: move the item to the head of its class LRU so the
+	// eviction tail tracks recency of access, not of insertion. Without
+	// this the "LRU" degrades to FIFO and hot items get evicted.
+	s.bumpLRU(it)
 	mu.Unlock()
 	s.statMu.Lock()
 	s.stats.GetHits++
@@ -193,6 +197,16 @@ func (s *Store) Delete(key []byte) protocol.Status {
 	if r == nilRef {
 		return protocol.StatusKeyNotFound
 	}
+	// An expired-but-unreaped item is logically gone: reap it here, but as
+	// an expiry, not a successful delete — the client must see NOT_FOUND
+	// exactly as if the sweeper had gotten there first.
+	if s.expired(deref(r), s.nowFn()) {
+		s.unlink(deref(r), h)
+		s.statMu.Lock()
+		s.stats.Expired++
+		s.statMu.Unlock()
+		return protocol.StatusKeyNotFound
+	}
 	s.unlink(deref(r), h)
 	return protocol.StatusOK
 }
@@ -244,15 +258,25 @@ func (s *Store) IncrDecr(key []byte, delta uint64, decr bool) (uint64, protocol.
 	return v, protocol.StatusOK
 }
 
-// GetAndTouch retrieves a value and updates its expiry atomically.
+// GetAndTouch retrieves a value and updates its expiry atomically. It is
+// a retrieval, so it feeds the get counters like Get does, plus the touch
+// counters for the expiry update.
 func (s *Store) GetAndTouch(key []byte, exptime int64) ([]byte, uint32, uint64, bool) {
 	abs := s.absExpiry(exptime)
+	s.statMu.Lock()
+	s.stats.Gets++
+	s.stats.Touches++
+	s.statMu.Unlock()
 	h := hashKey(key)
 	mu := s.lockFor(h)
 	mu.Lock()
-	r := s.find(key, h)
-	if r == nilRef || s.expired(deref(r), s.nowFn()) {
+	r := s.reapIfExpired(s.find(key, h), h)
+	if r == nilRef {
 		mu.Unlock()
+		s.statMu.Lock()
+		s.stats.GetMisses++
+		s.stats.TouchMisses++
+		s.statMu.Unlock()
 		return nil, 0, 0, false
 	}
 	it := deref(r)
@@ -260,23 +284,51 @@ func (s *Store) GetAndTouch(key []byte, exptime int64) ([]byte, uint32, uint64, 
 	val := append([]byte(nil), s.value(it)...)
 	flags := s.u32(it, bFlags)
 	cas := s.u64(it, bCASID)
+	s.bumpLRU(it)
 	mu.Unlock()
+	s.statMu.Lock()
+	s.stats.GetHits++
+	s.stats.TouchHits++
+	s.statMu.Unlock()
 	return val, flags, cas, true
 }
 
 // Touch updates an entry's expiry.
 func (s *Store) Touch(key []byte, exptime int64) protocol.Status {
 	abs := s.absExpiry(exptime)
+	s.statMu.Lock()
+	s.stats.Touches++
+	s.statMu.Unlock()
 	h := hashKey(key)
 	mu := s.lockFor(h)
 	mu.Lock()
 	defer mu.Unlock()
-	r := s.find(key, h)
-	if r == nilRef || s.expired(deref(r), s.nowFn()) {
+	r := s.reapIfExpired(s.find(key, h), h)
+	if r == nilRef {
+		s.statMu.Lock()
+		s.stats.TouchMisses++
+		s.statMu.Unlock()
 		return protocol.StatusKeyNotFound
 	}
 	s.putU32(deref(r), bExptime, uint32(abs))
+	s.statMu.Lock()
+	s.stats.TouchHits++
+	s.statMu.Unlock()
 	return protocol.StatusOK
+}
+
+// reapIfExpired unlinks an expired item and counts the expiry, returning
+// nilRef; a live (or absent) ref passes through. Caller holds the item
+// lock for h.
+func (s *Store) reapIfExpired(r uint64, h uint64) uint64 {
+	if r == nilRef || !s.expired(deref(r), s.nowFn()) {
+		return r
+	}
+	s.unlink(deref(r), h)
+	s.statMu.Lock()
+	s.stats.Expired++
+	s.statMu.Unlock()
+	return nilRef
 }
 
 // FlushAll empties the store.

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"plibmc/internal/protocol"
 )
@@ -208,9 +209,13 @@ func (s *Server) serverThread() {
 func (s *Server) execute(req request) {
 	cs, cmd := req.conn, req.cmd
 	if !cs.binary && cmd.Op == protocol.OpGet && len(req.keys) > 0 {
-		// ASCII multi-get: VALUE blocks then one END.
+		// ASCII multi-get: VALUE blocks then one END. This path bypasses
+		// Dispatch, so it feeds the latency histograms itself, per key.
 		for _, k := range req.keys {
-			if v, flags, cas, ok := s.store.Get(k); ok {
+			start := time.Now()
+			v, flags, cas, ok := s.store.Get(k)
+			s.store.RecordLatency(LatGet, time.Since(start))
+			if ok {
 				fmt.Fprintf(cs.w, "VALUE %s %d %d %d\r\n", k, flags, len(v), cas)
 				cs.w.Write(v)
 				cs.w.WriteString("\r\n")
@@ -242,9 +247,32 @@ func skipQuietReply(cmd *protocol.Command, rep *protocol.Reply) bool {
 	return false
 }
 
+// latClassOf maps a protocol op to a latency class, or -1 for ops that
+// are not timed (stats, version, noop, flush).
+func latClassOf(op protocol.Op) int {
+	switch op {
+	case protocol.OpGet, protocol.OpGAT:
+		return LatGet
+	case protocol.OpSet, protocol.OpAdd, protocol.OpReplace, protocol.OpCAS,
+		protocol.OpAppend, protocol.OpPrepend:
+		return LatSet
+	case protocol.OpDelete:
+		return LatDelete
+	case protocol.OpTouch:
+		return LatTouch
+	case protocol.OpIncr, protocol.OpDecr:
+		return LatIncr
+	}
+	return -1
+}
+
 // Dispatch executes one protocol command against a baseline store. It is
 // exported so the hybrid daemon can reuse it.
 func Dispatch(st *Store, cmd *protocol.Command, version string) *protocol.Reply {
+	if class := latClassOf(cmd.Op); class >= 0 {
+		start := time.Now()
+		defer func() { st.RecordLatency(class, time.Since(start)) }()
+	}
 	rep := &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque}
 	switch cmd.Op {
 	case protocol.OpGet:
@@ -303,6 +331,19 @@ func Dispatch(st *Store, cmd *protocol.Command, version string) *protocol.Reply 
 					[2]string{prefix + ":number", strconv.Itoa(cs.Used)},
 				)
 			}
+		case "latency":
+			// Per-op service-time distribution, microseconds.
+			lat := st.LatencySnapshot()
+			for class := range lat {
+				h := &lat[class]
+				prefix := LatClassNames[class]
+				rep.Stats = append(rep.Stats,
+					[2]string{prefix + ":count", strconv.FormatUint(h.Count(), 10)},
+					[2]string{prefix + ":p50_us", strconv.FormatInt(h.Percentile(50).Microseconds(), 10)},
+					[2]string{prefix + ":p99_us", strconv.FormatInt(h.Percentile(99).Microseconds(), 10)},
+					[2]string{prefix + ":max_us", strconv.FormatInt(h.Max().Microseconds(), 10)},
+				)
+			}
 		default:
 			snap := st.Snapshot()
 			rep.Stats = [][2]string{
@@ -310,9 +351,14 @@ func Dispatch(st *Store, cmd *protocol.Command, version string) *protocol.Reply 
 				{"get_hits", strconv.FormatUint(snap.GetHits, 10)},
 				{"get_misses", strconv.FormatUint(snap.GetMisses, 10)},
 				{"cmd_set", strconv.FormatUint(snap.Sets, 10)},
+				{"cmd_delete", strconv.FormatUint(snap.Deletes, 10)},
+				{"cmd_touch", strconv.FormatUint(snap.Touches, 10)},
+				{"touch_hits", strconv.FormatUint(snap.TouchHits, 10)},
+				{"touch_misses", strconv.FormatUint(snap.TouchMisses, 10)},
 				{"curr_items", strconv.FormatUint(snap.CurrItems, 10)},
 				{"bytes", strconv.FormatUint(snap.Bytes, 10)},
 				{"evictions", strconv.FormatUint(snap.Evictions, 10)},
+				{"expired", strconv.FormatUint(snap.Expired, 10)},
 			}
 		}
 	case protocol.OpVersion:

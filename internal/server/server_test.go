@@ -1,11 +1,14 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"net"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"plibmc/internal/client"
@@ -307,5 +310,107 @@ func TestStatsSlabsAndItems(t *testing.T) {
 	rep = Dispatch(st, &protocol.Command{Op: protocol.OpStats, StatsArg: "items"}, "v")
 	if len(rep.Stats) == 0 {
 		t.Fatal("stats items empty")
+	}
+}
+
+// TestDeleteExpiredWireFrame pins the exact ASCII bytes a client sees when
+// deleting a key that has expired but not yet been reaped: NOT_FOUND, the
+// same frame as for a key that never existed. Pre-fix the server answered
+// DELETED.
+func TestDeleteExpiredWireFrame(t *testing.T) {
+	srv, _ := startServer(t, 1)
+	var now atomic.Int64
+	now.Store(5000)
+	srv.Store().SetClock(now.Load)
+
+	c, err := net.Dial("unix", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := bufio.NewReader(c)
+	roundTrip := func(req, want string) {
+		t.Helper()
+		if _, err := c.Write([]byte(req)); err != nil {
+			t.Fatal(err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line != want {
+			t.Fatalf("reply to %q = %q, want %q", req, line, want)
+		}
+	}
+
+	roundTrip("set k 0 50 1\r\nv\r\n", "STORED\r\n")
+	now.Add(100) // key is now expired but still linked
+	roundTrip("delete k\r\n", "NOT_FOUND\r\n")
+	// The reap was an expiry, not a delete: the item is gone for real.
+	roundTrip("delete k\r\n", "NOT_FOUND\r\n")
+}
+
+// TestStatsLatencyWire exercises the "stats latency" subcommand: per-op
+// service-time percentiles out of the baseline's single-lock histograms.
+func TestStatsLatencyWire(t *testing.T) {
+	srv, _ := startServer(t, 1)
+	_ = srv
+	c, err := net.Dial("unix", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := bufio.NewReader(c)
+	send := func(req string) {
+		t.Helper()
+		if _, err := c.Write([]byte(req)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expectLine := func(want string) {
+		t.Helper()
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line != want {
+			t.Fatalf("got %q, want %q", line, want)
+		}
+	}
+	send("set k 0 0 1\r\nv\r\n")
+	expectLine("STORED\r\n")
+	send("get k\r\n")
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line == "END\r\n" {
+			break
+		}
+	}
+	send("stats latency\r\n")
+	stats := map[string]string{}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line == "END\r\n" {
+			break
+		}
+		var k, v string
+		if _, err := fmt.Sscanf(line, "STAT %s %s", &k, &v); err != nil {
+			t.Fatalf("bad stat line %q: %v", line, err)
+		}
+		stats[k] = v
+	}
+	if stats["get:count"] != "1" || stats["set:count"] != "1" {
+		t.Fatalf("latency counts = get:%s set:%s, want 1/1", stats["get:count"], stats["set:count"])
+	}
+	for _, k := range []string{"get:p50_us", "get:p99_us", "delete:count"} {
+		if _, ok := stats[k]; !ok {
+			t.Fatalf("stats latency missing %s (have %v)", k, stats)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"plibmc/internal/histogram"
 	"plibmc/internal/slab"
 )
 
@@ -54,6 +55,7 @@ type Store struct {
 
 	statMu sync.Mutex // the single statistics lock the paper scattered
 	stats  Stats
+	lat    [NumLatClasses]histogram.H // per-op latency, also under statMu
 
 	casMu sync.Mutex
 	cas   uint64
@@ -69,11 +71,25 @@ type classLRU struct {
 
 // Stats mirrors the counters the protected-library store reports.
 type Stats struct {
-	Gets, GetHits, GetMisses uint64
-	Sets, Deletes            uint64
-	Evictions, Expired       uint64
-	CurrItems, Bytes         uint64
+	Gets, GetHits, GetMisses     uint64
+	Sets, Deletes                uint64
+	Touches, TouchHits, TouchMisses uint64
+	Evictions, Expired           uint64
+	CurrItems, Bytes             uint64
 }
+
+// Per-op latency classes for the baseline's histograms.
+const (
+	LatGet = iota
+	LatSet
+	LatDelete
+	LatTouch
+	LatIncr
+	NumLatClasses
+)
+
+// LatClassNames names the latency classes for "stats latency" output.
+var LatClassNames = [NumLatClasses]string{"get", "set", "delete", "touch", "incr"}
 
 // NewStore creates a baseline store with the given memory limit (-m) and
 // 2^hashPower buckets.
@@ -266,6 +282,52 @@ func (s *Store) unlink(it slab.Handle, h uint64) {
 	s.stats.Bytes -= uint64(s.sl.ClassSize(ci))
 	s.statMu.Unlock()
 	s.sl.Free(it)
+}
+
+// bumpLRU moves an accessed item to the head of its class LRU, so the
+// tail stays least-recently-*used* rather than least-recently-*stored*.
+// Caller holds the item lock; the list edit itself takes the class-LRU
+// lock like every other list edit.
+func (s *Store) bumpLRU(it slab.Handle) {
+	ci := s.sl.ClassOf(it)
+	l := &s.lrus[ci]
+	l.mu.Lock()
+	if l.head != ref(it) {
+		prev := s.u64(it, bLRUPrev)
+		next := s.u64(it, bLRUNext)
+		if prev != nilRef {
+			s.putU64(deref(prev), bLRUNext, next)
+		}
+		if next != nilRef {
+			s.putU64(deref(next), bLRUPrev, prev)
+		} else {
+			l.tail = prev
+		}
+		s.putU64(it, bLRUPrev, nilRef)
+		s.putU64(it, bLRUNext, l.head)
+		if l.head != nilRef {
+			s.putU64(deref(l.head), bLRUPrev, ref(it))
+		}
+		l.head = ref(it)
+	}
+	l.mu.Unlock()
+}
+
+// RecordLatency folds one operation's service time into the per-op
+// histograms — under the same single statistics mutex as every other
+// counter, which is exactly the cross-thread contention the
+// protected-library store's scattered per-thread histograms avoid.
+func (s *Store) RecordLatency(class int, d time.Duration) {
+	s.statMu.Lock()
+	s.lat[class].Record(d)
+	s.statMu.Unlock()
+}
+
+// LatencySnapshot copies the per-op histograms out under the stats lock.
+func (s *Store) LatencySnapshot() [NumLatClasses]histogram.H {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.lat
 }
 
 func (s *Store) removeLRU(it slab.Handle) {

@@ -211,3 +211,107 @@ func TestBaselineKeyTooLong(t *testing.T) {
 		t.Fatalf("long key = %v", st)
 	}
 }
+
+// TestGetBumpsClassLRU is the regression test for FIFO eviction: Get must
+// move the accessed item to the head of its class LRU so the eviction
+// tail is the least-recently-*used* item, not the least-recently-stored.
+func TestGetBumpsClassLRU(t *testing.T) {
+	s := NewStore(1<<20, 10) // one slab page: the large class holds few items
+	large := bytes.Repeat([]byte{'x'}, 8000)
+	if st := s.Set([]byte("protected"), large, 0, 0); st != protocol.StatusOK {
+		t.Fatal(st)
+	}
+	if st := s.Set([]byte("victim"), large, 0, 0); st != protocol.StatusOK {
+		t.Fatal(st)
+	}
+	// Access the older item: it must become most recently used.
+	if _, _, _, ok := s.Get([]byte("protected")); !ok {
+		t.Fatal("miss on live key")
+	}
+	// Flood the class until the first eviction. The tail it evicts must be
+	// the unaccessed "victim"; pre-fix the list kept pure insertion order,
+	// so the accessed-but-older "protected" was the tail and died here.
+	for i := 0; s.Snapshot().Evictions == 0; i++ {
+		if i > 1000 {
+			t.Fatal("no eviction after 1000 sets")
+		}
+		if st := s.Set([]byte(fmt.Sprintf("fill-%04d", i)), large, 0, 0); st != protocol.StatusOK {
+			t.Fatalf("fill set: %v", st)
+		}
+	}
+	if _, _, _, ok := s.Get([]byte("victim")); ok {
+		t.Fatal("victim survived: eviction tail was not the least recently used item")
+	}
+	if _, _, _, ok := s.Get([]byte("protected")); !ok {
+		t.Fatal("accessed item evicted: Get did not bump the class LRU")
+	}
+}
+
+// TestGATBumpsClassLRU: GetAndTouch is a retrieval and must bump too.
+func TestGATBumpsClassLRU(t *testing.T) {
+	s := NewStore(1<<20, 10)
+	large := bytes.Repeat([]byte{'x'}, 8000)
+	s.Set([]byte("protected"), large, 0, 0)
+	s.Set([]byte("victim"), large, 0, 0)
+	if _, _, _, ok := s.GetAndTouch([]byte("protected"), 0); !ok {
+		t.Fatal("miss on live key")
+	}
+	for i := 0; s.Snapshot().Evictions == 0; i++ {
+		if i > 1000 {
+			t.Fatal("no eviction after 1000 sets")
+		}
+		if st := s.Set([]byte(fmt.Sprintf("fill-%04d", i)), large, 0, 0); st != protocol.StatusOK {
+			t.Fatalf("fill set: %v", st)
+		}
+	}
+	if _, _, _, ok := s.GetAndTouch([]byte("protected"), 0); !ok {
+		t.Fatal("accessed item evicted: GetAndTouch did not bump the class LRU")
+	}
+}
+
+// TestDeleteExpiredIsNotFound: deleting an expired-but-unreaped item must
+// report NOT_FOUND (the item is logically gone) and count an expiry, not
+// a successful delete.
+func TestDeleteExpiredIsNotFound(t *testing.T) {
+	s := newTestStore()
+	now := int64(1000)
+	s.SetClock(func() int64 { return now })
+	s.Set([]byte("k"), []byte("v"), 0, 50)
+	now += 100
+	if st := s.Delete([]byte("k")); st != protocol.StatusKeyNotFound {
+		t.Fatalf("delete of expired item = %v, want KeyNotFound", st)
+	}
+	snap := s.Snapshot()
+	if snap.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", snap.Expired)
+	}
+	if snap.CurrItems != 0 {
+		t.Fatalf("CurrItems = %d, want 0 (expired item must be reaped)", snap.CurrItems)
+	}
+}
+
+// TestTouchAndGATCounters: GetAndTouch is a get (and a touch); Touch is a
+// touch. Both used to update no counters at all.
+func TestTouchAndGATCounters(t *testing.T) {
+	s := newTestStore()
+	s.Set([]byte("k"), []byte("v"), 0, 0)
+	if _, _, _, ok := s.GetAndTouch([]byte("k"), 100); !ok {
+		t.Fatal("gat hit missed")
+	}
+	if _, _, _, ok := s.GetAndTouch([]byte("gone"), 100); ok {
+		t.Fatal("gat phantom hit")
+	}
+	if st := s.Touch([]byte("k"), 100); st != protocol.StatusOK {
+		t.Fatalf("touch = %v", st)
+	}
+	if st := s.Touch([]byte("gone"), 100); st != protocol.StatusKeyNotFound {
+		t.Fatalf("touch miss = %v", st)
+	}
+	snap := s.Snapshot()
+	if snap.Gets != 2 || snap.GetHits != 1 || snap.GetMisses != 1 {
+		t.Fatalf("get counters = %d/%d/%d, want 2/1/1", snap.Gets, snap.GetHits, snap.GetMisses)
+	}
+	if snap.Touches != 4 || snap.TouchHits != 2 || snap.TouchMisses != 2 {
+		t.Fatalf("touch counters = %d/%d/%d, want 4/2/2", snap.Touches, snap.TouchHits, snap.TouchMisses)
+	}
+}

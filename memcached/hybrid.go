@@ -163,15 +163,33 @@ func DispatchCore(ctx *core.Ctx, cmd *protocol.Command, version string) *protoco
 	case protocol.OpFlushAll:
 		ctx.FlushAll()
 	case protocol.OpStats:
+		if cmd.StatsArg == "latency" {
+			// The heap-resident scattered histograms, merged across slots.
+			ls := ctx.Store().Latency()
+			for class := 0; class < core.NumLatClasses; class++ {
+				h := &ls.Classes[class]
+				prefix := core.LatClassNames[class]
+				rep.Stats = append(rep.Stats,
+					[2]string{prefix + ":count", strconv.FormatUint(h.Count(), 10)},
+					[2]string{prefix + ":p50_us", strconv.FormatInt(h.Percentile(50).Microseconds(), 10)},
+					[2]string{prefix + ":p99_us", strconv.FormatInt(h.Percentile(99).Microseconds(), 10)},
+					[2]string{prefix + ":max_us", strconv.FormatInt(h.Max().Microseconds(), 10)},
+				)
+			}
+			break
+		}
 		st := ctx.Store().Stats()
 		rep.Stats = [][2]string{
 			{"cmd_get", strconv.FormatUint(st.Gets, 10)},
 			{"get_hits", strconv.FormatUint(st.GetHits, 10)},
 			{"get_misses", strconv.FormatUint(st.GetMisses, 10)},
 			{"cmd_set", strconv.FormatUint(st.Sets, 10)},
+			{"cmd_delete", strconv.FormatUint(st.Deletes, 10)},
+			{"cmd_touch", strconv.FormatUint(st.Touches, 10)},
 			{"curr_items", strconv.FormatUint(st.CurrItems, 10)},
 			{"bytes", strconv.FormatUint(st.Bytes, 10)},
 			{"evictions", strconv.FormatUint(st.Evictions, 10)},
+			{"expired", strconv.FormatUint(st.Expired, 10)},
 		}
 	case protocol.OpVersion:
 		rep.Version = version

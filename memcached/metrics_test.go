@@ -1,0 +1,171 @@
+package memcached
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"plibmc/internal/core"
+	"plibmc/internal/faultpoint"
+)
+
+// TestMetricsSnapshot drives a few operations and checks the merged
+// snapshot ties the layers together: op counters, per-class latency,
+// trampoline accounting, heap occupancy.
+func TestMetricsSnapshot(t *testing.T) {
+	b, err := CreateStore(Config{HeapBytes: 16 << 20, HashPower: 10, NumItemLocks: 64, LatencySampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestSession(t, b)
+	for i := 0; i < 10; i++ {
+		if err := s.Set([]byte("k"), []byte("v"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Get([]byte("k")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := b.Metrics()
+	if m.Ops.Gets != 10 || m.Ops.Sets != 10 {
+		t.Fatalf("ops = %d gets / %d sets, want 10/10", m.Ops.Gets, m.Ops.Sets)
+	}
+	if got := m.Latency.Classes[core.LatGet].Count(); got != 10 {
+		t.Fatalf("get latency samples = %d, want 10", got)
+	}
+	if p99 := m.Latency.Classes[core.LatSet].Percentile(99); p99 <= 0 {
+		t.Fatalf("set p99 = %v, want > 0", p99)
+	}
+	if m.SampleEvery != 1 {
+		t.Fatalf("SampleEvery = %d, want 1", m.SampleEvery)
+	}
+	if m.Library.Calls == 0 || m.Library.Crossings != 2*m.Library.Calls {
+		t.Fatalf("library calls=%d crossings=%d, want crossings = 2*calls > 0",
+			m.Library.Calls, m.Library.Crossings)
+	}
+	if m.HeapLiveBytes == 0 || m.HeapCapacity == 0 || m.HeapLiveBytes > m.HeapCapacity {
+		t.Fatalf("heap live=%d capacity=%d", m.HeapLiveBytes, m.HeapCapacity)
+	}
+}
+
+// TestMetricsHandler scrapes /metrics and /debug/vars through the real
+// handler — the smoke test the acceptance criteria name: Prometheus text
+// with per-op-class quantiles, crossing counts, recovery counters.
+func TestMetricsHandler(t *testing.T) {
+	b, err := CreateStore(Config{HeapBytes: 16 << 20, HashPower: 10, NumItemLocks: 64, LatencySampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestSession(t, b)
+	for i := 0; i < 20; i++ {
+		if err := s.Set([]byte("k"), []byte("v"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Get([]byte("k")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(b.MetricsHandler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`plibmc_op_latency_seconds{op="get",quantile="0.5"}`,
+		`plibmc_op_latency_seconds{op="get",quantile="0.99"}`,
+		`plibmc_op_latency_seconds{op="set",quantile="0.99"}`,
+		`plibmc_op_latency_seconds_count{op="get"} 20`,
+		`plibmc_ops_total{op="get"} 20`,
+		"plibmc_trampoline_crossings_total",
+		"plibmc_recovery_repairs_total",
+		"plibmc_recovery_locks_broken_total",
+		"plibmc_heap_live_bytes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The quantile sample must carry a positive value, not just exist.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `plibmc_op_latency_seconds{op="get",quantile="0.99"}`) {
+			fields := strings.Fields(line)
+			if len(fields) != 2 || fields[1] == "0" {
+				t.Errorf("get p99 sample = %q, want positive value", line)
+			}
+		}
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if got, ok := vars["cmd_get"].(float64); !ok || got != 20 {
+		t.Fatalf("vars cmd_get = %v, want 20", vars["cmd_get"])
+	}
+	if _, ok := vars["latency_get_p99_ns"]; !ok {
+		t.Fatal("vars missing latency_get_p99_ns")
+	}
+}
+
+// TestMetricsRecoveryCounters crashes a call and checks the recovery
+// counters move through the snapshot.
+func TestMetricsRecoveryCounters(t *testing.T) {
+	b, err := CreateStore(Config{HeapBytes: 16 << 20, HashPower: 10, NumItemLocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestSession(t, b)
+	if err := s.Set([]byte("k"), []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultpoint.Arm("ops.store.locked", func() {
+		panic("injected crash: ops.store.locked")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set([]byte("k2"), []byte("v"), 0, 0); err == nil {
+		t.Fatal("crashed call returned nil error")
+	}
+	faultpoint.DisarmAll()
+	deadline := time.Now().Add(10 * time.Second)
+	for b.Library().Recovering() {
+		if time.Now().After(deadline) {
+			t.Fatal("library did not leave the Recovering state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := s.Get([]byte("k")); err != nil {
+		t.Fatalf("get after recovery: %v", err)
+	}
+	m := b.Metrics()
+	if m.Recovery.Repairs != 1 {
+		t.Fatalf("repairs = %d, want 1", m.Recovery.Repairs)
+	}
+	if m.Recovery.TimeToResume <= 0 {
+		t.Fatalf("time to resume = %v, want > 0", m.Recovery.TimeToResume)
+	}
+	if m.Recovery.LastRepairAt.IsZero() {
+		t.Fatal("LastRepairAt not set")
+	}
+	if m.Library.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", m.Library.Crashes)
+	}
+}

@@ -69,7 +69,12 @@ func (b *Bookkeeper) repairStore(cause *hodor.CrashError) error {
 	if grace <= 0 {
 		grace = 5 * time.Second
 	}
-	deadline := time.Now().Add(grace)
+	repairStart := time.Now()
+	deadline := repairStart.Add(grace)
+	// Every pass below re-breaks locks and announcements; accumulate what
+	// they actually released so the repair report reflects the whole cycle
+	// (the observability plane exports these as recovery-event counters).
+	locksBroken, readersRetired := 0, 0
 
 	// repairMu may be held by a maintenance or checkpoint pass that is
 	// itself wedged on state the crash left behind — most directly,
@@ -81,8 +86,8 @@ func (b *Bookkeeper) repairStore(cause *hodor.CrashError) error {
 	// while waiting for the mutex — it is exactly what unwedges the pass
 	// holding it.
 	for !b.repairMu.TryLock() {
-		b.store.ForceReleaseDeadLocks(dead)
-		b.store.RetireDeadReaders(dead)
+		locksBroken += b.store.ForceReleaseDeadLocks(dead)
+		readersRetired += b.store.RetireDeadReaders(dead)
 		if time.Now().After(deadline) {
 			return fmt.Errorf("memcached: maintenance pass did not release the repair lock within %v after %v", grace, cause)
 		}
@@ -95,8 +100,8 @@ func (b *Bookkeeper) repairStore(cause *hodor.CrashError) error {
 	// loop re-breaks each round because a call reaped *during* the drain
 	// may itself have died holding locks.
 	for {
-		b.store.ForceReleaseDeadLocks(dead)
-		b.store.RetireDeadReaders(dead)
+		locksBroken += b.store.ForceReleaseDeadLocks(dead)
+		readersRetired += b.store.RetireDeadReaders(dead)
 		if b.lib.DrainLiveCalls(50 * time.Millisecond) {
 			break
 		}
@@ -106,9 +111,9 @@ func (b *Bookkeeper) repairStore(cause *hodor.CrashError) error {
 	}
 	// Final passes with the store quiescent: whatever the last reaped
 	// call held is now safe to break.
-	b.store.ForceReleaseDeadLocks(dead)
-	b.store.RetireDeadReaders(dead)
-	b.alloc.RepairLocks()
+	locksBroken += b.store.ForceReleaseDeadLocks(dead)
+	readersRetired += b.store.RetireDeadReaders(dead)
+	locksBroken += b.alloc.RepairLocks()
 	b.store.RepairGate()
 
 	// Structural repair runs on a fresh bookkeeper thread.
@@ -121,9 +126,16 @@ func (b *Bookkeeper) repairStore(cause *hodor.CrashError) error {
 	if _, err := b.alloc.Check(); err != nil {
 		return fmt.Errorf("memcached: heap verification after repair failed: %w", err)
 	}
+	rep.LocksBroken = locksBroken
+	rep.ReadersRetired = readersRetired
 	b.repairReportMu.Lock()
 	b.lastRepair = rep
 	b.repairs++
+	b.locksBroken += locksBroken
+	b.readersRetired += readersRetired
+	b.histsRepaired += rep.HistogramsRepaired
+	b.lastRepairTime = time.Since(repairStart)
+	b.lastRepairAt = time.Now()
 	b.repairReportMu.Unlock()
 	return nil
 }

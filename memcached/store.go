@@ -51,6 +51,12 @@ type Config struct {
 	NumItemLocks uint64
 	MemLimit     uint64
 	FixedSize    bool
+	// LatencySampleEvery is the per-context latency sampling period
+	// (1 = record every operation); zero chooses the core default.
+	// DisableLatency turns recording off entirely (the histogram matrix is
+	// still allocated so the heap layout is identical either way).
+	LatencySampleEvery uint64
+	DisableLatency     bool
 	// CallTimeout bounds in-library execution for killed processes.
 	CallTimeout time.Duration
 	// RecoveryGrace bounds both how long a call blocks while the store
@@ -87,6 +93,13 @@ type Bookkeeper struct {
 	repairReportMu sync.Mutex
 	lastRepair     core.RepairReport
 	repairs        int
+	// Cumulative recovery-event counters across all repair passes, and the
+	// wall-clock cost of the most recent quarantine→repair→resume cycle.
+	locksBroken    int
+	readersRetired int
+	histsRepaired  int
+	lastRepairTime time.Duration
+	lastRepairAt   time.Time
 
 	stopMaint chan struct{}
 	maintDone chan struct{}
@@ -112,11 +125,13 @@ func CreateStore(cfg Config) (*Bookkeeper, error) {
 		return nil, err
 	}
 	store, err := core.Create(alloc, core.Options{
-		HashPower:    cfg.HashPower,
-		NumLRUs:      cfg.NumLRUs,
-		NumItemLocks: cfg.NumItemLocks,
-		MemLimit:     cfg.MemLimit,
-		FixedSize:    cfg.FixedSize,
+		HashPower:          cfg.HashPower,
+		NumLRUs:            cfg.NumLRUs,
+		NumItemLocks:       cfg.NumItemLocks,
+		MemLimit:           cfg.MemLimit,
+		FixedSize:          cfg.FixedSize,
+		LatencySampleEvery: cfg.LatencySampleEvery,
+		DisableLatency:     cfg.DisableLatency,
 	})
 	if err != nil {
 		return nil, err

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check faultmatrix bench-seqlock bench-recovery
+.PHONY: build test check faultmatrix modelcheck modelcheck-long bench-seqlock bench-recovery
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,25 @@ test:
 # run the packages that carry the seqlock/grave protocol under the race
 # detector (which exercises the sync/atomic build of the relaxed accessors),
 # a short chaos soak, and the crash-at-every-point fault matrix.
-check: build faultmatrix
+check: build faultmatrix modelcheck
 	$(GO) vet ./...
 	$(GO) test -race -count=1 ./internal/core ./internal/shm
 	$(GO) test -race -count=1 -short -run TestChaosKillsNeverCorrupt .
 	$(GO) test -race -count=1 -run 'TestMetrics|TestWrite|TestStatsLatency' ./memcached ./internal/metrics ./internal/server
+
+# The linearizability gate (DESIGN.md "Model-based history checking"):
+# record mixed workloads through the real session paths — seqlock fast
+# path on, fault points armed in the crash rounds — and verify every
+# history against the sequential reference model, plus the seeded-bug
+# self-tests that prove the checker can actually catch and shrink a
+# violation. -short trims the op budgets; modelcheck-long runs the full
+# sizes and accepts -modelcheck.ops / -modelcheck.seed overrides.
+modelcheck:
+	$(GO) test -race -count=1 -short -run 'TestModelCheck' .
+	$(GO) test -race -count=1 ./internal/model ./internal/linearcheck
+
+modelcheck-long:
+	$(GO) test -race -count=1 -run 'TestModelCheck' -timeout 30m .
 
 # The crash-recovery gate: kill a client at every registered crash point
 # and require quarantine -> repair -> resume, with the recovery machinery

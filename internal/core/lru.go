@@ -203,3 +203,52 @@ func (c *Ctx) unlinkLocked(it, hash uint64) {
 	c.stat(statBytes, -int64(s.A.SizeOf(it)))
 	c.decref(it) // the link reference
 }
+
+// swapLocked replaces old with nit in the bucket chain inside ONE
+// seqlock write section. Caller holds the item lock for hash.
+//
+// It exists because unlinkLocked+linkLocked each bracket their own
+// section, and between the two the stripe is quiescent with the key in
+// neither — a lock-free reader scanning that gap validates cleanly and
+// reports a definitive miss for a key that was never deleted. Every
+// replacement of an existing item (Set/Replace/CAS over a live key,
+// append/prepend, width-changing incr/decr) must come through here; the
+// unlink/link pair remains correct only where absence is the intended
+// observable state (Delete, eviction, fresh inserts).
+//
+// Inside the section the new item is published at the chain head before
+// the old one is spliced out, so a crash mid-swap leaves at worst both
+// chained; repair keeps the head-most (newest) copy per key and frees
+// the shadowed one as an LRU orphan.
+func (c *Ctx) swapLocked(old, nit, hash uint64) {
+	s := c.s
+	bucket := s.bucketFor(hash)
+	// Locate old's predecessor before opening the write section; the walk
+	// only reads, and the item lock fences out competing writers.
+	prevAddr := bucket
+	cur := ralloc.LoadPptr(s.H, bucket)
+	for cur != 0 && cur != old {
+		prevAddr = cur + itHNext
+		cur = ralloc.LoadPptr(s.H, prevAddr)
+	}
+	seq := s.seqOff(hash)
+	s.H.SeqWriteBegin(seq)
+	ralloc.StorePptr(s.H, nit+itHNext, ralloc.LoadPptr(s.H, bucket))
+	ralloc.AtomicStorePptr(s.H, bucket, nit)
+	fpStoreMidSwap.Maybe()
+	if cur == old {
+		if prevAddr == bucket {
+			// old was the head; the new item now precedes it.
+			prevAddr = nit + itHNext
+		}
+		ralloc.AtomicStorePptr(s.H, prevAddr, ralloc.LoadPptr(s.H, old+itHNext))
+	}
+	s.H.SeqWriteEnd(seq)
+	s.setLinked(nit, true)
+	s.setLinked(old, false)
+	c.lruUnlink(hash, old)
+	c.lruLink(hash, nit)
+	c.stat(statTotalItems, 1)
+	c.stat(statBytes, int64(s.A.SizeOf(nit))-int64(s.A.SizeOf(old)))
+	c.decref(old) // the link reference
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"strconv"
 
 	"plibmc/internal/faultpoint"
@@ -14,8 +15,8 @@ import (
 var (
 	fpStoreAfterAlloc   = faultpoint.New("ops.store.after_alloc")  // item built, lock not yet taken
 	fpStoreLocked       = faultpoint.New("ops.store.locked")       // bucket lock held, store untouched
-	fpStoreAfterUnlink  = faultpoint.New("ops.store.after_unlink") // old item gone, new not linked, lock held
-	fpStoreAfterLink    = faultpoint.New("ops.store.after_link")   // fully linked, lock still held
+	fpStoreMidSwap      = faultpoint.New("ops.store.mid_swap")   // inside the swap section: new at head, old still chained
+	fpStoreAfterLink    = faultpoint.New("ops.store.after_link") // fully linked, lock still held
 	fpDeleteAfterUnlink = faultpoint.New("ops.delete.after_unlink")
 	fpIncrMidRewrite    = faultpoint.New("ops.incr.mid_rewrite") // inside a seqlock write section
 )
@@ -59,6 +60,13 @@ type Ctx struct {
 	// into each optimistic lookup, so tests can deterministically drive
 	// the retry loop and the lock fallback.
 	forceSeqRetries int
+
+	// UnsafeIncrSkipSeqlock seeds a known linearizability violation: the
+	// in-place increment rewrite skips its seqlock bracket and tears the
+	// value write in two. It exists solely so the model-checking harness
+	// can prove it detects (and shrinks) real violations — the "mutation
+	// mode" self-test. Never set it outside that harness.
+	UnsafeIncrSkipSeqlock bool
 
 	keyBuf   []byte
 	valBuf   []byte
@@ -350,10 +358,13 @@ func (c *Ctx) store(mode storeMode, key, value []byte, flags uint32, exptime int
 		}
 	}
 	if old != 0 {
-		c.unlinkLocked(old, hash)
-		fpStoreAfterUnlink.Maybe()
+		// One seqlock section for the whole replacement: a separate
+		// unlink+link pair opens a window where lock-free readers miss a
+		// key that was never deleted.
+		c.swapLocked(old, it, hash)
+	} else {
+		c.linkLocked(it, hash)
 	}
-	c.linkLocked(it, hash)
 	fpStoreAfterLink.Maybe()
 	c.unlock(lock)
 	return nil
@@ -443,7 +454,11 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 		return 0, ErrKeyTooLong
 	}
 	defer c.opEnd(LatSet, c.opBegin())
-	c.stat(statIncrs, 1)
+	if decr {
+		c.stat(statDecrs, 1)
+	} else {
+		c.stat(statIncrs, 1)
+	}
 	k := c.capture(&c.keyBuf, key)
 	hash := hashKey(k)
 	s := c.s
@@ -477,6 +492,20 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 	rendered := strconv.AppendUint(c.auxBuf[:0], v, 10)
 	c.auxBuf = rendered[:0]
 	if uint64(len(rendered)) == vlen {
+		if c.UnsafeIncrSkipSeqlock {
+			// Mutation mode for the linearizability harness's self-test:
+			// rewrite WITHOUT the seqlock bracket, torn into two halves
+			// with a scheduling point in between, so a concurrent
+			// optimistic reader can validate a half-rewritten value. The
+			// checker must catch the resulting history violation.
+			half := len(rendered) / 2
+			s.H.AtomicWriteBytes(s.itemValOff(it), rendered[:half])
+			runtime.Gosched()
+			s.H.AtomicWriteBytes(s.itemValOff(it)+uint64(half), rendered[half:])
+			s.H.RelaxedStore64(it+itCASID, s.nextCAS())
+			c.lruBump(hash, it, s.nowFn())
+			return v, nil
+		}
 		// Same width: rewrite in place under the lock, bracketed by the
 		// stripe seqlock so concurrent lock-free readers cannot validate
 		// a half-rewritten value.
@@ -486,6 +515,10 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 		fpIncrMidRewrite.Maybe()
 		s.H.RelaxedStore64(it+itCASID, s.nextCAS())
 		s.H.SeqWriteEnd(seq)
+		// The rewrite is a use: move the item up its LRU list like the
+		// retrieval paths do, so hot counters are not evicted in FIFO
+		// order. The item lock is held; lruBump takes the list lock.
+		c.lruBump(hash, it, s.nowFn())
 		return v, nil
 	}
 	// Width changed: build a replacement item. We hold the item lock, so
@@ -496,8 +529,7 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.unlinkLocked(it, hash)
-	c.linkLocked(nit, hash)
+	c.swapLocked(it, nit, hash)
 	return v, nil
 }
 
@@ -544,8 +576,7 @@ func (c *Ctx) pend(key, data []byte, front bool) error {
 	if err != nil {
 		return err
 	}
-	c.unlinkLocked(it, hash)
-	c.linkLocked(nit, hash)
+	c.swapLocked(it, nit, hash)
 	return nil
 }
 
@@ -571,12 +602,21 @@ func (c *Ctx) FlushAll() {
 }
 
 func parseASCIIUint(b []byte) (uint64, bool) {
+	// 2^64-1 = 18446744073709551615: a digit may be appended to v only if
+	// the result still fits. Without the cutoff check a 20-digit value
+	// ≥ 2^64 silently wraps and incr computes garbage; memcached treats
+	// such a value as non-numeric.
+	const cutoff = ^uint64(0) / 10
 	var v uint64
 	for _, ch := range b {
 		if ch < '0' || ch > '9' {
 			return 0, false
 		}
-		v = v*10 + uint64(ch-'0')
+		d := uint64(ch - '0')
+		if v > cutoff || (v == cutoff && d > ^uint64(0)%10) {
+			return 0, false
+		}
+		v = v*10 + d
 	}
 	return v, true
 }

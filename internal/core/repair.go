@@ -232,6 +232,7 @@ func (s *Store) Repair(c *Ctx) (RepairReport, error) {
 		return r, fmt.Errorf("core: repair: hash table pointer %#x is not a live block", newT)
 	}
 	kept := make(map[uint64]bool)
+	keptKeys := make(map[string]bool)
 	var order []uint64
 	harvest := func(table, mask uint64) {
 		for b := uint64(0); b <= mask; b++ {
@@ -243,7 +244,23 @@ func (s *Store) Repair(c *Ctx) (RepairReport, error) {
 				if kept[it] {
 					break // chains cross-linked by a torn expansion
 				}
+				// A crash inside swapLocked's write section can leave both
+				// the replacement and the replaced item chained. Writers
+				// publish at the head, so the first copy of a key the walk
+				// meets is the newest; shadowed duplicates must not be
+				// resurrected (the old item would come back under its old
+				// CAS generation). They are freed by the LRU-orphan pass
+				// below, which they still sit on.
+				klen := uint64(s.H.Load32(it + itKeyLen))
+				kb := grow(&c.keyBuf, klen)
+				h.ReadBytes(it+itHeader, kb)
+				k := string(kb)
+				if keptKeys[k] {
+					it = loadChainNext(s, it)
+					continue
+				}
 				kept[it] = true
+				keptKeys[k] = true
 				order = append(order, it)
 				it = loadChainNext(s, it)
 			}

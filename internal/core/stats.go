@@ -31,6 +31,7 @@ const (
 	statSeqRetries
 	statRecoveries
 	statRepairDropped
+	statDecrs
 	numStatCounters
 )
 
@@ -43,7 +44,7 @@ type Stats struct {
 	Gets, GetHits, GetMisses        uint64
 	Sets                            uint64
 	Deletes, DeleteHits             uint64
-	Incrs, Touches                  uint64
+	Incrs, Decrs, Touches           uint64
 	Evictions, Expired, CASMismatch uint64
 	CurrItems, TotalItems, Bytes    uint64
 	Flushes                         uint64
@@ -91,7 +92,7 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		Gets: u(statGets), GetHits: u(statGetHits), GetMisses: u(statGetMisses),
 		Sets: u(statSets), Deletes: u(statDeletes), DeleteHits: u(statDeleteHits),
-		Incrs: u(statIncrs), Touches: u(statTouches),
+		Incrs: u(statIncrs), Decrs: u(statDecrs), Touches: u(statTouches),
 		Evictions: u(statEvictions), Expired: u(statExpired), CASMismatch: u(statCASMismatch),
 		CurrItems: u(statCurrItems), TotalItems: u(statTotalItems), Bytes: u(statBytes),
 		Flushes:         u(statFlushes),

@@ -1,0 +1,286 @@
+package linearcheck
+
+import (
+	"strings"
+	"testing"
+
+	"plibmc/internal/model"
+)
+
+// h builds a history from ops, auto-assigning IDs.
+func h(ops ...model.Op) []model.Op {
+	for i := range ops {
+		ops[i].ID = i
+	}
+	return ops
+}
+
+func mdl() *model.Model { return &model.Model{MaxValueLen: 1 << 20} }
+
+func TestSequentialLegal(t *testing.T) {
+	res := Check(h(
+		model.Op{Kind: model.Set, Key: "k", Val: []byte("5"), Invoke: 1, Return: 2, Res: model.ResOK},
+		model.Op{Kind: model.Get, Key: "k", RVal: []byte("5"), Invoke: 3, Return: 4, Res: model.ResOK},
+		model.Op{Kind: model.Incr, Key: "k", Delta: 2, RNum: 7, Invoke: 5, Return: 6, Res: model.ResOK},
+		model.Op{Kind: model.Delete, Key: "k", Invoke: 7, Return: 8, Res: model.ResOK},
+		model.Op{Kind: model.Get, Key: "k", Invoke: 9, Return: 10, Res: model.ResNotFound},
+	), mdl(), Options{})
+	if !res.Ok {
+		t.Fatalf("legal history rejected: %s", res.Violation)
+	}
+	if res.Keys != 1 || res.Ops != 5 {
+		t.Fatalf("stats: %+v", res)
+	}
+}
+
+// TestConcurrentReorder: a read overlapping a write may linearize on
+// either side of it; both observations must be accepted.
+func TestConcurrentReorder(t *testing.T) {
+	for _, got := range []string{"5", "6"} {
+		res := Check(h(
+			model.Op{Kind: model.Set, Key: "k", Val: []byte("5"), Invoke: 1, Return: 2, Res: model.ResOK},
+			model.Op{Kind: model.Incr, Key: "k", Delta: 1, RNum: 6, Invoke: 3, Return: 10, Res: model.ResOK},
+			model.Op{Kind: model.Get, Key: "k", RVal: []byte(got), Invoke: 4, Return: 5, Res: model.ResOK},
+		), mdl(), Options{})
+		if !res.Ok {
+			t.Fatalf("read of %q during overlapping incr rejected: %s", got, res.Violation)
+		}
+	}
+}
+
+// TestStaleReadViolation: reading a value after a later write completed
+// is the classic linearizability violation; the witness must shrink to
+// the write/read pair that contradicts.
+func TestStaleReadViolation(t *testing.T) {
+	res := Check(h(
+		model.Op{Kind: model.Set, Key: "k", Val: []byte("old"), Invoke: 1, Return: 2, Res: model.ResOK},
+		model.Op{Kind: model.Get, Key: "k", RVal: []byte("old"), Invoke: 3, Return: 4, Res: model.ResOK},
+		model.Op{Kind: model.Set, Key: "k", Val: []byte("new"), Invoke: 5, Return: 6, Res: model.ResOK},
+		model.Op{Kind: model.Get, Key: "k", RVal: []byte("old"), Invoke: 7, Return: 8, Res: model.ResOK},
+	), mdl(), Options{})
+	if res.Ok {
+		t.Fatal("stale read accepted")
+	}
+	// Minimal witness: the overwrite plus the stale read (the first two
+	// ops are consistent on their own).
+	if len(res.Witness) != 2 {
+		t.Fatalf("witness not minimal:\n%s", FormatOps(res.Witness))
+	}
+}
+
+// TestMissAfterSetViolation: NOT_FOUND after a completed Set (with no
+// delete/expiry in between) needs both ops in the witness.
+func TestMissAfterSetViolation(t *testing.T) {
+	res := Check(h(
+		model.Op{Kind: model.Set, Key: "k", Val: []byte("v"), Invoke: 1, Return: 2, Res: model.ResOK},
+		model.Op{Kind: model.Get, Key: "k", Invoke: 3, Return: 4, Res: model.ResNotFound},
+	), mdl(), Options{})
+	if res.Ok {
+		t.Fatal("lost update accepted")
+	}
+	if len(res.Witness) != 2 {
+		t.Fatalf("witness = %d ops, want 2:\n%s", len(res.Witness), FormatOps(res.Witness))
+	}
+}
+
+// TestPendingOpMayApply: a crashed Set that never returned may
+// linearize (a later read sees it) or not (a later read doesn't);
+// what it cannot do is apply and then un-apply.
+func TestPendingOpMayApply(t *testing.T) {
+	base := func(rvals ...string) []model.Op {
+		ops := h(
+			model.Op{Kind: model.Set, Key: "k", Val: []byte("1"), Invoke: 1, Return: 2, Res: model.ResOK},
+			model.Op{Kind: model.Set, Key: "k", Val: []byte("2"), Invoke: 3, Return: 0, Pending: true, Res: model.ResUnknown},
+		)
+		ops[1].Return = ^uint64(0)
+		inv := uint64(5)
+		for _, rv := range rvals {
+			ops = append(ops, model.Op{Kind: model.Get, Key: "k", RVal: []byte(rv),
+				Invoke: inv, Return: inv + 1, Res: model.ResOK, ID: len(ops)})
+			inv += 2
+		}
+		return ops
+	}
+	for _, rv := range []string{"1", "2"} {
+		if res := Check(base(rv), mdl(), Options{}); !res.Ok {
+			t.Fatalf("read of %q with crashed set pending rejected: %s", rv, res.Violation)
+		}
+	}
+	if res := Check(base("2", "2"), mdl(), Options{}); !res.Ok {
+		t.Fatalf("crashed set observed twice rejected: %s", res.Violation)
+	}
+	if res := Check(base("2", "1"), mdl(), Options{}); res.Ok {
+		t.Fatal("crashed set applied then un-applied was accepted")
+	}
+}
+
+// TestKilledOpBranches: a call that returned a crash error (effect
+// unknown) must admit both the applied and not-applied continuations.
+func TestKilledOpBranches(t *testing.T) {
+	for _, rv := range []string{"1", "2"} {
+		res := Check(h(
+			model.Op{Kind: model.Set, Key: "k", Val: []byte("1"), Invoke: 1, Return: 2, Res: model.ResOK},
+			model.Op{Kind: model.Set, Key: "k", Val: []byte("2"), Invoke: 3, Return: 4, Res: model.ResUnknown},
+			model.Op{Kind: model.Get, Key: "k", RVal: []byte(rv), Invoke: 5, Return: 6, Res: model.ResOK},
+		), mdl(), Options{})
+		if !res.Ok {
+			t.Fatalf("read of %q after killed set rejected: %s", rv, res.Violation)
+		}
+	}
+	res := Check(h(
+		model.Op{Kind: model.Set, Key: "k", Val: []byte("1"), Invoke: 1, Return: 2, Res: model.ResOK},
+		model.Op{Kind: model.Set, Key: "k", Val: []byte("2"), Invoke: 3, Return: 4, Res: model.ResUnknown},
+		model.Op{Kind: model.Get, Key: "k", RVal: []byte("3"), Invoke: 5, Return: 6, Res: model.ResOK},
+	), mdl(), Options{})
+	if res.Ok {
+		t.Fatal("phantom value after killed set accepted")
+	}
+}
+
+// TestCASUniquenessPrePass: one generation observed with two different
+// contents is flagged before any search runs.
+func TestCASUniquenessPrePass(t *testing.T) {
+	res := Check(h(
+		model.Op{Kind: model.Get, Key: "k", RVal: []byte("a"), RCAS: 7, Invoke: 1, Return: 2, Res: model.ResOK},
+		model.Op{Kind: model.Get, Key: "k", RVal: []byte("b"), RCAS: 7, Invoke: 3, Return: 4, Res: model.ResOK},
+	), mdl(), Options{})
+	if res.Ok || !strings.Contains(res.Violation, "cas generation") {
+		t.Fatalf("cas conflict missed: ok=%v %q", res.Ok, res.Violation)
+	}
+	if len(res.Witness) != 2 {
+		t.Fatalf("witness: %d ops", len(res.Witness))
+	}
+}
+
+// TestPerKeyIndependence: keys are separate linearization domains; a
+// history interleaving two keys decomposes and checks per key.
+func TestPerKeyIndependence(t *testing.T) {
+	res := Check(h(
+		model.Op{Kind: model.Set, Key: "a", Val: []byte("1"), Invoke: 1, Return: 4, Res: model.ResOK},
+		model.Op{Kind: model.Set, Key: "b", Val: []byte("2"), Invoke: 2, Return: 5, Res: model.ResOK},
+		model.Op{Kind: model.Get, Key: "a", RVal: []byte("1"), Invoke: 6, Return: 7, Res: model.ResOK},
+		model.Op{Kind: model.Get, Key: "b", RVal: []byte("2"), Invoke: 6, Return: 8, Res: model.ResOK},
+	), mdl(), Options{})
+	if !res.Ok || res.Keys != 2 {
+		t.Fatalf("res = %+v: %s", res, res.Violation)
+	}
+}
+
+// TestFlushEntersEveryKey: flush_all drops every key, and its
+// linearization point is chosen independently per key (the real flush
+// walks stripes non-atomically).
+func TestFlushEntersEveryKey(t *testing.T) {
+	res := Check(h(
+		model.Op{Kind: model.Set, Key: "a", Val: []byte("1"), Invoke: 1, Return: 2, Res: model.ResOK},
+		model.Op{Kind: model.Set, Key: "b", Val: []byte("2"), Invoke: 3, Return: 4, Res: model.ResOK},
+		model.Op{Kind: model.Flush, Invoke: 5, Return: 6, Res: model.ResOK},
+		model.Op{Kind: model.Get, Key: "a", Invoke: 7, Return: 8, Res: model.ResNotFound},
+		model.Op{Kind: model.Get, Key: "b", Invoke: 7, Return: 9, Res: model.ResNotFound},
+	), mdl(), Options{})
+	if !res.Ok {
+		t.Fatalf("flushed history rejected: %s", res.Violation)
+	}
+	res = Check(h(
+		model.Op{Kind: model.Set, Key: "a", Val: []byte("1"), Invoke: 1, Return: 2, Res: model.ResOK},
+		model.Op{Kind: model.Flush, Invoke: 3, Return: 4, Res: model.ResOK},
+		model.Op{Kind: model.Get, Key: "a", RVal: []byte("1"), Invoke: 5, Return: 6, Res: model.ResOK},
+	), mdl(), Options{})
+	if res.Ok {
+		t.Fatal("read of flushed value accepted")
+	}
+}
+
+// TestExpiryHistory: a stepped-clock history where expiry must be
+// honored exactly at the deadline.
+func TestExpiryHistory(t *testing.T) {
+	res := Check(h(
+		model.Op{Kind: model.Set, Key: "k", Val: []byte("v"), Exp: 100, Invoke: 1, Return: 2, Res: model.ResOK, Now: 90},
+		model.Op{Kind: model.Get, Key: "k", RVal: []byte("v"), Invoke: 3, Return: 4, Res: model.ResOK, Now: 99},
+		model.Op{Kind: model.Touch, Key: "k", Exp: 200, Invoke: 5, Return: 6, Res: model.ResOK, Now: 99},
+		model.Op{Kind: model.Get, Key: "k", RVal: []byte("v"), Invoke: 7, Return: 8, Res: model.ResOK, Now: 150},
+		model.Op{Kind: model.Get, Key: "k", Invoke: 9, Return: 10, Res: model.ResNotFound, Now: 200},
+		model.Op{Kind: model.Incr, Key: "k", Delta: 1, Invoke: 11, Return: 12, Res: model.ResNotFound, Now: 201},
+	), mdl(), Options{})
+	if !res.Ok {
+		t.Fatalf("expiry history rejected: %s", res.Violation)
+	}
+	// Reading the corpse after the deadline is a violation.
+	res = Check(h(
+		model.Op{Kind: model.Set, Key: "k", Val: []byte("v"), Exp: 100, Invoke: 1, Return: 2, Res: model.ResOK, Now: 90},
+		model.Op{Kind: model.Get, Key: "k", RVal: []byte("v"), Invoke: 3, Return: 4, Res: model.ResOK, Now: 100},
+	), mdl(), Options{})
+	if res.Ok {
+		t.Fatal("read of expired value accepted")
+	}
+}
+
+// TestBudgetUndecided: a tiny state budget reports undecided, not a
+// verdict.
+func TestBudgetUndecided(t *testing.T) {
+	res := Check(h(
+		model.Op{Kind: model.Set, Key: "k", Val: []byte("1"), Invoke: 1, Return: 2, Res: model.ResOK},
+		model.Op{Kind: model.Set, Key: "k", Val: []byte("2"), Invoke: 3, Return: 4, Res: model.ResOK},
+		model.Op{Kind: model.Set, Key: "k", Val: []byte("3"), Invoke: 5, Return: 6, Res: model.ResOK},
+	), mdl(), Options{MaxStates: 1})
+	if !res.Ok || len(res.Undecided) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestShrinkStripsNoise: unrelated legal ops around a violation are
+// shrunk away.
+func TestShrinkStripsNoise(t *testing.T) {
+	ops := []model.Op{}
+	inv := uint64(1)
+	addOp := func(op model.Op) {
+		op.Invoke, op.Return, op.ID = inv, inv+1, len(ops)
+		inv += 2
+		ops = append(ops, op)
+	}
+	for i := 0; i < 20; i++ {
+		addOp(model.Op{Kind: model.Set, Key: "k", Val: []byte("x"), Res: model.ResOK})
+		addOp(model.Op{Kind: model.Get, Key: "k", RVal: []byte("x"), Res: model.ResOK})
+	}
+	addOp(model.Op{Kind: model.Get, Key: "k", RVal: []byte("torn"), Res: model.ResOK})
+	for i := 0; i < 10; i++ {
+		addOp(model.Op{Kind: model.Incr, Key: "k", Delta: 1, Res: model.ResNotNumeric})
+	}
+	res := Check(ops, mdl(), Options{})
+	if res.Ok {
+		t.Fatal("torn read accepted")
+	}
+	// "torn" was never written: the read alone is the whole witness.
+	if len(res.Witness) != 1 || string(res.Witness[0].RVal) != "torn" {
+		t.Fatalf("witness:\n%s", FormatOps(res.Witness))
+	}
+}
+
+// TestRecorder: tapes stamp real-time order and un-Ended ops surface as
+// pending.
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(2)
+	t0, t1 := r.Tape(0), r.Tape(1)
+	i := t0.Begin(model.Op{Kind: model.Set, Key: "k", Val: []byte("1")})
+	t0.End(i, func(op *model.Op) { op.Res = model.ResOK })
+	j := t1.Begin(model.Op{Kind: model.Get, Key: "k"})
+	_ = j // the worker dies here; Get never returns
+	i = t0.Begin(model.Op{Kind: model.Delete, Key: "k"})
+	t0.End(i, func(op *model.Op) { op.Res = model.ResOK })
+
+	hist := r.History()
+	if len(hist) != 3 {
+		t.Fatalf("history: %d ops", len(hist))
+	}
+	if hist[0].Kind != model.Set || hist[1].Kind != model.Get || hist[2].Kind != model.Delete {
+		t.Fatalf("order: %v %v %v", hist[0].Kind, hist[1].Kind, hist[2].Kind)
+	}
+	if !hist[1].Pending || hist[1].Res != model.ResUnknown || hist[1].Return != ^uint64(0) {
+		t.Fatalf("pending op: %+v", hist[1])
+	}
+	if hist[0].Return >= hist[2].Invoke {
+		t.Fatal("clock not monotone across tapes")
+	}
+	if res := Check(hist, mdl(), Options{}); !res.Ok {
+		t.Fatalf("recorded history rejected: %s", res.Violation)
+	}
+}

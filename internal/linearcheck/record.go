@@ -1,0 +1,102 @@
+// Package linearcheck checks recorded concurrent histories of the store
+// for linearizability against the sequential reference in
+// internal/model. It has three parts: a wait-free-friendly history
+// recorder (per-worker tapes stamped from one shared atomic clock), a
+// Wing&Gong-style search with memoization run independently per key
+// (keys are independent linearization domains in memcached — except
+// flush_all, which enters every key's subhistory), and a greedy
+// delta-debugging shrinker that reduces a violating subhistory to a
+// minimal witness.
+package linearcheck
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"plibmc/internal/model"
+)
+
+// Recorder hands out per-worker tapes and the shared logical clock that
+// stamps invoke/return times. The clock is a single atomic counter:
+// op A happens-before op B iff A.Return < B.Invoke. Workers only touch
+// their own tape plus one atomic add per stamp, so recording perturbs
+// the interleaving being observed as little as possible.
+type Recorder struct {
+	clock atomic.Uint64
+	tapes []Tape
+}
+
+// NewRecorder creates a recorder with one tape per worker.
+func NewRecorder(workers int) *Recorder {
+	r := &Recorder{tapes: make([]Tape, workers)}
+	for i := range r.tapes {
+		r.tapes[i].r = r
+		r.tapes[i].client = i
+	}
+	return r
+}
+
+// Tape returns worker i's tape. A tape is single-goroutine: only worker
+// i may call Begin/End/Record on it.
+func (r *Recorder) Tape(i int) *Tape { return &r.tapes[i] }
+
+// Now draws a fresh timestamp (for batched ops recorded via Record).
+func (r *Recorder) Now() uint64 { return r.clock.Add(1) }
+
+// Tape is one worker's append-only op log.
+type Tape struct {
+	r      *Recorder
+	client int
+	ops    []model.Op
+}
+
+// Begin stamps op's invoke time and appends it, returning its index for
+// End. An op left un-Ended (the worker died mid-call) is marked pending
+// when the history is assembled.
+func (t *Tape) Begin(op model.Op) int {
+	op.Client = t.client
+	op.Invoke = t.r.clock.Add(1)
+	t.ops = append(t.ops, op)
+	return len(t.ops) - 1
+}
+
+// End stamps the return time for the op at index i, then lets the
+// caller fill in the observed result. Call it before the tape's next
+// Begin.
+func (t *Tape) End(i int, fill func(*model.Op)) {
+	t.ops[i].Return = t.r.clock.Add(1)
+	if fill != nil {
+		fill(&t.ops[i])
+	}
+}
+
+// Record appends a pre-stamped op (batched calls like MGet record one
+// op per key sharing the batch's invoke/return window).
+func (t *Tape) Record(op model.Op) {
+	op.Client = t.client
+	t.ops = append(t.ops, op)
+}
+
+// History merges the tapes into one history sorted by invoke time.
+// Un-Ended ops become pending: their effect window extends to infinity
+// and the checker may linearize them anywhere after invoke, or not at
+// all.
+func (r *Recorder) History() []model.Op {
+	var out []model.Op
+	for i := range r.tapes {
+		out = append(out, r.tapes[i].ops...)
+	}
+	for i := range out {
+		if out[i].Return == 0 {
+			out[i].Return = math.MaxUint64
+			out[i].Pending = true
+			out[i].Res = model.ResUnknown
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Invoke < out[b].Invoke })
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package linearcheck
+
+import "plibmc/internal/model"
+
+// Shrink reduces a violating subhistory to a minimal witness — soundly.
+//
+// Deleting ops outright is unsound: removing the Set that explains a
+// later read manufactures a "violation" the real run never had. Instead
+// the shrinker *weakens* ops: a weakened op keeps its window but its
+// result becomes ResUnknown, meaning it may or may not have applied.
+// Weakening only ever enlarges the set of legal linearizations, so if
+// the weakened history still cannot be linearized, the surviving
+// strong-result ops are a true contradiction core. And because every
+// weakened op can always linearize with no effect, a witness that
+// violates in weakened context also violates standalone — the returned
+// ops are a self-contained non-linearizable history.
+//
+// Reduction is greedy delta debugging: coarse chunks of weakenings
+// first, then per-op passes to fixpoint.
+func Shrink(sub []model.Op, m *model.Model, budget int64) []model.Op {
+	n := len(sub)
+	weak := make([]bool, n)
+	scratch := make([]model.Op, n)
+	// Each probe re-runs the search, and delta debugging runs O(n log n)
+	// probes; cap the per-probe budget so shrinking a large subhistory
+	// stays bounded in time and memo-cache memory. A probe that exceeds
+	// the cap counts as "not violating" and is rolled back, which can
+	// only make the witness larger, never wrong.
+	probe := budget
+	if probe > 1<<18 {
+		probe = 1 << 18
+	}
+	violates := func() bool {
+		copy(scratch, sub)
+		for i := range scratch {
+			if weak[i] {
+				scratch[i].Res = model.ResUnknown
+			}
+		}
+		v, _ := checkKey(scratch, m, probe)
+		return v == vViolation
+	}
+	if !violates() {
+		return sub // not definitely violating under this budget; keep as is
+	}
+
+	// tryWeaken weakens the strong ops in [start, start+chunk) and keeps
+	// the weakening iff the violation survives.
+	tryWeaken := func(idxs []int) bool {
+		for _, i := range idxs {
+			weak[i] = true
+		}
+		if violates() {
+			return true
+		}
+		for _, i := range idxs {
+			weak[i] = false
+		}
+		return false
+	}
+	strongIdxs := func() []int {
+		var out []int
+		for i := 0; i < n; i++ {
+			if !weak[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+
+	for chunk := n / 2; chunk >= 1; chunk /= 2 {
+		strong := strongIdxs()
+		for start := 0; start < len(strong); {
+			end := start + chunk
+			if end > len(strong) {
+				end = len(strong)
+			}
+			if !tryWeaken(strong[start:end]) {
+				start = end
+				continue
+			}
+			// Weakened ops drop out of the strong list; re-snapshot.
+			strong = strongIdxs()
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, i := range strongIdxs() {
+			if tryWeaken([]int{i}) {
+				changed = true
+			}
+		}
+	}
+
+	var witness []model.Op
+	for i := 0; i < n; i++ {
+		if !weak[i] {
+			witness = append(witness, sub[i])
+		}
+	}
+	return witness
+}

@@ -1,0 +1,170 @@
+package model
+
+import "testing"
+
+func step1(t *testing.T, m *Model, st State, op Op) State {
+	t.Helper()
+	next := m.Step(st, &op)
+	if len(next) != 1 {
+		t.Fatalf("Step(%v %s) = %d states, want 1", op.Kind, op.Res, len(next))
+	}
+	return next[0]
+}
+
+func mustReject(t *testing.T, m *Model, st State, op Op) {
+	t.Helper()
+	if next := m.Step(st, &op); next != nil {
+		t.Fatalf("Step(%v %s) accepted from %q, want reject", op.Kind, op.Res, st.Canon())
+	}
+}
+
+func TestBasicSequence(t *testing.T) {
+	m := &Model{MaxValueLen: 1 << 20}
+	st := State{}
+	st = step1(t, m, st, Op{Kind: Set, Val: []byte("7"), Flags: 3, Res: ResOK})
+	st = step1(t, m, st, Op{Kind: Get, RVal: []byte("7"), RFlags: 3, Res: ResOK})
+	st = step1(t, m, st, Op{Kind: Incr, Delta: 5, RNum: 12, Res: ResOK})
+	if st.Val != "12" {
+		t.Fatalf("after incr: %q", st.Val)
+	}
+	st = step1(t, m, st, Op{Kind: Append, Val: []byte("0"), Res: ResOK})
+	st = step1(t, m, st, Op{Kind: Prepend, Val: []byte("1"), Res: ResOK})
+	if st.Val != "1120" {
+		t.Fatalf("after pend: %q", st.Val)
+	}
+	st = step1(t, m, st, Op{Kind: Delete, Res: ResOK})
+	step1(t, m, st, Op{Kind: Get, Res: ResNotFound})
+	mustReject(t, m, st, Op{Kind: Get, RVal: []byte("1120"), Res: ResOK})
+}
+
+func TestWrapAndSaturation(t *testing.T) {
+	m := &Model{}
+	st := State{Present: true, Val: "18446744073709551615"}
+	// incr wraps at 2^64...
+	next := step1(t, m, st, Op{Kind: Incr, Delta: 1, RNum: 0, Res: ResOK})
+	if next.Val != "0" {
+		t.Fatalf("wrap: %q", next.Val)
+	}
+	// ...and a wrong recorded result is rejected.
+	mustReject(t, m, st, Op{Kind: Incr, Delta: 1, RNum: 1, Res: ResOK})
+	// decr saturates at zero.
+	st = State{Present: true, Val: "5"}
+	next = step1(t, m, st, Op{Kind: Decr, Delta: 10, RNum: 0, Res: ResOK})
+	if next.Val != "0" {
+		t.Fatalf("saturate: %q", next.Val)
+	}
+	// 20-digit value >= 2^64 is not numeric, matching the store's parser.
+	st = State{Present: true, Val: "18446744073709551616"}
+	step1(t, m, st, Op{Kind: Incr, Delta: 1, Res: ResNotNumeric})
+	mustReject(t, m, st, Op{Kind: Incr, Delta: 1, RNum: 0, Res: ResOK})
+}
+
+func TestExpiry(t *testing.T) {
+	m := &Model{}
+	st := State{Present: true, Val: "v", Exp: 100}
+	// Live before the deadline, logically absent at it.
+	step1(t, m, st, Op{Kind: Get, RVal: []byte("v"), Res: ResOK, Now: 99})
+	step1(t, m, st, Op{Kind: Get, Res: ResNotFound, Now: 100})
+	mustReject(t, m, st, Op{Kind: Get, RVal: []byte("v"), Res: ResOK, Now: 100})
+	// A mutation op at the deadline sees a miss too.
+	step1(t, m, st, Op{Kind: Incr, Delta: 1, Res: ResNotFound, Now: 100})
+	// Touch moves the deadline; the op's own Now gates the reap first.
+	next := step1(t, m, st, Op{Kind: Touch, Exp: 200, Res: ResOK, Now: 99})
+	step1(t, m, next, Op{Kind: Get, RVal: []byte("v"), Res: ResOK, Now: 150})
+	// GAT returns the value and rewrites the deadline in one step.
+	next = step1(t, m, st, Op{Kind: GAT, RVal: []byte("v"), Exp: 300, Res: ResOK, Now: 99})
+	if next.Exp != 300 {
+		t.Fatalf("gat exp: %d", next.Exp)
+	}
+}
+
+func TestCASBinding(t *testing.T) {
+	m := &Model{CasVals: map[uint64]string{41: "other", 42: "v"}}
+	st := State{Present: true, Val: "v"} // generation unobserved
+	// A Gets binds the fresh generation to its observation...
+	next := step1(t, m, st, Op{Kind: Get, RVal: []byte("v"), RCAS: 42, Res: ResOK})
+	if next.CAS != 42 {
+		t.Fatalf("bind: %d", next.CAS)
+	}
+	// ...and a second Gets must agree.
+	step1(t, m, next, Op{Kind: Get, RVal: []byte("v"), RCAS: 42, Res: ResOK})
+	mustReject(t, m, next, Op{Kind: Get, RVal: []byte("v"), RCAS: 43, Res: ResOK})
+	// CAS success against the bound generation; mismatch impossible.
+	step1(t, m, next, Op{Kind: CAS, CASArg: 42, Val: []byte("w"), Res: ResOK})
+	mustReject(t, m, next, Op{Kind: CAS, CASArg: 42, Val: []byte("w"), Res: ResCASMismatch})
+	// Against an unbound generation, success requires the pre-pass value
+	// to match the current one; mismatch is always possible.
+	step1(t, m, st, Op{Kind: CAS, CASArg: 42, Val: []byte("w"), Res: ResOK})
+	mustReject(t, m, st, Op{Kind: CAS, CASArg: 41, Val: []byte("w"), Res: ResOK})
+	step1(t, m, st, Op{Kind: CAS, CASArg: 41, Val: []byte("w"), Res: ResCASMismatch})
+	// A successful store resets to a fresh generation.
+	next = step1(t, m, next, Op{Kind: Set, Val: []byte("x"), Res: ResOK})
+	if next.CAS != 0 {
+		t.Fatalf("store left generation bound: %d", next.CAS)
+	}
+}
+
+func TestAddReplaceFlush(t *testing.T) {
+	m := &Model{}
+	absent, live := State{}, State{Present: true, Val: "v"}
+	step1(t, m, absent, Op{Kind: Add, Val: []byte("a"), Res: ResOK})
+	mustReject(t, m, live, Op{Kind: Add, Val: []byte("a"), Res: ResOK})
+	step1(t, m, live, Op{Kind: Add, Val: []byte("a"), Res: ResExists})
+	mustReject(t, m, absent, Op{Kind: Add, Val: []byte("a"), Res: ResExists})
+	step1(t, m, live, Op{Kind: Replace, Val: []byte("r"), Res: ResOK})
+	mustReject(t, m, absent, Op{Kind: Replace, Val: []byte("r"), Res: ResOK})
+	next := step1(t, m, live, Op{Kind: Flush, Res: ResOK})
+	if next.Present {
+		t.Fatal("flush left the key present")
+	}
+}
+
+func TestPendBounds(t *testing.T) {
+	m := &Model{MaxValueLen: 8}
+	st := State{Present: true, Val: "12345"}
+	step1(t, m, st, Op{Kind: Append, Val: []byte("678"), Res: ResOK}) // exactly at cap
+	step1(t, m, st, Op{Kind: Append, Val: []byte("6789"), Res: ResTooBig})
+	mustReject(t, m, st, Op{Kind: Append, Val: []byte("678"), Res: ResTooBig})
+	mustReject(t, m, st, Op{Kind: Append, Val: []byte("6789"), Res: ResOK})
+}
+
+func TestUnknownBranches(t *testing.T) {
+	m := &Model{}
+	live := State{Present: true, Val: "5"}
+	// A killed Set may or may not have applied: two states.
+	next := m.Step(live, &Op{Kind: Set, Val: []byte("9"), Res: ResUnknown})
+	if len(next) != 2 {
+		t.Fatalf("killed set: %d states", len(next))
+	}
+	// A killed incr on a live numeric key branches; on a miss it cannot
+	// have applied.
+	if n := m.Step(live, &Op{Kind: Incr, Delta: 1, Res: ResUnknown}); len(n) != 2 {
+		t.Fatalf("killed incr: %d states", len(n))
+	}
+	if n := m.Step(State{}, &Op{Kind: Incr, Delta: 1, Res: ResUnknown}); len(n) != 1 {
+		t.Fatalf("killed incr on miss: %d states", len(n))
+	}
+	// A killed Set writing the value already present: dedup to one state.
+	if n := m.Step(live, &Op{Kind: Set, Val: []byte("5"), Res: ResUnknown}); len(n) != 1 {
+		t.Fatalf("idempotent killed set: %d states", len(n))
+	}
+}
+
+// TestCrashMayDrop: under the repair contract, a killed chain-editing
+// mutation may additionally cost the key entirely; reads never can.
+func TestCrashMayDrop(t *testing.T) {
+	m := &Model{CrashMayDrop: true}
+	live := State{Present: true, Val: "5"}
+	// Killed incr: no-effect, applied, or dropped.
+	if n := m.Step(live, &Op{Kind: Incr, Delta: 1, Res: ResUnknown}); len(n) != 3 {
+		t.Fatalf("killed incr with drop contract: %d states", len(n))
+	}
+	// Killed get: still just no-effect.
+	if n := m.Step(live, &Op{Kind: Get, Res: ResUnknown}); len(n) != 1 {
+		t.Fatalf("killed get with drop contract: %d states", len(n))
+	}
+	// A COMPLETED op never drops: the contract covers crashed calls only.
+	if n := m.Step(live, &Op{Kind: Incr, Delta: 1, RNum: 6, Res: ResOK}); len(n) != 1 || !n[0].Present {
+		t.Fatalf("completed incr under drop contract: %+v", n)
+	}
+}

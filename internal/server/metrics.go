@@ -23,6 +23,8 @@ func (s *Store) Samples() []metrics.Sample {
 	g("mcbase_ops_total", float64(snap.Gets), "op", "get")
 	g("mcbase_ops_total", float64(snap.Sets), "op", "set")
 	g("mcbase_ops_total", float64(snap.Deletes), "op", "delete")
+	g("mcbase_ops_total", float64(snap.Incrs), "op", "incr")
+	g("mcbase_ops_total", float64(snap.Decrs), "op", "decr")
 	g("mcbase_ops_total", float64(snap.Touches), "op", "touch")
 	g("mcbase_get_hits_total", float64(snap.GetHits))
 	g("mcbase_get_misses_total", float64(snap.GetMisses))

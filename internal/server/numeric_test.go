@@ -1,0 +1,165 @@
+package server
+
+// Regression tests for the baseline mutation-op bugfix sweep: incr/decr on
+// expired-but-unreaped items must reap the corpse and answer NOT_FOUND
+// (the expired-delete contract), the in-place rewrite must bump the class
+// LRU, and incr/decr feed their own counters. Golden wire frames pin the
+// exact bytes a client sees on the baseline ASCII path.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"plibmc/internal/protocol"
+)
+
+// TestIncrExpiredReapsCorpse: pre-fix, IncrDecr answered NOT_FOUND for an
+// expired item but left the corpse linked in the table and class LRU — it
+// held memory and CurrItems until some other op happened to walk past it.
+func TestIncrExpiredReapsCorpse(t *testing.T) {
+	s := newTestStore()
+	var now atomic.Int64
+	now.Store(5000)
+	s.SetClock(now.Load)
+
+	if st := s.Set([]byte("k"), []byte("100"), 0, 50); st != protocol.StatusOK {
+		t.Fatal(st)
+	}
+	now.Add(100) // expired but still linked
+	if _, st := s.IncrDecr([]byte("k"), 1, false); st != protocol.StatusKeyNotFound {
+		t.Fatalf("incr on expired key = %v, want KeyNotFound", st)
+	}
+	snap := s.Snapshot()
+	if snap.CurrItems != 0 {
+		t.Fatalf("CurrItems = %d after incr-on-expired: corpse not reaped", snap.CurrItems)
+	}
+	if snap.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1 (the reap is an expiry, not a delete)", snap.Expired)
+	}
+	// Decr on the now-gone key is a plain miss, no double-reap.
+	if _, st := s.IncrDecr([]byte("k"), 1, true); st != protocol.StatusKeyNotFound {
+		t.Fatalf("decr after reap = %v", st)
+	}
+	if got := s.Snapshot().Expired; got != 1 {
+		t.Fatalf("Expired = %d after second miss, want 1", got)
+	}
+}
+
+// TestStoreExpiredReapCountsExpiry: the storage-command reap (Set/Add/
+// append/prepend over an expired corpse) must feed the Expired counter
+// like every other lazy reap; pre-fix it unlinked silently.
+func TestStoreExpiredReapCountsExpiry(t *testing.T) {
+	s := newTestStore()
+	var now atomic.Int64
+	now.Store(5000)
+	s.SetClock(now.Load)
+
+	if st := s.Set([]byte("k"), []byte("v"), 0, 50); st != protocol.StatusOK {
+		t.Fatal(st)
+	}
+	now.Add(100)
+	if st := s.Append([]byte("k"), []byte("x")); st != protocol.StatusNotStored {
+		t.Fatalf("append on expired key = %v, want NotStored", st)
+	}
+	if got := s.Snapshot().Expired; got != 1 {
+		t.Fatalf("Expired = %d, want 1", got)
+	}
+}
+
+// TestIncrDecrFeedOwnCounters: pre-fix the baseline counted nothing at all
+// for incr/decr.
+func TestIncrDecrFeedOwnCounters(t *testing.T) {
+	s := newTestStore()
+	s.Set([]byte("n"), []byte("10"), 0, 0)
+	s.IncrDecr([]byte("n"), 1, false)
+	s.IncrDecr([]byte("n"), 1, true)
+	s.IncrDecr([]byte("n"), 1, true)
+	snap := s.Snapshot()
+	if snap.Incrs != 1 || snap.Decrs != 2 {
+		t.Fatalf("Incrs = %d, Decrs = %d; want 1, 2", snap.Incrs, snap.Decrs)
+	}
+}
+
+// TestIncrInPlaceBumpsClassLRU mirrors TestGetBumpsClassLRU: a same-width
+// in-place increment is a use and must move the counter to the head of its
+// class LRU. Pre-fix the rewrite skipped the bump, so a hot counter that
+// was stored early was the eviction tail forever.
+func TestIncrInPlaceBumpsClassLRU(t *testing.T) {
+	// Numeric values are ≤ 20 bytes, so counters live in the smallest slab
+	// class; a one-page budget still floods it in ~11k sets.
+	s := NewStore(1<<20, 14)
+	if st := s.Set([]byte("protected"), []byte("100"), 0, 0); st != protocol.StatusOK {
+		t.Fatal(st)
+	}
+	if st := s.Set([]byte("victim"), []byte("100"), 0, 0); st != protocol.StatusOK {
+		t.Fatal(st)
+	}
+	// Increment the older item in place (same width: 100 -> 101).
+	if _, st := s.IncrDecr([]byte("protected"), 1, false); st != protocol.StatusOK {
+		t.Fatalf("incr = %v", st)
+	}
+	for i := 0; s.Snapshot().Evictions == 0; i++ {
+		if i > 20000 {
+			t.Fatal("no eviction after 20000 sets")
+		}
+		if st := s.Set([]byte(fmt.Sprintf("fill-%05d", i)), []byte("100"), 0, 0); st != protocol.StatusOK {
+			t.Fatalf("fill set: %v", st)
+		}
+	}
+	if _, _, _, ok := s.Get([]byte("victim")); ok {
+		t.Fatal("victim survived: eviction tail was not the least recently used item")
+	}
+	if _, _, _, ok := s.Get([]byte("protected")); !ok {
+		t.Fatal("incremented item evicted: in-place incr did not bump the class LRU")
+	}
+}
+
+// TestIncrExpiredWireFrame pins the exact ASCII bytes for the mutation-op
+// expiry fix and the numeric edge cases: incr on an expired-but-unreaped
+// key is NOT_FOUND (the same frame as a key that never existed), and incr
+// on a stored 20-digit value ≥ 2^64 is the canonical CLIENT_ERROR.
+func TestIncrExpiredWireFrame(t *testing.T) {
+	srv, _ := startServer(t, 1)
+	var now atomic.Int64
+	now.Store(5000)
+	srv.Store().SetClock(now.Load)
+
+	c, err := net.Dial("unix", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := bufio.NewReader(c)
+	roundTrip := func(req, want string) {
+		t.Helper()
+		if _, err := c.Write([]byte(req)); err != nil {
+			t.Fatal(err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line != want {
+			t.Fatalf("reply to %q = %q, want %q", req, line, want)
+		}
+	}
+
+	roundTrip("set k 0 50 3\r\n100\r\n", "STORED\r\n")
+	roundTrip("incr k 1\r\n", "101\r\n")
+	now.Add(100) // key is now expired but still linked
+	roundTrip("incr k 1\r\n", "NOT_FOUND\r\n")
+	// The reap was real: the corpse is gone, not resurrected.
+	roundTrip("incr k 1\r\n", "NOT_FOUND\r\n")
+	roundTrip("decr k 1\r\n", "NOT_FOUND\r\n")
+
+	// A stored value at 2^64 cannot be incremented: CLIENT_ERROR, and the
+	// stored bytes stay untouched.
+	roundTrip("set big 0 0 20\r\n18446744073709551616\r\n", "STORED\r\n")
+	roundTrip("incr big 1\r\n", "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
+	// The legal maximum wraps, as in memcached.
+	roundTrip("set max 0 0 20\r\n18446744073709551615\r\n", "STORED\r\n")
+	roundTrip("incr max 1\r\n", "0\r\n")
+}

@@ -104,11 +104,7 @@ func (s *Store) storeItem(verb storeVerb, key, value []byte, flags uint32, expti
 	mu := s.lockFor(h)
 	mu.Lock()
 	defer mu.Unlock()
-	oldRef := s.find(key, h)
-	if oldRef != nilRef && s.expired(deref(oldRef), s.nowFn()) {
-		s.unlink(deref(oldRef), h)
-		oldRef = nilRef
-	}
+	oldRef := s.reapIfExpired(s.find(key, h), h)
 	switch verb {
 	case verbAdd:
 		if oldRef != nilRef {
@@ -213,12 +209,22 @@ func (s *Store) Delete(key []byte) protocol.Status {
 
 // IncrDecr adjusts a numeric value.
 func (s *Store) IncrDecr(key []byte, delta uint64, decr bool) (uint64, protocol.Status) {
+	s.statMu.Lock()
+	if decr {
+		s.stats.Decrs++
+	} else {
+		s.stats.Incrs++
+	}
+	s.statMu.Unlock()
 	h := hashKey(key)
 	mu := s.lockFor(h)
 	mu.Lock()
 	defer mu.Unlock()
-	r := s.find(key, h)
-	if r == nilRef || s.expired(deref(r), s.nowFn()) {
+	// An expired-but-unreaped item is logically gone: reap it (as an
+	// expiry) instead of incrementing a corpse the sweeper hasn't reached.
+	// Pre-fix the corpse stayed linked in the table and LRU.
+	r := s.reapIfExpired(s.find(key, h), h)
+	if r == nilRef {
 		return 0, protocol.StatusKeyNotFound
 	}
 	it := deref(r)
@@ -246,6 +252,10 @@ func (s *Store) IncrDecr(key []byte, delta uint64, decr bool) (uint64, protocol.
 	if len(rendered) == len(val) {
 		copy(val, rendered)
 		s.putU64(it, bCASID, s.nextCAS())
+		// The in-place rewrite is a use: bump the class LRU exactly as Get
+		// does, or hot counters degrade to FIFO eviction order. The
+		// width-change path below gets its bump from link().
+		s.bumpLRU(it)
 		return v, protocol.StatusOK
 	}
 	key2 := append([]byte(nil), s.key(it)...)

@@ -73,6 +73,7 @@ type classLRU struct {
 type Stats struct {
 	Gets, GetHits, GetMisses     uint64
 	Sets, Deletes                uint64
+	Incrs, Decrs                 uint64
 	Touches, TouchHits, TouchMisses uint64
 	Evictions, Expired           uint64
 	CurrItems, Bytes             uint64

@@ -106,6 +106,7 @@ func (m *Metrics) Samples() []metrics.Sample {
 	g("plibmc_ops_total", float64(m.Ops.Sets), "op", "set")
 	g("plibmc_ops_total", float64(m.Ops.Deletes), "op", "delete")
 	g("plibmc_ops_total", float64(m.Ops.Incrs), "op", "incr")
+	g("plibmc_ops_total", float64(m.Ops.Decrs), "op", "decr")
 	g("plibmc_ops_total", float64(m.Ops.Touches), "op", "touch")
 	g("plibmc_get_hits_total", float64(m.Ops.GetHits))
 	g("plibmc_get_misses_total", float64(m.Ops.GetMisses))

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check faultmatrix modelcheck modelcheck-long bench-seqlock bench-recovery
+.PHONY: build test check faultmatrix corruptmatrix modelcheck modelcheck-long bench-seqlock bench-recovery bench-checksum
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 # run the packages that carry the seqlock/grave protocol under the race
 # detector (which exercises the sync/atomic build of the relaxed accessors),
 # a short chaos soak, and the crash-at-every-point fault matrix.
-check: build faultmatrix modelcheck
+check: build faultmatrix corruptmatrix modelcheck
 	$(GO) vet ./...
 	$(GO) test -race -count=1 ./internal/core ./internal/shm
 	$(GO) test -race -count=1 -short -run TestChaosKillsNeverCorrupt .
@@ -41,6 +41,20 @@ faultmatrix:
 	$(GO) test -race -count=1 -run TestFaultMatrix .
 	$(GO) test -race -count=1 ./internal/faultpoint ./internal/hodor
 
+# The corruption gate: flip bits in every class of live and on-disk state
+# (item headers, values, chain and LRU links, stats slots, persistent
+# roots, image headers) and require salvage-or-degrade — never a wrong
+# value, never an unrecovered panic. -short trims the recovery-cycle
+# classes; corruptmatrix-long runs all seven plus the kill-during-
+# checkpoint chaos round.
+corruptmatrix:
+	$(GO) test -race -count=1 -short -run 'TestCorruptionMatrix' .
+	$(GO) test -race -count=1 ./internal/corrupt
+
+corruptmatrix-long:
+	$(GO) test -race -count=1 -run 'TestCorruptionMatrix|TestChaosKillDuringCheckpoint' .
+	$(GO) test -race -count=1 ./internal/corrupt
+
 # The locked-vs-optimistic read path ablation (DESIGN.md §6).
 bench-seqlock:
 	$(GO) test -run xxx -bench BenchmarkAblationSeqlockRead -benchtime 2s .
@@ -53,3 +67,8 @@ bench-recovery:
 # (DESIGN.md §9; the budget is <=5% throughput).
 bench-metrics:
 	$(GO) test -run xxx -bench BenchmarkAblationMetrics -benchtime 2s .
+
+# Read-path corruption-detection cost: the 95/5 mix with per-item header
+# checksum verification on vs off (DESIGN.md §11; the budget is <=5%).
+bench-checksum:
+	$(GO) test -run xxx -bench BenchmarkAblationChecksum -benchtime 2s .

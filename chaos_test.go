@@ -9,14 +9,18 @@ package plibmc
 // statistics remain self-consistent.
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"plibmc/internal/faultpoint"
 	"plibmc/internal/proc"
 	"plibmc/memcached"
 )
@@ -181,4 +185,136 @@ func TestChaosKillsNeverCorrupt(t *testing.T) {
 	st := book.Stats()
 	t.Logf("chaos totals: %d gets, %d sets, %d deletes, %d items live",
 		st.Gets, st.Sets, st.Deletes, st.CurrItems)
+}
+
+// TestChaosKillDuringCheckpoint kills the bookkeeper at every crash point
+// inside the image writer, while client workers are live, and asserts the
+// survivor of the crash — a fresh bookkeeper reloading from disk — always
+// finds a verifying image whose every entry is internally consistent.
+func TestChaosKillDuringCheckpoint(t *testing.T) {
+	points := []string{}
+	for _, p := range faultpoint.Names() {
+		if strings.HasPrefix(p, "persist.") {
+			points = append(points, p)
+		}
+	}
+	if len(points) == 0 {
+		t.Fatal("no persist.* fault points registered")
+	}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			defer faultpoint.DisarmAll()
+			path := filepath.Join(t.TempDir(), "store.img")
+			book, err := memcached.CreateStore(memcached.Config{
+				HeapBytes: 32 << 20, Path: path, HashPower: 10, NumItemLocks: 64,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Self-describing values: a value must always decode to its own
+			// key, whatever generation the survivor ends up on.
+			val := func(k []byte, seq int) []byte {
+				return []byte(fmt.Sprintf("v:%s:%d", k, seq))
+			}
+			cp, err := book.NewClientProcess(1001)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				s, err := cp.NewSession()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(id int, s *memcached.Session) {
+					defer wg.Done()
+					defer s.Close()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := []byte(fmt.Sprintf("w%d-k%d", id, i%400))
+						if err := s.Set(k, val(k, i), 0, 0); err != nil {
+							t.Errorf("worker %d: %v", id, err)
+							return
+						}
+					}
+				}(w, s)
+			}
+			time.Sleep(3 * time.Millisecond)
+			if err := book.Checkpoint(); err != nil { // generation 1: intact
+				t.Fatal(err)
+			}
+			time.Sleep(3 * time.Millisecond)
+
+			// The bookkeeper dies at the armed point inside checkpoint 2,
+			// with the workers still running.
+			if err := faultpoint.Arm(point, func() {
+				panic("chaos: bookkeeper dies at " + point)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("checkpoint completed; %s never fired", point)
+					}
+				}()
+				_ = book.Checkpoint()
+			}()
+			faultpoint.DisarmAll()
+			close(stop)
+			wg.Wait()
+			// No Shutdown: the dying bookkeeper flushes nothing.
+
+			book2, err := memcached.OpenStore(memcached.Config{Path: path})
+			if err != nil {
+				t.Fatalf("survivor reload after death at %s: %v", point, err)
+			}
+			defer book2.Shutdown()
+			if _, err := book2.Allocator().Check(); err != nil {
+				t.Fatalf("survivor heap fsck: %v", err)
+			}
+			vp, err := book2.NewClientProcess(2001)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs, err := vp.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer vs.Close()
+			found := 0
+			for id := 0; id < 3; id++ {
+				for i := 0; i < 400; i++ {
+					k := []byte(fmt.Sprintf("w%d-k%d", id, i))
+					v, _, err := vs.Get(k)
+					if errors.Is(err, memcached.ErrNotFound) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("survivor key %s: %v", k, err)
+					}
+					if !bytes.HasPrefix(v, []byte(fmt.Sprintf("v:%s:", k))) {
+						t.Fatalf("survivor key %s decoded to a foreign value %q", k, v)
+					}
+					found++
+				}
+			}
+			if found == 0 {
+				t.Fatal("no keys survived the checkpoint crash at all")
+			}
+			if err := vs.Set([]byte("post-crash"), []byte("alive"), 0, 0); err != nil {
+				t.Fatalf("survivor not writable: %v", err)
+			}
+			if err := book2.Checkpoint(); err != nil {
+				t.Fatalf("survivor cannot checkpoint: %v", err)
+			}
+			t.Logf("%s: survivor served %d keys after the mid-checkpoint death", point, found)
+		})
+	}
 }

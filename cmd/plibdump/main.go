@@ -7,6 +7,13 @@
 //	plibdump -file /var/tmp/store.img -keys      # also list keys
 //	plibdump -file /var/tmp/store.img -dump -max 10
 //	plibdump -file /var/tmp/store.img -metrics   # latency histograms
+//	plibdump -file /var/tmp/store.img -verify    # deep-verify all slots
+//
+// -verify checks every image slot for the path (the base file plus the
+// .a/.b checkpoint slots): header and per-region checksums, the
+// allocator fsck, and a deep item audit (header checksums, hash↔key
+// agreement, value checksums). It exits nonzero if any slot is corrupt,
+// reporting exactly which 64 KiB regions and which items are damaged.
 package main
 
 import (
@@ -26,12 +33,16 @@ func main() {
 		dump  = flag.Bool("dump", false, "dump keys and values")
 		locks   = flag.Bool("locks", false, "list held heap-resident locks with their owners")
 		metrics = flag.Bool("metrics", false, "print the per-op-class latency histograms recorded in the image")
+		verify  = flag.Bool("verify", false, "deep-verify every image slot (checksums, allocator fsck, item audit); exit nonzero on corruption")
 		max     = flag.Int("max", 0, "stop after this many entries (0 = all)")
 	)
 	flag.Parse()
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "plibdump: -file is required")
 		os.Exit(2)
+	}
+	if *verify {
+		os.Exit(verifyImages(*file, *max))
 	}
 
 	heap, err := shm.Load(*file)
@@ -109,6 +120,95 @@ func main() {
 		return *max == 0 || n < *max
 	})
 	fmt.Printf("listed %d entries\n", n)
+}
+
+// verifyImages deep-verifies every image slot for base (the base file and
+// the .a/.b checkpoint slots) and returns the process exit code: 0 if
+// every existing slot is fully intact, 1 if any slot shows corruption.
+// An operator running with A/B checkpoints wants to know about a decayed
+// older slot even while the newest one still verifies — that is one disk
+// error away from data loss.
+func verifyImages(base string, max int) int {
+	cands := shm.ImageCandidates(base)
+	if len(cands) == 0 {
+		fmt.Fprintf(os.Stderr, "plibdump: no heap image found at %s\n", base)
+		return 1
+	}
+	exit := 0
+	for _, cand := range cands {
+		if !verifyOne(cand, max) {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// verifyOne runs one slot through the full verification chain, printing a
+// per-region and per-item report. Returns true if the slot is intact.
+func verifyOne(cand shm.Candidate, max int) bool {
+	fmt.Printf("%s:\n", cand.Path)
+	if cand.Err != nil {
+		fmt.Printf("  header: UNREADABLE: %v\n", cand.Err)
+		return false
+	}
+	rep, err := shm.VerifyImage(cand.Path)
+	if err != nil {
+		fmt.Printf("  checksums: UNREADABLE: %v\n", err)
+		return false
+	}
+	fmt.Printf("  header: OK — generation %d, %d heap bytes in %d regions of %d KiB\n",
+		rep.Info.Generation, rep.Info.HeapBytes, rep.Info.Regions, rep.Info.RegionSize>>10)
+	if !rep.OK() {
+		if !rep.TableOK {
+			fmt.Println("  checksums: region table corrupt")
+		}
+		for _, f := range rep.BadRegions {
+			fmt.Printf("  checksums: region %d CORRUPT (heap bytes [%#x, %#x), crc %016x want %016x)\n",
+				f.Region, f.Off, f.Off+f.Len, f.Got, f.Want)
+		}
+		if len(rep.BadRegions) == 0 && rep.TableOK && !rep.ImageCRCOK {
+			fmt.Println("  checksums: whole-image checksum mismatch")
+		}
+		return false
+	}
+	fmt.Printf("  checksums: OK — %d regions, table and whole-image CRCs verified\n", rep.Info.Regions)
+
+	heap, _, err := shm.LoadImage(cand.Path)
+	if err != nil {
+		fmt.Printf("  load: FAILED: %v\n", err)
+		return false
+	}
+	alloc, err := ralloc.Open(heap)
+	if err != nil {
+		fmt.Printf("  allocator: FAILED to open: %v\n", err)
+		return false
+	}
+	chk, err := alloc.Check()
+	if err != nil {
+		fmt.Printf("  allocator: INTEGRITY FAILURE: %v\n", err)
+		return false
+	}
+	fmt.Printf("  allocator: OK — %d live bytes, %d free blocks\n", chk.LiveBytes, chk.FreeBlocks)
+
+	store, err := core.Attach(alloc)
+	if err != nil {
+		fmt.Printf("  store: FAILED to attach: %v\n", err)
+		return false
+	}
+	store.ResetGate()
+	store.ForceReleaseDeadLocks(func(uint64) bool { return true })
+	alloc.RepairLocks()
+	ctx := store.NewCtx(1)
+	scanned, faults := ctx.AuditItems(max)
+	if len(faults) > 0 {
+		fmt.Printf("  items: %d scanned, %d CORRUPT\n", scanned, len(faults))
+		for _, f := range faults {
+			fmt.Printf("    %s\n", f)
+		}
+		return false
+	}
+	fmt.Printf("  items: OK — %d deep-verified\n", scanned)
+	return true
 }
 
 // printLocks reports the operation gate, every held store lock, and the

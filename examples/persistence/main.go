@@ -50,8 +50,20 @@ func main() {
 	if err := book.Shutdown(); err != nil {
 		log.Fatal(err)
 	}
-	info, _ := os.Stat(path)
-	fmt.Printf("flushed heap image: %s (%d bytes)\n", path, info.Size())
+	// Shutdown checkpoints into alternating generation slots (store.img.a
+	// for odd generations, store.img.b for even); reopening scans all slots
+	// and picks the newest one that verifies.
+	imgs, err := filepath.Glob(path + "*")
+	if err != nil || len(imgs) == 0 {
+		log.Fatalf("no heap image written next to %s: %v", path, err)
+	}
+	for _, img := range imgs {
+		info, err := os.Stat(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("flushed heap image: %s (%d bytes)\n", img, info.Size())
+	}
 
 	// --- Second life: reopen and find everything. ---
 	book2, err := memcached.OpenStore(memcached.Config{Path: path})

@@ -15,7 +15,10 @@ package plibmc
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -31,7 +34,127 @@ func TestFaultMatrix(t *testing.T) {
 		t.Fatal("no registered fault points; the crash-injection sites are gone")
 	}
 	for _, point := range points {
-		t.Run(point, func(t *testing.T) { runFaultAt(t, point) })
+		t.Run(point, func(t *testing.T) {
+			if strings.HasPrefix(point, "persist.") {
+				// Checkpoint-writer points: the failing actor is the
+				// bookkeeper process itself, mid-image-write. Recovery is
+				// not online repair but reload-from-disk.
+				runPersistFaultAt(t, point)
+				return
+			}
+			runFaultAt(t, point)
+		})
+	}
+}
+
+// runPersistFaultAt kills the bookkeeper at one point inside the
+// checkpoint writer and asserts the on-disk image set still round-trips:
+// OpenStore must come back on the previous checkpoint's generation with
+// every pre-checkpoint write intact and the heap verifying.
+func runPersistFaultAt(t *testing.T, point string) {
+	defer faultpoint.DisarmAll()
+	path := filepath.Join(t.TempDir(), "store.img")
+	book, err := memcached.CreateStore(memcached.Config{
+		HeapBytes:    16 << 20,
+		Path:         path,
+		HashPower:    8,
+		NumItemLocks: 16,
+		CallTimeout:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := book.NewClientProcess(1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cp.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%05d", i)) }
+	val := bytes.Repeat([]byte("v"), 256)
+
+	// Phase 1: writes that the first checkpoint makes durable.
+	const durable = 200
+	for i := 0; i < durable; i++ {
+		if err := s.Set(key(i), val, 0, 0); err != nil {
+			t.Fatalf("phase 1: %v", err)
+		}
+	}
+	if err := book.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: writes at risk — the checkpoint persisting them dies at
+	// the armed point.
+	for i := durable; i < 2*durable; i++ {
+		if err := s.Set(key(i), val, 0, 0); err != nil {
+			t.Fatalf("phase 2: %v", err)
+		}
+	}
+	var fired atomic.Bool
+	if err := faultpoint.Arm(point, func() {
+		fired.Store(true)
+		panic("faultmatrix: bookkeeper dies at " + point)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("checkpoint completed; fault point %s never fired", point)
+			}
+		}()
+		_ = book.Checkpoint()
+	}()
+	if !fired.Load() {
+		t.Fatalf("workload never reached fault point %s", point)
+	}
+	faultpoint.DisarmAll()
+	// The bookkeeper is dead mid-write: no Shutdown, no flush. Everything
+	// it leaves behind is whatever the crash left on disk.
+
+	// The survivor of the crash is a fresh bookkeeper: OpenStore must find
+	// a verifying image (the phase-1 checkpoint) among the candidates.
+	book2, err := memcached.OpenStore(memcached.Config{Path: path})
+	if err != nil {
+		t.Fatalf("reload after crash at %s: %v", point, err)
+	}
+	defer book2.Shutdown()
+	if gen := book2.CheckpointGeneration(); gen != 1 {
+		t.Fatalf("reloaded generation = %d after crash at %s, want 1", gen, point)
+	}
+	if _, err := book2.Allocator().Check(); err != nil {
+		t.Fatalf("heap verification after reload: %v", err)
+	}
+	cp2, err := book2.NewClientProcess(1002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cp2.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// Every durable write is intact; every at-risk write is a clean miss
+	// (the dying checkpoint must not have replaced the good image).
+	for i := 0; i < durable; i++ {
+		if v, _, err := s2.Get(key(i)); err != nil || !bytes.Equal(v, val) {
+			t.Fatalf("durable key %s lost after crash at %s: %q, %v", key(i), point, v, err)
+		}
+	}
+	for i := durable; i < 2*durable; i++ {
+		if _, _, err := s2.Get(key(i)); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("at-risk key %s = %v after crash at %s, want clean miss", key(i), err, point)
+		}
+	}
+	// The reloaded store accepts new work and can checkpoint again.
+	if err := s2.Set([]byte("post-crash"), []byte("alive"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := book2.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after reload: %v", err)
 	}
 }
 

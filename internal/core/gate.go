@@ -80,10 +80,24 @@ func (c *Ctx) exitOp() {
 // While quiesced the heap is fully consistent — no lock held, no partial
 // structure — and safe to snapshot. Always pair with Unquiesce.
 func (s *Store) Quiesce() {
+	s.QuiesceWithAbort(nil)
+}
+
+// QuiesceWithAbort is Quiesce with an escape hatch: abort is polled while
+// waiting (both for a competing barrier and for the count to drain) and a
+// true return abandons the quiesce, dropping any barrier this call raised.
+// A checkpointer uses it to yield to crash recovery — a count entered by a
+// thread that died mid-call will never drain, so without the abort the
+// checkpoint and the repair would deadlock. Returns whether the store was
+// quiesced (true ⇒ the caller must Unquiesce).
+func (s *Store) QuiesceWithAbort(abort func() bool) bool {
 	gate := s.cfg + cfgGate
 	for {
 		g := s.H.AtomicLoad64(gate)
 		if g&gateBarrier != 0 {
+			if abort != nil && abort() {
+				return false
+			}
 			runtime.Gosched() // another checkpointer; take turns
 			continue
 		}
@@ -92,8 +106,13 @@ func (s *Store) Quiesce() {
 		}
 	}
 	for s.H.AtomicLoad64(gate)&gateCountMask != 0 {
+		if abort != nil && abort() {
+			s.Unquiesce()
+			return false
+		}
 		runtime.Gosched()
 	}
+	return true
 }
 
 // Unquiesce drops the barrier raised by Quiesce.

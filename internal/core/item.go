@@ -21,7 +21,14 @@ import (
 //	+64  itflags    u64    atomic; bit 0 = linked
 //	+72  hash       u64    key hash, fixed at allocation (evictors and
 //	                       sweepers unlink without re-reading the key)
-//	+80  key bytes, padded to 8, then value bytes
+//	+80  check      u64    header checksum over the immutable fields
+//	                       (hash, keyLen, valLen, flags), fixed at
+//	                       allocation; read paths verify it before trusting
+//	                       the geometry fields
+//	+88  valSum     u64    value checksum (hashKey over the value bytes);
+//	                       maintained by in-place rewrites, verified by the
+//	                       scrubber and by repair — not on the read path
+//	+96  key bytes, padded to 8, then value bytes
 const (
 	itHNext      = 0
 	itLRUNext    = 8
@@ -35,8 +42,48 @@ const (
 	itLastAccess = 56
 	itItflags    = 64
 	itHash       = 72
-	itHeader     = 80
+	itCheck      = 80
+	itValSum     = 88
+	itHeader     = 96
 )
+
+// mix64 is the murmur3 finalizer: a cheap avalanche so that any single-bit
+// difference in a checksum input flips about half the output bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// itemCheckOf computes the header checksum binding an item's immutable
+// fields together. Two sequential mixes so a coordinated corruption of two
+// fields cannot cancel in a pre-mix XOR.
+func itemCheckOf(hash uint64, klen, vlen, flags uint32) uint64 {
+	return mix64(mix64(hash^(uint64(klen)<<32|uint64(vlen))) ^ uint64(flags))
+}
+
+// itemCheckValid recomputes and compares an item's header checksum with
+// relaxed loads (all four covered fields are immutable after publication,
+// so torn reads are not a concern — only corrupted memory is).
+func (s *Store) itemCheckValid(it uint64) bool {
+	h := s.H
+	return itemCheckOf(
+		h.RelaxedLoad64(it+itHash),
+		h.RelaxedLoad32(it+itKeyLen),
+		h.RelaxedLoad32(it+itValLen),
+		h.RelaxedLoad32(it+itFlags),
+	) == h.RelaxedLoad64(it+itCheck)
+}
+
+// verifyItem is the read-path form of itemCheckValid. DisableReadVerify is
+// the ablation toggle for BenchmarkAblationChecksum; the scrubber and
+// repair verify regardless.
+func (c *Ctx) verifyItem(it uint64) bool {
+	return c.DisableReadVerify || c.s.itemCheckValid(it)
+}
 
 const itflagLinked = uint64(1)
 
@@ -89,6 +136,8 @@ func (c *Ctx) newItem(key, value []byte, hash uint64, flags uint32, exptime int6
 	h.Store64(it+itLastAccess, uint64(c.s.nowFn()))
 	h.Store64(it+itItflags, 0)
 	h.Store64(it+itHash, hash)
+	h.Store64(it+itCheck, itemCheckOf(hash, uint32(len(key)), uint32(len(value)), flags))
+	h.Store64(it+itValSum, hashKey(value))
 	h.WriteBytes(it+itHeader, key)
 	h.WriteBytes(c.s.itemValOff(it), value)
 	return it, nil

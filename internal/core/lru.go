@@ -34,10 +34,16 @@ func (s *Store) lruLockOff(idx uint64) uint64 { return s.lruLocks + idx*shm.Lock
 func (s *Store) lruHeadOff(idx uint64) uint64 { return s.lruData + idx*16 }
 func (s *Store) lruTailOff(idx uint64) uint64 { return s.lruData + idx*16 + 8 }
 
-// lruInsertHead links it at the head of list idx. Caller holds the list lock.
+// lruInsertHead links it at the head of list idx. Caller holds the list
+// lock. The stale-head check keeps a corrupted head pointer from letting
+// the insert scribble a back-link through arbitrary heap memory: a real
+// head's lruPrev is always zero.
 func (s *Store) lruInsertHead(idx, it uint64) {
 	h := s.H
 	head := ralloc.LoadPptr(h, s.lruHeadOff(idx))
+	if head != 0 && (head&7 != 0 || ralloc.LoadPptr(h, head+itLRUPrev) != 0) {
+		panic("core: corrupt LRU head (insert)")
+	}
 	ralloc.StorePptr(h, it+itLRUPrev, 0)
 	ralloc.StorePptr(h, it+itLRUNext, head)
 	if head != 0 {
@@ -49,10 +55,30 @@ func (s *Store) lruInsertHead(idx, it uint64) {
 }
 
 // lruRemove unlinks it from list idx. Caller holds the list lock.
+//
+// Each neighbor is grounded before the splice writes through it: a nonzero
+// prev/next must be word-aligned and its back-link must point at it, and a
+// boundary item must actually be the list's head/tail. A corrupted link
+// therefore panics (unwound by hodor into a full structural repair, which
+// rebuilds every list) instead of silently scribbling on whatever word the
+// corrupt pointer addresses — the containment rule the corruption matrix
+// enforces for the LRU-link class.
 func (s *Store) lruRemove(idx, it uint64) {
 	h := s.H
 	prev := ralloc.LoadPptr(h, it+itLRUPrev)
 	next := ralloc.LoadPptr(h, it+itLRUNext)
+	if prev != 0 && (prev&7 != 0 || ralloc.LoadPptr(h, prev+itLRUNext) != it) {
+		panic("core: corrupt LRU prev link")
+	}
+	if next != 0 && (next&7 != 0 || ralloc.LoadPptr(h, next+itLRUPrev) != it) {
+		panic("core: corrupt LRU next link")
+	}
+	if prev == 0 && ralloc.LoadPptr(h, s.lruHeadOff(idx)) != it {
+		panic("core: item not at LRU head it claims")
+	}
+	if next == 0 && ralloc.LoadPptr(h, s.lruTailOff(idx)) != it {
+		panic("core: item not at LRU tail it claims")
+	}
 	if prev != 0 {
 		ralloc.StorePptr(h, prev+itLRUNext, next)
 	} else {
@@ -186,7 +212,10 @@ func (c *Ctx) unlinkLocked(it, hash uint64) {
 	bucket := s.bucketFor(hash)
 	prevAddr := bucket
 	cur := ralloc.LoadPptr(s.H, bucket)
-	for cur != 0 && cur != it {
+	for steps := 0; cur != 0 && cur != it; steps++ {
+		if steps >= maxRepairChain {
+			panic("core: bucket chain cycle (corruption)")
+		}
 		prevAddr = cur + itHNext
 		cur = ralloc.LoadPptr(s.H, prevAddr)
 	}
@@ -227,7 +256,10 @@ func (c *Ctx) swapLocked(old, nit, hash uint64) {
 	// only reads, and the item lock fences out competing writers.
 	prevAddr := bucket
 	cur := ralloc.LoadPptr(s.H, bucket)
-	for cur != 0 && cur != old {
+	for steps := 0; cur != 0 && cur != old; steps++ {
+		if steps >= maxRepairChain {
+			panic("core: bucket chain cycle (corruption)")
+		}
 		prevAddr = cur + itHNext
 		cur = ralloc.LoadPptr(s.H, prevAddr)
 	}

@@ -19,6 +19,8 @@ type MaintReport struct {
 	Expired   int
 	Resized   bool
 	Reclaimed int // chunks returned to the shared pool
+	Scrubbed  int // items deep-verified by the corruption scrubber
+	Corrupt   int // corruptions the scrubber detected (and contained)
 }
 
 // Maintainer drives periodic store upkeep. Create one in the bookkeeping
@@ -32,6 +34,12 @@ type Maintainer struct {
 	// ExpandBatch is how many old-table buckets one maintenance pass
 	// migrates during a background expansion.
 	ExpandBatch int
+	// ScrubStripes is how many lock stripes one maintenance pass
+	// deep-verifies (item checksums, hash↔key, value checksums). 0
+	// disables scrubbing.
+	ScrubStripes int
+
+	scrubCursor uint64
 }
 
 // NewMaintainer creates a maintainer whose operations use the given lock
@@ -42,6 +50,7 @@ func (s *Store) NewMaintainer(owner uint64) *Maintainer {
 		EvictBatch:     64,
 		GrowLoadFactor: 1.5,
 		ExpandBatch:    256,
+		ScrubStripes:   4,
 	}
 }
 
@@ -66,6 +75,9 @@ func (m *Maintainer) RunOnce() MaintReport {
 		}
 	}
 	r.Expired = m.ctx.SweepExpired()
+	if m.ScrubStripes > 0 {
+		r.Scrubbed, r.Corrupt = m.ctx.ScrubChains(&m.scrubCursor, m.ScrubStripes)
+	}
 	// Free whatever the quarantine has accumulated; maintenance is the
 	// backstop that keeps the grave short on read-mostly workloads that
 	// rarely hit the push threshold.

@@ -56,6 +56,11 @@ type Ctx struct {
 	// pre-seqlock design, kept as an ablation toggle.
 	DisableOptimisticReads bool
 
+	// DisableReadVerify skips the per-item header-checksum check on the
+	// read paths (ablation toggle for BenchmarkAblationChecksum). The
+	// scrubber and repair still verify.
+	DisableReadVerify bool
+
 	// forceSeqRetries injects this many artificial validation failures
 	// into each optimistic lookup, so tests can deterministically drive
 	// the retry loop and the lock fallback.
@@ -194,11 +199,24 @@ func (c *Ctx) absExpiry(exptime int64) int64 {
 
 // findLocked walks the bucket chain for key, unlinking it lazily if it has
 // expired. Caller holds the item lock for hash.
+//
+// The walk is bounded and every matched item's header checksum is verified
+// before its geometry fields are trusted: a corrupted chain degrades into a
+// quarantined item or an escalation to full repair, never an unbounded loop
+// or a value served from mismatched metadata.
 func (c *Ctx) findLocked(key []byte, hash uint64) uint64 {
 	s := c.s
-	it := loadChainHead(s, s.bucketFor(hash))
-	for it != 0 {
+	bucket := s.bucketFor(hash)
+	it := loadChainHead(s, bucket)
+	for steps := 0; it != 0; steps++ {
+		if steps >= maxRepairChain {
+			panic("core: bucket chain cycle (corruption)")
+		}
 		if s.keyEqual(it, key) {
+			if !c.verifyItem(it) {
+				c.quarantineCorruptLocked(it, bucket, s.seqOff(hash))
+				return 0
+			}
 			if s.expired(it, s.nowFn()) {
 				c.unlinkLocked(it, hash)
 				c.stat(statExpired, 1)
@@ -502,6 +520,7 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 			s.H.AtomicWriteBytes(s.itemValOff(it), rendered[:half])
 			runtime.Gosched()
 			s.H.AtomicWriteBytes(s.itemValOff(it)+uint64(half), rendered[half:])
+			s.H.RelaxedStore64(it+itValSum, hashKey(rendered))
 			s.H.RelaxedStore64(it+itCASID, s.nextCAS())
 			c.lruBump(hash, it, s.nowFn())
 			return v, nil
@@ -513,6 +532,7 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 		s.H.SeqWriteBegin(seq)
 		s.H.AtomicWriteBytes(s.itemValOff(it), rendered)
 		fpIncrMidRewrite.Maybe()
+		s.H.RelaxedStore64(it+itValSum, hashKey(rendered))
 		s.H.RelaxedStore64(it+itCASID, s.nextCAS())
 		s.H.SeqWriteEnd(seq)
 		// The rewrite is a use: move the item up its LRU list like the

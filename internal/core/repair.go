@@ -160,6 +160,12 @@ type RepairReport struct {
 	// HistogramsRepaired counts latency histograms whose total/Σcounts
 	// invariant was torn by a thread that died mid-record.
 	HistogramsRepaired int
+	// ValueSumsRestamped counts kept items whose value checksum did not
+	// match their bytes — the signature of a thread that died inside an
+	// in-place value rewrite. Repair trusts the (seqlock-protected) bytes
+	// and re-stamps the checksum; media corruption, by contrast, is caught
+	// by the scrubber while the checksum is intact.
+	ValueSumsRestamped int
 }
 
 // maxRepairChain bounds every chain walk during repair: a torn or
@@ -190,6 +196,9 @@ func (c *Ctx) validItem(it uint64) bool {
 		return false
 	}
 	if rc := s.H.AtomicLoad64(it + itRefcount); rc == 0 || rc > 1<<32 {
+		return false
+	}
+	if s.H.Load64(it+itCheck) != itemCheckOf(s.H.Load64(it+itHash), uint32(klen), uint32(vlen), s.H.Load32(it+itFlags)) {
 		return false
 	}
 	key := grow(&c.keyBuf, klen)
@@ -331,6 +340,13 @@ func (s *Store) Repair(c *Ctx) (RepairReport, error) {
 		h.Store64(it+itRefcount, 1) // exactly the link reference
 		s.setLinked(it, true)
 		s.lruInsertHead(s.lruFor(hash), it)
+		vlen := s.itemValLen(it)
+		val := grow(&c.valBuf, vlen)
+		h.ReadBytes(s.itemValOff(it), val)
+		if sum := hashKey(val); sum != h.Load64(it+itValSum) {
+			h.Store64(it+itValSum, sum)
+			r.ValueSumsRestamped++
+		}
 		r.ItemsKept++
 		r.BytesKept += s.A.SizeOf(it)
 	}

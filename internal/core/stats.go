@@ -32,6 +32,8 @@ const (
 	statRecoveries
 	statRepairDropped
 	statDecrs
+	statCorruptDetected
+	statItemsQuarantined
 	numStatCounters
 )
 
@@ -56,6 +58,10 @@ type Stats struct {
 	// ItemsDroppedInRepair counts orphaned or torn items those passes
 	// had to discard.
 	Recoveries, ItemsDroppedInRepair uint64
+	// CorruptionsDetected counts checksum or invariant failures found by
+	// the read paths and the scrubber; ItemsQuarantined counts the items
+	// those detections removed from service.
+	CorruptionsDetected, ItemsQuarantined uint64
 }
 
 // stat adds delta to one counter in this context's slot. In LockedStats
@@ -98,5 +104,6 @@ func (s *Store) Stats() Stats {
 		Flushes:         u(statFlushes),
 		GetFastpathHits: u(statGetFastpath), SeqlockRetries: u(statSeqRetries),
 		Recoveries: u(statRecoveries), ItemsDroppedInRepair: u(statRepairDropped),
+		CorruptionsDetected: u(statCorruptDetected), ItemsQuarantined: u(statItemsQuarantined),
 	}
 }

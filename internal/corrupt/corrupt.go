@@ -1,0 +1,73 @@
+// Package corrupt injects deterministic memory and image corruption for
+// tests. The fault-matrix machinery (internal/faultpoint) models a sharer
+// crashing at a bad instant; this package models the other half of the
+// containment story — bytes that are simply wrong: a bit flipped in a live
+// region between operations, a word torn to garbage, an image file damaged
+// on disk. The corruption-matrix gate drives these injectors at every
+// structure class and requires the store to salvage or degrade, never to
+// panic and never to serve a corrupted value.
+package corrupt
+
+import (
+	"fmt"
+	"os"
+
+	"plibmc/internal/shm"
+)
+
+// FlipBit flips one bit of the word containing heap byte off. Injection
+// uses plain stores: the corruption-matrix tests are single-threaded by
+// design (a concurrent flip against atomic readers would be a data race in
+// the Go memory model, which is a different failure than silent media or
+// DMA corruption).
+func FlipBit(h *shm.Heap, off uint64, bit uint) uint64 {
+	w := off &^ (shm.WordSize - 1)
+	old := h.Load64(w)
+	h.Store64(w, old^(1<<(bit%64)))
+	return old
+}
+
+// TearWord replaces the word containing heap byte off with an arbitrary
+// value, simulating a torn or scribbled write, and returns the old value.
+func TearWord(h *shm.Heap, off uint64, val uint64) uint64 {
+	w := off &^ (shm.WordSize - 1)
+	old := h.Load64(w)
+	h.Store64(w, val)
+	return old
+}
+
+// FlipFileBit flips one bit of byte off in a file (an on-disk heap image).
+func FlipFileBit(path string, off int64, bit uint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return fmt.Errorf("corrupt: read %s@%d: %w", path, off, err)
+	}
+	b[0] ^= 1 << (bit % 8)
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return fmt.Errorf("corrupt: write %s@%d: %w", path, off, err)
+	}
+	return nil
+}
+
+// TearFileRange overwrites n bytes at off in a file with the given fill
+// byte, simulating a torn multi-sector write.
+func TearFileRange(path string, off, n int64, fill byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = fill
+	}
+	if _, err := f.WriteAt(b, off); err != nil {
+		return fmt.Errorf("corrupt: tear %s@%d+%d: %w", path, off, n, err)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package corrupt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"plibmc/internal/shm"
+)
+
+func TestFlipBitAndTearWord(t *testing.T) {
+	h := shm.New(shm.PageSize)
+	h.Store64(64, 0xff00)
+	if old := FlipBit(h, 67, 3); old != 0xff00 {
+		t.Fatalf("old = %#x", old)
+	}
+	if got := h.Load64(64); got != 0xff00^(1<<3) {
+		t.Fatalf("after flip: %#x", got)
+	}
+	// Unaligned offsets hit the containing word.
+	FlipBit(h, 67, 3)
+	if got := h.Load64(64); got != 0xff00 {
+		t.Fatalf("double flip should restore: %#x", got)
+	}
+	if old := TearWord(h, 70, 0xdead); old != 0xff00 {
+		t.Fatalf("tear old = %#x", old)
+	}
+	if got := h.Load64(64); got != 0xdead {
+		t.Fatalf("after tear: %#x", got)
+	}
+}
+
+func TestFileInjectors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "img")
+	if err := os.WriteFile(path, make([]byte, 256), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipFileBit(path, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := TearFileRange(path, 10, 32, 0xaa); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[100] != 1<<1 {
+		t.Fatalf("byte 100 = %#x", b[100])
+	}
+	for i := 10; i < 42; i++ {
+		if b[i] != 0xaa {
+			t.Fatalf("byte %d = %#x", i, b[i])
+		}
+	}
+	if err := FlipFileBit(path, 1<<20, 0); err == nil {
+		t.Fatal("flip past EOF should fail")
+	}
+	if err := FlipFileBit(filepath.Join(dir, "missing"), 0, 0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+func TestImageBitFlipDetectedByLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.heap")
+	h := shm.New(4 * shm.PageSize)
+	h.Store64(128, 42)
+	if err := h.WriteImage(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipFileBit(path, 200, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shm.Load(path); err == nil {
+		t.Fatal("flipped image must not load")
+	}
+}

@@ -219,3 +219,13 @@ func (a *Allocator) chunkOf(off uint64) (int, uint64) {
 	ci := (off - a.chunkOff) / ChunkSize
 	return int(ci), a.h.AtomicLoad64(a.chunkDir + ci*8)
 }
+
+// RootSlotOff returns the heap offset of root slot id's pptr word. Offline
+// verifiers report against it and corruption-injection tests target it; it
+// is not part of the allocation API.
+func RootSlotOff(id int) uint64 {
+	if id < 0 || id >= NumRoots {
+		panic(fmt.Sprintf("ralloc: root id %d out of range", id))
+	}
+	return offRoots + uint64(id)*8
+}

@@ -1,9 +1,12 @@
 package shm
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"plibmc/internal/faultpoint"
 )
 
 func TestFlushLoadRoundtrip(t *testing.T) {
@@ -84,5 +87,201 @@ func TestLoadRejectsTruncated(t *testing.T) {
 	}
 	if _, err := Load(path); err == nil {
 		t.Fatal("Load of truncated image should fail")
+	}
+}
+
+func TestLoadTruncatedReturnsTypedError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trunc.heap")
+	h := New(4 * PageSize)
+	h.Store64(0, 7)
+	if err := h.WriteImage(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-body: the header parses but the file is shorter than the
+	// geometry it declares. Must fail with ErrImageTruncated, not panic or
+	// construct a short heap.
+	if err := os.WriteFile(path, full[:len(full)-PageSize], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if !errors.Is(err, ErrImageTruncated) {
+		t.Fatalf("err = %v, want ErrImageTruncated", err)
+	}
+	// Header info must still be readable so candidate ranking can report it.
+	info, err := ReadImageInfo(path)
+	if err != nil || info.Generation != 3 {
+		t.Fatalf("ReadImageInfo = %+v, %v", info, err)
+	}
+}
+
+func TestLoadRejectsBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flip.heap")
+	h := New(4 * PageSize)
+	for off := uint64(0); off < h.Size(); off += WordSize {
+		h.Store64(off, off^0xdeadbeef)
+	}
+	if err := h.WriteImage(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the body.
+	full[imageHeaderSize+64+PageSize] ^= 0x10
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if !errors.Is(err, ErrImageChecksum) {
+		t.Fatalf("err = %v, want ErrImageChecksum", err)
+	}
+}
+
+func TestLoadRejectsHeaderCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hdr.heap")
+	h := New(PageSize)
+	if err := h.WriteImage(path, 9); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full[16] ^= 0x01 // generation field: header CRC must catch it
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrImageChecksum) {
+		t.Fatalf("err = %v, want ErrImageChecksum", err)
+	}
+	if _, err := ReadImageInfo(path); !errors.Is(err, ErrImageChecksum) {
+		t.Fatalf("ReadImageInfo err = %v, want ErrImageChecksum", err)
+	}
+}
+
+func TestVerifyImageLocalizesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "verify.heap")
+	h := New(3 * ImageRegionSize)
+	for off := uint64(0); off < h.Size(); off += WordSize {
+		h.Store64(off, off*3+1)
+	}
+	if err := h.WriteImage(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Info.Generation != 4 {
+		t.Fatalf("clean image: report %+v", rep)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyOff := uint64(imageHeaderSize) + rep.Info.Regions*8
+	full[bodyOff+ImageRegionSize+17] ^= 0x80 // region 1
+	full[bodyOff+2*ImageRegionSize+5] ^= 0x01 // region 2
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = VerifyImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.ImageCRCOK || !rep.TableOK {
+		t.Fatalf("corrupt image: report %+v", rep)
+	}
+	if len(rep.BadRegions) != 2 || rep.BadRegions[0].Region != 1 || rep.BadRegions[1].Region != 2 {
+		t.Fatalf("bad regions = %+v", rep.BadRegions)
+	}
+}
+
+func TestImageCandidatesOrdering(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "store.heap")
+	h := New(PageSize)
+	h.Store64(0, 11)
+	if err := h.WriteImage(CheckpointSlot(base, 5), 5); err != nil {
+		t.Fatal(err)
+	}
+	h.Store64(0, 12)
+	if err := h.WriteImage(CheckpointSlot(base, 6), 6); err != nil {
+		t.Fatal(err)
+	}
+	if CheckpointSlot(base, 5) == CheckpointSlot(base, 6) {
+		t.Fatal("adjacent generations must use different slots")
+	}
+	cands := ImageCandidates(base)
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	if cands[0].Generation != 6 || cands[1].Generation != 5 {
+		t.Fatalf("order = %+v", cands)
+	}
+	// Corrupt the newest slot's header: it must sort behind the readable
+	// older generation, and the older generation must still load.
+	full, err := os.ReadFile(cands[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full[0] ^= 0xff
+	if err := os.WriteFile(cands[0].Path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cands = ImageCandidates(base)
+	if len(cands) != 2 || cands[0].Generation != 5 || cands[1].Err == nil {
+		t.Fatalf("after corruption: %+v", cands)
+	}
+	back, info, err := LoadImage(cands[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 5 || back.Load64(0) != 11 {
+		t.Fatalf("fallback image: gen %d, word %d", info.Generation, back.Load64(0))
+	}
+}
+
+func TestWriteImageCrashAtFaultPoints(t *testing.T) {
+	for _, point := range []string{"persist.header", "persist.mid_image", "persist.rename"} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "store.heap")
+			h := New(4 * ImageRegionSize)
+			h.Store64(0, 100)
+			if err := h.WriteImage(path, 1); err != nil {
+				t.Fatal(err)
+			}
+			h.Store64(0, 200)
+			if err := faultpoint.Arm(point, func() { panic("crash: " + point) }); err != nil {
+				t.Fatal(err)
+			}
+			defer faultpoint.DisarmAll()
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s did not fire", point)
+					}
+				}()
+				_ = h.WriteImage(path, 2)
+			}()
+			// The previous complete image must still load.
+			back, info, err := LoadImage(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Generation != 1 || back.Load64(0) != 100 {
+				t.Fatalf("after crash at %s: gen %d, word %d", point, info.Generation, back.Load64(0))
+			}
+		})
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"plibmc/internal/faultpoint"
 )
 
 func TestCheckpointWhileServing(t *testing.T) {
@@ -122,6 +124,100 @@ func TestPeriodicCheckpointing(t *testing.T) {
 	defer s2.Close()
 	if v, _, err := s2.Get([]byte("k")); err != nil || string(v) != "v" {
 		t.Fatalf("checkpointed write lost: %q, %v", v, err)
+	}
+}
+
+// TestCheckpointRefusedDuringRepair drives a checkpoint while a structural
+// repair is in flight and asserts it refuses with ErrRecovering instead of
+// persisting half-rebuilt chains (or deadlocking against the repair
+// coordinator, which spins on the same mutex). The repair is pinned
+// in flight by holding the repair mutex from the test: the coordinator
+// parks in its TryLock spin with the library in the Recovering state.
+func TestCheckpointRefusedDuringRepair(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repair-ckpt.img")
+	b, err := CreateStore(Config{HeapBytes: 16 << 20, Path: path, HashPower: 8, NumItemLocks: 16, CallTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+	doomed := newTestSession(t, b)
+	s := newTestSession(t, b)
+	if err := s.Set([]byte("k"), []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the repair coordinator out of the repair mutex, then crash a call
+	// inside the library. The library enters Recovering and stays there
+	// until the mutex frees.
+	b.repairMu.Lock()
+	lockHeld := make(chan struct{})
+	release := make(chan struct{})
+	if err := faultpoint.Arm("ops.store.locked", func() {
+		close(lockHeld)
+		<-release
+		panic("injected crash: ops.store.locked")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.DisarmAll()
+	crashDone := make(chan error, 1)
+	go func() { crashDone <- doomed.Set([]byte("doomed"), []byte("v"), 0, 0) }()
+	<-lockHeld
+	close(release)
+	if err := <-crashDone; err == nil {
+		t.Fatal("crashed call returned nil error")
+	}
+	faultpoint.DisarmAll()
+	deadline := time.Now().Add(5 * time.Second)
+	for !b.lib.Recovering() {
+		if time.Now().After(deadline) {
+			b.repairMu.Unlock()
+			t.Fatal("library never entered the Recovering state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The checkpoint must refuse promptly — before touching the repair
+	// mutex (which the test holds on the coordinator's behalf).
+	if err := b.Checkpoint(); err != ErrRecovering {
+		b.repairMu.Unlock()
+		t.Fatalf("checkpoint during repair = %v, want ErrRecovering", err)
+	}
+	if b.ckptGen != 0 {
+		b.repairMu.Unlock()
+		t.Fatalf("refused checkpoint advanced the generation to %d", b.ckptGen)
+	}
+
+	// Release the repair; it must complete and restore service.
+	b.repairMu.Unlock()
+	for b.lib.Recovering() {
+		if time.Now().After(deadline) {
+			t.Fatal("library did not leave the Recovering state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if b.lib.Poisoned() {
+		t.Fatal("library poisoned; repair should have succeeded")
+	}
+	if err := b.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after repair: %v", err)
+	}
+	if m := b.Metrics(); m.Checkpoint.Checkpoints != 1 || m.Checkpoint.LastGeneration != 1 {
+		t.Fatalf("checkpoint metrics = %+v", m.Checkpoint)
+	}
+
+	// The image taken after repair round-trips.
+	b2, err := OpenStore(Config{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Shutdown()
+	if b2.CheckpointGeneration() != 1 {
+		t.Fatalf("reopened generation = %d, want 1", b2.CheckpointGeneration())
+	}
+	s2 := newTestSession(t, b2)
+	if v, _, err := s2.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("post-repair checkpoint lost data: %q, %v", v, err)
 	}
 }
 

@@ -31,6 +31,15 @@ type RecoveryMetrics struct {
 	LastRepairAt time.Time
 }
 
+// CheckpointMetrics summarizes the checkpoint coordinator's history.
+type CheckpointMetrics struct {
+	Checkpoints    int           // images written durably
+	Failures       int           // attempts that failed mid-write
+	LastGeneration uint64        // generation stamp of the newest image
+	LastDuration   time.Duration // wall-clock cost of the newest image
+	LastAt         time.Time     // when the newest image landed
+}
+
 // Metrics is the merged observability snapshot.
 type Metrics struct {
 	// Ops is the scattered operation-counter snapshot.
@@ -42,8 +51,9 @@ type Metrics struct {
 	// Library is hodor's call accounting; Crossing the per-crossing
 	// trampoline latency distribution (empty unless Library profiling on).
 	Library  hodor.Metrics
-	Crossing histogram.Snapshot
-	Recovery RecoveryMetrics
+	Crossing   histogram.Snapshot
+	Recovery   RecoveryMetrics
+	Checkpoint CheckpointMetrics
 	// Heap occupancy.
 	HeapLiveBytes uint64
 	HeapCapacity  uint64
@@ -69,6 +79,13 @@ func (b *Bookkeeper) Metrics() Metrics {
 		LastRepair:         b.lastRepair,
 		TimeToResume:       b.lastRepairTime,
 		LastRepairAt:       b.lastRepairAt,
+	}
+	m.Checkpoint = CheckpointMetrics{
+		Checkpoints:    b.ckpts,
+		Failures:       b.ckptFailures,
+		LastGeneration: b.ckptLastGen,
+		LastDuration:   b.ckptLastTime,
+		LastAt:         b.ckptLastAt,
 	}
 	b.repairReportMu.Unlock()
 	return m
@@ -143,6 +160,16 @@ func (m *Metrics) Samples() []metrics.Sample {
 	g("plibmc_recovery_histograms_repaired_total", float64(m.Recovery.HistogramsRepaired))
 	g("plibmc_recovery_items_dropped_total", float64(m.Ops.ItemsDroppedInRepair))
 	g("plibmc_recovery_last_resume_seconds", m.Recovery.TimeToResume.Seconds())
+
+	// Corruption containment.
+	g("plibmc_corruption_detected_total", float64(m.Ops.CorruptionsDetected))
+	g("plibmc_corruption_quarantined_total", float64(m.Ops.ItemsQuarantined))
+
+	// Checkpoint coordinator.
+	g("plibmc_checkpoint_total", float64(m.Checkpoint.Checkpoints))
+	g("plibmc_checkpoint_failures_total", float64(m.Checkpoint.Failures))
+	g("plibmc_checkpoint_last_generation", float64(m.Checkpoint.LastGeneration))
+	g("plibmc_checkpoint_last_duration_seconds", m.Checkpoint.LastDuration.Seconds())
 	return out
 }
 
@@ -168,6 +195,11 @@ func (m *Metrics) Vars() map[string]any {
 		"recovery_locks_broken":    uint64(m.Recovery.LocksBroken),
 		"recovery_readers_retired": uint64(m.Recovery.ReadersRetired),
 		"recovery_last_resume_ns":  int64(m.Recovery.TimeToResume),
+		"corruption_detected":      m.Ops.CorruptionsDetected,
+		"corruption_quarantined":   m.Ops.ItemsQuarantined,
+		"checkpoints":              uint64(m.Checkpoint.Checkpoints),
+		"checkpoint_failures":      uint64(m.Checkpoint.Failures),
+		"checkpoint_last_gen":      m.Checkpoint.LastGeneration,
 	}
 	for class := 0; class < core.NumLatClasses; class++ {
 		h := m.Latency.Classes[class]

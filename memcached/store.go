@@ -19,6 +19,7 @@ package memcached
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,9 +91,20 @@ type Bookkeeper struct {
 	procMu sync.Mutex
 	procs  map[int]*proc.Process
 
+	// ckptGen is the generation of the most recent durable image; the next
+	// checkpoint writes ckptGen+1. Guarded by repairMu (checkpoints are
+	// serialized through it).
+	ckptGen uint64
+
 	repairReportMu sync.Mutex
 	lastRepair     core.RepairReport
 	repairs        int
+	// Checkpoint accounting (exported through the metrics plane).
+	ckpts        int
+	ckptFailures int
+	ckptLastGen  uint64
+	ckptLastTime time.Duration
+	ckptLastAt   time.Time
 	// Cumulative recovery-event counters across all repair passes, and the
 	// wall-clock cost of the most recent quarantine→repair→resume cycle.
 	locksBroken    int
@@ -141,13 +153,40 @@ func CreateStore(cfg Config) (*Bookkeeper, error) {
 
 // OpenStore reloads a store from its backing file — the restart path: the
 // contents are intact because everything in the heap is position
-// independent.
+// independent. All image slots for the path (the base file plus the .a/.b
+// checkpoint slots) are considered, newest verifying generation first; a
+// candidate that fails checksum validation or semantic verification
+// (allocator fsck, store attach) is skipped in favour of the next-newest,
+// so a crash mid-checkpoint or a decayed newest image costs only the
+// delta back to the previous checkpoint.
 func OpenStore(cfg Config) (*Bookkeeper, error) {
 	cfg.fill()
 	if cfg.Path == "" {
 		return nil, fmt.Errorf("memcached: OpenStore requires a backing file path")
 	}
-	heap, err := shm.Load(cfg.Path)
+	cands := shm.ImageCandidates(cfg.Path)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("memcached: no heap image found at %s", cfg.Path)
+	}
+	var errs []string
+	for _, cand := range cands {
+		b, err := openCandidate(cfg, cand)
+		if err == nil {
+			return b, nil
+		}
+		errs = append(errs, fmt.Sprintf("%s: %v", cand.Path, err))
+	}
+	return nil, fmt.Errorf("memcached: no heap image for %s verified: %s",
+		cfg.Path, strings.Join(errs, "; "))
+}
+
+// openCandidate runs one image candidate through the full validation
+// chain: checksum-verified load, allocator fsck, store attach.
+func openCandidate(cfg Config, cand shm.Candidate) (*Bookkeeper, error) {
+	if cand.Err != nil {
+		return nil, cand.Err
+	}
+	heap, info, err := shm.LoadImage(cand.Path)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +205,12 @@ func OpenStore(cfg Config) (*Bookkeeper, error) {
 	// A checkpoint image carries a raised quiesce barrier; no operation
 	// from the previous life survives a reload, so clear the gate.
 	store.ResetGate()
-	return newBookkeeper(cfg, heap, alloc, store)
+	b, err := newBookkeeper(cfg, heap, alloc, store)
+	if err != nil {
+		return nil, err
+	}
+	b.ckptGen = info.Generation
+	return b, nil
 }
 
 func newBookkeeper(cfg Config, heap *shm.Heap, alloc *ralloc.Allocator, store *core.Store) (*Bookkeeper, error) {
@@ -281,14 +325,28 @@ func (b *Bookkeeper) StopMaintenance() {
 	b.stopMaint, b.maintDone = nil, nil
 }
 
-// Shutdown stops maintenance and checkpointing and flushes the heap image
-// to the backing file (if configured), so a subsequent OpenStore resumes
-// with contents intact.
+// Shutdown stops maintenance and checkpointing and writes a final
+// checkpoint image (if a backing file is configured), so a subsequent
+// OpenStore resumes with contents intact. The final image goes through the
+// same generation-stamped machinery as live checkpoints, so it is always
+// the newest generation on disk.
 func (b *Bookkeeper) Shutdown() error {
 	b.StopMaintenance()
 	b.StopCheckpointing()
 	if b.cfg.Path == "" {
 		return nil
 	}
-	return b.heap.Flush(b.cfg.Path)
+	if b.lib.Poisoned() {
+		// The crash that poisoned the library may have wedged the gate;
+		// write the image without quiescing (the paper's shutdown-flush
+		// behaviour) and let the verified-candidate fallback on reopen
+		// decide whether it is usable.
+		gen := b.ckptGen + 1
+		if err := b.heap.WriteImage(shm.CheckpointSlot(b.cfg.Path, gen), gen); err != nil {
+			return err
+		}
+		b.ckptGen = gen
+		return nil
+	}
+	return b.Checkpoint()
 }

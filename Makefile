@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check faultmatrix corruptmatrix modelcheck modelcheck-long bench-seqlock bench-recovery bench-checksum
+.PHONY: build test check faultmatrix corruptmatrix modelcheck modelcheck-long bench-seqlock bench-recovery bench-checksum bench-batch
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,7 @@ check: build faultmatrix corruptmatrix modelcheck
 	$(GO) test -race -count=1 ./internal/core ./internal/shm
 	$(GO) test -race -count=1 -short -run TestChaosKillsNeverCorrupt .
 	$(GO) test -race -count=1 -run 'TestMetrics|TestWrite|TestStatsLatency' ./memcached ./internal/metrics ./internal/server
+	$(GO) test -race -count=1 -run 'TestExecBatch|TestMGet|TestAsyncCallbackBatched|TestHybridPipelineBatches|TestSessionMGet|TestVirtualDomains|TestCrossingAccounting' ./internal/core ./internal/hodor ./memcached
 
 # The linearizability gate (DESIGN.md "Model-based history checking"):
 # record mixed workloads through the real session paths — seqlock fast
@@ -72,3 +73,11 @@ bench-metrics:
 # checksum verification on vs off (DESIGN.md §11; the budget is <=5%).
 bench-checksum:
 	$(GO) test -run xxx -bench BenchmarkAblationChecksum -benchtime 2s .
+
+# Batched-crossing ablation (DESIGN.md §12): crossings-per-op vs batch size
+# on the 95/5 mix, plus the MGet amortization pair. These benchmarks gate
+# themselves — BenchmarkAblationBatch fails above 0.1 crossings/op at batch
+# sizes >= 16, BenchmarkMGetAmortization fails below a 2x per-key speedup
+# for the 64-key batched path.
+bench-batch:
+	$(GO) test -run xxx -bench 'BenchmarkAblationBatch|BenchmarkMGetAmortization' -benchtime 2s .

@@ -488,8 +488,90 @@ func BenchmarkAblationTrampolineCopy(b *testing.B) {
 	}
 }
 
+// Ablation 8 (ISSUE 6 tentpole): batched gate crossings. The 95/5
+// read-mostly mix dispatched through Session.ExecBatch at growing batch
+// sizes, against the one-crossing-per-op baseline (batch=1). Crossings are
+// measured, not assumed, from the library's completed-crossing counter;
+// the acceptance gate — crossings-per-op < 0.1 once batches reach 16 —
+// fails the benchmark outright if batching ever regresses.
+func BenchmarkAblationBatch(b *testing.B) {
+	for _, batch := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			book, err := memcached.CreateStore(memcached.Config{
+				HeapBytes: 256 << 20, HashPower: 14, FixedSize: true, NumItemLocks: 1024,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cp, err := book.NewClientProcess(1000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := cp.NewSession()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			const records = 4096
+			val := make([]byte, 128)
+			key := make([]byte, 0, 20)
+			for i := uint64(0); i < records; i++ {
+				key = ycsb.KeyInto(key, i)
+				if err := s.Set(key, val, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ops := make([]memcached.BatchOp, batch)
+			// One key buffer per batch slot: the ops hold the slices until
+			// the crossing dispatches them.
+			keys := make([][]byte, batch)
+			for j := range keys {
+				keys[j] = make([]byte, 0, 20)
+			}
+			startCross := book.Library().Metrics().Crossings
+			n := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					keys[j] = ycsb.KeyInto(keys[j][:0], uint64(n)%records)
+					if n%20 == 19 {
+						ops[j] = memcached.BatchOp{Code: memcached.BatchSet, Key: keys[j], Value: val}
+					} else {
+						ops[j] = memcached.BatchOp{Code: memcached.BatchGet, Key: keys[j]}
+					}
+					n++
+				}
+				if batch == 1 {
+					// The unbatched baseline: one trampoline crossing per op.
+					if ops[0].Code == memcached.BatchSet {
+						err = s.Set(ops[0].Key, ops[0].Value, 0, 0)
+					} else {
+						_, _, err = s.Get(ops[0].Key)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := s.ExecBatch(ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			crossings := book.Library().Metrics().Crossings - startCross
+			cpo := float64(crossings) / float64(n)
+			b.ReportMetric(cpo, "crossings/op")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n), "ns/key")
+			if batch >= 16 && cpo >= 0.1 {
+				b.Fatalf("crossings/op = %.4f at batch size %d, want < 0.1", cpo, batch)
+			}
+		})
+	}
+}
+
 // Extension bench: batched MGet through one trampoline vs one trampoline
 // per Get — the protected-library analog of the socket client's batching.
+// The batched path must be at least 2x faster per key at 64 keys; slower
+// means the batch dispatch has regressed into per-op crossings.
 func BenchmarkMGetAmortization(b *testing.B) {
 	book, err := memcached.CreateStore(memcached.Config{HeapBytes: 64 << 20, HashPower: 12})
 	if err != nil {
@@ -506,6 +588,7 @@ func BenchmarkMGetAmortization(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	var singleNS, batchedNS float64
 	b.Run("one-call-per-get", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, k := range keys {
@@ -514,7 +597,8 @@ func BenchmarkMGetAmortization(b *testing.B) {
 				}
 			}
 		}
-		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/key")
+		singleNS = float64(b.Elapsed().Nanoseconds()) / float64(b.N*batch)
+		b.ReportMetric(singleNS, "ns/key")
 	})
 	b.Run("batched-mget", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -523,8 +607,16 @@ func BenchmarkMGetAmortization(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/key")
+		batchedNS = float64(b.Elapsed().Nanoseconds()) / float64(b.N*batch)
+		b.ReportMetric(batchedNS, "ns/key")
 	})
+	if singleNS > 0 && batchedNS > 0 {
+		speedup := singleNS / batchedNS
+		b.ReportMetric(speedup, "speedup")
+		if speedup < 2 {
+			b.Fatalf("batched MGet per-key speedup = %.2fx at %d keys, want >= 2x", speedup, batch)
+		}
+	}
 }
 
 // Ablation 5: Ralloc's per-thread caches on vs off (a fresh cache per

@@ -7,6 +7,7 @@
 //	benchfig -exp f7          Figure 7: throughput, 5 KB, write heavy
 //	benchfig -exp f8          Figure 8: throughput, 128 B, read heavy
 //	benchfig -exp f9          Figure 9: throughput, 5 KB, read heavy
+//	benchfig -exp fb          batching ablation: crossings/op vs batch size
 //	benchfig -exp all         everything
 //
 // Record counts and measurement durations are scaled for commodity
@@ -25,6 +26,7 @@ import (
 	"plibmc/internal/bench"
 	"plibmc/internal/core"
 	"plibmc/internal/ycsb"
+	"plibmc/memcached"
 )
 
 func main() {
@@ -72,6 +74,7 @@ func main() {
 	run("f9", func(c runConfig) error {
 		return runFigure(c, "Figure 9: Field length 5KB – Read Heavy", ycsb.ReadHeavy5K(c.records5k))
 	})
+	run("fb", runFB)
 }
 
 type runConfig struct {
@@ -208,8 +211,10 @@ func runFigure(c runConfig, title string, w ycsb.Workload) error {
 			return err
 		}
 		var prev core.Stats
+		var prevCross uint64
 		if f.CoreStats != nil {
 			prev = f.CoreStats()
+			prevCross = f.LibMetrics().Crossings
 		}
 		for ti, threads := range c.threads {
 			ktps, err := bench.Throughput(f, w, threads, c.duration)
@@ -219,8 +224,9 @@ func runFigure(c runConfig, title string, w ycsb.Workload) error {
 			}
 			results[ti][si] = ktps
 			if f.CoreStats != nil {
-				// Per-point deltas of the lock-free read-path counters, so
-				// the fast-path share is visible alongside each KTPS point.
+				// Per-point deltas of the lock-free read-path counters and
+				// of the gate-crossing amortization, so the fast-path share
+				// and crossings/op are visible alongside each KTPS point.
 				st := f.CoreStats()
 				gets := st.Gets - prev.Gets
 				fast := st.GetFastpathHits - prev.GetFastpathHits
@@ -229,9 +235,14 @@ func runFigure(c runConfig, title string, w ycsb.Workload) error {
 				if gets > 0 {
 					share = 100 * float64(fast) / float64(gets)
 				}
-				fmt.Fprintf(os.Stderr, "  %s @ %d threads: %.0f KTPS (fastpath %.1f%% of gets, %d seqlock retries)\n",
-					s.name, threads, ktps, share, retries)
-				prev = st
+				cross := f.LibMetrics().Crossings
+				cpo := 0.0
+				if ops := opCount(st) - opCount(prev); ops > 0 {
+					cpo = float64(cross-prevCross) / float64(ops)
+				}
+				fmt.Fprintf(os.Stderr, "  %s @ %d threads: %.0f KTPS (fastpath %.1f%% of gets, %d seqlock retries, %.3f crossings/op)\n",
+					s.name, threads, ktps, share, retries, cpo)
+				prev, prevCross = st, cross
 			} else {
 				fmt.Fprintf(os.Stderr, "  %s @ %d threads: %.0f KTPS\n", s.name, threads, ktps)
 			}
@@ -262,6 +273,98 @@ func runFigure(c runConfig, title string, w ycsb.Workload) error {
 			fmt.Printf(",%.1f", results[ti][si])
 		}
 		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+// opCount sums the store operations that cross the gate — the denominator
+// of crossings-per-op.
+func opCount(st core.Stats) uint64 {
+	return st.Gets + st.Sets + st.Deletes + st.Incrs + st.Decrs + st.Touches
+}
+
+// runFB is the batching ablation (DESIGN.md §12): the 95/5 read-mostly mix
+// dispatched through ExecBatch at growing batch sizes, reporting per-key
+// latency, measured crossings per operation, and the observed batch-size
+// distribution (mean ops per batch from the scattered batch counters).
+func runFB(c runConfig) error {
+	fmt.Println("== Batching ablation: crossings/op vs batch size (95/5 mix, 128 B values) ==")
+	book, err := memcached.CreateStore(memcached.Config{
+		HeapBytes: c.heapBytes, HashPower: 14, FixedSize: true, NumItemLocks: 1024,
+	})
+	if err != nil {
+		return err
+	}
+	defer book.Shutdown()
+	cp, err := book.NewClientProcess(1000)
+	if err != nil {
+		return err
+	}
+	s, err := cp.NewSession()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	const records = 4096
+	val := make([]byte, 128)
+	key := make([]byte, 0, 20)
+	for i := uint64(0); i < records; i++ {
+		key = ycsb.KeyInto(key, i)
+		if err := s.Set(key, val, 0, 0); err != nil {
+			return err
+		}
+	}
+	total := c.latSamples
+	if total < 20000 {
+		total = 20000
+	}
+	fmt.Println("batch,ns/key,crossings_per_op,mean_batch_size")
+	for _, batch := range []int{1, 2, 4, 8, 16, 32, 64} {
+		ops := make([]memcached.BatchOp, batch)
+		keys := make([][]byte, batch)
+		for j := range keys {
+			keys[j] = make([]byte, 0, 20)
+		}
+		before := book.Metrics()
+		start := time.Now()
+		n := 0
+		for n < total {
+			for j := 0; j < batch; j++ {
+				keys[j] = ycsb.KeyInto(keys[j][:0], uint64(n)%records)
+				if n%20 == 19 {
+					ops[j] = memcached.BatchOp{Code: memcached.BatchSet, Key: keys[j], Value: val}
+				} else {
+					ops[j] = memcached.BatchOp{Code: memcached.BatchGet, Key: keys[j]}
+				}
+				n++
+			}
+			if batch == 1 {
+				// The unbatched baseline: one trampoline crossing per op.
+				var err error
+				if ops[0].Code == memcached.BatchSet {
+					err = s.Set(ops[0].Key, ops[0].Value, 0, 0)
+				} else {
+					_, _, err = s.Get(ops[0].Key)
+				}
+				if err != nil {
+					return err
+				}
+			} else if _, err := s.ExecBatch(ops); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		after := book.Metrics()
+		cross := after.Library.Crossings - before.Library.Crossings
+		batches := after.Ops.Batches - before.Ops.Batches
+		bops := after.Ops.BatchedOps - before.Ops.BatchedOps
+		mean := 0.0
+		if batches > 0 {
+			mean = float64(bops) / float64(batches)
+		}
+		fmt.Printf("%d,%.0f,%.4f,%.1f\n",
+			batch, float64(elapsed.Nanoseconds())/float64(n), float64(cross)/float64(n), mean)
 	}
 	fmt.Println()
 	return nil

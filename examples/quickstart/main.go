@@ -53,11 +53,30 @@ func main() {
 	}
 	fmt.Printf("increment(hits) = %d\n", n)
 
-	// The asynchronous API of §3.1: the callback runs immediately,
-	// because direct calls complete before they return.
+	// The asynchronous API of §3.1: requests queue and drain through one
+	// batched trampoline crossing at FetchAsync (or before the next
+	// synchronous operation).
 	sess.GetAsync([]byte("greeting"), func(v []byte, _ uint32, err error) {
 		fmt.Printf("async callback: %q (err %v)\n", v, err)
 	})
+	sess.GetAsync([]byte("hits"), func(v []byte, _ uint32, err error) {
+		fmt.Printf("async callback: %q (err %v)\n", v, err)
+	})
+	if err := sess.FetchAsync(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A heterogeneous batch crosses into the library once for all its ops;
+	// each result carries its own error.
+	res, err := sess.ExecBatch([]memcached.BatchOp{
+		{Code: memcached.BatchSet, Key: []byte("a"), Value: []byte("1")},
+		{Code: memcached.BatchIncr, Key: []byte("a"), Delta: 1},
+		{Code: memcached.BatchGet, Key: []byte("missing")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch: incr=%d, miss err=%v\n", res[1].Num, res[2].Err)
 
 	st, _ := sess.Stats()
 	fmt.Printf("stats: %d gets, %d sets, %d items, %d bytes\n",

@@ -222,7 +222,7 @@ func runFaultAt(t *testing.T, point string) {
 	// expected once the crash lands (ErrKilled, parked calls).
 	for i := 0; i < 8000 && !fired.Load(); i++ {
 		k := key(i % (2 * primed)) // half misses/new links, half overwrites
-		switch i % 5 {
+		switch i % 6 {
 		case 0:
 			_ = doomed.Set(k, val, 0, 0)
 		case 1:
@@ -233,6 +233,16 @@ func runFaultAt(t *testing.T, point string) {
 			_, _ = doomed.Increment(ctr(i%8), 1) // same-width rewrite: 500 -> 501...
 		case 4:
 			_ = doomed.Set([]byte(fmt.Sprintf("new-%s-%d", point, i)), val, 0, 0)
+		case 5:
+			// A mixed batch: one crossing, several ops — the only arm that
+			// can step on ops.batch.mid_dispatch (it fires between two ops
+			// of the same batch), and a second road to the store points.
+			_, _ = doomed.ExecBatch([]memcached.BatchOp{
+				{Code: memcached.BatchSet, Key: k, Value: val},
+				{Code: memcached.BatchIncr, Key: ctr(i % 8), Delta: 1},
+				{Code: memcached.BatchGet, Key: k},
+				{Code: memcached.BatchDelete, Key: k},
+			})
 		}
 		if i%25 == 24 {
 			book.RunMaintenanceOnce()
@@ -288,6 +298,33 @@ func runFaultAt(t *testing.T, point string) {
 	}
 	if err := survivor.Delete(rt); err != nil {
 		t.Fatalf("post-recovery Delete: %v", err)
+	}
+
+	// A post-recovery batch rides one crossing with per-op errors isolated:
+	// the Add on an existing key fails alone, its siblings all commit, and
+	// the crossing itself reports no error.
+	bkey := []byte("batch-" + point)
+	bres, err := survivor.ExecBatch([]memcached.BatchOp{
+		{Code: memcached.BatchSet, Key: bkey, Value: []byte("41")},
+		{Code: memcached.BatchAdd, Key: bkey, Value: []byte("x")},
+		{Code: memcached.BatchIncr, Key: bkey, Delta: 1},
+		{Code: memcached.BatchGet, Key: bkey},
+	})
+	if err != nil {
+		t.Fatalf("post-recovery ExecBatch: %v", err)
+	}
+	if !errors.Is(bres[1].Err, core.ErrExists) {
+		t.Fatalf("post-recovery batch Add error = %v, want ErrExists", bres[1].Err)
+	}
+	if bres[0].Err != nil || bres[2].Err != nil || bres[3].Err != nil {
+		t.Fatalf("post-recovery batch: Add's error leaked into siblings: %+v", bres)
+	}
+	if bres[2].Num != 42 || !bytes.Equal(bres[3].Value, []byte("42")) {
+		t.Fatalf("post-recovery batch results: num=%d value=%q, want 42/\"42\"",
+			bres[2].Num, bres[3].Value)
+	}
+	if err := survivor.Delete(bkey); err != nil {
+		t.Fatalf("post-recovery batch cleanup: %v", err)
 	}
 
 	// Statistics are self-consistent with a full walk (no other actor is

@@ -18,6 +18,7 @@ import (
 	"plibmc/internal/client"
 	"plibmc/internal/core"
 	"plibmc/internal/histogram"
+	"plibmc/internal/hodor"
 	"plibmc/internal/server"
 	"plibmc/internal/ycsb"
 	"plibmc/memcached"
@@ -64,6 +65,10 @@ type Fixture struct {
 	// baseline, whose stats live behind the protocol. The harness uses it
 	// to report how many reads took the lock-free seqlock path.
 	CoreStats func() core.Stats
+	// LibMetrics reads the trampoline accounting — nil for the socket
+	// baseline, all-zero for plib without Hodor (no gate, no crossings).
+	// The harness uses it to report crossings per operation.
+	LibMetrics func() hodor.Metrics
 	// Close tears the system down.
 	Close func()
 }
@@ -156,7 +161,13 @@ func NewFixture(kind Kind, opts Options) (*Fixture, error) {
 				return &plibKV{s}, nil
 			},
 			CoreStats: b.Stats,
-			Close:     func() { b.StopMaintenance() },
+			LibMetrics: func() hodor.Metrics {
+				if kind != PlibHodor {
+					return hodor.Metrics{}
+				}
+				return b.Library().Metrics()
+			},
+			Close: func() { b.StopMaintenance() },
 		}, nil
 	}
 	return nil, fmt.Errorf("bench: unknown kind %d", kind)

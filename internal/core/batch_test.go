@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// A heterogeneous batch executes in order with per-op results.
+func TestExecBatchMixed(t *testing.T) {
+	s, c := newStore(t, 1<<22, latOpts())
+	res := c.ExecBatch([]BatchOp{
+		{Code: BatchSet, Key: []byte("a"), Value: []byte("1"), Flags: 7},
+		{Code: BatchGet, Key: []byte("a")},
+		{Code: BatchIncr, Key: []byte("a"), Delta: 4},
+		{Code: BatchGet, Key: []byte("miss")},
+		{Code: BatchDelete, Key: []byte("a")},
+		{Code: BatchGet, Key: []byte("a")},
+	})
+	if res[0].Err != nil {
+		t.Fatalf("set: %v", res[0].Err)
+	}
+	if res[1].Err != nil || !bytes.Equal(res[1].Value, []byte("1")) || res[1].Flags != 7 {
+		t.Fatalf("get after set: %+v", res[1])
+	}
+	if res[2].Err != nil || res[2].Num != 5 {
+		t.Fatalf("incr: %+v", res[2])
+	}
+	if !errors.Is(res[3].Err, ErrNotFound) {
+		t.Fatalf("get miss: %v", res[3].Err)
+	}
+	if res[4].Err != nil {
+		t.Fatalf("delete: %v", res[4].Err)
+	}
+	if !errors.Is(res[5].Err, ErrNotFound) {
+		t.Fatalf("get after delete: %v", res[5].Err)
+	}
+	st := s.Stats()
+	if st.Batches != 1 || st.BatchedOps != 6 {
+		t.Fatalf("batches=%d batchedOps=%d, want 1/6", st.Batches, st.BatchedOps)
+	}
+}
+
+// One failing operation must not poison its siblings: errors are per-op.
+func TestExecBatchErrorIsolation(t *testing.T) {
+	_, c := newStore(t, 1<<22, latOpts())
+	if err := c.Set([]byte("have"), []byte("x"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := c.ExecBatch([]BatchOp{
+		{Code: BatchAdd, Key: []byte("have"), Value: []byte("y")}, // exists
+		{Code: BatchSet, Key: []byte("k1"), Value: []byte("v1")},
+		{Code: BatchCAS, Key: []byte("k1"), Value: []byte("v2"), CAS: ^uint64(0)}, // mismatch
+		{Code: BatchIncr, Key: []byte("k1"), Delta: 1},                            // not numeric
+		{Code: BatchSet, Key: []byte("k2"), Value: []byte("v2")},
+	})
+	if !errors.Is(res[0].Err, ErrExists) {
+		t.Fatalf("add-on-existing: %v", res[0].Err)
+	}
+	if res[1].Err != nil {
+		t.Fatalf("sibling set failed: %v", res[1].Err)
+	}
+	if !errors.Is(res[2].Err, ErrCASMismatch) {
+		t.Fatalf("stale cas: %v", res[2].Err)
+	}
+	if !errors.Is(res[3].Err, ErrNotNumeric) {
+		t.Fatalf("incr non-numeric: %v", res[3].Err)
+	}
+	if res[4].Err != nil {
+		t.Fatalf("trailing set failed: %v", res[4].Err)
+	}
+	// And the successful ops really committed.
+	if v, _, _, err := c.Get([]byte("k2")); err != nil || !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("k2 = %q, %v", v, err)
+	}
+}
+
+// A batch runs under a single gate admission: the nested ops reenter at
+// depth 2 and the gate count returns to zero once, not per op.
+func TestExecBatchSingleAdmission(t *testing.T) {
+	s, c := newStore(t, 1<<22, latOpts())
+	ops := make([]BatchOp, 16)
+	for i := range ops {
+		ops[i] = BatchOp{Code: BatchSet, Key: []byte{byte('a' + i)}, Value: []byte("v")}
+	}
+	c.ExecBatch(ops)
+	ls := s.Latency()
+	if n := ls.Classes[LatBatch].Count(); n != 1 {
+		t.Fatalf("batch latency samples = %d, want 1 (one sample covers the batch)", n)
+	}
+	if n := ls.Classes[LatSet].Count(); n != 0 {
+		t.Fatalf("set latency samples = %d, want 0 (nested ops must not sample)", n)
+	}
+	if st := s.Stats(); st.Sets != 16 {
+		t.Fatalf("sets = %d, want 16 (counters still count every op)", st.Sets)
+	}
+}
+
+func TestExecBatchEmpty(t *testing.T) {
+	s, c := newStore(t, 1<<22, latOpts())
+	if res := c.ExecBatch(nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+	if st := s.Stats(); st.Batches != 0 {
+		t.Fatalf("empty batch counted as a dispatch")
+	}
+}

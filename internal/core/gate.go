@@ -38,6 +38,7 @@ func (c *Ctx) enterOp() {
 	if c.opDepth++; c.opDepth > 1 {
 		return
 	}
+	c.nowOK = false // one clock read per admission; see Ctx.now
 	gate := c.s.cfg + cfgGate
 	for {
 		g := c.s.H.AtomicLoad64(gate)

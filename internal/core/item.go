@@ -133,7 +133,7 @@ func (c *Ctx) newItem(key, value []byte, hash uint64, flags uint32, exptime int6
 	h.Store32(it+itFlags, flags)
 	h.Store32(it+itKeyLen, uint32(len(key)))
 	h.Store32(it+itValLen, uint32(len(value)))
-	h.Store64(it+itLastAccess, uint64(c.s.nowFn()))
+	h.Store64(it+itLastAccess, uint64(c.now()))
 	h.Store64(it+itItflags, 0)
 	h.Store64(it+itHash, hash)
 	h.Store64(it+itCheck, itemCheckOf(hash, uint32(len(key)), uint32(len(value)), flags))

@@ -36,12 +36,13 @@ const (
 	LatMGet
 	LatTouch
 	LatMaint
+	LatBatch
 	NumLatClasses
 )
 
 // LatClassNames names each class for exporters, index-aligned with the
 // constants above.
-var LatClassNames = [NumLatClasses]string{"get", "set", "delete", "mget", "touch", "maint"}
+var LatClassNames = [NumLatClasses]string{"get", "set", "delete", "mget", "touch", "maint", "batch"}
 
 // Matrix geometry: each histogram padded to whole cache lines so two
 // classes of one slot never false-share, and slots are line-aligned runs.

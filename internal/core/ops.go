@@ -13,10 +13,10 @@ import (
 // thread dies exactly there; all compile to a single atomic load unless a
 // test arms them.
 var (
-	fpStoreAfterAlloc   = faultpoint.New("ops.store.after_alloc")  // item built, lock not yet taken
-	fpStoreLocked       = faultpoint.New("ops.store.locked")       // bucket lock held, store untouched
-	fpStoreMidSwap      = faultpoint.New("ops.store.mid_swap")   // inside the swap section: new at head, old still chained
-	fpStoreAfterLink    = faultpoint.New("ops.store.after_link") // fully linked, lock still held
+	fpStoreAfterAlloc   = faultpoint.New("ops.store.after_alloc") // item built, lock not yet taken
+	fpStoreLocked       = faultpoint.New("ops.store.locked")      // bucket lock held, store untouched
+	fpStoreMidSwap      = faultpoint.New("ops.store.mid_swap")    // inside the swap section: new at head, old still chained
+	fpStoreAfterLink    = faultpoint.New("ops.store.after_link")  // fully linked, lock still held
 	fpDeleteAfterUnlink = faultpoint.New("ops.delete.after_unlink")
 	fpIncrMidRewrite    = faultpoint.New("ops.incr.mid_rewrite") // inside a seqlock write section
 )
@@ -32,13 +32,19 @@ type Ctx struct {
 	owner uint64
 	slot  uint64
 
-	evictCursor uint64
-	opDepth     int
-	gateGen     uint64 // gate generation observed at enterOp (see exitOp)
-	rdSlot      uint64 // optimistic-reader announcement slot; 0 = none
-	rdEpoch     uint64 // epoch this context announced in its slot (see endRead)
-	latN        uint64 // operations seen since creation (latency sampling)
-	latSlot     uint64 // latency-histogram slot this context records into
+	evictCursor  uint64
+	opDepth      int
+	gateGen      uint64 // gate generation observed at enterOp (see exitOp)
+	rdSlot       uint64 // optimistic-reader announcement slot; 0 = none
+	rdEpoch      uint64 // epoch this context announced in its slot (see endRead)
+	latN         uint64 // operations seen since creation (latency sampling)
+	latSlot      uint64 // latency-histogram slot this context records into
+	nowCache     int64  // wall clock cached for the current admission (see now)
+	nowOK        bool
+	statDefer    bool // accumulate stats in statLocal instead of shared slots
+	statLocal    [numStatCounters]int64
+	batchStarts  []int // value-offset scratch reused across ExecBatch calls
+	batchVBufCap int   // high-water value-buffer size of past batches
 
 	// deadSelf reports whether this context's own owner token has been
 	// declared dead by the liveness oracle — i.e. this goroutine is a
@@ -179,6 +185,19 @@ func (c *Ctx) capture(dst *[]byte, src []byte) []byte {
 	return b
 }
 
+// now returns the wall clock for the current top-level operation, reading
+// the store clock at most once per gate admission (enterOp invalidates the
+// cache at depth 1): a batch of k operations pays one clock read where the
+// unbatched path pays k. The cache never outlives an admission, so
+// clock-stepping tests still see fresh time on every call.
+func (c *Ctx) now() int64 {
+	if !c.nowOK {
+		c.nowCache = c.s.nowFn()
+		c.nowOK = true
+	}
+	return c.nowCache
+}
+
 // absExpiry converts a client exptime to an absolute unix time, with
 // memcached's semantics: 0 = never; negative = already expired; values up
 // to 30 days are relative to now; larger values are absolute timestamps.
@@ -189,9 +208,9 @@ func (c *Ctx) absExpiry(exptime int64) int64 {
 	case exptime == 0:
 		return 0
 	case exptime < 0:
-		return c.s.nowFn() - 1
+		return c.now() - 1
 	case exptime <= relativeExpiryCutoff:
-		return c.s.nowFn() + exptime
+		return c.now() + exptime
 	default:
 		return exptime
 	}
@@ -217,7 +236,7 @@ func (c *Ctx) findLocked(key []byte, hash uint64) uint64 {
 				c.quarantineCorruptLocked(it, bucket, s.seqOff(hash))
 				return 0
 			}
-			if s.expired(it, s.nowFn()) {
+			if s.expired(it, c.now()) {
 				c.unlinkLocked(it, hash)
 				c.stat(statExpired, 1)
 				return 0
@@ -277,7 +296,7 @@ func (c *Ctx) getLockedAppend(dst, k []byte, hash uint64, touch bool, abs int64)
 	if touch {
 		s.H.RelaxedStore32(it+itExptime, uint32(abs))
 	}
-	c.lruBump(hash, it, s.nowFn())
+	c.lruBump(hash, it, c.now())
 	s.incref(it) // hold the item across the copy, as item_get does
 	flags := s.H.Load32(it + itFlags)
 	cas := s.H.Load64(it + itCASID)
@@ -452,7 +471,7 @@ func (c *Ctx) Touch(key []byte, exptime int64) error {
 	}
 	// Relaxed store: optimistic readers load this word without the lock.
 	s.H.RelaxedStore32(it+itExptime, uint32(abs))
-	c.lruBump(hash, it, s.nowFn())
+	c.lruBump(hash, it, c.now())
 	return nil
 }
 
@@ -522,7 +541,7 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 			s.H.AtomicWriteBytes(s.itemValOff(it)+uint64(half), rendered[half:])
 			s.H.RelaxedStore64(it+itValSum, hashKey(rendered))
 			s.H.RelaxedStore64(it+itCASID, s.nextCAS())
-			c.lruBump(hash, it, s.nowFn())
+			c.lruBump(hash, it, c.now())
 			return v, nil
 		}
 		// Same width: rewrite in place under the lock, bracketed by the
@@ -538,7 +557,7 @@ func (c *Ctx) incrDecr(key []byte, delta uint64, decr bool) (uint64, error) {
 		// The rewrite is a use: move the item up its LRU list like the
 		// retrieval paths do, so hot counters are not evicted in FIFO
 		// order. The item lock is held; lruBump takes the list lock.
-		c.lruBump(hash, it, s.nowFn())
+		c.lruBump(hash, it, c.now())
 		return v, nil
 	}
 	// Width changed: build a replacement item. We hold the item lock, so

@@ -154,7 +154,7 @@ func (c *Ctx) optProbe(key []byte, bucket, size uint64) (flags uint32, cas uint6
 	if !c.verifyItem(it) {
 		return 0, 0, 0, false, it, optFallback // locked path quarantines it
 	}
-	now := s.nowFn()
+	now := c.now()
 	if e := h.RelaxedLoad32(it + itExptime); e != 0 && int64(e) <= now {
 		return 0, 0, 0, false, it, optFallback // lazy expiry unlinks under the lock
 	}

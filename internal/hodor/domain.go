@@ -23,10 +23,22 @@ import (
 // Domain is a protected memory domain: a protection key plus the heap pages
 // assigned to it. A library's shared data lives in its domain; only threads
 // whose pkru register has been amplified by a trampoline can touch it.
+//
+// A domain's key is either a fixed hardware key (NewDomain) or a virtual
+// key multiplexed onto the hardware by a pku.VTable (NewVirtualDomain, the
+// libmpk design point): virtual domains let a process host more protected
+// libraries than the 16 hardware keys allow, at the price of a Bind per
+// call and an occasional LRU eviction.
 type Domain struct {
 	Key  pku.Key
 	PT   *pku.PageTable
 	Heap *shm.Heap
+
+	// VT, when non-nil, virtualizes this domain's protection key: Key is
+	// then meaningless and VKey names the domain; trampolines resolve the
+	// hardware key per call via VT.Bind.
+	VT   *pku.VTable
+	VKey pku.VKey
 }
 
 // NewDomain allocates a fresh protection key over the heap.
@@ -38,16 +50,25 @@ func NewDomain(h *shm.Heap, pt *pku.PageTable) (*Domain, error) {
 	return &Domain{Key: k, PT: pt, Heap: h}, nil
 }
 
+// NewVirtualDomain allocates a virtual-key domain from vt. Unlike
+// NewDomain it cannot run out of keys.
+func NewVirtualDomain(h *shm.Heap, pt *pku.PageTable, vt *pku.VTable) *Domain {
+	return &Domain{PT: pt, Heap: h, VT: vt, VKey: vt.AllocVirtual()}
+}
+
 // Protect tags the byte range [off, off+n) of the heap with the domain's
 // key. Protection is page-granular.
 func (d *Domain) Protect(off, n uint64) error {
+	if d.VT != nil {
+		return d.VT.AssignVirtual(d.VKey, off, n)
+	}
 	return d.PT.Assign(off, n, d.Key)
 }
 
 // ProtectAll tags the entire heap with the domain's key, the configuration
 // used for the memcached store: the whole Ralloc heap is library-private.
 func (d *Domain) ProtectAll() error {
-	return d.PT.Assign(0, d.Heap.Size(), d.Key)
+	return d.Protect(0, d.Heap.Size())
 }
 
 // Guard returns a checked accessor for the heap under this domain's page

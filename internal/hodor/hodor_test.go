@@ -494,8 +494,9 @@ func TestCrossingProfile(t *testing.T) {
 		}
 	}
 	m := f.lib.Metrics()
-	if m.Calls != n || m.Crossings != 2*n {
-		t.Fatalf("Calls=%d Crossings=%d, want %d/%d", m.Calls, m.Crossings, n, 2*n)
+	if m.Calls != n || m.Crossings != n {
+		t.Fatalf("Calls=%d Crossings=%d, want %d/%d (one completed round trip per call)",
+			m.Calls, m.Crossings, n, n)
 	}
 	if m.TotalTime <= 0 {
 		t.Fatal("Profile should accumulate TotalTime")
@@ -517,8 +518,8 @@ func TestCrossingProfileOff(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := f.lib.Metrics()
-	if m.Crossings != 2 {
-		t.Fatalf("Crossings = %d, want 2 (counted even without Profile)", m.Crossings)
+	if m.Crossings != 1 {
+		t.Fatalf("Crossings = %d, want 1 (counted even without Profile)", m.Crossings)
 	}
 	if cl := f.lib.CrossingLatency(); cl.Count() != 0 {
 		t.Fatalf("Profile off should record no crossing samples, got %d", cl.Count())

@@ -1,0 +1,154 @@
+package hodor
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"plibmc/internal/pku"
+	"plibmc/internal/proc"
+	"plibmc/internal/shm"
+)
+
+// Crossing accounting regression (ISSUE 6 satellite): Crossings counts only
+// completed round trips. The pre-fix accounting reported 2*calls, crediting
+// rejected and crashed calls with crossings they never completed.
+func TestCrossingAccountingCountsOnlyCompletedCalls(t *testing.T) {
+	heap := shm.New(4 * shm.PageSize)
+	pt := pku.NewPageTable(heap)
+	dom, err := NewDomain(heap, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dom.ProtectAll(); err != nil {
+		t.Fatal(err)
+	}
+	lib := NewLibrary("lib", 0, dom)
+	p, err := proc.NewProcess(1000, heap, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (Loader{}).Load(p, Binary{}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := res.Attach(p.NewThread(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := func(*proc.Thread, struct{}) (struct{}, error) { return struct{}{}, nil }
+	for i := 0; i < 5; i++ {
+		if _, err := Call(sess, ok, struct{}{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := lib.Metrics(); m.Crossings != 5 || m.Calls != 5 {
+		t.Fatalf("crossings = %d, calls = %d after 5 completed calls; want 5, 5",
+			m.Crossings, m.Calls)
+	}
+	// A crashed call never completes its round trip.
+	_, err = Call(sess, func(*proc.Thread, struct{}) (struct{}, error) {
+		panic("bug in library")
+	}, struct{}{})
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CrashError", err)
+	}
+	if m := lib.Metrics(); m.Crossings != 5 {
+		t.Fatalf("crossings = %d after crash, want 5 (crashed call must not count)", m.Crossings)
+	}
+	// A rejected call (poisoned library) never crosses at all.
+	if _, err := Call(sess, ok, struct{}{}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("err = %v, want ErrPoisoned", err)
+	}
+	m := lib.Metrics()
+	if m.Crossings != 5 {
+		t.Fatalf("crossings = %d after rejection, want 5", m.Crossings)
+	}
+	if m.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", m.Rejected)
+	}
+}
+
+// More protected libraries than hardware keys (ISSUE 6 acceptance): 24
+// virtual domains on one 16-key page table, every domain isolated from
+// every other (ProtFault on cross-domain access), with LRU evictions
+// occurring and lazy PKRU synchronization keeping syncs well below the
+// call count.
+func TestVirtualDomainsBeyondHardwareKeys(t *testing.T) {
+	const domains = 24
+	heap := shm.New(domains * shm.PageSize)
+	pt := pku.NewPageTable(heap)
+	vt, err := pku.NewVTable(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libs := make([]*Library, domains)
+	for i := range libs {
+		dom := NewVirtualDomain(heap, pt, vt)
+		if err := dom.Protect(uint64(i)*shm.PageSize, shm.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		libs[i] = NewLibrary(fmt.Sprintf("vlib%d", i), 0, dom)
+	}
+	p, err := proc.NewProcess(1000, heap, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (Loader{}).Load(p, Binary{}, libs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := p.NewThread()
+	sess := make([]*Session, domains)
+	for i := range libs {
+		if sess[i], err = res.Attach(th, libs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := pku.NewGuard(heap, pt)
+	touch := func(i int) {
+		t.Helper()
+		_, err := Call(sess[i], func(th *proc.Thread, _ struct{}) (struct{}, error) {
+			own := uint64(i) * shm.PageSize
+			if err := g.Store64(th.PKRU(), own, uint64(i)+1); err != nil {
+				return struct{}{}, fmt.Errorf("own page of domain %d: %w", i, err)
+			}
+			other := uint64((i+1)%domains) * shm.PageSize
+			_, lErr := g.Load64(th.PKRU(), other)
+			if lErr == nil {
+				return struct{}{}, fmt.Errorf("domain %d read domain %d's page", i, (i+1)%domains)
+			}
+			var pf *pku.ProtFault
+			if !errors.As(lErr, &pf) {
+				return struct{}{}, fmt.Errorf("cross-domain access: want ProtFault, got %w", lErr)
+			}
+			return struct{}{}, nil
+		}, struct{}{})
+		if err != nil {
+			t.Fatalf("call into domain %d: %v", i, err)
+		}
+	}
+	total := 0
+	// Cold sweep: every domain once. 24 domains over 14 bindable hardware
+	// keys forces evictions.
+	for i := 0; i < domains; i++ {
+		touch(i)
+		total++
+	}
+	if vt.Evictions() == 0 {
+		t.Fatal("24 domains over 14 hardware keys called without a single eviction")
+	}
+	// Warm working set: a sub-hardware-key set hammered repeatedly. Warm
+	// binds do not move the mapping generation, so these calls must not
+	// trigger lazy syncs.
+	for r := 0; r < 10; r++ {
+		for i := 0; i < 8; i++ {
+			touch(i)
+			total++
+		}
+	}
+	if s := vt.Syncs(); s >= uint64(total) {
+		t.Fatalf("lazy PKRU sync degenerated: %d syncs over %d calls (want syncs ≪ calls)", s, total)
+	}
+}

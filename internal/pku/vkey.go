@@ -1,0 +1,240 @@
+package pku
+
+// Protection-key virtualization, after libmpk (Park et al., USENIX ATC '19;
+// see PAPERS.md): hardware provides only 16 protection keys, so a process
+// that wants more protection domains than keys must multiplex them. A
+// VTable hands out an unbounded supply of *virtual* keys and maps the ones
+// in active use onto hardware keys on demand, evicting the least recently
+// used unpinned mapping when the hardware runs dry.
+//
+// Two libmpk ideas carry over into this simulation:
+//
+//   - Eviction re-tags the victim's pages with a reserved *fence* key that
+//     no thread is ever granted, so an access through a stale mapping
+//     faults (ProtFault) instead of silently reading another domain's
+//     pages through the recycled hardware key. A mapping is pinned while
+//     any call into its domain is in flight, so a key can never be
+//     recycled out from under an amplified thread.
+//
+//   - PKRU synchronization is lazy. Remapping a hardware key changes what
+//     every thread's pkru register *means*, but instead of rewriting all
+//     registers eagerly (a wrpkru storm proportional to threads × remaps),
+//     each thread carries the table generation it last synchronized
+//     against and scrubs its register only when it next crosses into a
+//     virtualized domain and finds its generation stale. The Syncs counter
+//     exists so tests can assert syncs ≪ domains × calls.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// VKey is a virtual protection key: an unbounded analog of Key, valid only
+// within the VTable that allocated it. Zero is never a valid VKey.
+type VKey uint16
+
+type vrange struct{ off, n uint64 }
+
+// vkeyState is one virtual key's mapping record.
+type vkeyState struct {
+	hw      Key // hardware key currently backing it; 0 = unmapped
+	pins    int // in-flight calls holding the mapping (never evict while >0)
+	lastUse uint64
+	ranges  []vrange // page ranges tagged with this virtual key
+}
+
+// VTable multiplexes virtual keys onto the page table's hardware keys.
+// All methods are safe for concurrent use.
+type VTable struct {
+	mu     sync.Mutex
+	pt     *PageTable
+	fence  Key // reserved hardware key backing every unmapped virtual key
+	states map[VKey]*vkeyState
+	nextV  VKey
+	// free holds hardware keys owned by the table and not currently
+	// backing any virtual key (only ever non-empty before first eviction).
+	free  []Key
+	clock uint64
+
+	gen       atomic.Uint64 // bumped on every remap; drives lazy PKRU sync
+	syncs     atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// NewVTable creates a virtual-key table over pt, reserving one hardware key
+// as the fence that backs unmapped virtual keys.
+func NewVTable(pt *PageTable) (*VTable, error) {
+	fence, err := pt.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("pku: vtable fence key: %w", err)
+	}
+	return &VTable{pt: pt, fence: fence, states: make(map[VKey]*vkeyState)}, nil
+}
+
+// Fence returns the reserved fence key (granted to no thread, ever).
+func (vt *VTable) Fence() Key { return vt.fence }
+
+// AllocVirtual hands out a fresh virtual key. Unlike PageTable.Alloc it
+// cannot run out.
+func (vt *VTable) AllocVirtual() VKey {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	vt.nextV++
+	vt.states[vt.nextV] = &vkeyState{}
+	return vt.nextV
+}
+
+func (vt *VTable) state(v VKey) *vkeyState {
+	st := vt.states[v]
+	if st == nil {
+		panic(fmt.Sprintf("pku: unknown virtual key %d", v))
+	}
+	return st
+}
+
+// AssignVirtual tags [off, off+n) with virtual key v: pages are re-tagged
+// with v's current hardware key if mapped, or with the fence key if not,
+// and the range is remembered so later mappings and evictions can re-tag.
+func (vt *VTable) AssignVirtual(v VKey, off, n uint64) error {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	st := vt.state(v)
+	st.ranges = append(st.ranges, vrange{off, n})
+	k := vt.fence
+	if st.hw != 0 {
+		k = st.hw
+	}
+	return vt.pt.Assign(off, n, k)
+}
+
+// Bind maps v onto a hardware key (evicting the least recently used
+// unpinned mapping if none is free) and pins the mapping for the duration
+// of a call. Every Bind must be paired with an Unbind.
+func (vt *VTable) Bind(v VKey) (Key, error) {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	st := vt.state(v)
+	vt.clock++
+	st.lastUse = vt.clock
+	if st.hw == 0 {
+		hw, err := vt.mapLocked(st)
+		if err != nil {
+			return 0, err
+		}
+		st.hw = hw
+	}
+	st.pins++
+	return st.hw, nil
+}
+
+// Unbind releases the pin taken by Bind. The mapping stays in place (warm)
+// until eviction needs its hardware key.
+func (vt *VTable) Unbind(v VKey) {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	st := vt.state(v)
+	if st.pins <= 0 {
+		panic(fmt.Sprintf("pku: unbind of unpinned virtual key %d", v))
+	}
+	st.pins--
+}
+
+// mapLocked finds a hardware key for an unmapped virtual key: from the free
+// pool, from pkey_alloc, or by evicting the LRU unpinned mapping. The
+// caller re-tags nothing; this routine moves the pages of both the victim
+// (to the fence) and the incoming key (to the hardware key).
+func (vt *VTable) mapLocked(st *vkeyState) (Key, error) {
+	var hw Key
+	switch {
+	case len(vt.free) > 0:
+		hw = vt.free[len(vt.free)-1]
+		vt.free = vt.free[:len(vt.free)-1]
+	default:
+		if k, err := vt.pt.Alloc(); err == nil {
+			hw = k
+		} else {
+			victim := vt.lruVictimLocked()
+			if victim == nil {
+				return 0, fmt.Errorf("pku: no hardware key available and every mapping is pinned")
+			}
+			for _, r := range victim.ranges {
+				if err := vt.pt.Assign(r.off, r.n, vt.fence); err != nil {
+					return 0, err
+				}
+			}
+			hw = victim.hw
+			victim.hw = 0
+			vt.evictions.Add(1)
+		}
+	}
+	for _, r := range st.ranges {
+		if err := vt.pt.Assign(r.off, r.n, hw); err != nil {
+			return 0, err
+		}
+	}
+	// Any thread whose pkru predates this remap must scrub before its next
+	// crossing: the hardware key's meaning just changed.
+	vt.gen.Add(1)
+	return hw, nil
+}
+
+// lruVictimLocked picks the mapped, unpinned virtual key with the oldest
+// last use, or nil when every mapping is pinned.
+func (vt *VTable) lruVictimLocked() *vkeyState {
+	var victim *vkeyState
+	for _, st := range vt.states {
+		if st.hw == 0 || st.pins > 0 {
+			continue
+		}
+		if victim == nil || st.lastUse < victim.lastUse {
+			victim = st
+		}
+	}
+	return victim
+}
+
+// FreeVirtual retires a virtual key: its pages revert to the fence key and
+// its hardware key (if mapped) returns to the free pool.
+func (vt *VTable) FreeVirtual(v VKey) error {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	st := vt.state(v)
+	if st.pins > 0 {
+		return fmt.Errorf("pku: freeing pinned virtual key %d", v)
+	}
+	for _, r := range st.ranges {
+		if err := vt.pt.Assign(r.off, r.n, vt.fence); err != nil {
+			return err
+		}
+	}
+	if st.hw != 0 {
+		vt.free = append(vt.free, st.hw)
+		vt.gen.Add(1)
+	}
+	delete(vt.states, v)
+	return nil
+}
+
+// Gen returns the current mapping generation. A thread whose cached
+// generation differs must synchronize its pkru register before relying on
+// hardware-key grants (the lazy-sync protocol; see package comment).
+func (vt *VTable) Gen() uint64 { return vt.gen.Load() }
+
+// NoteSync records one lazy PKRU synchronization (a thread scrubbing its
+// register after observing a stale generation).
+func (vt *VTable) NoteSync() { vt.syncs.Add(1) }
+
+// Syncs returns how many lazy PKRU synchronizations threads performed.
+func (vt *VTable) Syncs() uint64 { return vt.syncs.Load() }
+
+// Evictions returns how many LRU evictions the table performed.
+func (vt *VTable) Evictions() uint64 { return vt.evictions.Load() }
+
+// Mapped reports whether v currently holds a hardware key, and which.
+func (vt *VTable) Mapped(v VKey) (Key, bool) {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	st := vt.state(v)
+	return st.hw, st.hw != 0
+}

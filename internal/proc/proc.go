@@ -97,7 +97,18 @@ type Thread struct {
 
 	pkru      pku.PKRU
 	inLibrary bool
+	// vtGen caches the pkey-virtualization mapping generation this thread
+	// last synchronized its register against (libmpk-style lazy PKRU sync;
+	// see pku.VTable). Only the hodor trampoline reads or writes it.
+	vtGen uint64
 }
+
+// VTGen returns the virtual-key mapping generation this thread last
+// synchronized its pkru register against.
+func (t *Thread) VTGen() uint64 { return t.vtGen }
+
+// SetVTGen records the mapping generation after a lazy PKRU sync.
+func (t *Thread) SetVTGen(g uint64) { t.vtGen = g }
 
 // PKRU returns the thread's current protection-key register.
 func (t *Thread) PKRU() pku.PKRU { return t.pkru }

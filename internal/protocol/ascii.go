@@ -27,14 +27,14 @@ func ReadASCIICommand(r *bufio.Reader) (*Command, error) {
 	args := fields[1:]
 	switch name {
 	case "get", "gets":
-		if len(args) != 1 {
-			// Multi-key get is handled by the caller issuing one Command
-			// per key; the server loop splits them.
-			if len(args) < 1 {
-				return nil, fmt.Errorf("protocol: get without key")
-			}
+		if len(args) < 1 {
+			return nil, fmt.Errorf("protocol: get without key")
 		}
-		return &Command{Op: OpGet, Key: dup(args[0])}, nil
+		c := &Command{Op: OpGet, Key: dup(args[0])}
+		for _, k := range args[1:] {
+			c.Keys = append(c.Keys, dup(k))
+		}
+		return c, nil
 	case "set", "add", "replace", "append", "prepend", "cas":
 		ops := map[string]Op{"set": OpSet, "add": OpAdd, "replace": OpReplace,
 			"append": OpAppend, "prepend": OpPrepend, "cas": OpCAS}

@@ -99,13 +99,26 @@ type Command struct {
 	// StatsArg is the "stats <arg>" subcommand ("slabs", "items", ...).
 	StatsArg string
 	Key      []byte
-	Value    []byte
-	Flags    uint32
-	Exptime  int64
-	Delta    uint64 // incr/decr amount
-	CAS      uint64
-	Opaque   uint32 // binary protocol correlation id
-	Quiet    bool   // binary quiet variants / ASCII noreply
+	// Keys carries the extra keys of a multi-key ASCII "get k1 k2 …"
+	// (Key holds the first); nil for single-key commands. Servers expand
+	// a populated Keys into one lookup per key under a single END.
+	Keys    [][]byte
+	Value   []byte
+	Flags   uint32
+	Exptime int64
+	Delta   uint64 // incr/decr amount
+	CAS     uint64
+	Opaque  uint32 // binary protocol correlation id
+	Quiet   bool   // binary quiet variants / ASCII noreply
+}
+
+// AllKeys returns the command's full key list: Key followed by Keys.
+func (c *Command) AllKeys() [][]byte {
+	if len(c.Keys) == 0 {
+		return [][]byte{c.Key}
+	}
+	keys := make([][]byte, 0, 1+len(c.Keys))
+	return append(append(keys, c.Key), c.Keys...)
 }
 
 // Reply is a protocol-neutral response.

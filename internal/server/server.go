@@ -2,7 +2,6 @@ package server
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -33,12 +32,17 @@ type Server struct {
 	version string
 }
 
+// request is one connection's turn on the server-thread pool: the whole
+// run of commands the client had pipelined, handed over together so a
+// pipeline costs one queue round trip instead of one per command.
 type request struct {
 	conn *connState
-	cmd  *protocol.Command
-	keys [][]byte // ASCII multi-get
+	cmds []*protocol.Command
 	done chan struct{}
 }
+
+// maxPipeline bounds how many pipelined commands ride one pool hand-off.
+const maxPipeline = 64
 
 type connState struct {
 	c      net.Conn
@@ -136,7 +140,10 @@ func (s *Server) handleConn(c net.Conn) {
 	cs.binary = first[0] == 0x80
 	done := make(chan struct{})
 	for {
-		cmd, keys, err := s.readCommand(cs)
+		// Read one command (blocking), then greedily drain whatever else
+		// the client pipelined: the whole run crosses the pool once.
+		cmds := make([]*protocol.Command, 0, 4)
+		cmd, err := s.readCommand(cs)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !s.closed.Load() {
 				// Protocol error: best-effort error line for ASCII.
@@ -147,14 +154,37 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 			return
 		}
-		if cmd.Op == protocol.OpQuit {
+		quit := cmd.Op == protocol.OpQuit
+		var readErr error
+		if !quit {
+			cmds = append(cmds, cmd)
+			for len(cmds) < maxPipeline && cs.r.Buffered() > 0 {
+				c2, e := s.readCommand(cs)
+				if e != nil {
+					readErr = e
+					break
+				}
+				if c2.Op == protocol.OpQuit {
+					quit = true
+					break
+				}
+				cmds = append(cmds, c2)
+			}
+		}
+		if len(cmds) > 0 {
+			// When every server thread is busy this send queues (and, past
+			// the channel capacity, blocks) — the server-side backpressure
+			// whose effect the paper measures in Figures 6–9.
+			s.reqCh <- request{conn: cs, cmds: cmds, done: done}
+			<-done
+		}
+		if readErr != nil && !cs.binary {
+			fmt.Fprintf(cs.w, "CLIENT_ERROR %v\r\n", readErr)
+		}
+		if quit || readErr != nil {
+			cs.w.Flush()
 			return
 		}
-		// When every server thread is busy this send queues (and, past the
-		// channel capacity, blocks) — the server-side backpressure whose
-		// effect the paper measures in Figures 6–9.
-		s.reqCh <- request{conn: cs, cmd: cmd, keys: keys, done: done}
-		<-done
 		// Flush once the client has nothing else pipelined: batches go
 		// out in one write.
 		if cs.r.Buffered() == 0 {
@@ -165,35 +195,13 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 }
 
-// readCommand reads one request in the connection's protocol. For the
-// ASCII "get k1 k2 ..." form it returns the extra keys separately.
-func (s *Server) readCommand(cs *connState) (*protocol.Command, [][]byte, error) {
+// readCommand reads one request in the connection's protocol. ASCII
+// multi-key gets arrive with the extra keys in Command.Keys.
+func (s *Server) readCommand(cs *connState) (*protocol.Command, error) {
 	if cs.binary {
-		cmd, err := protocol.ReadBinaryCommand(cs.r)
-		return cmd, nil, err
+		return protocol.ReadBinaryCommand(cs.r)
 	}
-	// ASCII: intercept multi-key gets before the single-command parser.
-	line, err := cs.r.Peek(4)
-	if err != nil {
-		return nil, nil, err
-	}
-	if string(line) == "get " || string(line) == "gets" {
-		full, err := cs.r.ReadBytes('\n')
-		if err != nil {
-			return nil, nil, err
-		}
-		fields := bytes.Fields(bytes.TrimRight(full, "\r\n"))
-		if len(fields) < 2 {
-			return nil, nil, fmt.Errorf("get without key")
-		}
-		keys := make([][]byte, 0, len(fields)-1)
-		for _, f := range fields[1:] {
-			keys = append(keys, append([]byte(nil), f...))
-		}
-		return &protocol.Command{Op: protocol.OpGet, Key: keys[0]}, keys, nil
-	}
-	cmd, err := protocol.ReadASCIICommand(cs.r)
-	return cmd, nil, err
+	return protocol.ReadASCIICommand(cs.r)
 }
 
 // serverThread executes queued requests: the work one memcached worker
@@ -201,17 +209,18 @@ func (s *Server) readCommand(cs *connState) (*protocol.Command, [][]byte, error)
 func (s *Server) serverThread() {
 	defer s.wg.Done()
 	for req := range s.reqCh {
-		s.execute(req)
+		for _, cmd := range req.cmds {
+			s.execute(req.conn, cmd)
+		}
 		req.done <- struct{}{}
 	}
 }
 
-func (s *Server) execute(req request) {
-	cs, cmd := req.conn, req.cmd
-	if !cs.binary && cmd.Op == protocol.OpGet && len(req.keys) > 0 {
+func (s *Server) execute(cs *connState, cmd *protocol.Command) {
+	if !cs.binary && cmd.Op == protocol.OpGet && len(cmd.Keys) > 0 {
 		// ASCII multi-get: VALUE blocks then one END. This path bypasses
 		// Dispatch, so it feeds the latency histograms itself, per key.
-		for _, k := range req.keys {
+		for _, k := range cmd.AllKeys() {
 			start := time.Now()
 			v, flags, cas, ok := s.store.Get(k)
 			s.store.RecordLatency(LatGet, time.Since(start))

@@ -119,6 +119,42 @@ func testClassicAPI(t *testing.T, m *St) {
 func TestClassicAPIOverPlib(t *testing.T)   { testClassicAPI(t, plibSt(t)) }
 func TestClassicAPIOverSocket(t *testing.T) { testClassicAPI(t, socketSt(t)) }
 
+// St.MGet over the plib backend batches: the whole key set crosses the
+// gate once (ISSUE 6 satellite).
+func TestMGetSingleCrossingOverPlib(t *testing.T) {
+	b, err := memcached.CreateStore(memcached.Config{HeapBytes: 8 << 20, HashPower: 9, NumItemLocks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := b.NewClientProcess(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cp.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	m := Create()
+	m.UsePlib(s)
+	const n = 64
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte{'k', byte('a' + i/26), byte('a' + i%26)}
+		if rc := m.Set(keys[i], []byte("v"), 0, 0); rc != Success {
+			t.Fatalf("set %d = %v", i, rc)
+		}
+	}
+	before := b.Library().Metrics().Crossings
+	got, rc := m.MGet(keys)
+	if rc != Success || len(got) != n {
+		t.Fatalf("mget = %d keys, %v", len(got), rc)
+	}
+	if after := b.Library().Metrics().Crossings; after-before != 1 {
+		t.Fatalf("MGet of %d keys took %d crossings, want 1", n, after-before)
+	}
+}
+
 func TestNetworkConfigNoOps(t *testing.T) {
 	m := plibSt(t)
 	// Default: accepted and ignored (drop-in behaviour).

@@ -59,6 +59,10 @@ func (rs *RemoteServer) acceptLoop() {
 	}
 }
 
+// maxPipeline bounds how many pipelined commands one batched dispatch
+// carries; a deeper client pipeline simply splits into several batches.
+const maxPipeline = 64
+
 func (rs *RemoteServer) handle(c net.Conn) {
 	defer rs.connWG.Done()
 	defer c.Close()
@@ -76,24 +80,44 @@ func (rs *RemoteServer) handle(c net.Conn) {
 		return
 	}
 	isBinary := first[0] == 0x80
-	for {
-		var cmd *protocol.Command
+	readCmd := func() (*protocol.Command, error) {
 		if isBinary {
-			cmd, err = protocol.ReadBinaryCommand(r)
-		} else {
-			cmd, err = protocol.ReadASCIICommand(r)
+			return protocol.ReadBinaryCommand(r)
 		}
+		return protocol.ReadASCIICommand(r)
+	}
+	cmds := make([]*protocol.Command, 0, maxPipeline)
+	for {
+		// Read one command (blocking), then greedily drain whatever the
+		// client already pipelined: back-to-back commands become one
+		// batched dispatch, so remote pipelines amortize the gate exactly
+		// like local ExecBatch callers.
+		cmds = cmds[:0]
+		cmd, err := readCmd()
 		if err != nil {
 			return
 		}
-		if cmd.Op == protocol.OpQuit {
-			return
+		quit := cmd.Op == protocol.OpQuit
+		var readErr error
+		if !quit {
+			cmds = append(cmds, cmd)
+			for len(cmds) < maxPipeline && r.Buffered() > 0 {
+				c2, e := readCmd()
+				if e != nil {
+					readErr = e
+					break
+				}
+				if c2.Op == protocol.OpQuit {
+					quit = true
+					break
+				}
+				cmds = append(cmds, c2)
+			}
 		}
-		rep := DispatchCore(ctx, cmd, "1.6.0-plib-hybrid")
-		if isBinary {
-			protocol.WriteBinaryReply(w, cmd, rep)
-		} else {
-			protocol.WriteASCIIReply(w, cmd, rep)
+		dispatchPipeline(ctx, w, isBinary, cmds)
+		if quit || readErr != nil {
+			w.Flush()
+			return
 		}
 		if r.Buffered() == 0 {
 			if err := w.Flush(); err != nil {
@@ -103,28 +127,140 @@ func (rs *RemoteServer) handle(c net.Conn) {
 	}
 }
 
+// dispatchPipeline executes a run of pipelined commands, riding ExecBatch
+// for every contiguous stretch of batchable ones (including the expansion
+// of ASCII multi-key gets) and falling back to single dispatch for the
+// rest. Replies are written in command order.
+func dispatchPipeline(ctx *core.Ctx, w *bufio.Writer, binary bool, cmds []*protocol.Command) {
+	for i := 0; i < len(cmds); {
+		// Collect the contiguous batchable run starting at i.
+		j := i
+		var ops []core.BatchOp
+		var spans []int // batch ops consumed per command
+		for j < len(cmds) {
+			cOps := batchOpsFor(cmds[j])
+			if cOps == nil {
+				break
+			}
+			ops = append(ops, cOps...)
+			spans = append(spans, len(cOps))
+			j++
+		}
+		if len(ops) > 1 {
+			res := ctx.ExecBatch(ops)
+			off := 0
+			for k := i; k < j; k++ {
+				n := spans[k-i]
+				writeBatchedReply(w, binary, cmds[k], res[off:off+n])
+				off += n
+			}
+			i = j
+			continue
+		}
+		// Lone command (or a non-batchable one): ordinary dispatch, which
+		// keeps per-class latency attribution for singletons.
+		rep := DispatchCore(ctx, cmds[i], "1.6.0-plib-hybrid")
+		if binary {
+			protocol.WriteBinaryReply(w, cmds[i], rep)
+		} else {
+			protocol.WriteASCIIReply(w, cmds[i], rep)
+		}
+		i++
+	}
+}
+
+// batchOpsFor returns cmd's batch encoding — one op, or one per key for a
+// multi-key get — or nil when the command cannot ride a batch (stats,
+// version, flush_all, noop).
+func batchOpsFor(cmd *protocol.Command) []core.BatchOp {
+	switch cmd.Op {
+	case protocol.OpGet:
+		keys := cmd.AllKeys()
+		ops := make([]core.BatchOp, len(keys))
+		for i, k := range keys {
+			ops[i] = core.BatchOp{Code: core.BatchGet, Key: k}
+		}
+		return ops
+	case protocol.OpSet:
+		return []core.BatchOp{{Code: core.BatchSet, Key: cmd.Key, Value: cmd.Value, Flags: cmd.Flags, Exptime: cmd.Exptime}}
+	case protocol.OpAdd:
+		return []core.BatchOp{{Code: core.BatchAdd, Key: cmd.Key, Value: cmd.Value, Flags: cmd.Flags, Exptime: cmd.Exptime}}
+	case protocol.OpReplace:
+		return []core.BatchOp{{Code: core.BatchReplace, Key: cmd.Key, Value: cmd.Value, Flags: cmd.Flags, Exptime: cmd.Exptime}}
+	case protocol.OpCAS:
+		return []core.BatchOp{{Code: core.BatchCAS, Key: cmd.Key, Value: cmd.Value, Flags: cmd.Flags, Exptime: cmd.Exptime, CAS: cmd.CAS}}
+	case protocol.OpAppend:
+		return []core.BatchOp{{Code: core.BatchAppend, Key: cmd.Key, Value: cmd.Value}}
+	case protocol.OpPrepend:
+		return []core.BatchOp{{Code: core.BatchPrepend, Key: cmd.Key, Value: cmd.Value}}
+	case protocol.OpDelete:
+		return []core.BatchOp{{Code: core.BatchDelete, Key: cmd.Key}}
+	case protocol.OpIncr:
+		return []core.BatchOp{{Code: core.BatchIncr, Key: cmd.Key, Delta: cmd.Delta}}
+	case protocol.OpDecr:
+		return []core.BatchOp{{Code: core.BatchDecr, Key: cmd.Key, Delta: cmd.Delta}}
+	case protocol.OpTouch:
+		return []core.BatchOp{{Code: core.BatchTouch, Key: cmd.Key, Exptime: cmd.Exptime}}
+	case protocol.OpGAT:
+		return []core.BatchOp{{Code: core.BatchGAT, Key: cmd.Key, Exptime: cmd.Exptime}}
+	default:
+		return nil
+	}
+}
+
+// writeBatchedReply renders one command's share of a batch's results. An
+// ASCII multi-key get consumes several results under a single END;
+// everything else is one result translated to the ordinary reply.
+func writeBatchedReply(w *bufio.Writer, binary bool, cmd *protocol.Command, res []core.BatchResult) {
+	if !binary && cmd.Op == protocol.OpGet && len(cmd.Keys) > 0 {
+		keys := cmd.AllKeys()
+		for i := range res {
+			if res[i].Err == nil {
+				fmt.Fprintf(w, "VALUE %s %d %d %d\r\n", keys[i], res[i].Flags, len(res[i].Value), res[i].CAS)
+				w.Write(res[i].Value)
+				w.WriteString("\r\n")
+			}
+		}
+		w.WriteString("END\r\n")
+		return
+	}
+	r := &res[0]
+	rep := &protocol.Reply{Status: coreStatus(r.Err), Opaque: cmd.Opaque}
+	if r.Err == nil {
+		rep.Value, rep.Flags, rep.CAS, rep.Numeric = r.Value, r.Flags, r.CAS, r.Num
+	}
+	if binary {
+		protocol.WriteBinaryReply(w, cmd, rep)
+	} else {
+		protocol.WriteASCIIReply(w, cmd, rep)
+	}
+}
+
+// coreStatus translates a core error into a wire status.
+func coreStatus(err error) protocol.Status {
+	switch {
+	case err == nil:
+		return protocol.StatusOK
+	case errors.Is(err, core.ErrNotFound):
+		return protocol.StatusKeyNotFound
+	case errors.Is(err, core.ErrExists), errors.Is(err, core.ErrCASMismatch):
+		return protocol.StatusKeyExists
+	case errors.Is(err, core.ErrNotNumeric):
+		return protocol.StatusNonNumeric
+	case errors.Is(err, core.ErrValueTooBig):
+		return protocol.StatusValueTooLarge
+	case errors.Is(err, core.ErrNoSpace):
+		return protocol.StatusOutOfMemory
+	default:
+		return protocol.StatusInvalidArgs
+	}
+}
+
 // DispatchCore executes one protocol command against a protected-library
 // store context, translating core errors into wire statuses.
 func DispatchCore(ctx *core.Ctx, cmd *protocol.Command, version string) *protocol.Reply {
 	rep := &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque}
-	toStatus := func(err error) protocol.Status {
-		switch {
-		case err == nil:
-			return protocol.StatusOK
-		case errors.Is(err, core.ErrNotFound):
-			return protocol.StatusKeyNotFound
-		case errors.Is(err, core.ErrExists), errors.Is(err, core.ErrCASMismatch):
-			return protocol.StatusKeyExists
-		case errors.Is(err, core.ErrNotNumeric):
-			return protocol.StatusNonNumeric
-		case errors.Is(err, core.ErrValueTooBig):
-			return protocol.StatusValueTooLarge
-		case errors.Is(err, core.ErrNoSpace):
-			return protocol.StatusOutOfMemory
-		default:
-			return protocol.StatusInvalidArgs
-		}
-	}
+	toStatus := coreStatus
 	switch cmd.Op {
 	case protocol.OpGet:
 		v, flags, cas, err := ctx.Get(cmd.Key)

@@ -1,10 +1,13 @@
 package memcached
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
+	"net"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -104,19 +107,80 @@ func TestSessionBasicOps(t *testing.T) {
 	}
 }
 
-func TestAsyncCallbackImmediate(t *testing.T) {
+// GetAsync queues; the callback runs at the next drain point — FetchAsync,
+// a synchronous operation, or the asyncWindow auto-drain — through one
+// batched crossing for the whole queue (§3.1's asynchronous API).
+func TestAsyncCallbackBatched(t *testing.T) {
 	b := newTestStore(t)
 	s := newTestSession(t, b)
-	s.Set([]byte("k"), []byte("async"), 0, 0)
-	called := false
-	s.GetAsync([]byte("k"), func(v []byte, flags uint32, err error) {
-		called = true
-		if err != nil || string(v) != "async" {
-			t.Errorf("callback got %q, %v", v, err)
+	s.Set([]byte("k0"), []byte("async0"), 0, 0)
+	s.Set([]byte("k1"), []byte("async1"), 0, 0)
+	var order []string
+	for i := 0; i < 2; i++ {
+		i := i
+		s.GetAsync([]byte{byte('k'), byte('0' + i)}, func(v []byte, flags uint32, err error) {
+			order = append(order, string(v))
+			if err != nil || string(v) != fmt.Sprintf("async%d", i) {
+				t.Errorf("callback %d got %q, %v", i, v, err)
+			}
+		})
+	}
+	if len(order) != 0 {
+		t.Fatal("callbacks ran before a drain point")
+	}
+	before := b.Library().Metrics().Crossings
+	if err := s.FetchAsync(); err != nil {
+		t.Fatal(err)
+	}
+	if after := b.Library().Metrics().Crossings; after != before+1 {
+		t.Fatalf("drain of 2 queued gets took %d crossings, want 1", after-before)
+	}
+	if len(order) != 2 || order[0] != "async0" || order[1] != "async1" {
+		t.Fatalf("callbacks ran as %q, want issue order", order)
+	}
+	// A synchronous operation is also a drain point: queued callbacks run
+	// before it so program order is preserved.
+	ran := false
+	s.GetAsync([]byte("k0"), func([]byte, uint32, error) { ran = true })
+	if _, _, err := s.Get([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("synchronous Get did not drain the async queue first")
+	}
+}
+
+// MGet rides the batch path: one trampoline crossing covers the whole key
+// set, not one per key (ISSUE 6 satellite).
+func TestMGetSingleCrossing(t *testing.T) {
+	b := newTestStore(t)
+	s := newTestSession(t, b)
+	const n = 64
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("mk%02d", i))
+		if i%2 == 0 {
+			if err := s.Set(keys[i], []byte(fmt.Sprintf("val%02d", i)), 0, 0); err != nil {
+				t.Fatal(err)
+			}
 		}
-	})
-	if !called {
-		t.Fatal("callback must run before GetAsync returns (§3.1)")
+	}
+	before := b.Library().Metrics().Crossings
+	res, err := s.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := b.Library().Metrics().Crossings
+	if after-before != 1 {
+		t.Fatalf("MGet of %d keys took %d crossings, want 1", n, after-before)
+	}
+	for i, r := range res {
+		if want := i%2 == 0; r.Found != want {
+			t.Fatalf("key %d found=%v, want %v", i, r.Found, want)
+		}
+		if r.Found && string(r.Value) != fmt.Sprintf("val%02d", i) {
+			t.Fatalf("key %d value = %q", i, r.Value)
+		}
 	}
 }
 
@@ -364,6 +428,67 @@ func TestHybridRemoteInterface(t *testing.T) {
 	v, _, err := local.Get([]byte("from-remote"))
 	if err != nil || string(v) != "via socket" {
 		t.Fatalf("local sees %q, %v", v, err)
+	}
+}
+
+// Pipelined ASCII commands over the hybrid socket ride one batched
+// dispatch: back-to-back commands and multi-key gets batch for free.
+func TestHybridPipelineBatches(t *testing.T) {
+	b := newTestStore(t)
+	sock := filepath.Join(t.TempDir(), "pipeline.sock")
+	rs, err := b.ServeRemote("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	c, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	before, err := newTestSession(t, b).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One write carries a whole pipeline: two sets, a multi-key get, an
+	// incr on a non-numeric value (per-op error isolation), and a miss.
+	pipeline := "set pa 0 0 2\r\nv1\r\n" +
+		"set pb 0 0 2\r\nv2\r\n" +
+		"get pa pb\r\n" +
+		"incr pa 1\r\n" +
+		"get nothere\r\n"
+	if _, err := c.Write([]byte(pipeline)); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(c)
+	// VALUE lines end with the item's CAS, which varies; match by prefix.
+	want := []string{
+		"STORED", "STORED",
+		"VALUE pa 0 2", "v1", "VALUE pb 0 2", "v2", "END",
+		"CLIENT_ERROR cannot increment or decrement non-numeric value",
+		"END",
+	}
+	for i, w := range want {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		got := strings.TrimRight(line, "\r\n")
+		if !strings.HasPrefix(got, w) {
+			t.Fatalf("reply %d = %q, want prefix %q", i, got, w)
+		}
+	}
+	after, err := newTestSession(t, b).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Batches == before.Batches {
+		t.Fatal("pipelined commands did not ride a batched dispatch")
+	}
+	// 2 sets + 2 get keys + incr + miss = 6 ops in the batch.
+	if n := after.BatchedOps - before.BatchedOps; n < 6 {
+		t.Fatalf("batched ops = %d, want >= 6", n)
 	}
 }
 

@@ -59,6 +59,28 @@ type Metrics struct {
 	HeapCapacity  uint64
 }
 
+// CrossingsPerOp divides completed trampoline crossings by executed store
+// operations — the batching figure of merit. Unbatched traffic sits at 1.0;
+// pipelined/batched traffic falls as 1/k with mean batch size k. Zero when
+// no operations have run.
+func (m *Metrics) CrossingsPerOp() float64 {
+	ops := m.Ops.Gets + m.Ops.Sets + m.Ops.Deletes + m.Ops.Incrs +
+		m.Ops.Decrs + m.Ops.Touches
+	if ops == 0 {
+		return 0
+	}
+	return float64(m.Library.Crossings) / float64(ops)
+}
+
+// MeanBatchSize is the mean number of operations per executed batch; zero
+// when no batches have run.
+func (m *Metrics) MeanBatchSize() float64 {
+	if m.Ops.Batches == 0 {
+		return 0
+	}
+	return float64(m.Ops.BatchedOps) / float64(m.Ops.Batches)
+}
+
 // Metrics collects the merged snapshot.
 func (b *Bookkeeper) Metrics() Metrics {
 	m := Metrics{
@@ -143,11 +165,15 @@ func (m *Metrics) Samples() []metrics.Sample {
 		out = latencyQuantiles(out, "plibmc_op_latency_seconds", &h, "op", core.LatClassNames[class])
 	}
 
-	// Trampoline accounting.
+	// Trampoline accounting and batch amortization.
 	g("plibmc_trampoline_calls_total", float64(m.Library.Calls))
 	g("plibmc_trampoline_crossings_total", float64(m.Library.Crossings))
 	g("plibmc_trampoline_rejected_total", float64(m.Library.Rejected))
 	g("plibmc_trampoline_crashes_total", float64(m.Library.Crashes))
+	g("plibmc_batches_total", float64(m.Ops.Batches))
+	g("plibmc_batched_ops_total", float64(m.Ops.BatchedOps))
+	g("plibmc_crossings_per_op", m.CrossingsPerOp())
+	g("plibmc_mean_batch_size", m.MeanBatchSize())
 	if m.Crossing.Count() > 0 {
 		cr := m.Crossing
 		out = latencyQuantiles(out, "plibmc_trampoline_crossing_seconds", &cr)
@@ -191,6 +217,10 @@ func (m *Metrics) Vars() map[string]any {
 		"latency_sample_every":     m.SampleEvery,
 		"trampoline_calls":         m.Library.Calls,
 		"trampoline_crossings":     m.Library.Crossings,
+		"batches":                  m.Ops.Batches,
+		"batched_ops":              m.Ops.BatchedOps,
+		"crossings_per_op":         m.CrossingsPerOp(),
+		"mean_batch_size":          m.MeanBatchSize(),
 		"recovery_repairs":         uint64(m.Recovery.Repairs),
 		"recovery_locks_broken":    uint64(m.Recovery.LocksBroken),
 		"recovery_readers_retired": uint64(m.Recovery.ReadersRetired),

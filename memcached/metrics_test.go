@@ -42,8 +42,8 @@ func TestMetricsSnapshot(t *testing.T) {
 	if m.SampleEvery != 1 {
 		t.Fatalf("SampleEvery = %d, want 1", m.SampleEvery)
 	}
-	if m.Library.Calls == 0 || m.Library.Crossings != 2*m.Library.Calls {
-		t.Fatalf("library calls=%d crossings=%d, want crossings = 2*calls > 0",
+	if m.Library.Calls == 0 || m.Library.Crossings != m.Library.Calls {
+		t.Fatalf("library calls=%d crossings=%d, want one completed crossing per call > 0",
 			m.Library.Calls, m.Library.Crossings)
 	}
 	if m.HeapLiveBytes == 0 || m.HeapCapacity == 0 || m.HeapLiveBytes > m.HeapCapacity {

@@ -19,12 +19,37 @@ var (
 	ErrNoSpace     = core.ErrNoSpace
 )
 
+// BatchOp and BatchResult are the batched-call ABI, re-exported from the
+// data plane: one ExecBatch carries many of them across the gate in a
+// single trampoline crossing.
+type (
+	BatchOp     = core.BatchOp
+	BatchResult = core.BatchResult
+)
+
+// Batch op codes, re-exported for clients of the public API.
+const (
+	BatchGet     = core.BatchGet
+	BatchGAT     = core.BatchGAT
+	BatchSet     = core.BatchSet
+	BatchAdd     = core.BatchAdd
+	BatchReplace = core.BatchReplace
+	BatchCAS     = core.BatchCAS
+	BatchAppend  = core.BatchAppend
+	BatchPrepend = core.BatchPrepend
+	BatchDelete  = core.BatchDelete
+	BatchIncr    = core.BatchIncr
+	BatchDecr    = core.BatchDecr
+	BatchTouch   = core.BatchTouch
+)
+
 // entryNames is the library's export table (HODOR_FUNC_EXPORT analog).
 var entryNames = []string{
 	"memcached_get", "memcached_set", "memcached_add", "memcached_replace",
 	"memcached_cas", "memcached_delete", "memcached_increment",
 	"memcached_decrement", "memcached_append", "memcached_prepend",
 	"memcached_touch", "memcached_flush", "memcached_stat",
+	"memcached_execute_batch",
 }
 
 func registerEntryPoints(lib *hodor.Library) {
@@ -95,9 +120,25 @@ type Session struct {
 	fnTouch  func(*proc.Thread, touchArgs) (struct{}, error)
 	fnFlush  func(*proc.Thread, struct{}) (struct{}, error)
 	fnStats  func(*proc.Thread, struct{}) (core.Stats, error)
-	fnMGet   func(*proc.Thread, [][]byte) ([]core.GetResult, error)
+	fnBatch  func(*proc.Thread, []core.BatchOp) ([]core.BatchResult, error)
 	fnGAT    func(*proc.Thread, touchArgs) (getRes, error)
+
+	// pending holds GetAsync requests queued for the next batched
+	// crossing; inFetch breaks the drain recursion (FetchAsync itself
+	// dispatches through call).
+	pending []pendingGet
+	inFetch bool
 }
+
+// pendingGet is one queued GetAsync request.
+type pendingGet struct {
+	key []byte
+	cb  func(value []byte, flags uint32, err error)
+}
+
+// asyncWindow bounds how many GetAsync requests queue before the session
+// drains them in one batched crossing on its own.
+const asyncWindow = 64
 
 type getArgs struct{ key []byte }
 type getRes struct {
@@ -192,8 +233,8 @@ func (cp *ClientProcess) newSession(direct bool) (*Session, error) {
 	s.fnStats = func(_ *proc.Thread, _ struct{}) (core.Stats, error) {
 		return ctx.Store().Stats(), nil
 	}
-	s.fnMGet = func(_ *proc.Thread, keys [][]byte) ([]core.GetResult, error) {
-		return ctx.MGet(keys), nil
+	s.fnBatch = func(_ *proc.Thread, ops []core.BatchOp) ([]core.BatchResult, error) {
+		return ctx.ExecBatch(ops), nil
 	}
 	s.fnGAT = func(_ *proc.Thread, a touchArgs) (getRes, error) {
 		v, f, cas, err := ctx.GetAndTouch(a.key, a.exptime)
@@ -212,7 +253,12 @@ func (s *Session) Ctx() *core.Ctx { return s.ctx }
 func (s *Session) Close() { s.ctx.Close() }
 
 // call dispatches through the trampoline, or directly in No-Hodor mode.
+// Queued GetAsync requests drain first, so their callbacks observe the
+// store as of before this operation (program order is preserved).
 func call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), a A) (R, error) {
+	if len(s.pending) > 0 && !s.inFetch {
+		s.FetchAsync()
+	}
 	if s.direct {
 		if s.th.Proc.Killed() {
 			var zero R
@@ -310,18 +356,74 @@ func (s *Session) GetAndTouch(key []byte, exptime int64) ([]byte, uint32, error)
 	return r.value, r.flags, err
 }
 
+// ExecBatch executes ops in order through a single trampoline crossing:
+// one admission and one rights amplification cover the whole batch, so
+// crossings-per-op falls as 1/len(ops). Results are positional; each op's
+// failure lands in its own BatchResult.Err without affecting siblings.
+// The returned error is the crossing's own (rejection, crash), in which
+// case no results are available.
+func (s *Session) ExecBatch(ops []BatchOp) ([]BatchResult, error) {
+	return call(s, s.fnBatch, ops)
+}
+
 // MGet retrieves many keys through a single trampoline crossing: one
 // rights amplification covers the whole batch — the protected-library
 // counterpart of the socket client's pipelined quiet-get batching.
 // Results are positional; missing keys have Found == false.
 func (s *Session) MGet(keys [][]byte) ([]core.GetResult, error) {
-	return call(s, s.fnMGet, keys)
+	ops := make([]core.BatchOp, len(keys))
+	for i, k := range keys {
+		ops[i] = core.BatchOp{Code: core.BatchGet, Key: k}
+	}
+	res, err := call(s, s.fnBatch, ops)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.GetResult, len(res))
+	for i := range res {
+		if res[i].Err == nil {
+			out[i] = core.GetResult{Value: res[i].Value, Flags: res[i].Flags, CAS: res[i].CAS, Found: true}
+		}
+	}
+	return out, nil
 }
 
-// GetAsync is the asynchronous-API shim of §3.1: because every call
-// completes immediately, the callback is simply invoked after the
-// trampoline returns.
+// GetAsync queues a retrieval for the next batched crossing (§3.1's
+// asynchronous API, now genuinely deferred): the callback runs when the
+// session drains its queue — at FetchAsync, before the next synchronous
+// operation, or automatically once asyncWindow requests accumulate.
+// Callbacks run in issue order.
 func (s *Session) GetAsync(key []byte, cb func(value []byte, flags uint32, err error)) {
-	v, f, err := s.Get(key)
-	cb(v, f, err)
+	s.pending = append(s.pending, pendingGet{key: append([]byte(nil), key...), cb: cb})
+	if len(s.pending) >= asyncWindow {
+		s.FetchAsync()
+	}
+}
+
+// FetchAsync drains the GetAsync queue through one batched crossing,
+// invoking every queued callback in issue order. A crossing-level failure
+// (rejection, crash) is delivered to every callback and returned.
+func (s *Session) FetchAsync() error {
+	if s.inFetch || len(s.pending) == 0 {
+		return nil
+	}
+	s.inFetch = true
+	defer func() { s.inFetch = false }()
+	pend := s.pending
+	s.pending = nil
+	ops := make([]core.BatchOp, len(pend))
+	for i := range pend {
+		ops[i] = core.BatchOp{Code: core.BatchGet, Key: pend[i].key}
+	}
+	res, err := call(s, s.fnBatch, ops)
+	if err != nil {
+		for i := range pend {
+			pend[i].cb(nil, 0, err)
+		}
+		return err
+	}
+	for i := range pend {
+		pend[i].cb(res[i].Value, res[i].Flags, res[i].Err)
+	}
+	return nil
 }

@@ -194,6 +194,80 @@ func (w *mcWorker) doMGet(keys []string) bool {
 	return completed
 }
 
+// doBatch runs a mixed ExecBatch — one gate crossing carrying several
+// heterogeneous ops — and records every op under the batch's shared
+// invoke/return window, exactly like doMGet. A crashed crossing leaves
+// every op pending: the prefix before the crash committed, the suffix
+// never ran, and the recorder cannot know where the cut fell.
+func (w *mcWorker) doBatch(keys []string) bool {
+	n := 2 + w.rng.Intn(4)
+	bops := make([]core.BatchOp, n)
+	mops := make([]model.Op, n)
+	for i := range bops {
+		key := w.pickGeneral(keys)
+		switch w.rng.Intn(8) {
+		case 0, 1:
+			v := w.val()
+			exp := w.exp()
+			bops[i] = core.BatchOp{Code: core.BatchSet, Key: []byte(key), Value: v, Flags: uint32(w.id), Exptime: exp}
+			mops[i] = model.Op{Kind: model.Set, Key: key, Val: v, Flags: uint32(w.id), Exp: exp}
+		case 2:
+			v := w.val()
+			bops[i] = core.BatchOp{Code: core.BatchAdd, Key: []byte(key), Value: v, Flags: uint32(w.id)}
+			mops[i] = model.Op{Kind: model.Add, Key: key, Val: v, Flags: uint32(w.id)}
+		case 3:
+			bops[i] = core.BatchOp{Code: core.BatchDelete, Key: []byte(key)}
+			mops[i] = model.Op{Kind: model.Delete, Key: key}
+		case 4:
+			ck := mcCtrKeys[w.rng.Intn(len(mcCtrKeys))]
+			d := uint64(1 + w.rng.Intn(3))
+			bops[i] = core.BatchOp{Code: core.BatchIncr, Key: []byte(ck), Delta: d}
+			mops[i] = model.Op{Kind: model.Incr, Key: ck, Delta: d}
+		case 5:
+			bops[i] = core.BatchOp{Code: core.BatchTouch, Key: []byte(key), Exptime: mcFarExpiry}
+			mops[i] = model.Op{Kind: model.Touch, Key: key, Exp: mcFarExpiry}
+		default:
+			bops[i] = core.BatchOp{Code: core.BatchGet, Key: []byte(key)}
+			mops[i] = model.Op{Kind: model.Get, Key: key}
+		}
+		mops[i].Now = w.now
+	}
+	inv := w.rec.Now()
+	res, err := w.s.ExecBatch(bops)
+	ret := w.rec.Now()
+	_, completed := mcResult(err)
+	for i := range mops {
+		op := mops[i]
+		op.Invoke = inv
+		if completed {
+			r, ok := mcResult(res[i].Err)
+			if !ok {
+				// Per-op errors are store verdicts; a crash error can only
+				// arrive on the crossing itself.
+				w.t.Errorf("worker %d: batch op %d carries a crash error: %v", w.id, i, res[i].Err)
+			}
+			op.Return = ret
+			op.Res = r
+			if r == model.ResOK {
+				switch op.Kind {
+				case model.Get:
+					op.RVal = append([]byte(nil), res[i].Value...)
+					op.RFlags = res[i].Flags
+					op.RCAS = res[i].CAS
+					w.lastCAS[op.Key] = res[i].CAS
+				case model.Incr, model.Decr:
+					op.RNum = res[i].Num
+				}
+			}
+		} // else: Return stays 0 -> pending
+		w.tape.Record(op)
+	}
+	if !completed && !w.faulty {
+		w.t.Errorf("worker %d: unexpected batch crash: %v", w.id, err)
+	}
+	return completed
+}
+
 func (w *mcWorker) doStore(kind model.Kind, key string, val []byte, exp int64) bool {
 	op := model.Op{Kind: kind, Key: key, Val: val, Flags: uint32(w.id), Exp: exp, Now: w.now}
 	var casArg uint64
@@ -608,6 +682,162 @@ func TestModelCheckFaults(t *testing.T) {
 		}
 	}
 	t.Logf("fault history: %d ops, %d pending (killed mid-call)", len(hist), pending)
+	mcCheck(t, hist, &model.Model{MaxValueLen: core.MaxValueLen, CrashMayDrop: true})
+}
+
+// TestModelCheckBatched: batched histories. Every doBatch is one gate
+// crossing carrying 2–5 heterogeneous ops that share an invoke/return
+// window; batches interleave with ordinary single-op traffic from the
+// same workers. One crash round arms ops.batch.mid_dispatch and kills a
+// doomed client between two ops of its batch — the committed prefix and
+// never-run suffix are both recorded pending, and the merged history
+// must still linearize under the repair drop contract.
+func TestModelCheckBatched(t *testing.T) {
+	defer faultpoint.DisarmAll()
+	book, err := memcached.CreateStore(memcached.Config{
+		HeapBytes: 64 << 20, HashPower: 8, NumItemLocks: 16,
+		CallTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer book.Shutdown()
+	book.Store().SetClock(func() int64 { return mcFrozenNow })
+
+	const nSurv = 6
+	rec := linearcheck.NewRecorder(nSurv + 2)
+	var survivors []*mcWorker
+	for p := 0; p < 2; p++ {
+		cp, err := book.NewClientProcess(1000 + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < nSurv/2; s++ {
+			sess, err := cp.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			survivors = append(survivors, newMCWorker(t, sess, rec, len(survivors), *modelcheckSeed, true))
+		}
+	}
+	keys := mcGeneralKeys()
+
+	// Half batches, half ordinary ops: batched and single-op windows must
+	// linearize against each other, not just among themselves.
+	batchPhase := func(steps int) {
+		var wg sync.WaitGroup
+		for _, w := range survivors {
+			wg.Add(1)
+			go func(w *mcWorker) {
+				defer wg.Done()
+				for i := 0; i < steps; i++ {
+					ok := w.step(keys, false)
+					if w.rng.Intn(2) == 0 {
+						ok = w.doBatch(keys)
+					}
+					if !ok {
+						w.t.Errorf("survivor %d died", w.id)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	batchPhase(120) // populate: batches and singles against a live store
+
+	// Crash round: doomed clients spin batches until one steps on the
+	// mid-dispatch mine.
+	doomedProc, err := book.NewClientProcess(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doomed []*mcWorker
+	for j := 0; j < 2; j++ {
+		sess, err := doomedProc.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		doomed = append(doomed, newMCWorker(t, sess, rec, nSurv+j, *modelcheckSeed, true))
+	}
+	var fired atomic.Bool
+	if err := faultpoint.Arm("ops.batch.mid_dispatch", func() {
+		fired.Store(true)
+		doomedProc.Kill()
+		panic("modelcheck: injected crash at ops.batch.mid_dispatch")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, w := range survivors {
+		wg.Add(1)
+		go func(w *mcWorker) {
+			defer wg.Done()
+			// Single gets only while the point is armed: a survivor batch
+			// (even MGet) would consume the one-shot handler meant for the
+			// doomed client.
+			for i := 0; i < 400; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if !w.doGets(w.pickGeneral(keys)) {
+					w.t.Errorf("survivor %d crashed on a read", w.id)
+					return
+				}
+			}
+		}(w)
+	}
+	for _, w := range doomed {
+		wg.Add(1)
+		go func(w *mcWorker) {
+			defer wg.Done()
+			for w.doBatch(keys) {
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !fired.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("doomed batches never reached ops.batch.mid_dispatch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for {
+		if book.Library().Poisoned() {
+			t.Fatal("library poisoned after mid-batch crash")
+		}
+		if m := book.Library().Metrics(); m.Recoveries >= 1 && !book.Library().Recovering() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no recovery after mid-batch crash")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	faultpoint.Disarm("ops.batch.mid_dispatch")
+
+	batchPhase(120) // full batched mix against the repaired store
+
+	if _, err := book.Allocator().Check(); err != nil {
+		t.Fatalf("heap fsck after mid-batch crash: %v", err)
+	}
+	hist := rec.History()
+	pending := 0
+	for i := range hist {
+		if hist[i].Pending {
+			pending++
+		}
+	}
+	if pending == 0 {
+		t.Fatal("mid-batch crash left no pending ops in the history")
+	}
+	t.Logf("batched history: %d ops, %d pending (killed mid-batch)", len(hist), pending)
 	mcCheck(t, hist, &model.Model{MaxValueLen: core.MaxValueLen, CrashMayDrop: true})
 }
 

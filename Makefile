@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check faultmatrix corruptmatrix modelcheck modelcheck-long bench-seqlock bench-recovery bench-checksum bench-batch
+.PHONY: build test check faultmatrix corruptmatrix modelcheck modelcheck-long gatehard bench-noisy bench-seqlock bench-recovery bench-checksum bench-batch
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 # run the packages that carry the seqlock/grave protocol under the race
 # detector (which exercises the sync/atomic build of the relaxed accessors),
 # a short chaos soak, and the crash-at-every-point fault matrix.
-check: build faultmatrix corruptmatrix modelcheck
+check: build faultmatrix corruptmatrix modelcheck gatehard bench-noisy
 	$(GO) vet ./...
 	$(GO) test -race -count=1 ./internal/core ./internal/shm
 	$(GO) test -race -count=1 -short -run TestChaosKillsNeverCorrupt .
@@ -34,6 +34,22 @@ modelcheck:
 
 modelcheck-long:
 	$(GO) test -race -count=1 -run 'TestModelCheck' -timeout 30m .
+
+# The gate-hardening gate (DESIGN.md §13): the Garmr-style attack suite —
+# stray wrpkru, confused deputy, zombie re-entry, hostile mid-batch abort,
+# pin exhaustion, admission control, live reap-and-repair — plus the
+# vtable/trampoline concurrency and rollover tests, all under the race
+# detector. Every attack must be contained (no cross-tenant read, no
+# permanent poison, online recovery).
+gatehard:
+	$(GO) test -race -count=1 -run 'TestGateHard' .
+	$(GO) test -race -count=1 ./internal/pku ./internal/gatehard ./internal/hodor ./internal/client ./internal/server
+
+# The noisy-tenant fairness sweep: p99 latency of well-behaved tenants with
+# one hostile tenant pumping batched writes through its admission quota.
+# The benchmark gates itself at 2x the quiet baseline.
+bench-noisy:
+	$(GO) test -run xxx -bench BenchmarkNoisyTenant -benchtime 1x .
 
 # The crash-recovery gate: kill a client at every registered crash point
 # and require quarantine -> repair -> resume, with the recovery machinery

@@ -10,8 +10,10 @@ package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strings"
 	"time"
@@ -28,34 +30,151 @@ const (
 	ASCII                  // readable, better debugability
 )
 
-// Client is a connection to one memcached server.
-type Client struct {
-	conn  net.Conn
-	r     *bufio.Reader
-	w     *bufio.Writer
-	proto Protocol
+// ErrRetriesExhausted reports that every connection attempt the retry
+// policy allowed has failed. It always arrives wrapped with the last
+// underlying dial error, so errors.Is(err, ErrRetriesExhausted) classifies
+// the failure while errors.As/Unwrap still reach the network cause.
+var ErrRetriesExhausted = errors.New("client: connection retries exhausted")
+
+// Options tunes connection establishment and per-operation IO. The zero
+// value preserves the historical behaviour (5s dial timeout, no IO
+// deadlines, a single connection attempt).
+type Options struct {
+	// DialTimeout bounds one connection attempt. Zero means 5 seconds.
+	DialTimeout time.Duration
+	// IOTimeout bounds each request/response round trip (a deadline armed
+	// on the socket at the start of every operation). Zero disables it —
+	// a stalled server then blocks the caller, as before.
+	IOTimeout time.Duration
+	// MaxRetries is how many times a failed dial is retried beyond the
+	// first attempt, with exponential backoff and jitter between tries.
+	// Zero keeps dialing single-shot.
+	MaxRetries int
+	// RetryBase is the first backoff sleep, doubled each retry. Zero means
+	// 10ms.
+	RetryBase time.Duration
+	// RetryCap clamps the backoff growth. Zero means 1s.
+	RetryCap time.Duration
 }
 
-// Dial connects to a server. network/addr as for net.Dial; "unix" + socket
-// path matches the paper's local setup.
-func Dial(network, addr string, proto Protocol) (*Client, error) {
-	conn, err := net.DialTimeout(network, addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
 	}
-	return &Client{
-		conn:  conn,
-		r:     bufio.NewReaderSize(conn, 64<<10),
-		w:     bufio.NewWriterSize(conn, 64<<10),
-		proto: proto,
-	}, nil
+	if o.RetryBase <= 0 {
+		o.RetryBase = 10 * time.Millisecond
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = time.Second
+	}
+	return o
+}
+
+// retriesError carries the attempt count and the final cause under the
+// ErrRetriesExhausted class.
+type retriesError struct {
+	attempts int
+	last     error
+}
+
+func (e *retriesError) Error() string {
+	return fmt.Sprintf("client: %d connection attempts failed, last: %v", e.attempts, e.last)
+}
+func (e *retriesError) Is(target error) bool { return target == ErrRetriesExhausted }
+func (e *retriesError) Unwrap() error        { return e.last }
+
+// Client is a connection to one memcached server.
+type Client struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	proto   Protocol
+	network string
+	addr    string
+	opts    Options
+	rng     *rand.Rand
+}
+
+// Dial connects to a server with default Options. network/addr as for
+// net.Dial; "unix" + socket path matches the paper's local setup.
+func Dial(network, addr string, proto Protocol) (*Client, error) {
+	return DialWithOptions(network, addr, proto, Options{})
+}
+
+// DialWithOptions connects to a server under an explicit retry/timeout
+// policy. With MaxRetries > 0 a failed dial is retried with exponential
+// backoff (RetryBase doubling up to RetryCap) plus up to 50% random
+// jitter, so a thundering herd of clients reconnecting to a restarted
+// server spreads out; when every attempt fails the error matches
+// ErrRetriesExhausted and unwraps to the last dial failure.
+func DialWithOptions(network, addr string, proto Protocol, opts Options) (*Client, error) {
+	c := &Client{
+		proto:   proto,
+		network: network,
+		addr:    addr,
+		opts:    opts.withDefaults(),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials (or redials) under the client's retry policy.
+func (c *Client) connect() error {
+	backoff := c.opts.RetryBase
+	var last error
+	for attempt := 0; ; attempt++ {
+		conn, err := net.DialTimeout(c.network, c.addr, c.opts.DialTimeout)
+		if err == nil {
+			c.conn = conn
+			c.r = bufio.NewReaderSize(conn, 64<<10)
+			c.w = bufio.NewWriterSize(conn, 64<<10)
+			return nil
+		}
+		last = err
+		if attempt >= c.opts.MaxRetries {
+			if c.opts.MaxRetries == 0 {
+				return fmt.Errorf("client: %w", last)
+			}
+			return &retriesError{attempts: attempt + 1, last: last}
+		}
+		sleep := backoff + time.Duration(c.rng.Int63n(int64(backoff)/2+1))
+		time.Sleep(sleep)
+		if backoff < c.opts.RetryCap {
+			if backoff *= 2; backoff > c.opts.RetryCap {
+				backoff = c.opts.RetryCap
+			}
+		}
+	}
+}
+
+// Reconnect tears down the current connection and re-establishes it under
+// the same retry policy — the recovery path after an IO timeout or a
+// server restart, since a deadline error leaves the wire mid-message.
+func (c *Client) Reconnect() error {
+	if c.conn != nil {
+		c.conn.Close() //nolint:errcheck
+	}
+	return c.connect()
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// armDeadline sets the per-operation IO deadline, if one is configured.
+// Called at the start of every operation: the deadline covers the whole
+// round trip (write, server think time, read).
+func (c *Client) armDeadline() {
+	if c.opts.IOTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout)) //nolint:errcheck
+	}
+}
+
 // roundTrip sends one command and reads its reply.
 func (c *Client) roundTrip(cmd *protocol.Command) (*protocol.Reply, error) {
+	c.armDeadline()
 	if c.proto == Binary {
 		if err := protocol.WriteBinaryCommand(c.w, cmd); err != nil {
 			return nil, err
@@ -236,6 +355,7 @@ func (c *Client) Version() (string, error) {
 // pipelines quiet gets terminated by a noop: one write, one read, any
 // number of keys — the batching that makes socket memcached tolerable.
 func (c *Client) MGet(keys [][]byte) (map[string][]byte, error) {
+	c.armDeadline()
 	out := make(map[string][]byte, len(keys))
 	if c.proto == ASCII {
 		// "get k1 k2 ..." in a single line; VALUE blocks then END.

@@ -1,0 +1,132 @@
+package client
+
+import (
+	"errors"
+	"io"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Satellite coverage (ISSUE 7): configurable dial/IO timeouts, reconnect
+// with exponential backoff + jitter, and the typed ErrRetriesExhausted.
+
+func TestDialRetriesExhausted(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "nobody-home.sock")
+	start := time.Now()
+	_, err := DialWithOptions("unix", sock, Binary, Options{
+		DialTimeout: 100 * time.Millisecond,
+		MaxRetries:  3,
+		RetryBase:   time.Millisecond,
+		RetryCap:    4 * time.Millisecond,
+	})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	// The class wraps the network cause for callers that care why.
+	var nerr *net.OpError
+	if !errors.As(err, &nerr) {
+		t.Fatalf("err = %v does not unwrap to the dial failure", err)
+	}
+	// 3 retries with base 1ms: at least 1+2+4 ms of backoff elapsed.
+	if elapsed := time.Since(start); elapsed < 7*time.Millisecond {
+		t.Fatalf("4 attempts finished in %v; backoff not applied", elapsed)
+	}
+}
+
+func TestDialSingleShotKeepsPlainError(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "nobody-home.sock")
+	_, err := Dial("unix", sock, Binary)
+	if err == nil {
+		t.Fatal("dial to a missing socket succeeded")
+	}
+	if errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("single-shot dial reported retries exhausted: %v", err)
+	}
+}
+
+func TestIOTimeoutAndReconnect(t *testing.T) {
+	// A listener that accepts and then never speaks: the stalled server.
+	sock := filepath.Join(t.TempDir(), "stall.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- conn
+		}
+	}()
+
+	c, err := DialWithOptions("unix", sock, Binary, Options{
+		IOTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, _, _, err = c.Get([]byte("k"))
+	if err == nil {
+		t.Fatal("get against a stalled server returned")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want an IO timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline fired after %v, want ~20ms", elapsed)
+	}
+
+	// A timed-out connection is mid-message; Reconnect starts clean.
+	if err := c.Reconnect(); err != nil {
+		t.Fatal(err)
+	}
+	first := <-accepted
+	second := <-accepted
+	if first == second {
+		t.Fatal("reconnect did not establish a fresh connection")
+	}
+	// The old socket is closed: draining its server side (past the request
+	// bytes the timed-out Get already wrote) reaches EOF instead of the
+	// read deadline.
+	first.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	if _, err := io.ReadAll(first); err != nil {
+		t.Fatalf("old connection still open after reconnect: %v", err)
+	}
+}
+
+func TestReconnectAgainstRealServer(t *testing.T) {
+	sock := startServer(t, "reconnect")
+	c, err := DialWithOptions("unix", sock, Binary, Options{
+		IOTimeout:  time.Second,
+		MaxRetries: 2,
+		RetryBase:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set([]byte("rk"), []byte("v1"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the wire behind the client's back, then recover and resume.
+	c.conn.Close() //nolint:errcheck
+	if _, _, _, err := c.Get([]byte("rk")); err == nil {
+		t.Fatal("get on a severed connection succeeded")
+	}
+	if err := c.Reconnect(); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _, err := c.Get([]byte("rk"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("get after reconnect: %q, %v", v, err)
+	}
+}

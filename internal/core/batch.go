@@ -101,6 +101,16 @@ func (c *Ctx) ExecBatch(ops []BatchOp) []BatchResult {
 	for i := range ops {
 		if i > 0 {
 			fpBatchMidDispatch.Maybe()
+			// Cooperative abort (gate hardening): between operations the
+			// dispatcher is at a clean point — no locks held, the prefix
+			// durable — so an over-budget batch can stop here instead of
+			// escalating to a reap-and-repair cycle.
+			if c.AbortCheck != nil && c.AbortCheck() {
+				for j := i; j < len(ops); j++ {
+					res[j].Err = ErrCallAborted
+				}
+				break
+			}
 		}
 		starts[i] = -1
 		vbuf = c.execBatchOne(&ops[i], &res[i], vbuf, &starts[i])

@@ -58,6 +58,11 @@ var (
 	ErrKeyTooLong  = fmt.Errorf("core: key exceeds %d bytes", MaxKeyLen)
 	ErrValueTooBig = fmt.Errorf("core: value exceeds %d bytes", MaxValueLen)
 	ErrNoSpace     = errors.New("core: out of memory even after eviction")
+	// ErrCallAborted lands on the operations of a batch that were skipped
+	// because the watchdog requested a cooperative abort mid-dispatch (the
+	// live-deadline escalation's middle rung). Operations before the abort
+	// point executed normally; these never ran and may be retried.
+	ErrCallAborted = errors.New("core: call aborted by watchdog deadline")
 )
 
 // Options configures a new store.

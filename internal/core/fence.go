@@ -1,0 +1,22 @@
+package core
+
+// FenceError is the panic value delivered to a reaped zombie context that
+// tries to take (or keep) a heap-resident lock after the repair coordinator
+// declared its owner token dead and broke its locks. The denial *is* the
+// containment: the zombie never re-entered a critical section, so the
+// structural repair it would have raced is safe. The hodor trampoline
+// recovers the panic into a CrashError and — via the ContainedAttack marker
+// — counts it on the attacks_contained metric rather than starting another
+// repair cycle for an already-repaired death.
+type FenceError struct {
+	// Op names the denied action ("lock", "tryLock", "unlock").
+	Op string
+}
+
+func (e *FenceError) Error() string {
+	return "core: reaped context denied " + e.Op + " during crash recovery"
+}
+
+// ContainedAttack marks the denial as a contained hostile/zombie access for
+// the gate-hardening metrics plane (see hodor.Call).
+func (e *FenceError) ContainedAttack() {}

@@ -52,6 +52,15 @@ type Ctx struct {
 	// Built once at NewCtx so lock spins don't allocate a closure per call.
 	deadSelf func() bool
 
+	// AbortCheck, when set, is polled by long-running dispatch loops
+	// (ExecBatch, between operations) and makes them return early with
+	// ErrCallAborted on the remaining operations when it reports true. The
+	// session layer wires it to the watchdog's cooperative abort request
+	// (hodor.Session.AbortRequested), so an over-budget batch can retire
+	// cleanly — results for the executed prefix, typed errors for the rest
+	// — instead of being reaped and repaired.
+	AbortCheck func() bool
+
 	// CaptureClientBuffers applies the copy-before-lock idiom. It defaults
 	// to true; the ablation benchmark turns it off to measure the idiom's
 	// cost (and gives up crash safety against concurrent client threads
@@ -118,7 +127,7 @@ func (s *Store) NewCtx(owner uint64) *Ctx {
 // this token; hodor's trampoline recovers it.
 func (c *Ctx) lock(off uint64) {
 	if !c.s.H.LockAcquireAbort(off, c.owner, c.deadSelf) {
-		panic("core: reaped context denied lock during crash recovery")
+		panic(&FenceError{Op: "lock"})
 	}
 }
 
@@ -130,7 +139,7 @@ func (c *Ctx) tryLock(off uint64) bool {
 	}
 	if c.deadSelf() {
 		c.s.H.AtomicStore64(off, 0)
-		panic("core: reaped context denied lock during crash recovery")
+		panic(&FenceError{Op: "tryLock"})
 	}
 	return true
 }

@@ -1,0 +1,209 @@
+// Package gatehard holds the attack drivers for the gate-hardening suite
+// (Garmr's attack classes against PKU gates, adapted to this simulation;
+// see PAPERS.md). Each helper mounts one hostile behaviour — forging a
+// protection register outside a trampoline, spinning inside the gate,
+// probing a sibling tenant's arena, pinning every hardware key — and the
+// tests in gatehard_test.go assert the hardening layer *contains* it:
+// the store stays Healthy or repairs online, and no cross-tenant access
+// succeeds.
+//
+// The helpers live in their own package (rather than in the test file) so
+// the fault/model-check harnesses can reuse the same adversaries.
+package gatehard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"plibmc/internal/hodor"
+	"plibmc/internal/pku"
+	"plibmc/internal/proc"
+)
+
+// ErrSpinAborted is returned by HostileSpin when the spinner honours the
+// watchdog's cooperative abort request (the middle rung of the escalation
+// ladder, between the warning and the reap).
+var ErrSpinAborted = errors.New("gatehard: hostile spin aborted on watchdog request")
+
+// ErrSpinOutlived is returned when a hostile spin ran its whole MaxSpin
+// without the watchdog ever acting on it — a containment failure in the
+// layer under test, surfaced as an error instead of hanging the suite.
+var ErrSpinOutlived = errors.New("gatehard: hostile spin outlived its bound without watchdog action")
+
+// ReapTermination is the panic value a hostile spinner delivers when it
+// observes its own session reaped: the simulation analog of the OS
+// terminating the thread mid-call. It carries the ContainedAttack marker —
+// the reap that provoked it already fenced the session and started the
+// repair cycle, so the unwind itself must not trigger another one.
+type ReapTermination struct{}
+
+// ContainedAttack marks the termination as a contained hostile action.
+func (ReapTermination) ContainedAttack() {}
+
+func (ReapTermination) String() string {
+	return "gatehard: thread terminated by watchdog reap"
+}
+
+// SpinOpts configures a hostile spin.
+type SpinOpts struct {
+	// HonorAbort makes the spinner cooperative: it returns ErrSpinAborted
+	// once the watchdog requests an abort. A false value models the truly
+	// hostile tenant that ignores every request and must be reaped.
+	HonorAbort bool
+	// Stop, when non-nil, is an external release valve: the spinner returns
+	// nil as soon as it reports true (used to hold the gate open for
+	// admission-control tests without involving the watchdog).
+	Stop func() bool
+	// MaxSpin bounds the spin so a containment failure cannot hang the
+	// suite. Zero means five seconds.
+	MaxSpin time.Duration
+}
+
+// HostileSpin occupies the gate with a call that does no useful work: the
+// denial-of-service tenant. It polls the session's escalation state every
+// few microseconds and reacts per opts; the caller is responsible for
+// driving the watchdog (see DriveWatchdog) while the spin is in flight.
+func HostileSpin(hs *hodor.Session, opts SpinOpts) error {
+	maxSpin := opts.MaxSpin
+	if maxSpin <= 0 {
+		maxSpin = 5 * time.Second
+	}
+	_, err := hodor.Call(hs, func(_ *proc.Thread, _ struct{}) (struct{}, error) {
+		deadline := time.Now().Add(maxSpin)
+		for {
+			if opts.Stop != nil && opts.Stop() {
+				return struct{}{}, nil
+			}
+			if opts.HonorAbort && hs.AbortRequested() {
+				return struct{}{}, ErrSpinAborted
+			}
+			if hs.Reaped() {
+				panic(ReapTermination{})
+			}
+			if time.Now().After(deadline) {
+				return struct{}{}, ErrSpinOutlived
+			}
+			time.Sleep(10 * time.Microsecond)
+		}
+	}, struct{}{})
+	return err
+}
+
+// DriveWatchdog runs lib.WatchdogSweep every interval until stop is closed,
+// standing in for the maintenance loop the store would normally run. It
+// returns a channel that closes when the driver goroutine exits.
+func DriveWatchdog(lib *hodor.Library, interval time.Duration, stop <-chan struct{}) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(interval):
+				lib.WatchdogSweep(time.Now())
+			}
+		}
+	}()
+	return done
+}
+
+// WaitHealthy blocks until the library has completed at least minRecoveries
+// repair cycles and left the Recovering state, returning how long that
+// took. A poisoned library or an expired timeout is an error: containment
+// means repairing online, never a permanent poison.
+func WaitHealthy(lib *hodor.Library, minRecoveries uint64, timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for {
+		if lib.Poisoned() {
+			return 0, errors.New("gatehard: library poisoned — containment failed")
+		}
+		if m := lib.Metrics(); m.Recoveries >= minRecoveries && !lib.Recovering() {
+			return time.Since(start), nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("gatehard: library not healthy after %v", timeout)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// ForgeRegister simulates Garmr's stray-wrpkru attack: a write of the
+// protection register from application code, outside any trampoline,
+// granting access to hardware key k. On real hardware this requires a
+// wrpkru instruction the loader's binary scan missed; the simulation
+// executes it directly and the hardening layer must make the forged grant
+// worthless (stale after remap, scrubbed at the next gate crossing).
+func ForgeRegister(t *proc.Thread, k pku.Key) pku.PKRU {
+	forged := t.PKRU().WithAccess(k)
+	proc.WRPKRU(t, forged)
+	return forged
+}
+
+// CrossTenantRead mounts a confused-deputy probe: from inside attacker's
+// amplified gate context, library code is asked to read n bytes at heap
+// offset off — a sibling tenant's arena. With per-tenant domains the
+// amplified register grants the library's pages plus the attacker's own,
+// so the read must fault. The fault is re-panicked so it unwinds the call
+// exactly as a hardware protection fault would, exercising the full
+// containment path (fault → unwind → online repair).
+func CrossTenantRead(hs *hodor.Session, g *pku.Guard, off, n uint64) ([]byte, error) {
+	return hodor.Call(hs, func(t *proc.Thread, _ struct{}) ([]byte, error) {
+		buf := make([]byte, n)
+		if err := g.ReadBytes(t.PKRU(), off, buf); err != nil {
+			panic(err)
+		}
+		return buf, nil
+	}, struct{}{})
+}
+
+// CrossTenantWrite is the mutating flavour of the confused-deputy probe.
+func CrossTenantWrite(hs *hodor.Session, g *pku.Guard, off uint64, data []byte) error {
+	_, err := hodor.Call(hs, func(t *proc.Thread, _ struct{}) (struct{}, error) {
+		if err := g.WriteBytes(t.PKRU(), off, data); err != nil {
+			panic(err)
+		}
+		return struct{}{}, nil
+	}, struct{}{})
+	return err
+}
+
+// PinAll binds fresh virtual keys (with no pages) until the table reports
+// every hardware key pinned, modelling a tenant that hoards protection
+// keys. It returns how many keys it managed to pin and a release function
+// that unbinds and frees them all.
+func PinAll(vt *pku.VTable) (pinned int, release func()) {
+	var held []pku.VKey
+	for {
+		v := vt.AllocVirtual()
+		if _, err := vt.Bind(v); err != nil {
+			// ErrAllKeysPinned: the hoard is complete. Retire the unbound
+			// virtual key; it holds no hardware resources.
+			vt.FreeVirtual(v) //nolint:errcheck
+			break
+		}
+		held = append(held, v)
+		if len(held) > 64 {
+			// Far more pins than hardware keys exist: the table failed to
+			// push back. Surface it as a huge count the test will reject.
+			break
+		}
+	}
+	return len(held), func() {
+		for _, v := range held {
+			vt.Unbind(v)
+			vt.FreeVirtual(v) //nolint:errcheck
+		}
+	}
+}
+
+// Recovered runs fn and returns the value it panicked with (nil if it
+// returned normally) — for asserting that a fenced zombie's direct access
+// dies with a containment panic rather than touching shared state.
+func Recovered(fn func()) (pv any) {
+	defer func() { pv = recover() }()
+	fn()
+	return nil
+}

@@ -51,6 +51,26 @@ type Library struct {
 	// the default of five seconds.
 	RecoveryGrace time.Duration
 
+	// LiveCallBudget is the per-call execution budget for *live* sessions
+	// (gate hardening): a call still in flight after the budget draws a
+	// warning, after 1.5x the budget an abort request (cooperative library
+	// code — the batch dispatcher — polls Session.AbortRequested and bails
+	// out), and after 2x the budget the watchdog reaps the call exactly as
+	// it reaps overdue calls of killed processes: the session is fenced,
+	// its locks are broken, and the store repairs online. Zero disables
+	// live-deadline enforcement (the pre-hardening behaviour, where a
+	// tenant spinning inside the gate wedges everyone forever).
+	LiveCallBudget time.Duration
+
+	// MaxInFlight caps concurrently admitted calls across all sessions;
+	// excess admissions fail fast with ErrOverloaded. Zero means unlimited.
+	MaxInFlight int
+
+	// TenantQuota caps concurrently admitted calls per tenant (per client
+	// process); excess admissions fail with ErrTenantQuota so one noisy
+	// tenant cannot starve its siblings of gate slots. Zero means unlimited.
+	TenantQuota int
+
 	// Profile enables per-call latency accounting and per-crossing
 	// trampoline profiling (six clock reads per call — leave off for
 	// production-shaped benchmarks). Per-crossing PKU costs are where
@@ -70,6 +90,13 @@ type Library struct {
 	rejected   atomic.Uint64
 	recoveries atomic.Uint64
 	nanos      atomic.Uint64
+	// Gate-hardening counters (the containment metrics plane).
+	attacksContained atomic.Uint64 // attacks provably denied (fence/pku/forged-register/zombie re-entry)
+	tenantReaps      atomic.Uint64 // live calls reaped for exceeding their execution budget
+	tenantWarns      atomic.Uint64 // live calls that drew a budget warning
+	tenantAborts     atomic.Uint64 // live calls asked to abort cooperatively
+	gateRejections   atomic.Uint64 // admissions refused for overload/quota/pin exhaustion
+	inflight         atomic.Int64  // currently admitted calls (MaxInFlight accounting)
 	// cross holds per-crossing trampoline latency (entry amplification and
 	// exit restoration timed separately); populated only when Profile is on.
 	cross histogram.Atomic
@@ -80,6 +107,9 @@ type Library struct {
 	// mid-call (crash, or watchdog-reaped zombie). The repair coordinator
 	// uses it to decide which heap-resident locks are safe to break.
 	defunct map[uint64]bool
+	// tenantLoad tracks concurrently admitted calls per client process for
+	// TenantQuota accounting; sessions cache their process's counter.
+	tenantLoad map[int]*atomic.Int64
 }
 
 // Metrics is a snapshot of a library's call accounting.
@@ -97,17 +127,38 @@ type Metrics struct {
 	Crossings uint64
 	// TotalTime is accumulated in-library time; zero unless Profile is on.
 	TotalTime time.Duration
+	// AttacksContained counts provably denied hostile actions: protection
+	// faults and lock-fence denials unwinding a call, forged registers
+	// scrubbed at the gate, zombie re-entry refusals, and live-budget
+	// reaps. Each is an attack the hardening layer contained rather than
+	// a fault it merely survived.
+	AttacksContained uint64
+	// TenantCallsReaped counts live calls terminated for exceeding their
+	// LiveCallBudget; TenantWarns and TenantAborts count the escalation
+	// steps (warn, cooperative abort request) that preceded reaps.
+	TenantCallsReaped uint64
+	TenantWarns       uint64
+	TenantAborts      uint64
+	// GateRejections counts admissions refused as backpressure: gate
+	// saturation (MaxInFlight), per-tenant quota, or hardware-key pin
+	// exhaustion. All are retryable, none poison anything.
+	GateRejections uint64
 }
 
 // Metrics returns the library's call counters.
 func (l *Library) Metrics() Metrics {
 	return Metrics{
-		Calls:      l.calls.Load(),
-		Crashes:    l.crashes.Load(),
-		Rejected:   l.rejected.Load(),
-		Recoveries: l.recoveries.Load(),
-		Crossings:  l.crossings.Load(),
-		TotalTime:  time.Duration(l.nanos.Load()),
+		Calls:             l.calls.Load(),
+		Crashes:           l.crashes.Load(),
+		Rejected:          l.rejected.Load(),
+		Recoveries:        l.recoveries.Load(),
+		Crossings:         l.crossings.Load(),
+		TotalTime:         time.Duration(l.nanos.Load()),
+		AttacksContained:  l.attacksContained.Load(),
+		TenantCallsReaped: l.tenantReaps.Load(),
+		TenantWarns:       l.tenantWarns.Load(),
+		TenantAborts:      l.tenantAborts.Load(),
+		GateRejections:    l.gateRejections.Load(),
 	}
 }
 
@@ -174,12 +225,47 @@ var ErrRecoveryTimeout = errors.New("hodor: library still recovering after grace
 // process never loaded.
 var ErrNotLinked = errors.New("hodor: library not linked into this process")
 
+// ErrOverloaded is typed backpressure: the gate refused to admit the call
+// because in-flight calls saturate a configured limit (MaxInFlight), the
+// tenant exceeded its quota (ErrTenantQuota wraps this), or every hardware
+// protection key is pinned (pku.ErrAllKeysPinned, reachable through
+// errors.Is on the returned error). The store is healthy; retrying after a
+// short backoff is the expected response.
+var ErrOverloaded = errors.New("hodor: gate overloaded")
+
+// ErrTenantQuota is the per-tenant flavour of ErrOverloaded: this tenant
+// already has TenantQuota calls in flight. errors.Is(err, ErrOverloaded)
+// matches it.
+var ErrTenantQuota = fmt.Errorf("%w: per-tenant admission quota exhausted", ErrOverloaded)
+
+// ErrSessionReaped is returned for any call on a session whose earlier call
+// was reaped by the watchdog. The reaped thread is considered terminated;
+// letting the same session re-enter the gate would be Garmr's zombie
+// re-entry attack, so the refusal is counted as a contained attack.
+var ErrSessionReaped = errors.New("hodor: session was reaped by the watchdog; re-attach to continue")
+
+// overloadedError wraps a transient resource-exhaustion cause (hardware-key
+// pin exhaustion) so callers can match both the backpressure class
+// (ErrOverloaded) and the specific cause (pku.ErrAllKeysPinned).
+type overloadedError struct{ cause error }
+
+func (e *overloadedError) Error() string { return "hodor: gate overloaded: " + e.cause.Error() }
+func (e *overloadedError) Unwrap() error { return e.cause }
+func (e *overloadedError) Is(target error) bool { return target == ErrOverloaded }
+
 // Session binds one client thread to one library: the per-thread state a
 // trampoline needs (saved register, the library-side stack, and the
 // in-flight call record the watchdog inspects).
 type Session struct {
 	Lib    *Library
 	Thread *proc.Thread
+
+	// Tenant is this session's own protection domain (gate hardening):
+	// when set, each call binds the tenant's virtual key alongside the
+	// library's, so the amplified register grants exactly this tenant's
+	// pages — a sibling tenant's buffers stay fenced even from inside the
+	// gate. Set it before the session serves calls.
+	Tenant *Domain
 
 	linked bool
 	// callStart is the wall-clock start (UnixNano) of the in-flight call,
@@ -189,17 +275,46 @@ type Session struct {
 	stackDepth int
 	savedPKRU  uint32
 	// reaped marks a session whose in-flight call outlived the watchdog
-	// timeout after its process was killed: the OS has terminated the
-	// thread, so the call will never retire and recovery must not wait
-	// for it (nor should a later sweep report it again).
+	// timeout: either its process was killed (the OS has terminated the
+	// thread), or — with LiveCallBudget set — a live call overran its
+	// execution budget and was forcibly terminated. Either way the call
+	// will never retire, recovery must not wait for it, and the session
+	// must never be admitted again (ErrSessionReaped).
 	reaped atomic.Bool
+	// esc is the live-deadline escalation state of the in-flight call
+	// (escNone → escWarned → escAbort → escReaped); admit resets it.
+	esc atomic.Int32
+	// quota caches the per-process admission counter (TenantQuota); only
+	// the session's own thread touches the pointer.
+	quota *atomic.Int64
+	// slotHeld records that admit charged this call against the admission
+	// limits, so the retire path knows to release them.
+	slotHeld bool
 }
+
+// Live-deadline escalation states (Session.esc).
+const (
+	escNone int32 = iota
+	escWarned
+	escAbort
+	escReaped
+)
 
 // InCall reports whether the session's thread is inside a library call.
 func (s *Session) InCall() bool { return s.callStart.Load() != 0 }
 
 // StackDepth returns the current library-stack depth (0 in application code).
 func (s *Session) StackDepth() int { return s.stackDepth }
+
+// Reaped reports whether the watchdog reaped one of this session's calls;
+// a reaped session is permanently fenced out of the gate.
+func (s *Session) Reaped() bool { return s.reaped.Load() }
+
+// AbortRequested reports whether the watchdog has asked the in-flight call
+// to abort (the cooperative stage of live-deadline escalation, between the
+// warning and the reap). Long-running library code — the batch dispatcher —
+// polls this between operations and returns early when set.
+func (s *Session) AbortRequested() bool { return s.esc.Load() >= escAbort }
 
 // attach registers a session; the loader calls this for linked processes.
 func (l *Library) attach(t *proc.Thread) *Session {
@@ -239,17 +354,29 @@ func (l *Library) callTimeout() time.Duration {
 	return time.Second
 }
 
-// admit gates a call on library health. It publishes the session's
+// admit gates a call on library health and load. It publishes the session's
 // in-flight record *before* loading the state word so that the repair
 // drain (which reads states in the opposite order) can never miss a call
 // that slipped past a Healthy check: either admit sees the Recovering
 // state, or the drain sees the published callStart.
 func (l *Library) admit(s *Session, start time.Time) error {
+	if s.reaped.Load() {
+		// Zombie re-entry (Garmr): the watchdog terminated this session's
+		// thread; the session object resurfacing at the gate is an attack
+		// (or a badly confused client) and the refusal is containment.
+		l.attacksContained.Add(1)
+		return ErrSessionReaped
+	}
+	s.esc.Store(escNone)
 	deadline := start.Add(l.grace())
 	for {
 		s.callStart.Store(start.UnixNano())
 		switch l.state.Load() {
 		case stateHealthy:
+			if sErr := l.acquireSlot(s); sErr != nil {
+				s.callStart.Store(0)
+				return sErr
+			}
 			return nil
 		case statePoisoned:
 			s.callStart.Store(0)
@@ -266,6 +393,70 @@ func (l *Library) admit(s *Session, start time.Time) error {
 		}
 		time.Sleep(100 * time.Microsecond)
 	}
+}
+
+// acquireSlot charges an admitted call against the configured admission
+// limits, failing fast with typed backpressure when a limit is saturated.
+// Admission control is the first hardening line: a hostile tenant pumping
+// calls hits its quota and fails cheaply in its own process, instead of
+// queueing work that starves well-behaved tenants of gate slots or
+// hardware-key pins.
+func (l *Library) acquireSlot(s *Session) error {
+	if l.MaxInFlight <= 0 && l.TenantQuota <= 0 {
+		return nil
+	}
+	if l.MaxInFlight > 0 {
+		if n := l.inflight.Add(1); n > int64(l.MaxInFlight) {
+			l.inflight.Add(-1)
+			l.gateRejections.Add(1)
+			return ErrOverloaded
+		}
+	}
+	if l.TenantQuota > 0 {
+		if s.quota == nil {
+			s.quota = l.tenantCounter(s.Thread.Proc.ID)
+		}
+		if n := s.quota.Add(1); n > int64(l.TenantQuota) {
+			s.quota.Add(-1)
+			if l.MaxInFlight > 0 {
+				l.inflight.Add(-1)
+			}
+			l.gateRejections.Add(1)
+			return ErrTenantQuota
+		}
+	}
+	s.slotHeld = true
+	return nil
+}
+
+// releaseSlot returns the admission charges taken by acquireSlot.
+func (l *Library) releaseSlot(s *Session) {
+	if !s.slotHeld {
+		return
+	}
+	s.slotHeld = false
+	if l.MaxInFlight > 0 {
+		l.inflight.Add(-1)
+	}
+	if l.TenantQuota > 0 && s.quota != nil {
+		s.quota.Add(-1)
+	}
+}
+
+// tenantCounter returns (creating if needed) the per-process admission
+// counter used for TenantQuota accounting.
+func (l *Library) tenantCounter(pid int) *atomic.Int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tenantLoad == nil {
+		l.tenantLoad = make(map[int]*atomic.Int64)
+	}
+	c := l.tenantLoad[pid]
+	if c == nil {
+		c = new(atomic.Int64)
+		l.tenantLoad[pid] = c
+	}
+	return c
 }
 
 // Call runs fn as a protected-library call on session s, performing the full
@@ -303,18 +494,44 @@ func Call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), arg A) (res
 	// Resolve the domain's hardware key. Virtual domains bind their key
 	// through the vtable for the duration of the call (the pin keeps the
 	// mapping from being recycled out from under the amplified thread);
-	// a bind failure — every hardware key pinned — rejects the call.
+	// a bind failure — every hardware key pinned — rejects the call as
+	// retryable backpressure (every pin is an in-flight call about to
+	// release it), not as a fault.
+	reject := func(bErr error) error {
+		if errors.Is(bErr, pku.ErrAllKeysPinned) {
+			l.gateRejections.Add(1)
+			bErr = &overloadedError{cause: bErr}
+		}
+		l.rejected.Add(1)
+		l.releaseSlot(s)
+		s.callStart.Store(0)
+		t.ExitLibrary()
+		return bErr
+	}
 	hw := l.Domain.Key
 	vt := l.Domain.VT
 	if vt != nil {
 		k, bErr := vt.Bind(l.Domain.VKey)
 		if bErr != nil {
-			l.rejected.Add(1)
-			s.callStart.Store(0)
-			t.ExitLibrary()
-			return res, bErr
+			return res, reject(bErr)
 		}
 		hw = k
+	}
+	// Per-tenant protection domain (gate hardening): bind the session's own
+	// virtual key too, so the amplified register grants the library's pages
+	// plus exactly this tenant's — a sibling tenant's buffers stay fenced
+	// even from code running inside the gate.
+	var tvt *pku.VTable
+	var thw pku.Key
+	if td := s.Tenant; td != nil && td.VT != nil {
+		k, bErr := td.VT.Bind(td.VKey)
+		if bErr != nil {
+			if vt != nil {
+				vt.Unbind(l.Domain.VKey)
+			}
+			return res, reject(bErr)
+		}
+		tvt, thw = td.VT, k
 	}
 	l.calls.Add(1)
 	// Entry crossing: stack switch plus rights amplification, timed from
@@ -326,28 +543,64 @@ func Call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), arg A) (res
 	}
 	s.stackDepth++ // switch to the library-side stack
 	saved := t.PKRU()
-	if vt != nil {
-		// Lazy PKRU synchronization (libmpk): a remap since this thread
-		// last synced means its register may grant hardware keys whose
-		// meaning changed. Scrub to the all-restricted baseline once,
-		// instead of rewriting every thread's register at remap time.
-		if g := vt.Gen(); t.VTGen() != g {
+	// Lazy PKRU synchronization (libmpk): a remap since this thread last
+	// synced means its register may grant hardware keys whose meaning
+	// changed. Scrub to the all-restricted baseline once, instead of
+	// rewriting every thread's register at remap time. The tenant table is
+	// the one that remaps in steady state, so it drives the generation when
+	// both a virtual library domain and a tenant domain are in play.
+	syncVT := tvt
+	if syncVT == nil {
+		syncVT = vt
+	}
+	if syncVT != nil {
+		if g := syncVT.Gen(); t.VTGen() != g {
 			saved = pku.AllRestricted()
 			proc.WRPKRU(t, saved)
-			vt.NoteSync()
+			syncVT.NoteSync()
 			t.SetVTGen(g)
 		}
 	}
+	// Trampoline register sanitization (gate hardening, Garmr's stray-
+	// wrpkru class): the saved register is about to be restored verbatim on
+	// exit, so a forged value — one granting keys only trampolines may
+	// grant — would hand the forger standing access to protected pages.
+	// Application registers are AllRestricted outside the gate; anything
+	// that grants a library- or vtable-owned key is forged and is scrubbed
+	// to the baseline instead of trusted.
+	if base := pku.AllRestricted(); saved != base {
+		forged := vt == nil && hw != pku.KeyDefault && saved.CanRead(hw) ||
+			vt != nil && vt.GrantsOwnedKey(saved) ||
+			tvt != nil && tvt.GrantsOwnedKey(saved)
+		if forged {
+			saved = base
+			proc.WRPKRU(t, saved)
+			l.attacksContained.Add(1)
+		}
+	}
 	s.savedPKRU = uint32(saved)
-	proc.WRPKRU(t, saved.WithAccess(hw))
+	amp := saved.WithAccess(hw)
+	if tvt != nil {
+		amp = amp.WithAccess(thw)
+	}
+	proc.WRPKRU(t, amp)
 	if l.Profile {
 		l.cross.Record(time.Since(crossStart))
 	}
 
 	defer func() {
 		crashed := recover()
+		contained := false
 		if crashed != nil {
 			l.crashes.Add(1)
+			// A panic value carrying the ContainedAttack marker (a pku
+			// protection fault, a core lock-fence denial) is a hostile or
+			// zombie access the protection layers *denied*: the denial is
+			// the proof that no protected state moved.
+			if _, ok := crashed.(interface{ ContainedAttack() }); ok {
+				contained = true
+				l.attacksContained.Add(1)
+			}
 			err = &CrashError{Lib: l.Name, Cause: crashed}
 			// Record the token defunct while the in-flight record is
 			// still published: a repair drain that observes this call
@@ -365,22 +618,33 @@ func Call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), arg A) (res
 			exitStart = time.Now()
 		}
 		proc.WRPKRU(t, saved)
+		if tvt != nil {
+			tvt.Unbind(s.Tenant.VKey)
+		}
 		if vt != nil {
 			vt.Unbind(l.Domain.VKey)
 		}
 		s.stackDepth--
 		s.callStart.Store(0)
+		l.releaseSlot(s)
 		t.ExitLibrary()
 		if l.Profile {
 			// Exit crossing: rights restoration plus stack switch back.
 			l.cross.Record(time.Since(exitStart))
 		}
-		if crashed != nil {
+		switch {
+		case crashed == nil:
+			l.crossings.Add(1)
+		case contained && s.reaped.Load():
+			// A fence denial unwinding an already-reaped zombie: the
+			// repair cycle for its reaping already ran (or is running),
+			// and the denial proves this unwind touched nothing since.
+			// Starting another quarantine→repair cycle would let a
+			// hostile tenant trigger repairs at will just by re-entering.
+		default:
 			// After the in-flight record is retired: the repair drain
 			// must not wait for this call before repairing.
 			l.beginRecovery(crashed)
-		} else {
-			l.crossings.Add(1)
 		}
 	}()
 
@@ -514,9 +778,14 @@ func (l *Library) DrainLiveCalls(timeout time.Duration) bool {
 }
 
 // sweepLiveCalls reports whether any live call is still in flight,
-// reaping overdue calls of killed processes along the way.
+// reaping overdue calls of killed processes along the way. With
+// LiveCallBudget set it also reaps live calls that have overrun twice
+// their budget: without this a hostile tenant spinning inside the gate
+// would stall the drain past its deadline and poison the library — the
+// drain itself would become the denial-of-service vector.
 func (l *Library) sweepLiveCalls(now time.Time) bool {
 	timeout := l.callTimeout()
+	budget := l.LiveCallBudget
 	l.mu.Lock()
 	sessions := make([]*Session, len(l.sessions))
 	copy(sessions, l.sessions)
@@ -527,8 +796,22 @@ func (l *Library) sweepLiveCalls(now time.Time) bool {
 		if start == 0 || s.reaped.Load() {
 			continue
 		}
-		if s.Thread.Proc.Killed() && now.Sub(time.Unix(0, start)) > timeout {
+		elapsed := now.Sub(time.Unix(0, start))
+		if s.Thread.Proc.Killed() && elapsed > timeout {
 			s.reaped.Store(true)
+			l.mu.Lock()
+			l.defunct[s.Thread.LockOwner()] = true
+			l.mu.Unlock()
+			continue
+		}
+		if !s.Thread.Proc.Killed() && budget > 0 && elapsed > 2*budget {
+			// Live-budget reap during a drain: recovery is already in
+			// progress, so only fence the session and record its token —
+			// no new recovery cycle to start.
+			s.reaped.Store(true)
+			s.esc.Store(escReaped)
+			l.tenantReaps.Add(1)
+			l.attacksContained.Add(1)
 			l.mu.Lock()
 			l.defunct[s.Thread.LockOwner()] = true
 			l.mu.Unlock()
@@ -557,14 +840,21 @@ func Wrap[A, R any](l *Library, name string, fn func(*proc.Thread, A) (R, error)
 	}
 }
 
-// WatchdogSweep enforces the execution-time limit on the run-to-completion
-// guarantee: if a thread of a killed process has been inside a library call
-// for longer than CallTimeout, the OS gives up waiting and terminates it.
-// Since the thread may hold locks, this poisons the library — or, with a
-// repair routine registered, triggers a recovery cycle. now is injected
-// for testability. It returns the number of overdue calls found.
+// WatchdogSweep enforces the execution-time limits on gate calls. For
+// killed processes it is the run-to-completion bound: a thread of a killed
+// process inside a call longer than CallTimeout is terminated by the OS.
+// For *live* sessions (gate hardening) it enforces LiveCallBudget with an
+// escalation ladder: past the budget the call draws a warning; past 1.5x
+// an abort request that cooperative library code (the batch dispatcher)
+// honours between operations; past 2x the call is reaped exactly like an
+// overdue call of a killed process — fenced, its locks broken, the store
+// repaired online while sibling tenants keep serving. Since a reaped
+// thread may hold locks, reaping triggers a recovery cycle (or poisons a
+// library with no repair routine). now is injected for testability. It
+// returns the number of calls reaped.
 func (l *Library) WatchdogSweep(now time.Time) int {
 	timeout := l.callTimeout()
+	budget := l.LiveCallBudget
 	l.mu.Lock()
 	sessions := make([]*Session, len(l.sessions))
 	copy(sessions, l.sessions)
@@ -572,13 +862,37 @@ func (l *Library) WatchdogSweep(now time.Time) int {
 	overdue := 0
 	for _, s := range sessions {
 		start := s.callStart.Load()
-		if start == 0 || s.reaped.Load() || !s.Thread.Proc.Killed() {
+		if start == 0 || s.reaped.Load() {
 			continue
 		}
-		if now.Sub(time.Unix(0, start)) > timeout {
+		elapsed := now.Sub(time.Unix(0, start))
+		if s.Thread.Proc.Killed() {
+			if elapsed > timeout {
+				overdue++
+				s.reaped.Store(true)
+				l.noteCrash(s.Thread.LockOwner(), "watchdog: overdue call of killed process")
+			}
+			continue
+		}
+		if budget <= 0 {
+			continue
+		}
+		switch {
+		case elapsed > 2*budget:
 			overdue++
 			s.reaped.Store(true)
-			l.noteCrash(s.Thread.LockOwner(), "watchdog: overdue call of killed process")
+			s.esc.Store(escReaped)
+			l.tenantReaps.Add(1)
+			l.attacksContained.Add(1)
+			l.noteCrash(s.Thread.LockOwner(), "watchdog: live call exceeded its execution budget")
+		case elapsed > budget+budget/2:
+			if s.esc.CompareAndSwap(escWarned, escAbort) || s.esc.CompareAndSwap(escNone, escAbort) {
+				l.tenantAborts.Add(1)
+			}
+		default: // elapsed > budget
+			if elapsed > budget && s.esc.CompareAndSwap(escNone, escWarned) {
+				l.tenantWarns.Add(1)
+			}
 		}
 	}
 	return overdue

@@ -1,0 +1,89 @@
+package hodor
+
+import (
+	"math"
+	"testing"
+
+	"plibmc/internal/pku"
+	"plibmc/internal/proc"
+	"plibmc/internal/shm"
+)
+
+// TestLazySyncGenerationRollover (ISSUE 7 satellite): the trampoline's
+// staleness test is an inequality against the vtable generation, so it must
+// keep scrubbing across the counter wrapping through zero. A thread whose
+// cached generation is MaxUint64 meets a table whose generation just
+// remapped to 0; an ordered comparison would call the thread fresh and
+// restore a register whose hardware-key grants predate the remap.
+func TestLazySyncGenerationRollover(t *testing.T) {
+	const domains = 2
+	heap := shm.New(domains * shm.PageSize)
+	pt := pku.NewPageTable(heap)
+	vt, err := pku.NewVTable(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libs := make([]*Library, domains)
+	for i := range libs {
+		dom := NewVirtualDomain(heap, pt, vt)
+		if err := dom.Protect(uint64(i)*shm.PageSize, shm.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		libs[i] = NewLibrary("vlib", 0, dom)
+	}
+	p, err := proc.NewProcess(1000, heap, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (Loader{}).Load(p, Binary{}, libs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := p.NewThread()
+	sess := make([]*Session, domains)
+	for i := range libs {
+		if sess[i], err = res.Attach(th, libs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	noop := func(*proc.Thread, struct{}) (struct{}, error) { return struct{}{}, nil }
+
+	// Warm both domains so later binds are remap-free, then park the table
+	// one remap before the rollover and let the thread sync to it: after
+	// the warm call the thread's cached generation is MaxUint64.
+	for i := range sess {
+		if _, err := Call(sess[i], noop, struct{}{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vt.SetGenForTest(math.MaxUint64)
+	if _, err := Call(sess[0], noop, struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if g := th.VTGen(); g != math.MaxUint64 {
+		t.Fatalf("thread cached generation %d, want MaxUint64", g)
+	}
+	// One fresh mapping wraps the generation to zero — "older" than the
+	// thread's cache under any ordered comparison, yet stale.
+	s0 := vt.Syncs()
+	tv := vt.AllocVirtual()
+	if _, err := vt.Bind(tv); err != nil {
+		t.Fatal(err)
+	}
+	vt.Unbind(tv)
+	if g := vt.Gen(); g != 0 {
+		t.Fatalf("vtable generation %d after rollover remap, want 0", g)
+	}
+	if _, err := Call(sess[0], noop, struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if vt.Syncs() <= s0 {
+		t.Fatal("no lazy sync across the generation rollover: stale register restored")
+	}
+	if g := th.VTGen(); g != vt.Gen() {
+		t.Fatalf("thread generation %d not resynced to %d", g, vt.Gen())
+	}
+	if got := th.PKRU(); got != pku.AllRestricted() {
+		t.Fatalf("register %v outside the gate after rollover, want all-restricted", got)
+	}
+}

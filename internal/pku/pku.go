@@ -206,6 +206,12 @@ type ProtFault struct {
 	PKRU  PKRU
 }
 
+// ContainedAttack marks a ProtFault as a *contained* violation for the gate
+// hardening layer: the denial itself is the proof that no data moved. The
+// hodor trampoline checks for this marker interface when a call unwinds so
+// containment can be counted separately from genuine crashes.
+func (f *ProtFault) ContainedAttack() {}
+
 func (f *ProtFault) Error() string {
 	kind := "read"
 	if f.Write {

@@ -25,10 +25,18 @@ package pku
 //     exists so tests can assert syncs ≪ domains × calls.
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrAllKeysPinned is returned by Bind when no hardware key is free and every
+// current mapping is pinned by an in-flight call. It is a transient overload
+// condition, not a fault: callers should surface it as retryable backpressure
+// (a later Bind succeeds as soon as any in-flight call retires and releases
+// its pin).
+var ErrAllKeysPinned = errors.New("pku: no hardware key available and every mapping is pinned")
 
 // VKey is a virtual protection key: an unbounded analog of Key, valid only
 // within the VTable that allocated it. Zero is never a valid VKey.
@@ -129,11 +137,16 @@ func (vt *VTable) Bind(v VKey) (Key, error) {
 }
 
 // Unbind releases the pin taken by Bind. The mapping stays in place (warm)
-// until eviction needs its hardware key.
+// until eviction needs its hardware key. Unbind of a key that Revoke tore
+// down mid-call is a silent no-op: the revocation already dropped the pin
+// along with the mapping, and the unwinding caller must not panic again.
 func (vt *VTable) Unbind(v VKey) {
 	vt.mu.Lock()
 	defer vt.mu.Unlock()
-	st := vt.state(v)
+	st := vt.states[v]
+	if st == nil {
+		return // revoked while the call was in flight
+	}
 	if st.pins <= 0 {
 		panic(fmt.Sprintf("pku: unbind of unpinned virtual key %d", v))
 	}
@@ -156,7 +169,7 @@ func (vt *VTable) mapLocked(st *vkeyState) (Key, error) {
 		} else {
 			victim := vt.lruVictimLocked()
 			if victim == nil {
-				return 0, fmt.Errorf("pku: no hardware key available and every mapping is pinned")
+				return 0, ErrAllKeysPinned
 			}
 			for _, r := range victim.ranges {
 				if err := vt.pt.Assign(r.off, r.n, vt.fence); err != nil {
@@ -215,6 +228,73 @@ func (vt *VTable) FreeVirtual(v VKey) error {
 	delete(vt.states, v)
 	return nil
 }
+
+// Revoke forcibly retires a virtual key, pins notwithstanding: its pages
+// revert to the fence key, its hardware key (if mapped) returns to the free
+// pool, and the generation advances so every thread scrubs before trusting
+// its register again. This is the teardown path for *dead* domain owners —
+// a reaped zombie or a killed process may still "hold" a pin it will never
+// release, and waiting for it would leak a hardware key forever. Any Unbind
+// the zombie's unwind later issues is a no-op (see Unbind). Revoking an
+// unknown (already-revoked) key is a no-op.
+func (vt *VTable) Revoke(v VKey) {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	st := vt.states[v]
+	if st == nil {
+		return
+	}
+	for _, r := range st.ranges {
+		// Fence assignments cannot fail: the ranges were validated when first
+		// assigned and the fence key is permanently allocated.
+		vt.pt.Assign(r.off, r.n, vt.fence) //nolint:errcheck
+	}
+	if st.hw != 0 {
+		vt.free = append(vt.free, st.hw)
+	}
+	delete(vt.states, v)
+	vt.gen.Add(1)
+}
+
+// GrantsOwnedKey reports whether register p grants read access to any
+// hardware key this table owns (the fence, a free-pool key, or a key
+// currently backing some mapping). Application code outside a gate crossing
+// must never hold such a grant — the trampoline is the only legitimate
+// writer of amplified registers and it always restores the saved value on
+// exit — so a true result identifies a forged or stale register (Garmr's
+// stray-wrpkru attack class) that the gate must scrub rather than trust.
+func (vt *VTable) GrantsOwnedKey(p PKRU) bool {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	if p.CanRead(vt.fence) {
+		return true
+	}
+	for _, k := range vt.free {
+		if p.CanRead(k) {
+			return true
+		}
+	}
+	for _, st := range vt.states {
+		if st.hw != 0 && p.CanRead(st.hw) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pins reports the pin count currently held on v (0 for unknown keys).
+func (vt *VTable) Pins(v VKey) int {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	if st := vt.states[v]; st != nil {
+		return st.pins
+	}
+	return 0
+}
+
+// SetGenForTest forces the mapping generation, so tests can exercise the
+// lazy-sync protocol across a counter rollover without 2^64 remaps.
+func (vt *VTable) SetGenForTest(g uint64) { vt.gen.Store(g) }
 
 // Gen returns the current mapping generation. A thread whose cached
 // generation differs must synchronize its pkru register before relying on

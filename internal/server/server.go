@@ -21,9 +21,10 @@ import (
 // when every server thread is busy, parsed requests queue, which is exactly
 // the bottleneck the paper observes once clients outnumber server capacity.
 type Server struct {
-	store   *Store
-	ln      net.Listener
-	threads int
+	store       *Store
+	ln          net.Listener
+	threads     int
+	readTimeout time.Duration
 
 	reqCh   chan request
 	wg      sync.WaitGroup
@@ -63,6 +64,12 @@ type Config struct {
 	MemLimit int64
 	// HashPower is log2 of the bucket count.
 	HashPower uint
+	// ReadTimeout, when positive, bounds how long a connection may sit
+	// idle between commands before the server drops it — the socket-side
+	// twin of the library gate's live-call budget (ISSUE 7): a client
+	// holding a connection open without speaking cannot hoard a reader
+	// goroutine forever. Zero keeps the historical block-forever reads.
+	ReadTimeout time.Duration
 }
 
 // New creates a server and starts listening, but serves no connections
@@ -82,11 +89,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	return &Server{
-		store:   NewStore(cfg.MemLimit, cfg.HashPower),
-		ln:      ln,
-		threads: cfg.Threads,
-		reqCh:   make(chan request, 1024),
-		version: "1.6.0-baseline",
+		store:       NewStore(cfg.MemLimit, cfg.HashPower),
+		ln:          ln,
+		threads:     cfg.Threads,
+		readTimeout: cfg.ReadTimeout,
+		reqCh:       make(chan request, 1024),
+		version:     "1.6.0-baseline",
 	}, nil
 }
 
@@ -133,6 +141,20 @@ func (s *Server) handleConn(c net.Conn) {
 		r: bufio.NewReaderSize(c, 64<<10),
 		w: bufio.NewWriterSize(c, 64<<10),
 	}
+	// armIdle bounds each blocking wait for (and read of) the next
+	// command; the deadline is cleared once the command is in hand so the
+	// pool hand-off and reply write are not charged against idle time.
+	armIdle := func() {
+		if s.readTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.readTimeout)) //nolint:errcheck
+		}
+	}
+	disarmIdle := func() {
+		if s.readTimeout > 0 {
+			c.SetReadDeadline(time.Time{}) //nolint:errcheck
+		}
+	}
+	armIdle()
 	first, err := cs.r.Peek(1)
 	if err != nil {
 		return
@@ -140,10 +162,13 @@ func (s *Server) handleConn(c net.Conn) {
 	cs.binary = first[0] == 0x80
 	done := make(chan struct{})
 	for {
-		// Read one command (blocking), then greedily drain whatever else
-		// the client pipelined: the whole run crosses the pool once.
+		// Read one command (blocking, bounded by the idle timeout), then
+		// greedily drain whatever else the client pipelined: the whole run
+		// crosses the pool once.
 		cmds := make([]*protocol.Command, 0, 4)
+		armIdle()
 		cmd, err := s.readCommand(cs)
+		disarmIdle()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !s.closed.Load() {
 				// Protocol error: best-effort error line for ASCII.

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"io"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"plibmc/internal/client"
+)
+
+// TestIdleReadTimeout (ISSUE 7 satellite): a client that connects and then
+// goes silent is dropped after ReadTimeout — a hoarded connection cannot
+// pin a reader goroutine forever — while a client that keeps talking,
+// however slowly between commands it stays under the limit, is served
+// indefinitely.
+func TestIdleReadTimeout(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "idle.sock")
+	srv, err := New(Config{
+		Network: "unix", Addr: sock, Threads: 2,
+		ReadTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	// The camper: connects, says nothing. The server must hang up.
+	camper, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer camper.Close()
+	camper.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	start := time.Now()
+	if _, err := camper.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("silent connection read %v after %v, want EOF (server hangup)",
+			err, time.Since(start))
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("server took %v to drop the idle connection (limit 50ms)", elapsed)
+	}
+
+	// The talker: pauses under the limit between commands, works forever.
+	c, err := client.Dial("unix", sock, client.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set([]byte("k"), []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		time.Sleep(20 * time.Millisecond)
+		if v, _, _, err := c.Get([]byte("k")); err != nil || string(v) != "v" {
+			t.Fatalf("paced client dropped on round %d: %q, %v", i, v, err)
+		}
+	}
+
+	// A half-sent command is bounded by the same deadline: one byte of an
+	// ASCII command, then silence, must not wedge the reader.
+	straggler, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer straggler.Close()
+	if _, err := straggler.Write([]byte("g")); err != nil {
+		t.Fatal(err)
+	}
+	straggler.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if _, err := io.ReadAll(straggler); err != nil {
+		t.Fatalf("half-command connection not dropped: %v", err)
+	}
+}

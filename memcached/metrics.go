@@ -179,6 +179,13 @@ func (m *Metrics) Samples() []metrics.Sample {
 		out = latencyQuantiles(out, "plibmc_trampoline_crossing_seconds", &cr)
 	}
 
+	// Gate-hardening containment counters.
+	g("plibmc_attacks_contained_total", float64(m.Library.AttacksContained))
+	g("plibmc_tenant_calls_reaped_total", float64(m.Library.TenantCallsReaped))
+	g("plibmc_tenant_warns_total", float64(m.Library.TenantWarns))
+	g("plibmc_tenant_aborts_total", float64(m.Library.TenantAborts))
+	g("plibmc_gate_rejections_total", float64(m.Library.GateRejections))
+
 	// Recovery events.
 	g("plibmc_recovery_repairs_total", float64(m.Recovery.Repairs))
 	g("plibmc_recovery_locks_broken_total", float64(m.Recovery.LocksBroken))
@@ -221,6 +228,11 @@ func (m *Metrics) Vars() map[string]any {
 		"batched_ops":              m.Ops.BatchedOps,
 		"crossings_per_op":         m.CrossingsPerOp(),
 		"mean_batch_size":          m.MeanBatchSize(),
+		"attacks_contained":        m.Library.AttacksContained,
+		"tenant_calls_reaped":      m.Library.TenantCallsReaped,
+		"tenant_warns":             m.Library.TenantWarns,
+		"tenant_aborts":            m.Library.TenantAborts,
+		"gate_rejections":          m.Library.GateRejections,
 		"recovery_repairs":         uint64(m.Recovery.Repairs),
 		"recovery_locks_broken":    uint64(m.Recovery.LocksBroken),
 		"recovery_readers_retired": uint64(m.Recovery.ReadersRetired),

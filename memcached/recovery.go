@@ -7,6 +7,7 @@ import (
 	"plibmc/internal/core"
 	"plibmc/internal/hodor"
 	"plibmc/internal/proc"
+	"plibmc/internal/shm"
 )
 
 // Crash recovery.
@@ -126,6 +127,12 @@ func (b *Bookkeeper) repairStore(cause *hodor.CrashError) error {
 	if _, err := b.alloc.Check(); err != nil {
 		return fmt.Errorf("memcached: heap verification after repair failed: %w", err)
 	}
+	// Gate hardening: tear down protection domains of tenants that died or
+	// were reaped, returning their virtual keys and arena pages. Runs after
+	// structural repair so a revoked tenant's in-flight unwind has nothing
+	// left to race with.
+	b.sweepDeadTenantDomains()
+
 	rep.LocksBroken = locksBroken
 	rep.ReadersRetired = readersRetired
 	b.repairReportMu.Lock()
@@ -138,6 +145,38 @@ func (b *Bookkeeper) repairStore(cause *hodor.CrashError) error {
 	b.lastRepairAt = time.Now()
 	b.repairReportMu.Unlock()
 	return nil
+}
+
+// sweepDeadTenantDomains revokes the per-tenant protection domains of
+// sessions that can never use them again: watchdog-reaped sessions and
+// sessions of killed processes with no call in flight (a run-to-completion
+// call still owns its pin; a later repair catches it). Revocation re-tags
+// the tenant's arena to the fence, returns its hardware key, and frees the
+// arena page back to the heap under the library's key — so a hostile
+// tenant cannot leak protection keys or heap pages by getting reaped.
+func (b *Bookkeeper) sweepDeadTenantDomains() {
+	if b.vt == nil {
+		return
+	}
+	b.tenantMu.Lock()
+	var dead []*Session
+	for s := range b.tenants {
+		if s.hs.Reaped() || (s.th.Proc.Killed() && !s.hs.InCall()) {
+			dead = append(dead, s)
+			delete(b.tenants, s)
+		}
+	}
+	b.tenantMu.Unlock()
+	if len(dead) == 0 {
+		return
+	}
+	rc := b.store.NewCtx(b.proc.NewThread().LockOwner())
+	for _, s := range dead {
+		b.vt.Revoke(s.tenantDom.VKey)
+		b.pt.Assign(s.tenantPage, shm.PageSize, b.dom.Key) //nolint:errcheck
+		rc.FreePage(s.tenantPage)                          //nolint:errcheck
+	}
+	rc.Close()
 }
 
 // LastRepair returns the most recent structural repair report and how

@@ -1,11 +1,15 @@
 package memcached
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
+	"time"
 
 	"plibmc/internal/core"
 	"plibmc/internal/hodor"
 	"plibmc/internal/proc"
+	"plibmc/internal/shm"
 )
 
 // Errors re-exported from the data plane (the memcached_return_t values).
@@ -110,7 +114,16 @@ type Session struct {
 	hs     *hodor.Session
 	th     *proc.Thread
 	ctx    *core.Ctx
+	b      *Bookkeeper
 	direct bool // skip trampolines ("Plib, No Hodor")
+
+	// tenantDom/tenantPage are this session's own protection domain (gate
+	// hardening): a virtual protection key plus a page-sized arena for the
+	// tenant's security-sensitive buffers, bound by the trampoline on every
+	// call so sibling tenants stay mutually fenced. Torn down on Close, or
+	// by the recovery sweep when the tenant dies or is reaped.
+	tenantDom  *hodor.Domain
+	tenantPage uint64
 
 	fnGet    func(*proc.Thread, getArgs) (getRes, error)
 	fnStore  func(*proc.Thread, storeArgs) (struct{}, error)
@@ -189,7 +202,16 @@ func (cp *ClientProcess) newSession(direct bool) (*Session, error) {
 		return nil, err
 	}
 	ctx := cp.b.store.NewCtx(th.LockOwner())
-	s := &Session{hs: hs, th: th, ctx: ctx, direct: direct}
+	s := &Session{hs: hs, th: th, ctx: ctx, b: cp.b, direct: direct}
+	if !direct && cp.b.vt != nil {
+		if err := cp.b.attachTenant(s); err != nil {
+			ctx.Close()
+			return nil, err
+		}
+		// Cooperative abort: the batch dispatcher polls the watchdog's
+		// abort request between operations of an over-budget batch.
+		ctx.AbortCheck = hs.AbortRequested
+	}
 	s.fnGet = func(_ *proc.Thread, a getArgs) (getRes, error) {
 		v, f, cas, err := ctx.Get(a.key)
 		return getRes{v, f, cas}, err
@@ -249,12 +271,93 @@ func (s *Session) Thread() *proc.Thread { return s.th }
 // Ctx exposes the raw operation context (ablation benchmarks).
 func (s *Session) Ctx() *core.Ctx { return s.ctx }
 
-// Close returns the session's cached heap blocks to the shared pool.
-func (s *Session) Close() { s.ctx.Close() }
+// Hodor exposes the underlying hodor session (gate-hardening tests drive
+// the watchdog and inspect escalation through it).
+func (s *Session) Hodor() *hodor.Session { return s.hs }
+
+// TenantDomain returns this session's own protection domain, or nil when
+// tenant domains are disabled (or the session is direct).
+func (s *Session) TenantDomain() *hodor.Domain { return s.tenantDom }
+
+// TenantArena returns the heap offset and size of this session's private
+// arena page (0, 0 without a tenant domain).
+func (s *Session) TenantArena() (off, n uint64) {
+	if s.tenantDom == nil {
+		return 0, 0
+	}
+	return s.tenantPage, shm.PageSize
+}
+
+// attachTenant equips a new session with its own protection domain: one
+// virtual key from the bookkeeper's vtable and a page-sized arena carved
+// from the heap and re-tagged under that key.
+func (b *Bookkeeper) attachTenant(s *Session) error {
+	page, err := s.ctx.AllocPage()
+	if err != nil {
+		return err
+	}
+	dom := hodor.NewVirtualDomain(b.heap, b.pt, b.vt)
+	if err := dom.Protect(page, shm.PageSize); err != nil {
+		b.pt.Assign(page, shm.PageSize, b.dom.Key) //nolint:errcheck
+		s.ctx.FreePage(page)                       //nolint:errcheck
+		return err
+	}
+	s.hs.Tenant = dom
+	s.tenantDom = dom
+	s.tenantPage = page
+	// Warm the mapping and pre-sync the thread against the remap our own
+	// mapping just caused, so the session's first call costs the same two
+	// wrpkru as every later one (the thread's register is AllRestricted
+	// here, which is valid against any generation). Skipped harmlessly if
+	// every hardware key happens to be pinned right now — the first call
+	// then pays one lazy sync.
+	if _, err := b.vt.Bind(dom.VKey); err == nil {
+		b.vt.Unbind(dom.VKey)
+		s.th.SetVTGen(b.vt.Gen())
+	}
+	b.tenantMu.Lock()
+	b.tenants[s] = struct{}{}
+	b.tenantMu.Unlock()
+	return nil
+}
+
+// detachTenant is the clean-teardown path (Close of a live session): the
+// virtual key retires, the arena page returns to the library's key and the
+// heap. Dead and reaped sessions instead go through the recovery sweep.
+func (b *Bookkeeper) detachTenant(s *Session) {
+	b.tenantMu.Lock()
+	delete(b.tenants, s)
+	b.tenantMu.Unlock()
+	if err := b.vt.FreeVirtual(s.tenantDom.VKey); err != nil {
+		// Still pinned — a call is somehow in flight on a closing session.
+		// Force the teardown; the pin holder's Unbind becomes a no-op.
+		b.vt.Revoke(s.tenantDom.VKey)
+	}
+	b.pt.Assign(s.tenantPage, shm.PageSize, b.dom.Key) //nolint:errcheck
+	s.ctx.FreePage(s.tenantPage)                       //nolint:errcheck
+}
+
+// Close returns the session's cached heap blocks to the shared pool and
+// tears down its tenant domain. A session whose process died or that the
+// watchdog reaped leaves teardown to the recovery sweep — a fenced context
+// must not touch the allocator.
+func (s *Session) Close() {
+	if s.tenantDom != nil {
+		if !s.hs.Reaped() && !s.th.Proc.Killed() {
+			s.b.detachTenant(s)
+		}
+		s.tenantDom = nil
+	}
+	s.ctx.Close()
+}
 
 // call dispatches through the trampoline, or directly in No-Hodor mode.
 // Queued GetAsync requests drain first, so their callbacks observe the
 // store as of before this operation (program order is preserved).
+// Overload rejections — gate saturation, tenant quota, hardware-key pin
+// exhaustion — are backpressure, not faults: the session retries with
+// exponential backoff and jitter, bounded by the recovery grace, and only
+// then surfaces the typed error.
 func call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), a A) (R, error) {
 	if len(s.pending) > 0 && !s.inFetch {
 		s.FetchAsync()
@@ -266,7 +369,35 @@ func call[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), a A) (R, er
 		}
 		return fn(s.th, a)
 	}
-	return hodor.Call(s.hs, fn, a)
+	r, err := hodor.Call(s.hs, fn, a)
+	if err != nil && errors.Is(err, hodor.ErrOverloaded) {
+		r, err = retryOverloaded(s, fn, a)
+	}
+	return r, err
+}
+
+// retryOverloaded spins a rejected call against transient gate overload.
+// Every cause of ErrOverloaded clears when some in-flight call retires, so
+// short waits win quickly in steady state; the recovery grace bounds the
+// total wait for pathological cases (a hostile tenant camping on the gate —
+// whom the watchdog will reap within 2x its budget anyway).
+func retryOverloaded[A, R any](s *Session, fn func(*proc.Thread, A) (R, error), a A) (R, error) {
+	grace := s.hs.Lib.RecoveryGrace
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	deadline := time.Now().Add(grace)
+	backoff := 2 * time.Microsecond
+	for {
+		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff)+1)))
+		if backoff < 256*time.Microsecond {
+			backoff *= 2
+		}
+		r, err := hodor.Call(s.hs, fn, a)
+		if err == nil || !errors.Is(err, hodor.ErrOverloaded) || time.Now().After(deadline) {
+			return r, err
+		}
+	}
 }
 
 // Get retrieves the value and flags stored under key.

@@ -67,6 +67,25 @@ type Config struct {
 	// DisableRecovery restores the paper's behaviour: a crash inside the
 	// library permanently poisons it instead of triggering online repair.
 	DisableRecovery bool
+
+	// LiveCallBudget is the per-call execution budget for live sessions
+	// (gate hardening): past it the watchdog escalates warn → abort-request
+	// → reap+repair, so a tenant spinning inside the gate is evicted
+	// instead of wedging everyone. Zero disables live-deadline enforcement.
+	LiveCallBudget time.Duration
+	// MaxInFlight caps concurrently admitted calls across all tenants;
+	// excess calls fail fast with hodor.ErrOverloaded (retryable
+	// backpressure). Zero means unlimited.
+	MaxInFlight int
+	// TenantQuota caps concurrently admitted calls per client process, so
+	// one noisy tenant cannot starve its siblings of gate slots. Zero
+	// means unlimited.
+	TenantQuota int
+	// DisableTenantDomains turns off per-session protection domains (each
+	// trampolined session otherwise gets its own virtual protection key
+	// and a page-sized arena for security-sensitive buffers, isolating
+	// tenants from each other and not just from the application).
+	DisableTenantDomains bool
 }
 
 // Bookkeeper is the bookkeeping process: it creates or reopens the store,
@@ -83,6 +102,14 @@ type Bookkeeper struct {
 	proc    *proc.Process
 	maint   *core.Maintainer
 	baseSeq atomic.Uint64
+
+	// vt multiplexes per-tenant virtual protection keys onto the hardware
+	// keys left over after the library's own; tenantMu guards the registry
+	// of sessions holding a tenant domain, which the recovery sweep walks
+	// to tear down domains of dead or reaped tenants.
+	vt       *pku.VTable
+	tenantMu sync.Mutex
+	tenants  map[*Session]struct{}
 
 	// repairMu serializes the mutually exclusive heavyweight passes:
 	// structural repair, maintenance, and checkpointing.
@@ -227,12 +254,26 @@ func newBookkeeper(cfg Config, heap *shm.Heap, alloc *ralloc.Allocator, store *c
 	lib := hodor.NewLibrary(LibraryName, cfg.OwnerUID, dom)
 	lib.CallTimeout = cfg.CallTimeout
 	lib.RecoveryGrace = cfg.RecoveryGrace
+	lib.LiveCallBudget = cfg.LiveCallBudget
+	lib.MaxInFlight = cfg.MaxInFlight
+	lib.TenantQuota = cfg.TenantQuota
 	registerEntryPoints(lib)
 
 	b := &Bookkeeper{
 		cfg: cfg, heap: heap, pt: pt, dom: dom, lib: lib,
 		alloc: alloc, store: store,
-		procs: make(map[int]*proc.Process),
+		procs:   make(map[int]*proc.Process),
+		tenants: make(map[*Session]struct{}),
+	}
+	if !cfg.DisableTenantDomains {
+		// Per-tenant protection domains multiplex over the hardware keys
+		// the library does not use; the vtable reserves one more as the
+		// fence backing unmapped tenant keys.
+		vt, err := pku.NewVTable(pt)
+		if err != nil {
+			return nil, err
+		}
+		b.vt = vt
 	}
 	b.baseSeq.Store(1)
 	bkProc, err := proc.NewProcess(cfg.OwnerUID, heap, b.nextBase())
@@ -265,6 +306,14 @@ func (b *Bookkeeper) Allocator() *ralloc.Allocator { return b.alloc }
 
 // Library exposes the Hodor library handle.
 func (b *Bookkeeper) Library() *hodor.Library { return b.lib }
+
+// VTable exposes the per-tenant protection-key table (nil when tenant
+// domains are disabled). Enforcement tests use it to inspect mappings.
+func (b *Bookkeeper) VTable() *pku.VTable { return b.vt }
+
+// Domain exposes the library's protection domain (guarded heap access for
+// enforcement tests).
+func (b *Bookkeeper) Domain() *hodor.Domain { return b.dom }
 
 // Stats returns a snapshot of the store's counters.
 func (b *Bookkeeper) Stats() core.Stats { return b.store.Stats() }

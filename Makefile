@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check faultmatrix corruptmatrix modelcheck modelcheck-long gatehard bench-noisy bench-seqlock bench-recovery bench-checksum bench-batch
+.PHONY: build test check faultmatrix corruptmatrix modelcheck modelcheck-long gatehard shardcheck bench-noisy bench-seqlock bench-recovery bench-checksum bench-batch
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 # run the packages that carry the seqlock/grave protocol under the race
 # detector (which exercises the sync/atomic build of the relaxed accessors),
 # a short chaos soak, and the crash-at-every-point fault matrix.
-check: build faultmatrix corruptmatrix modelcheck gatehard bench-noisy
+check: build faultmatrix corruptmatrix modelcheck gatehard shardcheck bench-noisy
 	$(GO) vet ./...
 	$(GO) test -race -count=1 ./internal/core ./internal/shm
 	$(GO) test -race -count=1 -short -run TestChaosKillsNeverCorrupt .
@@ -44,6 +44,17 @@ modelcheck-long:
 gatehard:
 	$(GO) test -race -count=1 -run 'TestGateHard' .
 	$(GO) test -race -count=1 ./internal/pku ./internal/gatehard ./internal/hodor ./internal/client ./internal/server
+
+# The shard-isolation gate (DESIGN.md §14): the placement ring's
+# determinism/balance/minimal-movement properties, the cluster routing and
+# proxy tier, a fault-injected crash + online repair on one shard of a
+# 4-shard cluster with zero survivor errors, and the sharded
+# model-checker round — all under the race detector.
+shardcheck:
+	$(GO) test -race -count=1 -run 'TestShardCrashIsolation' .
+	$(GO) test -race -count=1 -short -run 'TestModelCheckSharded' .
+	$(GO) test -race -count=1 ./internal/ring
+	$(GO) test -race -count=1 -run 'TestCluster' ./memcached
 
 # The noisy-tenant fairness sweep: p99 latency of well-behaved tenants with
 # one hostile tenant pumping batched writes through its admission quota.

@@ -1,7 +1,16 @@
-// Command memcachedd runs the baseline: the from-scratch reimplementation
-// of the original socket-based memcached that the paper compares against.
+// Command memcachedd runs the socket front ends.
+//
+// Default mode is the baseline: the from-scratch reimplementation of the
+// original socket-based memcached that the paper compares against.
 //
 //	memcachedd -listen unix:/tmp/mc.sock -threads 4 -m 1024
+//
+// With -shards N it instead fronts a cluster of N protected-library
+// stores behind the consistent-hash proxy tier: baseline-protocol clients
+// get sharding (and hot-key read replication) transparently, and each
+// shard keeps its own backing file, checkpoint slots, and repair domain.
+//
+//	memcachedd -shards 4 -path /var/lib/plibmc -listen tcp:0.0.0.0:11211
 package main
 
 import (
@@ -10,10 +19,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"plibmc/internal/server"
+	"plibmc/internal/shm"
+	"plibmc/memcached"
 )
 
 func main() {
@@ -23,6 +36,12 @@ func main() {
 		memMB   = flag.Int64("m", 1024, "memory limit in MiB")
 		hashPow = flag.Uint("hashpower", 16, "log2 of the bucket count")
 		metrics = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars over HTTP on this address")
+
+		shards  = flag.Int("shards", 0, "front a cluster of N protected-library stores instead of the baseline (0 = baseline)")
+		path    = flag.String("path", "", "cluster mode: directory holding one backing file per shard (empty = in-memory shards)")
+		vnodes  = flag.Int("vnodes", 0, "cluster mode: virtual nodes per shard on the placement ring (0 = default)")
+		hotThr  = flag.Uint64("hotkey-threshold", 0, "cluster mode: windowed read count that marks a key hot and replicates its reads (0 = off)")
+		ckptSec = flag.Int("checkpoint-secs", 0, "cluster mode: per-shard checkpoint interval in seconds (0 = only on shutdown)")
 	)
 	flag.Parse()
 
@@ -34,6 +53,15 @@ func main() {
 	if network == "unix" {
 		os.Remove(addr)
 	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *shards > 0 {
+		runCluster(network, addr, *shards, *path, *vnodes, *hotThr, *ckptSec, *memMB, *hashPow, *metrics, sig)
+		return
+	}
+
 	srv, err := server.New(server.Config{
 		Network: network, Addr: addr, Threads: *threads,
 		MemLimit: *memMB << 20, HashPower: *hashPow,
@@ -53,11 +81,82 @@ func main() {
 		fmt.Printf("memcachedd: metrics on http://%s/metrics\n", *metrics)
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	srv.Close()
 	snap := srv.Store().Snapshot()
 	fmt.Printf("memcachedd: stopped; %d items, %d gets (%d hits), %d sets, %d evictions\n",
 		snap.CurrItems, snap.Gets, snap.GetHits, snap.Sets, snap.Evictions)
+}
+
+// runCluster serves the sharded proxy tier: N protected-library stores
+// behind one listener.
+func runCluster(network, addr string, shards int, dir string, vnodes int,
+	hotThr uint64, ckptSec int, memMB int64, hashPow uint, metricsAddr string,
+	sig chan os.Signal) {
+	cfg := memcached.ClusterConfig{
+		Shards:          shards,
+		VirtualNodes:    vnodes,
+		Dir:             dir,
+		HotKeyThreshold: hotThr,
+		Store: memcached.Config{
+			// The per-process memory budget divides across shards so
+			// -m means the same thing in both modes.
+			HeapBytes: uint64(memMB<<20) / uint64(shards),
+			HashPower: hashPow,
+		},
+	}
+	open := dir != ""
+	if open {
+		// Reopen when every shard has a loadable image; otherwise format.
+		// A clean shutdown leaves .a/.b checkpoint slots rather than the
+		// bare base file, so check candidate slots, not the base path.
+		for i := 0; i < shards; i++ {
+			base := filepath.Join(dir, memcached.ShardImageName(i))
+			if len(shm.ImageCandidates(base)) == 0 {
+				open = false
+				break
+			}
+		}
+	}
+	var (
+		c   *memcached.Cluster
+		err error
+	)
+	if open {
+		c, err = memcached.OpenCluster(cfg)
+	} else {
+		c, err = memcached.CreateCluster(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memcachedd:", err)
+		os.Exit(1)
+	}
+	srv, err := c.ServeRemote(network, addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memcachedd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("memcachedd: %d-shard cluster proxy on %s:%s (reopened=%v, hotkey-threshold=%d)\n",
+		shards, network, addr, open, hotThr)
+	c.StartMaintenance(time.Second)
+	if ckptSec > 0 && dir != "" {
+		c.StartCheckpointing(time.Duration(ckptSec) * time.Second)
+	}
+	if metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(metricsAddr, c.MetricsHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "memcachedd: metrics server:", err)
+			}
+		}()
+		fmt.Printf("memcachedd: cluster metrics on http://%s/metrics\n", metricsAddr)
+	}
+
+	<-sig
+	srv.Close()
+	if err := c.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "memcachedd: shutdown:", err)
+	}
+	agg := c.Stats()
+	fmt.Printf("memcachedd: cluster stopped; %d items, %d gets (%d hits), %d sets across %d shards\n",
+		agg.CurrItems, agg.Gets, agg.GetHits, agg.Sets, shards)
 }

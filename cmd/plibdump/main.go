@@ -8,18 +8,27 @@
 //	plibdump -file /var/tmp/store.img -dump -max 10
 //	plibdump -file /var/tmp/store.img -metrics   # latency histograms
 //	plibdump -file /var/tmp/store.img -verify    # deep-verify all slots
+//	plibdump -file /var/lib/plibmc               # cluster dir: verify every shard
 //
 // -verify checks every image slot for the path (the base file plus the
 // .a/.b checkpoint slots): header and per-region checksums, the
 // allocator fsck, and a deep item audit (header checksums, hash↔key
 // agreement, value checksums). It exits nonzero if any slot is corrupt,
 // reporting exactly which 64 KiB regions and which items are damaged.
+//
+// Pointing -file at a directory switches to cluster mode: every
+// shard-*.img base in the directory (the layout memcachedd -shards
+// writes) is deep-verified with all its checkpoint slots, and the exit
+// code is nonzero if any shard has a corrupt slot.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"plibmc/internal/core"
 	"plibmc/internal/ralloc"
@@ -40,6 +49,9 @@ func main() {
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "plibdump: -file is required")
 		os.Exit(2)
+	}
+	if fi, err := os.Stat(*file); err == nil && fi.IsDir() {
+		os.Exit(verifyShardDir(*file, *max))
 	}
 	if *verify {
 		os.Exit(verifyImages(*file, *max))
@@ -139,6 +151,48 @@ func verifyImages(base string, max int) int {
 		if !verifyOne(cand, max) {
 			exit = 1
 		}
+	}
+	return exit
+}
+
+// verifyShardDir deep-verifies a cluster directory: every shard-*.img
+// base (and its checkpoint slots, via verifyImages) gets the full chain.
+// One decayed slot on one shard makes the whole run exit nonzero — an
+// operator checking the fleet's images wants the union of problems.
+func verifyShardDir(dir string, max int) int {
+	// A shard base may exist only as its .a/.b checkpoint slots (a clean
+	// shutdown writes a checkpoint, not the bare base image), so derive
+	// the base set from every slot's name.
+	slots, err := filepath.Glob(filepath.Join(dir, "shard-*.img*"))
+	fatalIf(err)
+	seen := make(map[string]bool)
+	var bases []string
+	for _, s := range slots {
+		base := strings.TrimSuffix(strings.TrimSuffix(s, ".a"), ".b")
+		if !strings.HasSuffix(base, ".img") || seen[base] {
+			continue // .tmp leftovers and duplicates
+		}
+		seen[base] = true
+		bases = append(bases, base)
+	}
+	if len(bases) == 0 {
+		fmt.Fprintf(os.Stderr, "plibdump: no shard-*.img images under %s\n", dir)
+		return 1
+	}
+	sort.Strings(bases)
+	fmt.Printf("%s: %d shards\n", dir, len(bases))
+	exit := 0
+	bad := 0
+	for _, base := range bases {
+		if verifyImages(base, max) != 0 {
+			exit = 1
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("cluster: %d of %d shards have corrupt or unreadable slots\n", bad, len(bases))
+	} else {
+		fmt.Printf("cluster: all %d shards verified OK\n", len(bases))
 	}
 	return exit
 }

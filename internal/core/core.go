@@ -401,6 +401,20 @@ func (s *Store) nextCAS() uint64 {
 	return s.H.Add64(s.cfg+cfgCASCounter, 1)
 }
 
+// SeedCAS raises the CAS generation counter to at least base. A sharded
+// cluster seeds each shard's store with a disjoint base (shard index in
+// the high bits) so CAS tokens are unique across the whole cluster, not
+// just per store — reopening an existing image is a no-op because the
+// persisted counter is already past its base.
+func (s *Store) SeedCAS(base uint64) {
+	for {
+		cur := s.H.AtomicLoad64(s.cfg + cfgCASCounter)
+		if cur >= base || s.H.CAS64(s.cfg+cfgCASCounter, cur, base) {
+			return
+		}
+	}
+}
+
 // hashKey is 64-bit FNV-1a with a murmur3 finalizer, filling the
 // chain-hash role of memcached's Jenkins/Murmur hash. Plain FNV-1a leaves
 // its high bits poorly mixed on short sequential keys — bad for the

@@ -46,10 +46,17 @@ func ReadASCIICommand(r *bufio.Reader) (*Command, error) {
 		if len(args) < want {
 			return nil, fmt.Errorf("protocol: %s needs %d arguments", name, want)
 		}
-		flags, err1 := parseU64(args[1])
-		exp, err2 := parseI64(args[2])
+		// flags and exptime are range-checked to their wire widths: a
+		// 64-bit parse followed by a uint32() conversion would silently
+		// wrap out-of-range values (set k 4294967296 0 1 storing flags=0)
+		// instead of rejecting the command line.
+		flags, err1 := parseU32(args[1])
+		exp, err2 := parseExptime(args[2])
 		n, err3 := parseU64(args[3])
-		if err1 != nil || err2 != nil || err3 != nil || n > MaxBodyLen {
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("protocol: bad command line format for %s", name)
+		}
+		if err3 != nil || n > MaxBodyLen {
 			return nil, fmt.Errorf("protocol: bad %s arguments", name)
 		}
 		c := &Command{Op: op, Key: dup(args[0]), Flags: uint32(flags), Exptime: exp}
@@ -100,7 +107,7 @@ func ReadASCIICommand(r *bufio.Reader) (*Command, error) {
 		if len(args) < 2 {
 			return nil, fmt.Errorf("protocol: gat needs exptime and key")
 		}
-		exp, err := parseI64(args[0])
+		exp, err := parseExptime(args[0])
 		if err != nil {
 			return nil, fmt.Errorf("protocol: bad gat exptime")
 		}
@@ -109,7 +116,7 @@ func ReadASCIICommand(r *bufio.Reader) (*Command, error) {
 		if len(args) < 2 {
 			return nil, fmt.Errorf("protocol: touch needs key and exptime")
 		}
-		exp, err := parseI64(args[1])
+		exp, err := parseExptime(args[1])
 		if err != nil {
 			return nil, fmt.Errorf("protocol: bad touch exptime")
 		}
@@ -235,4 +242,15 @@ func readFull(r *bufio.Reader, b []byte) (int, error) {
 func dup(b []byte) []byte { return append([]byte(nil), b...) }
 
 func parseU64(b []byte) (uint64, error) { return strconv.ParseUint(string(b), 10, 64) }
-func parseI64(b []byte) (int64, error)  { return strconv.ParseInt(string(b), 10, 64) }
+
+// parseU32 parses a field whose wire width is 32 bits (flags); values that
+// do not fit are a protocol error, not a silent truncation.
+func parseU32(b []byte) (uint64, error) { return strconv.ParseUint(string(b), 10, 32) }
+
+// parseExptime parses an expiry field. The wire width is 32 bits signed
+// (memcached's rel_time/absolute-unixtime split lives in that range);
+// anything wider is a malformed command line.
+func parseExptime(b []byte) (int64, error) {
+	v, err := strconv.ParseInt(string(b), 10, 32)
+	return v, err
+}

@@ -83,13 +83,23 @@ func ReadASCIIReply(r *bufio.Reader, c *Command) (*Reply, error) {
 			if len(fields) < 4 || string(fields[0]) != "VALUE" {
 				return nil, fmt.Errorf("protocol: unexpected get reply %q", line)
 			}
-			flags, _ := strconv.ParseUint(string(fields[2]), 10, 32)
+			// A flags (or CAS) field that does not parse is a corrupt or
+			// malformed server reply; swallowing the error would silently
+			// yield flags=0 (or CAS=0) and feed garbage to the caller.
+			flags, ferr := strconv.ParseUint(string(fields[2]), 10, 32)
+			if ferr != nil {
+				return nil, fmt.Errorf("protocol: bad VALUE flags in %q", line)
+			}
 			n, err := strconv.Atoi(string(fields[3]))
 			if err != nil || n < 0 || n > MaxBodyLen {
 				return nil, fmt.Errorf("protocol: bad VALUE length in %q", line)
 			}
 			if len(fields) >= 5 {
-				rep.CAS, _ = strconv.ParseUint(string(fields[4]), 10, 64)
+				cas, cerr := strconv.ParseUint(string(fields[4]), 10, 64)
+				if cerr != nil {
+					return nil, fmt.Errorf("protocol: bad VALUE cas in %q", line)
+				}
+				rep.CAS = cas
 			}
 			data := make([]byte, n+2)
 			if _, err := readFull(r, data); err != nil {

@@ -1,0 +1,97 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Pre-fix, the ASCII storage parser read flags with a 64-bit parse and
+// truncated with uint32(), so "set k 4294967296 0 1" silently stored
+// flags=0. These tests pin the wire widths: flags is uint32, exptime is
+// int32, and anything wider is a command-line format error.
+
+func parseOne(t *testing.T, s string) (*Command, error) {
+	t.Helper()
+	return ReadASCIICommand(bufio.NewReader(bytes.NewReader([]byte(s))))
+}
+
+func TestASCIIFlagsWidth(t *testing.T) {
+	// 2^32 must be rejected, not wrapped to 0.
+	if c, err := parseOne(t, "set k 4294967296 0 1\r\nv\r\n"); err == nil {
+		t.Fatalf("flags 2^32 accepted, parsed as %d", c.Flags)
+	} else if !strings.Contains(err.Error(), "bad command line format") {
+		t.Fatalf("flags overflow error = %v, want bad command line format", err)
+	}
+	// The boundary value still fits.
+	c, err := parseOne(t, "set k 4294967295 0 1\r\nv\r\n")
+	if err != nil {
+		t.Fatalf("flags 2^32-1 rejected: %v", err)
+	}
+	if c.Flags != 4294967295 {
+		t.Fatalf("flags = %d, want 4294967295", c.Flags)
+	}
+	// Same check for every storage command, including cas.
+	for _, cmd := range []string{"add", "replace", "append", "prepend"} {
+		if _, err := parseOne(t, cmd+" k 4294967296 0 1\r\nv\r\n"); err == nil {
+			t.Errorf("%s: flags 2^32 accepted", cmd)
+		}
+	}
+	if _, err := parseOne(t, "cas k 4294967296 0 1 7\r\nv\r\n"); err == nil {
+		t.Error("cas: flags 2^32 accepted")
+	}
+}
+
+func TestASCIIExptimeWidth(t *testing.T) {
+	// Out-of-int32 exptimes are malformed, in both directions.
+	for _, exp := range []string{"2147483648", "-2147483649", "99999999999"} {
+		if _, err := parseOne(t, fmt.Sprintf("set k 0 %s 1\r\nv\r\n", exp)); err == nil {
+			t.Errorf("set exptime %s accepted", exp)
+		}
+		if _, err := parseOne(t, fmt.Sprintf("touch k %s\r\n", exp)); err == nil {
+			t.Errorf("touch exptime %s accepted", exp)
+		}
+		if _, err := parseOne(t, fmt.Sprintf("gat %s k\r\n", exp)); err == nil {
+			t.Errorf("gat exptime %s accepted", exp)
+		}
+	}
+	// In-range values, including the memcached "never expire again" -1,
+	// still parse.
+	for _, exp := range []string{"-1", "0", "2147483647", "-2147483648"} {
+		if _, err := parseOne(t, fmt.Sprintf("set k 0 %s 1\r\nv\r\n", exp)); err != nil {
+			t.Errorf("set exptime %s rejected: %v", exp, err)
+		}
+		if _, err := parseOne(t, fmt.Sprintf("touch k %s\r\n", exp)); err != nil {
+			t.Errorf("touch exptime %s rejected: %v", exp, err)
+		}
+	}
+}
+
+// Pre-fix, ReadASCIIReply ignored the error from parsing the VALUE line's
+// flags (and CAS) field, so a corrupt server reply silently became
+// flags=0 / cas=0. Both must now be protocol errors.
+func TestASCIIReplyRejectsBadValueLine(t *testing.T) {
+	get := &Command{Op: OpGet, Key: []byte("k")}
+	bad := []string{
+		"VALUE k notanumber 1 7\r\nv\r\nEND\r\n", // non-numeric flags
+		"VALUE k 4294967296 1 7\r\nv\r\nEND\r\n", // flags over uint32
+		"VALUE k 0 1 notacas\r\nv\r\nEND\r\n",    // non-numeric cas
+		"VALUE k 0 1 -2\r\nv\r\nEND\r\n",         // negative cas
+	}
+	for _, s := range bad {
+		if rep, err := ReadASCIIReply(bufio.NewReader(bytes.NewReader([]byte(s))), get); err == nil {
+			t.Errorf("corrupt reply %q accepted: %+v", s, rep)
+		}
+	}
+	// A well-formed line still parses, flags and cas intact.
+	rep, err := ReadASCIIReply(bufio.NewReader(bytes.NewReader(
+		[]byte("VALUE k 4294967295 1 9\r\nv\r\nEND\r\n"))), get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flags != 4294967295 || rep.CAS != 9 || string(rep.Value) != "v" {
+		t.Fatalf("reply = %+v", rep)
+	}
+}

@@ -1,0 +1,156 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := New(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(4, 0)
+	for i := 0; i < 10000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		sa, sb := a.Shard(k), b.Shard(k)
+		if sa != sb {
+			t.Fatalf("key %q maps to %d and %d on identical rings", k, sa, sb)
+		}
+		if sa < 0 || sa >= 4 {
+			t.Fatalf("key %q maps to out-of-range shard %d", k, sa)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, _ := New(4, 0)
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Shard([]byte(fmt.Sprintf("bal-%d", i)))]++
+	}
+	mean := float64(n) / 4
+	for s, c := range counts {
+		if ratio := float64(c) / mean; ratio < 0.7 || ratio > 1.3 {
+			t.Errorf("shard %d holds %d keys (%.2fx mean) — ring badly unbalanced: %v",
+				s, c, ratio, counts)
+		}
+	}
+}
+
+func TestRingRejectsBadShardCount(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := New(n, 0); err == nil {
+			t.Errorf("New(%d) accepted", n)
+		}
+	}
+}
+
+// Growing N→N+1 must move only ~1/(N+1) of the keyspace (the consistent-
+// hashing contract); a modulo router would move (N)/(N+1).
+func TestRingResizeMovesMinimalKeys(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		old, _ := New(n, 0)
+		grown, _ := New(n+1, 0)
+		moved := 0
+		const samples = 20000
+		for i := 0; i < samples; i++ {
+			k := []byte(fmt.Sprintf("resize-%d", i))
+			os, ns := old.Shard(k), grown.Shard(k)
+			if os != ns {
+				moved++
+				// Consistent hashing only ever moves keys *to* the new
+				// shard on growth; an old→old move means the ring is
+				// reshuffling keys it shouldn't.
+				if ns != n {
+					t.Fatalf("N=%d: key %q moved %d→%d, not to the new shard", n, k, os, ns)
+				}
+			}
+		}
+		frac := float64(moved) / samples
+		ideal := 1 / float64(n+1)
+		if frac > 1.5*ideal {
+			t.Errorf("N=%d→%d moved %.3f of keyspace, want ≤ %.3f (1.5×ideal %.3f)",
+				n, n+1, frac, 1.5*ideal, ideal)
+		}
+		if frac == 0 {
+			t.Errorf("N=%d→%d moved nothing — new shard owns no keys", n, n+1)
+		}
+		if mf := MovedFraction(old, grown, 20000); mf > 1.5*ideal || mf == 0 {
+			t.Errorf("MovedFraction = %.3f, want (0, %.3f]", mf, 1.5*ideal)
+		}
+	}
+}
+
+func TestRingPlan(t *testing.T) {
+	a, _ := New(4, 0)
+	// Identical rings: empty plan.
+	if p := Plan(a, a); len(p) != 0 {
+		t.Fatalf("Plan(r, r) = %d segments, want 0", len(p))
+	}
+	b, _ := New(5, 0)
+	plan := Plan(a, b)
+	if len(plan) == 0 {
+		t.Fatal("growth plan is empty")
+	}
+	for _, seg := range plan {
+		if seg.From == seg.To {
+			t.Fatalf("no-op segment in plan: %+v", seg)
+		}
+		if seg.To != 4 {
+			t.Fatalf("growth segment moves to shard %d, want only to new shard 4: %+v", seg.To, seg)
+		}
+	}
+	// The plan must agree with direct ownership for sampled keys: a key
+	// whose owner changed falls in some segment with matching From/To.
+	inSeg := func(h uint64, s Segment) bool {
+		if s.Start < s.End {
+			return h > s.Start && h <= s.End
+		}
+		return h > s.Start || h <= s.End // wrapped arc
+	}
+	for i := 0; i < 20000; i++ {
+		k := []byte(fmt.Sprintf("plan-%d", i))
+		from, to := a.Shard(k), b.Shard(k)
+		h := Hash(k)
+		var got *Segment
+		for j := range plan {
+			if inSeg(h, plan[j]) {
+				got = &plan[j]
+				break
+			}
+		}
+		if from == to {
+			if got != nil {
+				t.Fatalf("unmoved key %q covered by segment %+v", k, *got)
+			}
+			continue
+		}
+		if got == nil {
+			t.Fatalf("moved key %q (%d→%d) not covered by any segment", k, from, to)
+		}
+		if got.From != from || got.To != to {
+			t.Fatalf("key %q moves %d→%d but its segment says %d→%d", k, from, to, got.From, got.To)
+		}
+	}
+}
+
+// BenchmarkRingShard is the routing hot path: one hash + one binary
+// search over the vnode points.
+func BenchmarkRingShard(b *testing.B) {
+	r, err := New(4, DefaultVirtualNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bench%04d", i))
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Shard(keys[i%1024])
+	}
+	_ = sink
+}

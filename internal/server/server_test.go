@@ -350,6 +350,47 @@ func TestDeleteExpiredWireFrame(t *testing.T) {
 	roundTrip("delete k\r\n", "NOT_FOUND\r\n")
 }
 
+// TestFlagsOverflowWireFrame pins the wire behaviour for a storage command
+// whose flags field exceeds uint32: the server must answer CLIENT_ERROR,
+// not silently wrap the flags to 0 and store the value. Pre-fix the parser
+// accepted "set k 4294967296 0 1" and stored flags=0.
+func TestFlagsOverflowWireFrame(t *testing.T) {
+	srv, _ := startServer(t, 1)
+	c, err := net.Dial("unix", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := bufio.NewReader(c)
+	if _, err := c.Write([]byte("set k 4294967296 0 1\r\nv\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "CLIENT_ERROR") || !strings.Contains(line, "bad command line format") {
+		t.Fatalf("reply = %q, want CLIENT_ERROR ... bad command line format", line)
+	}
+	// The value must not have landed: a fresh connection's get misses.
+	c2, err := net.Dial("unix", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	r2 := bufio.NewReader(c2)
+	if _, err := c2.Write([]byte("get k\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err = r2.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line != "END\r\n" {
+		t.Fatalf("get after rejected set = %q, want END", line)
+	}
+}
+
 // TestStatsLatencyWire exercises the "stats latency" subcommand: per-op
 // service-time percentiles out of the baseline's single-lock histograms.
 func TestStatsLatencyWire(t *testing.T) {

@@ -1,0 +1,651 @@
+package memcached
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"time"
+
+	"plibmc/internal/core"
+	"plibmc/internal/metrics"
+	"plibmc/internal/ring"
+)
+
+// A Cluster fans one keyspace across N independent protected-library
+// stores. Each shard is a full Bookkeeper — its own shared heap, backing
+// file, A/B checkpoint slots, repair coordinator, and watchdog — so a
+// crash, scrub, or repair pass on one shard never stalls the others: the
+// isolation boundary of the paper's single store becomes the isolation
+// boundary of each shard. Keys are placed by a deterministic consistent-
+// hash ring (internal/ring) that the in-process fast lane, the socket
+// proxy (proxy.go), and offline tooling (plibdump over a shard directory)
+// all share.
+
+// ShardImageName returns the backing-file name of shard i inside a
+// cluster directory — the naming contract between the cluster and
+// plibdump's directory mode.
+func ShardImageName(i int) string { return fmt.Sprintf("shard-%03d.img", i) }
+
+// ClusterConfig configures a sharded store.
+type ClusterConfig struct {
+	// Shards is the store count. Required, ≥ 1.
+	Shards int
+	// VirtualNodes per shard on the ring (0 = ring.DefaultVirtualNodes).
+	VirtualNodes int
+	// Dir, when set, holds one backing file per shard (shard-000.img …);
+	// each shard gets its own A/B checkpoint slots beside its image.
+	// Empty means every shard is in-memory only.
+	Dir string
+	// Store is the per-shard configuration template. Path is overridden
+	// per shard (from Dir); every other field applies to each shard.
+	Store Config
+
+	// HotKeyThreshold is the windowed read count at which a key is
+	// declared hot and its reads start replicating to the next shard on
+	// the ring. 0 disables hot-key handling entirely.
+	HotKeyThreshold uint64
+	// HotKeyWindow is the decay period of the hot-key counters, in
+	// observed reads per shard (0 = 65536).
+	HotKeyWindow uint64
+}
+
+// Cluster is the multi-store handle.
+type Cluster struct {
+	cfg    ClusterConfig
+	ring   *ring.Ring
+	shards []*Bookkeeper
+	hot    []*hotTracker
+
+	// Hot-key traffic accounting (cluster-wide).
+	replicaHits   atomic.Uint64 // hot reads served by the sibling shard
+	replicaMisses atomic.Uint64 // hot reads that fell through to the primary
+	replications  atomic.Uint64 // values copied to a sibling after a fall-through
+	invalidations atomic.Uint64 // replica deletes issued by the write path
+}
+
+func (cfg *ClusterConfig) ring() (*ring.Ring, error) {
+	return ring.New(cfg.Shards, cfg.VirtualNodes)
+}
+
+func (cfg *ClusterConfig) shardConfig(i int) Config {
+	sc := cfg.Store
+	if cfg.Dir != "" {
+		sc.Path = filepath.Join(cfg.Dir, ShardImageName(i))
+	} else {
+		sc.Path = ""
+	}
+	return sc
+}
+
+// CreateCluster formats N fresh shards.
+func CreateCluster(cfg ClusterConfig) (*Cluster, error) {
+	r, err := cfg.ring()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("memcached: cluster dir: %w", err)
+		}
+	}
+	c := &Cluster{cfg: cfg, ring: r}
+	for i := 0; i < cfg.Shards; i++ {
+		b, err := CreateStore(cfg.shardConfig(i))
+		if err != nil {
+			c.Shutdown() //nolint:errcheck
+			return nil, fmt.Errorf("memcached: shard %d: %w", i, err)
+		}
+		b.Store().SeedCAS(shardCASBase(i))
+		c.shards = append(c.shards, b)
+		c.hot = append(c.hot, newHotTracker(cfg.HotKeyThreshold, cfg.HotKeyWindow))
+	}
+	return c, nil
+}
+
+// shardCASBase puts each shard's CAS generations in a disjoint space
+// (shard index in the top 16 bits of a 64-bit counter), so a CAS token
+// identifies one write cluster-wide. Per-shard traffic would need 2^48
+// mutations to spill into a neighbour's space.
+func shardCASBase(i int) uint64 { return uint64(i) << 48 }
+
+// OpenCluster reloads every shard from its backing file under cfg.Dir.
+// Each shard goes through the candidate-fallback load (base image plus
+// A/B checkpoint slots, newest verifying generation first) independently.
+func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("memcached: OpenCluster requires a directory")
+	}
+	r, err := cfg.ring()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, ring: r}
+	for i := 0; i < cfg.Shards; i++ {
+		b, err := OpenStore(cfg.shardConfig(i))
+		if err != nil {
+			c.Shutdown() //nolint:errcheck
+			return nil, fmt.Errorf("memcached: shard %d: %w", i, err)
+		}
+		b.Store().SeedCAS(shardCASBase(i)) // no-op past the base; see SeedCAS
+		c.shards = append(c.shards, b)
+		c.hot = append(c.hot, newHotTracker(cfg.HotKeyThreshold, cfg.HotKeyWindow))
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Shard exposes one shard's Bookkeeper (fault injection, per-shard
+// maintenance, direct inspection).
+func (c *Cluster) Shard(i int) *Bookkeeper { return c.shards[i] }
+
+// Ring exposes the placement ring.
+func (c *Cluster) Ring() *ring.Ring { return c.ring }
+
+// ShardFor returns the shard owning key.
+func (c *Cluster) ShardFor(key []byte) int { return c.ring.Shard(key) }
+
+// StartMaintenance starts every shard's maintenance loop.
+func (c *Cluster) StartMaintenance(interval time.Duration) {
+	for _, b := range c.shards {
+		b.StartMaintenance(interval)
+	}
+}
+
+// StartCheckpointing starts every shard's checkpoint loop.
+func (c *Cluster) StartCheckpointing(interval time.Duration) {
+	for _, b := range c.shards {
+		b.StartCheckpointing(interval)
+	}
+}
+
+// Shutdown stops and flushes every shard. All shards are attempted; the
+// first error is returned.
+func (c *Cluster) Shutdown() error {
+	var first error
+	for _, b := range c.shards {
+		if b == nil {
+			continue
+		}
+		if err := b.Shutdown(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats aggregates the operation counters across shards.
+func (c *Cluster) Stats() core.Stats {
+	var agg core.Stats
+	for _, b := range c.shards {
+		addStats(&agg, b.Stats())
+	}
+	return agg
+}
+
+// addStats sums every counter of s into dst. core.Stats is uniformly
+// uint64 counters, which the reflection walk relies on.
+func addStats(dst *core.Stats, s core.Stats) {
+	dv := reflect.ValueOf(dst).Elem()
+	sv := reflect.ValueOf(s)
+	for i := 0; i < dv.NumField(); i++ {
+		dv.Field(i).SetUint(dv.Field(i).Uint() + sv.Field(i).Uint())
+	}
+}
+
+// ClusterClient is one application process attached to every shard: a
+// ClientProcess per shard, sharing one uid.
+type ClusterClient struct {
+	c     *Cluster
+	procs []*ClientProcess
+}
+
+// NewClientProcess attaches a client application to every shard.
+func (c *Cluster) NewClientProcess(uid int) (*ClusterClient, error) {
+	cc := &ClusterClient{c: c}
+	for i, b := range c.shards {
+		cp, err := b.NewClientProcess(uid)
+		if err != nil {
+			return nil, fmt.Errorf("memcached: shard %d attach: %w", i, err)
+		}
+		cc.procs = append(cc.procs, cp)
+	}
+	return cc, nil
+}
+
+// Proc exposes the per-shard client process (fault injection in tests).
+func (cc *ClusterClient) Proc(shard int) *ClientProcess { return cc.procs[shard] }
+
+// Kill kills the client process on every shard.
+func (cc *ClusterClient) Kill() {
+	for _, cp := range cc.procs {
+		cp.Kill()
+	}
+}
+
+// NewSession opens one routed session: a per-shard Session bundle behind
+// the Session-shaped API. Like Session, a ClusterSession models a thread
+// and is not safe for concurrent use.
+func (cc *ClusterClient) NewSession() (*ClusterSession, error) {
+	cs := &ClusterSession{c: cc.c}
+	for i, cp := range cc.procs {
+		s, err := cp.NewSession()
+		if err != nil {
+			cs.Close()
+			return nil, fmt.Errorf("memcached: shard %d session: %w", i, err)
+		}
+		cs.sessions = append(cs.sessions, s)
+	}
+	return cs, nil
+}
+
+// ClusterSession routes the Session API across shards: single-key ops go
+// to the owning shard's fast lane; MGet/ExecBatch split into per-shard
+// sub-batches so each shard still sees one gate crossing for its whole
+// share of the batch.
+type ClusterSession struct {
+	c        *Cluster
+	sessions []*Session
+}
+
+// Session exposes the underlying per-shard session (tests, ablation).
+func (s *ClusterSession) Session(shard int) *Session { return s.sessions[shard] }
+
+// Close closes every per-shard session.
+func (s *ClusterSession) Close() {
+	for _, ss := range s.sessions {
+		if ss != nil {
+			ss.Close()
+		}
+	}
+}
+
+func (s *ClusterSession) shard(key []byte) int { return s.c.ring.Shard(key) }
+
+// replicaOf returns the sibling shard that carries hot-key replicas for
+// primary: the next shard on the ring.
+func (c *Cluster) replicaOf(primary int) int { return (primary + 1) % len(c.shards) }
+
+// Get retrieves a value, with hot-key read replication: once a key's read
+// rate crosses the configured threshold, reads try the sibling replica
+// first and re-replicate on a replica miss. Gets (CAS reads) never use
+// the replica — CAS generations are per-shard.
+func (s *ClusterSession) Get(key []byte) ([]byte, uint32, error) {
+	primary := s.shard(key)
+	if s.c.cfg.HotKeyThreshold > 0 && len(s.sessions) > 1 && s.c.hot[primary].observe(key) {
+		replica := s.c.replicaOf(primary)
+		if v, f, err := s.sessions[replica].Get(key); err == nil {
+			s.c.replicaHits.Add(1)
+			return v, f, nil
+		}
+		// Replica miss — or a replica shard mid-repair; either way the
+		// primary remains the source of truth.
+		s.c.replicaMisses.Add(1)
+		v, f, err := s.sessions[primary].Get(key)
+		if err != nil {
+			return nil, 0, err
+		}
+		if s.sessions[replica].Set(key, v, f, 0) == nil {
+			s.c.replications.Add(1)
+		}
+		return v, f, nil
+	}
+	return s.sessions[primary].Get(key)
+}
+
+// invalidate drops the hot-key replica after a successful mutation of a
+// hot key, keeping the replica read path from serving the old value
+// indefinitely.
+func (s *ClusterSession) invalidate(primary int, key []byte) {
+	if s.c.cfg.HotKeyThreshold == 0 || len(s.sessions) < 2 {
+		return
+	}
+	if !s.c.hot[primary].isHot(key) {
+		return
+	}
+	if s.sessions[s.c.replicaOf(primary)].Delete(key) == nil {
+		s.c.invalidations.Add(1)
+	}
+}
+
+// Gets also returns the CAS generation. Always served by the primary:
+// CAS generations are per-shard, so a replica's generation would never
+// validate against the primary.
+func (s *ClusterSession) Gets(key []byte) ([]byte, uint32, uint64, error) {
+	return s.sessions[s.shard(key)].Gets(key)
+}
+
+// Set stores value under key on its owning shard.
+func (s *ClusterSession) Set(key, value []byte, flags uint32, exptime int64) error {
+	p := s.shard(key)
+	err := s.sessions[p].Set(key, value, flags, exptime)
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return err
+}
+
+// Add stores only if key is absent.
+func (s *ClusterSession) Add(key, value []byte, flags uint32, exptime int64) error {
+	p := s.shard(key)
+	err := s.sessions[p].Add(key, value, flags, exptime)
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return err
+}
+
+// Replace stores only if key is present.
+func (s *ClusterSession) Replace(key, value []byte, flags uint32, exptime int64) error {
+	p := s.shard(key)
+	err := s.sessions[p].Replace(key, value, flags, exptime)
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return err
+}
+
+// CAS stores only if the entry's generation matches on the owning shard.
+func (s *ClusterSession) CAS(key, value []byte, flags uint32, exptime int64, cas uint64) error {
+	p := s.shard(key)
+	err := s.sessions[p].CAS(key, value, flags, exptime, cas)
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return err
+}
+
+// Delete removes key from its owning shard (and its replica, if hot).
+func (s *ClusterSession) Delete(key []byte) error {
+	p := s.shard(key)
+	err := s.sessions[p].Delete(key)
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return err
+}
+
+// Increment adds delta to a numeric value on the owning shard.
+func (s *ClusterSession) Increment(key []byte, delta uint64) (uint64, error) {
+	p := s.shard(key)
+	v, err := s.sessions[p].Increment(key, delta)
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return v, err
+}
+
+// Decrement subtracts delta, saturating at zero.
+func (s *ClusterSession) Decrement(key []byte, delta uint64) (uint64, error) {
+	p := s.shard(key)
+	v, err := s.sessions[p].Decrement(key, delta)
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return v, err
+}
+
+// Append concatenates data after the existing value.
+func (s *ClusterSession) Append(key, data []byte) error {
+	p := s.shard(key)
+	err := s.sessions[p].Append(key, data)
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return err
+}
+
+// Prepend concatenates data before the existing value.
+func (s *ClusterSession) Prepend(key, data []byte) error {
+	p := s.shard(key)
+	err := s.sessions[p].Prepend(key, data)
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return err
+}
+
+// Touch updates an entry's expiry.
+func (s *ClusterSession) Touch(key []byte, exptime int64) error {
+	p := s.shard(key)
+	err := s.sessions[p].Touch(key, exptime)
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return err
+}
+
+// GetAndTouch retrieves a value and updates its expiry. Always primary:
+// it mutates the entry's expiry, which must land on the owning shard.
+func (s *ClusterSession) GetAndTouch(key []byte, exptime int64) ([]byte, uint32, error) {
+	p := s.shard(key)
+	v, f, err := s.sessions[p].GetAndTouch(key, exptime)
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return v, f, err
+}
+
+// FlushAll removes every entry on every shard.
+func (s *ClusterSession) FlushAll() error {
+	for _, ss := range s.sessions {
+		if err := ss.FlushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the store counters across shards.
+func (s *ClusterSession) Stats() (core.Stats, error) {
+	var agg core.Stats
+	for _, ss := range s.sessions {
+		st, err := ss.Stats()
+		if err != nil {
+			return core.Stats{}, err
+		}
+		addStats(&agg, st)
+	}
+	return agg, nil
+}
+
+// MGet retrieves many keys, split into one sub-batch per owning shard so
+// each involved shard pays exactly one gate crossing. Results come back
+// positionally, in request order. Like Session.MGet, a crossing-level
+// failure on any shard fails the whole call.
+func (s *ClusterSession) MGet(keys [][]byte) ([]core.GetResult, error) {
+	ops := make([]BatchOp, len(keys))
+	for i, k := range keys {
+		ops[i] = BatchOp{Code: BatchGet, Key: k}
+	}
+	res, err := s.ExecBatch(ops)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.GetResult, len(res))
+	for i := range res {
+		if res[i].Err == nil {
+			out[i] = core.GetResult{Value: res[i].Value, Flags: res[i].Flags, CAS: res[i].CAS, Found: true}
+		}
+	}
+	return out, nil
+}
+
+// ExecBatch executes ops, partitioned into one sub-batch per owning
+// shard: the one-crossing-per-shard amortization of the single-store
+// ExecBatch is preserved — a k-op batch over a cluster costs at most one
+// crossing per involved shard, not k. Results are reassembled into the
+// original op order. A crossing-level failure on any shard fails the
+// whole call (per-op outcomes still land in each BatchResult.Err).
+func (s *ClusterSession) ExecBatch(ops []BatchOp) ([]BatchResult, error) {
+	n := len(s.sessions)
+	perShard := make([][]BatchOp, n)
+	perIdx := make([][]int, n) // original position of each sub-batch op
+	for i := range ops {
+		sh := s.shard(ops[i].Key)
+		perShard[sh] = append(perShard[sh], ops[i])
+		perIdx[sh] = append(perIdx[sh], i)
+	}
+	out := make([]BatchResult, len(ops))
+	for sh := 0; sh < n; sh++ {
+		if len(perShard[sh]) == 0 {
+			continue
+		}
+		res, err := s.sessions[sh].ExecBatch(perShard[sh])
+		if err != nil {
+			return nil, fmt.Errorf("memcached: shard %d batch: %w", sh, err)
+		}
+		for j, idx := range perIdx[sh] {
+			out[idx] = res[j]
+		}
+	}
+	return out, nil
+}
+
+// Healthy reports whether every per-shard session can still carry calls.
+func (s *ClusterSession) Healthy() bool {
+	for _, ss := range s.sessions {
+		if !ss.Healthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardState is one shard's coarse health for the metrics plane.
+type ShardState int
+
+// Shard states, exported as plibmc_shard_state.
+const (
+	ShardHealthy    ShardState = 0
+	ShardRecovering ShardState = 1
+	ShardPoisoned   ShardState = 2
+)
+
+// State reports shard i's coarse health.
+func (c *Cluster) State(i int) ShardState {
+	lib := c.shards[i].Library()
+	switch {
+	case lib.Poisoned():
+		return ShardPoisoned
+	case lib.Recovering():
+		return ShardRecovering
+	default:
+		return ShardHealthy
+	}
+}
+
+// HotKeyMetrics is the cluster-wide hot-key traffic snapshot.
+type HotKeyMetrics struct {
+	Detected      uint64 // keys ever promoted to hot, summed over shards
+	ReplicaHits   uint64
+	ReplicaMisses uint64
+	Replications  uint64
+	Invalidations uint64
+}
+
+// ClusterMetrics is the per-shard metrics snapshot plus the hot-key
+// counters.
+type ClusterMetrics struct {
+	Shards []Metrics
+	States []ShardState
+	HotKey HotKeyMetrics
+}
+
+// Metrics collects every shard's merged snapshot.
+func (c *Cluster) Metrics() ClusterMetrics {
+	cm := ClusterMetrics{HotKey: HotKeyMetrics{
+		ReplicaHits:   c.replicaHits.Load(),
+		ReplicaMisses: c.replicaMisses.Load(),
+		Replications:  c.replications.Load(),
+		Invalidations: c.invalidations.Load(),
+	}}
+	for i, b := range c.shards {
+		cm.Shards = append(cm.Shards, b.Metrics())
+		cm.States = append(cm.States, c.State(i))
+		_, det := c.hot[i].snapshot()
+		cm.HotKey.Detected += det
+	}
+	return cm
+}
+
+// HotKeys returns shard i's tracked top-k read counts.
+func (c *Cluster) HotKeys(shard int) []HotKey {
+	hk, _ := c.hot[shard].snapshot()
+	return hk
+}
+
+// Samples renders the cluster snapshot as Prometheus samples: the
+// per-shard routing/health plane, then each shard's full store snapshot
+// under a shard label.
+func (cm *ClusterMetrics) Samples() []metrics.Sample {
+	var out []metrics.Sample
+	for i := range cm.Shards {
+		m := &cm.Shards[i]
+		shard := fmt.Sprintf("%d", i)
+		g := func(name string, v float64, labels ...string) {
+			out = append(out, metrics.Sample{
+				Name:   name,
+				Labels: metrics.L(append([]string{"shard", shard}, labels...)...),
+				Value:  v,
+			})
+		}
+		g("plibmc_shard_ops_total", float64(m.Ops.Gets), "op", "get")
+		g("plibmc_shard_ops_total", float64(m.Ops.Sets), "op", "set")
+		g("plibmc_shard_ops_total", float64(m.Ops.Deletes), "op", "delete")
+		g("plibmc_shard_ops_total", float64(m.Ops.Incrs), "op", "incr")
+		g("plibmc_shard_ops_total", float64(m.Ops.Decrs), "op", "decr")
+		g("plibmc_shard_ops_total", float64(m.Ops.Touches), "op", "touch")
+		g("plibmc_shard_state", float64(cm.States[i]))
+		g("plibmc_shard_curr_items", float64(m.Ops.CurrItems))
+		g("plibmc_shard_bytes", float64(m.Ops.Bytes))
+		g("plibmc_shard_repairs_total", float64(m.Recovery.Repairs))
+		g("plibmc_shard_checkpoint_last_generation", float64(m.Checkpoint.LastGeneration))
+	}
+	out = append(out,
+		metrics.Sample{Name: "plibmc_hotkey_detected_total", Value: float64(cm.HotKey.Detected)},
+		metrics.Sample{Name: "plibmc_hotkey_replica_hits_total", Value: float64(cm.HotKey.ReplicaHits)},
+		metrics.Sample{Name: "plibmc_hotkey_replica_misses_total", Value: float64(cm.HotKey.ReplicaMisses)},
+		metrics.Sample{Name: "plibmc_hotkey_replications_total", Value: float64(cm.HotKey.Replications)},
+		metrics.Sample{Name: "plibmc_hotkey_invalidations_total", Value: float64(cm.HotKey.Invalidations)},
+	)
+	return out
+}
+
+// Vars renders a flat expvar-style map: aggregate counters plus per-shard
+// state.
+func (cm *ClusterMetrics) Vars() map[string]any {
+	var ops core.Stats
+	for i := range cm.Shards {
+		addStats(&ops, cm.Shards[i].Ops)
+	}
+	v := map[string]any{
+		"shards":                len(cm.Shards),
+		"cmd_get":               ops.Gets,
+		"cmd_set":               ops.Sets,
+		"cmd_delete":            ops.Deletes,
+		"curr_items":            ops.CurrItems,
+		"bytes":                 ops.Bytes,
+		"hotkey_detected":       cm.HotKey.Detected,
+		"hotkey_replica_hits":   cm.HotKey.ReplicaHits,
+		"hotkey_replica_misses": cm.HotKey.ReplicaMisses,
+		"hotkey_replications":   cm.HotKey.Replications,
+		"hotkey_invalidations":  cm.HotKey.Invalidations,
+	}
+	for i, st := range cm.States {
+		v[fmt.Sprintf("shard_%d_state", i)] = int(st)
+	}
+	return v
+}
+
+// MetricsHandler serves /metrics and /debug/vars for the whole cluster.
+func (c *Cluster) MetricsHandler() http.Handler {
+	return metrics.Handler(func() ([]metrics.Sample, map[string]any) {
+		cm := c.Metrics()
+		return cm.Samples(), cm.Vars()
+	})
+}

@@ -1,0 +1,525 @@
+package memcached
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"plibmc/internal/client"
+)
+
+func newTestCluster(t testing.TB, shards int, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	cfg.Shards = shards
+	if cfg.Store.HeapBytes == 0 {
+		cfg.Store = Config{HeapBytes: 16 << 20, HashPower: 10, NumItemLocks: 64}
+	}
+	c, err := CreateCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Shutdown() })
+	return c
+}
+
+func newClusterSession(t testing.TB, c *Cluster) *ClusterSession {
+	t.Helper()
+	cc, err := c.NewClientProcess(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cc.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestClusterBasicOps(t *testing.T) {
+	c := newTestCluster(t, 4, ClusterConfig{})
+	s := newClusterSession(t, c)
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("ck-%d", i))
+		if err := s.Set(k, []byte(fmt.Sprintf("v-%d", i)), uint32(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("ck-%d", i))
+		v, f, err := s.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("v-%d", i) || f != uint32(i) {
+			t.Fatalf("get %s = %q %d %v", k, v, f, err)
+		}
+	}
+	// Keys actually spread: every shard holds some.
+	for sh := 0; sh < c.Shards(); sh++ {
+		if items := c.Shard(sh).Stats().CurrItems; items == 0 {
+			t.Fatalf("shard %d holds no items", sh)
+		}
+	}
+	if agg := c.Stats(); agg.CurrItems != n {
+		t.Fatalf("aggregate curr_items = %d, want %d", agg.CurrItems, n)
+	}
+
+	// The full per-key surface routes consistently.
+	if _, _, err := s.Get([]byte("absent")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss = %v", err)
+	}
+	if err := s.Add([]byte("ck-0"), []byte("x"), 0, 0); !errors.Is(err, ErrExists) {
+		t.Fatalf("add = %v", err)
+	}
+	if err := s.Replace([]byte("ck-0"), []byte("r"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, cas, err := s.Gets([]byte("ck-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CAS([]byte("ck-0"), []byte("c"), 0, 0, cas); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CAS([]byte("ck-0"), []byte("c2"), 0, 0, cas); !errors.Is(err, ErrCASMismatch) {
+		t.Fatalf("stale cas = %v", err)
+	}
+	if err := s.Append([]byte("ck-0"), []byte("+t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prepend([]byte("ck-0"), []byte("h+")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := s.Get([]byte("ck-0")); err != nil || string(v) != "h+c+t" {
+		t.Fatalf("after append/prepend = %q %v", v, err)
+	}
+	s.Set([]byte("num"), []byte("40"), 0, 0)
+	if v, err := s.Increment([]byte("num"), 2); err != nil || v != 42 {
+		t.Fatalf("incr = %d %v", v, err)
+	}
+	if v, err := s.Decrement([]byte("num"), 2); err != nil || v != 40 {
+		t.Fatalf("decr = %d %v", v, err)
+	}
+	if err := s.Touch([]byte("num"), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := s.GetAndTouch([]byte("num"), 2000); err != nil || string(v) != "40" {
+		t.Fatalf("gat = %q %v", v, err)
+	}
+	if err := s.Delete([]byte("num")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if agg := c.Stats(); agg.CurrItems != 0 {
+		t.Fatalf("after flush curr_items = %d", agg.CurrItems)
+	}
+}
+
+// Placement must agree between the session router and the ring, and stay
+// deterministic across handles.
+func TestClusterRoutingDeterministic(t *testing.T) {
+	c := newTestCluster(t, 4, ClusterConfig{})
+	s := newClusterSession(t, c)
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("route-%d", i))
+		if err := s.Set(k, []byte("v"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		owner := c.ShardFor(k)
+		// The owning shard serves the key directly…
+		if v, _, err := s.Session(owner).Get(k); err != nil || string(v) != "v" {
+			t.Fatalf("owner shard %d: get %s = %q %v", owner, k, v, err)
+		}
+		// …and no other shard has it.
+		for sh := 0; sh < c.Shards(); sh++ {
+			if sh == owner {
+				continue
+			}
+			if _, _, err := s.Session(sh).Get(k); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("key %s leaked to shard %d: %v", k, sh, err)
+			}
+		}
+	}
+}
+
+// A 64-key MGet splits into per-shard sub-batches and reassembles in
+// request order, with exactly one batch crossing per involved shard.
+func TestClusterMGetSplitsAndReassembles(t *testing.T) {
+	c := newTestCluster(t, 4, ClusterConfig{})
+	s := newClusterSession(t, c)
+
+	var keys [][]byte
+	for i := 0; i < 64; i++ {
+		k := []byte(fmt.Sprintf("mget-%02d", i))
+		keys = append(keys, k)
+		if i%2 == 0 {
+			if err := s.Set(k, []byte(fmt.Sprintf("val-%02d", i)), uint32(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := make([]uint64, c.Shards())
+	for sh := range before {
+		before[sh] = c.Shard(sh).Stats().Batches
+	}
+	res, err := s.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 64 {
+		t.Fatalf("mget returned %d results, want 64", len(res))
+	}
+	for i := 0; i < 64; i++ {
+		if i%2 == 0 {
+			if !res[i].Found || string(res[i].Value) != fmt.Sprintf("val-%02d", i) || res[i].Flags != uint32(i) {
+				t.Fatalf("res[%d] = %+v — out of request order", i, res[i])
+			}
+		} else if res[i].Found {
+			t.Fatalf("res[%d] found for never-set key", i)
+		}
+	}
+	// One crossing per involved shard: each shard's batch counter rose by
+	// exactly one (every shard owns some of 64 keys at 4 shards).
+	for sh := 0; sh < c.Shards(); sh++ {
+		if got := c.Shard(sh).Stats().Batches - before[sh]; got != 1 {
+			t.Fatalf("shard %d executed %d batches for one MGet, want 1", sh, got)
+		}
+	}
+}
+
+func TestClusterExecBatchMixed(t *testing.T) {
+	c := newTestCluster(t, 3, ClusterConfig{})
+	s := newClusterSession(t, c)
+	ops := []BatchOp{
+		{Code: BatchSet, Key: []byte("b1"), Value: []byte("v1"), Flags: 7},
+		{Code: BatchSet, Key: []byte("b2"), Value: []byte("10")},
+		{Code: BatchGet, Key: []byte("b1")},
+		{Code: BatchIncr, Key: []byte("b2"), Delta: 5},
+		{Code: BatchGet, Key: []byte("nope")},
+		{Code: BatchDelete, Key: []byte("b1")},
+	}
+	res, err := s.ExecBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[1].Err != nil {
+		t.Fatalf("sets failed: %v %v", res[0].Err, res[1].Err)
+	}
+	if res[2].Err != nil || string(res[2].Value) != "v1" || res[2].Flags != 7 {
+		t.Fatalf("batched get = %+v", res[2])
+	}
+	if res[3].Err != nil || res[3].Num != 15 {
+		t.Fatalf("batched incr = %+v", res[3])
+	}
+	if !errors.Is(res[4].Err, ErrNotFound) {
+		t.Fatalf("batched miss = %v", res[4].Err)
+	}
+	if res[5].Err != nil {
+		t.Fatalf("batched delete = %v", res[5].Err)
+	}
+}
+
+// Hot-key detection promotes a heavily-read key, replicates it to the
+// sibling shard, and writes invalidate the replica.
+func TestClusterHotKeyReplication(t *testing.T) {
+	c := newTestCluster(t, 4, ClusterConfig{HotKeyThreshold: 50})
+	s := newClusterSession(t, c)
+
+	hot := []byte("celebrity")
+	if err := s.Set(hot, []byte("v1"), 9, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if v, f, err := s.Get(hot); err != nil || string(v) != "v1" || f != 9 {
+			t.Fatalf("hot get #%d = %q %d %v", i, v, f, err)
+		}
+	}
+	m := c.Metrics()
+	if m.HotKey.Detected == 0 {
+		t.Fatal("hot key never detected")
+	}
+	if m.HotKey.Replications == 0 {
+		t.Fatal("hot key never replicated")
+	}
+	if m.HotKey.ReplicaHits == 0 {
+		t.Fatal("replica never served a read")
+	}
+	// The replica shard physically holds a copy.
+	primary := c.ShardFor(hot)
+	replica := c.replicaOf(primary)
+	if v, _, err := s.Session(replica).Get(hot); err != nil || string(v) != "v1" {
+		t.Fatalf("replica copy = %q %v", v, err)
+	}
+	// A write invalidates the replica and readers see the new value.
+	if err := s.Set(hot, []byte("v2"), 9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics().HotKey.Invalidations == 0 {
+		t.Fatal("write did not invalidate the replica")
+	}
+	for i := 0; i < 50; i++ {
+		if v, _, err := s.Get(hot); err != nil || string(v) != "v2" {
+			t.Fatalf("post-write hot get = %q %v", v, err)
+		}
+	}
+	// Gets (CAS reads) bypass the replica: its CAS must validate against
+	// the primary.
+	_, _, cas, err := s.Gets(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CAS(hot, []byte("v3"), 9, 0, cas); err != nil {
+		t.Fatalf("cas after hot reads: %v", err)
+	}
+}
+
+// Shards persist and reload independently: Create → populate → Shutdown →
+// Open finds every key again from the per-shard images.
+func TestClusterPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ClusterConfig{Shards: 3, Dir: dir,
+		Store: Config{HeapBytes: 16 << 20, HashPower: 10, NumItemLocks: 64}}
+	c, err := CreateCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, _ := c.NewClientProcess(1000)
+	s, _ := cc.NewSession()
+	for i := 0; i < 100; i++ {
+		if err := s.Set([]byte(fmt.Sprintf("p-%d", i)), []byte(fmt.Sprintf("pv-%d", i)), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	if err := c.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Shutdown()
+	s2 := newClusterSession(t, c2)
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("p-%d", i))
+		if v, _, err := s2.Get(k); err != nil || string(v) != fmt.Sprintf("pv-%d", i) {
+			t.Fatalf("reloaded get %s = %q %v", k, v, err)
+		}
+	}
+}
+
+func TestClusterMetricsSamples(t *testing.T) {
+	c := newTestCluster(t, 2, ClusterConfig{})
+	s := newClusterSession(t, c)
+	s.Set([]byte("m"), []byte("v"), 0, 0)
+	s.Get([]byte("m"))
+	cm := c.Metrics()
+	samples := cm.Samples()
+	want := map[string]bool{
+		"plibmc_shard_ops_total":            false,
+		"plibmc_shard_state":                false,
+		"plibmc_hotkey_detected_total":      false,
+		"plibmc_hotkey_replica_hits_total":  false,
+		"plibmc_hotkey_invalidations_total": false,
+	}
+	shardLabels := map[string]bool{}
+	for _, smp := range samples {
+		if _, ok := want[smp.Name]; ok {
+			want[smp.Name] = true
+		}
+		if smp.Name == "plibmc_shard_state" {
+			shardLabels[fmt.Sprint(smp.Labels)] = true
+			if smp.Value != float64(ShardHealthy) {
+				t.Fatalf("healthy shard reports state %v", smp.Value)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("metric %s missing from samples", name)
+		}
+	}
+	if len(shardLabels) != 2 {
+		t.Fatalf("shard_state label sets = %v, want one per shard", shardLabels)
+	}
+	if v := cm.Vars(); v["shards"] != 2 {
+		t.Fatalf("vars shards = %v", v["shards"])
+	}
+}
+
+// The socket proxy serves baseline-protocol clients transparently over
+// the cluster: both protocols, batching, stats aggregation.
+func TestClusterProxyWire(t *testing.T) {
+	c := newTestCluster(t, 4, ClusterConfig{})
+	srv, err := c.ServeRemote("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, proto := range []client.Protocol{client.ASCII, client.Binary} {
+		name := map[client.Protocol]string{client.Binary: "binary", client.ASCII: "ascii"}[proto]
+		t.Run(name, func(t *testing.T) {
+			cl, err := client.Dial("tcp", srv.Addr().String(), proto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			for i := 0; i < 60; i++ {
+				k := []byte(fmt.Sprintf("%s-wire-%d", name, i))
+				if err := cl.Set(k, []byte(fmt.Sprintf("wv-%d", i)), 3, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 60; i++ {
+				k := []byte(fmt.Sprintf("%s-wire-%d", name, i))
+				v, f, _, err := cl.Get(k)
+				if err != nil || string(v) != fmt.Sprintf("wv-%d", i) || f != 3 {
+					t.Fatalf("get %s = %q %d %v", k, v, f, err)
+				}
+			}
+			// Pipelined MGet crosses shards and reassembles in order.
+			var keys [][]byte
+			for i := 0; i < 60; i++ {
+				keys = append(keys, []byte(fmt.Sprintf("%s-wire-%d", name, i)))
+			}
+			got, err := cl.MGet(keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 60 {
+				t.Fatalf("mget = %d values, want 60", len(got))
+			}
+			if n, err := cl.Increment([]byte(name+"-n"), 1); err == nil && n != 0 {
+				t.Fatalf("incr on absent key = %d", n)
+			}
+			if err := cl.Delete(keys[0]); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, _, err := cl.Get(keys[0]); err == nil {
+				t.Fatal("deleted key still present")
+			}
+			ver, err := cl.Version()
+			if err != nil || !strings.Contains(ver, "cluster") {
+				t.Fatalf("version = %q %v", ver, err)
+			}
+			stats, err := cl.Stats()
+			if err != nil || stats["shards"] != "4" {
+				t.Fatalf("stats shards = %q %v", stats["shards"], err)
+			}
+			if stats["shard0:state"] != "0" {
+				t.Fatalf("shard0 state = %q", stats["shard0:state"])
+			}
+		})
+	}
+
+	// Keys written over the wire spread across shards.
+	spread := 0
+	for sh := 0; sh < c.Shards(); sh++ {
+		if c.Shard(sh).Stats().CurrItems > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("wire traffic landed on %d shards", spread)
+	}
+}
+
+// BenchmarkClusterRouting pins the routing tier's per-op overhead: the
+// same single-session 95/5 Get/Set mix against one store driven directly
+// and against a 4-shard cluster (ring lookup + per-shard dispatch + the
+// write-path hot-key check). The delta is the price of sharding when the
+// parallelism it buys is not in play.
+func BenchmarkClusterRouting(b *testing.B) {
+	const nKeys = 4096
+	keys := make([][]byte, nKeys)
+	val := make([]byte, 128)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bench%04d", i))
+	}
+	mix := func(b *testing.B, get func([]byte) error, set func([]byte) error) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys[i%nKeys]
+			if i%20 == 19 {
+				if err := set(k); err != nil {
+					b.Fatal(err)
+				}
+			} else if err := get(k); err != nil && !errors.Is(err, ErrNotFound) {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		book, err := CreateStore(Config{HeapBytes: 64 << 20, HashPower: 12, NumItemLocks: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer book.Shutdown()
+		cp, err := book.NewClientProcess(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := cp.NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := s.Set(k, val, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mix(b,
+			func(k []byte) error { _, _, err := s.Get(k); return err },
+			func(k []byte) error { return s.Set(k, val, 0, 0) })
+	})
+	b.Run("cluster-4", func(b *testing.B) {
+		c := newTestCluster(b, 4, ClusterConfig{
+			Store: Config{HeapBytes: 16 << 20, HashPower: 10, NumItemLocks: 64},
+		})
+		s := newClusterSession(b, c)
+		for _, k := range keys {
+			if err := s.Set(k, val, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mix(b,
+			func(k []byte) error { _, _, err := s.Get(k); return err },
+			func(k []byte) error { return s.Set(k, val, 0, 0) })
+	})
+}
+
+// BenchmarkClusterMGet64 measures the sharded 64-key MGet: the batch
+// splits across 4 shards (one crossing each) and reassembles positionally.
+func BenchmarkClusterMGet64(b *testing.B) {
+	c := newTestCluster(b, 4, ClusterConfig{
+		Store: Config{HeapBytes: 16 << 20, HashPower: 10, NumItemLocks: 64},
+	})
+	s := newClusterSession(b, c)
+	val := make([]byte, 128)
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("mget%04d", i))
+		if err := s.Set(keys[i], val, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.MGet(keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 64 {
+			b.Fatal("short result")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package memcached
+
+import (
+	"sort"
+	"sync"
+)
+
+// Hot-key detection: each shard carries a space-saving top-k counter fed
+// by the cluster's read path. A key whose observed read count inside the
+// current window reaches the configured threshold is marked hot, and the
+// cluster starts replicating reads of it to the next shard on the ring —
+// so one viral key stops concentrating its whole load on a single heap.
+//
+// The counter is the classic space-saving sketch: at most k tracked keys;
+// an untracked key evicts the minimum-count entry and inherits its count
+// (over-counting is possible, under-counting is not, which errs toward
+// detecting hot keys). Counts halve every window so yesterday's celebrity
+// decays back to cold.
+
+// hotTracker is one shard's top-k read counter. Safe for concurrent use.
+type hotTracker struct {
+	mu        sync.Mutex
+	k         int
+	threshold uint64 // reads per window that make a key hot; 0 = disabled
+	window    uint64 // observations between decay passes
+	seen      uint64 // observations since the last decay
+	counts    map[string]uint64
+	hot       map[string]struct{}
+	detected  uint64 // cumulative keys ever promoted to hot
+}
+
+// defaultHotKeyWindow is the decay period in observations.
+const defaultHotKeyWindow = 1 << 16
+
+// hotTrackerK bounds the tracked key set per shard.
+const hotTrackerK = 128
+
+func newHotTracker(threshold, window uint64) *hotTracker {
+	if window == 0 {
+		window = defaultHotKeyWindow
+	}
+	return &hotTracker{
+		k:         hotTrackerK,
+		threshold: threshold,
+		window:    window,
+		counts:    make(map[string]uint64, hotTrackerK),
+		hot:       make(map[string]struct{}),
+	}
+}
+
+// observe records one read of key and reports whether the key is hot
+// (including becoming hot by this very read).
+func (h *hotTracker) observe(key []byte) bool {
+	if h.threshold == 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seen++
+	if h.seen >= h.window {
+		h.decayLocked()
+	}
+	k := string(key)
+	c, ok := h.counts[k]
+	if !ok {
+		if len(h.counts) >= h.k {
+			// Space-saving eviction: replace the minimum entry, inheriting
+			// its count as the new key's floor.
+			minK, minC := "", ^uint64(0)
+			for ek, ec := range h.counts {
+				if ec < minC {
+					minK, minC = ek, ec
+				}
+			}
+			delete(h.counts, minK)
+			delete(h.hot, minK)
+			c = minC
+		}
+	}
+	c++
+	h.counts[k] = c
+	if c >= h.threshold {
+		if _, was := h.hot[k]; !was {
+			h.hot[k] = struct{}{}
+			h.detected++
+		}
+		return true
+	}
+	return false
+}
+
+// isHot reports whether key is currently marked hot (write-path check: a
+// mutation of a hot key must invalidate its replica).
+func (h *hotTracker) isHot(key []byte) bool {
+	if h.threshold == 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.hot[string(key)]
+	return ok
+}
+
+// decayLocked halves every count and demotes keys that fell below the
+// threshold. Called with h.mu held.
+func (h *hotTracker) decayLocked() {
+	h.seen = 0
+	for k, c := range h.counts {
+		c /= 2
+		if c == 0 {
+			delete(h.counts, k)
+			delete(h.hot, k)
+			continue
+		}
+		h.counts[k] = c
+		if c < h.threshold {
+			delete(h.hot, k)
+		}
+	}
+}
+
+// HotKey is one tracked key and its current windowed count.
+type HotKey struct {
+	Key   string
+	Count uint64
+	Hot   bool
+}
+
+// snapshot returns the tracked keys sorted by descending count, plus the
+// cumulative detected counter.
+func (h *hotTracker) snapshot() ([]HotKey, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HotKey, 0, len(h.counts))
+	for k, c := range h.counts {
+		_, isHot := h.hot[k]
+		out = append(out, HotKey{Key: k, Count: c, Hot: isHot})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out, h.detected
+}

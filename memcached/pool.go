@@ -1,8 +1,12 @@
 package memcached
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+
+	"plibmc/internal/hodor"
+	"plibmc/internal/proc"
 )
 
 // SessionPool hands out sessions to short-lived workers — e.g. HTTP
@@ -33,11 +37,17 @@ func (p *SessionPool) Get() (*Session, error) {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("memcached: session pool is closed")
 	}
-	if n := len(p.free); n > 0 {
+	// Idle sessions can die while pooled (their process killed); skip and
+	// release any that did rather than handing a borrower a dead session.
+	for n := len(p.free); n > 0; n = len(p.free) {
 		s := p.free[n-1]
 		p.free = p.free[:n-1]
-		p.mu.Unlock()
-		return s, nil
+		if s.Healthy() {
+			p.mu.Unlock()
+			return s, nil
+		}
+		s.Close()
+		p.total--
 	}
 	if p.max > 0 && p.total >= p.max {
 		p.mu.Unlock()
@@ -57,11 +67,14 @@ func (p *SessionPool) Get() (*Session, error) {
 }
 
 // Put returns a borrowed session. Sessions from other pools or processes
-// must not be Put here.
+// must not be Put here. A session that died while borrowed — its domain
+// reaped by the watchdog, or its process killed — is discarded instead of
+// re-pooled: recycling it would poison every future borrower with
+// ErrSessionReaped/ErrKilled.
 func (p *SessionPool) Put(s *Session) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed || !s.Healthy() {
 		s.Close()
 		p.total--
 		return
@@ -70,14 +83,36 @@ func (p *SessionPool) Put(s *Session) {
 }
 
 // With borrows a session for the duration of fn — the common pattern for
-// request handlers.
+// request handlers. If fn returns a session-fatal error the session is
+// discarded rather than re-pooled.
 func (p *SessionPool) With(fn func(*Session) error) error {
 	s, err := p.Get()
 	if err != nil {
 		return err
 	}
-	defer p.Put(s)
-	return fn(s)
+	err = fn(s)
+	if sessionFatal(err) {
+		p.mu.Lock()
+		s.Close()
+		p.total--
+		p.mu.Unlock()
+		return err
+	}
+	p.Put(s)
+	return err
+}
+
+// sessionFatal reports whether an error from a session operation means the
+// session itself is unusable (as opposed to a per-key outcome like
+// ErrNotFound or transient backpressure).
+func sessionFatal(err error) bool {
+	if err == nil {
+		return false
+	}
+	var killed *proc.ErrKilled
+	return errors.Is(err, hodor.ErrSessionReaped) ||
+		errors.Is(err, hodor.ErrPoisoned) ||
+		errors.As(err, &killed)
 }
 
 // Close releases every idle session. Sessions still borrowed are released

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
+
+	"plibmc/internal/gatehard"
 )
 
 func TestSessionPoolReuse(t *testing.T) {
@@ -80,6 +83,110 @@ func TestSessionPoolWithConcurrent(t *testing.T) {
 	}
 	if st := b.Stats(); st.Sets != 8*200 {
 		t.Fatalf("sets = %d", st.Sets)
+	}
+}
+
+// TestSessionPoolDiscardsReapedSession reaps a borrowed session via the
+// watchdog and verifies Put discards it instead of re-pooling it. Pre-fix,
+// the dead session went back on the free list and the next Get handed it
+// out, poisoning every borrower with ErrSessionReaped.
+func TestSessionPoolDiscardsReapedSession(t *testing.T) {
+	budget := 2 * time.Millisecond
+	b, err := CreateStore(Config{HeapBytes: 32 << 20, HashPower: 8, NumItemLocks: 16,
+		LiveCallBudget: budget, CallTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+	cp, err := b.NewClientProcess(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cp.NewSessionPool(0)
+	defer p.Close()
+
+	s, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set([]byte("pk"), []byte("pv"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reap the borrowed session: a hostile spin inside the gate plus one
+	// watchdog sweep with the clock past the live-call budget.
+	spinErr := make(chan error, 1)
+	go func() {
+		spinErr <- gatehard.HostileSpin(s.Hodor(), gatehard.SpinOpts{MaxSpin: 10 * time.Second})
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Hodor().InCall() {
+		if time.Now().After(deadline) {
+			t.Fatal("hostile call never admitted")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.Library().WatchdogSweep(time.Now().Add(budget * 5 / 2))
+	<-spinErr
+	if !s.Hodor().Reaped() {
+		t.Fatal("session not reaped")
+	}
+	if _, err := gatehard.WaitHealthy(b.Library(), 1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Put(s)
+	if total, idle := p.Stats(); idle != 0 || total != 0 {
+		t.Fatalf("dead session re-pooled: total=%d idle=%d, want 0/0", total, idle)
+	}
+	// The next borrower gets a fresh, working session.
+	s2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := s2.Get([]byte("pk")); err != nil || string(v) != "pv" {
+		t.Fatalf("get on fresh session = %q, %v", v, err)
+	}
+	p.Put(s2)
+	if total, idle := p.Stats(); total != 1 || idle != 1 {
+		t.Fatalf("after recycle: total=%d idle=%d", total, idle)
+	}
+}
+
+// TestSessionPoolWithDiscardsOnFatal: With must not re-pool a session whose
+// callback failed with a session-fatal error (here, the process died
+// mid-borrow).
+func TestSessionPoolWithDiscardsOnFatal(t *testing.T) {
+	b := newTestStore(t)
+	cp, err := b.NewClientProcess(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cp.NewSessionPool(0)
+	werr := p.With(func(s *Session) error {
+		cp.Kill()
+		_, _, err := s.Get([]byte("k"))
+		return err
+	})
+	if werr == nil {
+		t.Fatal("call on killed process should fail")
+	}
+	if total, idle := p.Stats(); total != 0 || idle != 0 {
+		t.Fatalf("fatal session kept: total=%d idle=%d, want 0/0", total, idle)
+	}
+	// Non-fatal per-key errors (a miss) must still re-pool.
+	b2 := newTestStore(t)
+	cp2, _ := b2.NewClientProcess(1001)
+	p2 := cp2.NewSessionPool(0)
+	defer p2.Close()
+	if err := p2.With(func(s *Session) error {
+		_, _, err := s.Get([]byte("absent"))
+		return err
+	}); err != ErrNotFound {
+		t.Fatalf("miss = %v, want ErrNotFound", err)
+	}
+	if total, idle := p2.Stats(); total != 1 || idle != 1 {
+		t.Fatalf("miss discarded the session: total=%d idle=%d", total, idle)
 	}
 }
 

@@ -1,0 +1,329 @@
+package memcached
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"plibmc/internal/core"
+	"plibmc/internal/protocol"
+)
+
+// The cluster's socket proxy: baseline-protocol clients (ASCII or binary)
+// get sharding transparently. One connection carries one context per
+// shard; pipelined command runs are partitioned by owning shard and each
+// shard's share rides a single ExecBatch crossing — the proxy-tier
+// equivalent of the beanseye pattern, with the per-shard gate
+// amortization preserved. Replies always come back in command order.
+
+// ClusterServer is the cluster's socket front end.
+type ClusterServer struct {
+	c      *Cluster
+	ln     net.Listener
+	connWG sync.WaitGroup
+	seq    uint64
+	mu     sync.Mutex
+}
+
+// ServeRemote starts accepting remote connections for the cluster. Close
+// the returned server to stop.
+func (c *Cluster) ServeRemote(network, addr string) (*ClusterServer, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("memcached: cluster listener: %w", err)
+	}
+	cs := &ClusterServer{c: c, ln: ln}
+	go cs.acceptLoop()
+	return cs, nil
+}
+
+// Addr returns the listener address.
+func (cs *ClusterServer) Addr() net.Addr { return cs.ln.Addr() }
+
+// Close stops the listener and waits for in-flight connections.
+func (cs *ClusterServer) Close() {
+	cs.ln.Close()
+	cs.connWG.Wait()
+}
+
+func (cs *ClusterServer) acceptLoop() {
+	for {
+		c, err := cs.ln.Accept()
+		if err != nil {
+			return
+		}
+		cs.connWG.Add(1)
+		go cs.handle(c)
+	}
+}
+
+// connCtxs is one connection's per-shard operation contexts, created
+// lazily so a connection that only ever touches two shards never opens a
+// context on the other N-2.
+type connCtxs struct {
+	c     *Cluster
+	owner uint64
+	ctxs  []*core.Ctx
+}
+
+func (cc *connCtxs) ctx(shard int) *core.Ctx {
+	if cc.ctxs[shard] == nil {
+		cc.ctxs[shard] = cc.c.shards[shard].store.NewCtx(cc.owner)
+	}
+	return cc.ctxs[shard]
+}
+
+func (cc *connCtxs) close() {
+	for _, ctx := range cc.ctxs {
+		if ctx != nil {
+			ctx.Close()
+		}
+	}
+}
+
+func (cs *ClusterServer) handle(c net.Conn) {
+	defer cs.connWG.Done()
+	defer c.Close()
+	cs.mu.Lock()
+	cs.seq++
+	owner := uint64(1)<<41 | cs.seq // distinct from local and hybrid owners
+	cs.mu.Unlock()
+	cc := &connCtxs{c: cs.c, owner: owner, ctxs: make([]*core.Ctx, cs.c.Shards())}
+	defer cc.close()
+
+	r := bufio.NewReaderSize(c, 64<<10)
+	w := bufio.NewWriterSize(c, 64<<10)
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	isBinary := first[0] == 0x80
+	readCmd := func() (*protocol.Command, error) {
+		if isBinary {
+			return protocol.ReadBinaryCommand(r)
+		}
+		return protocol.ReadASCIICommand(r)
+	}
+	cmds := make([]*protocol.Command, 0, maxPipeline)
+	for {
+		cmds = cmds[:0]
+		cmd, err := readCmd()
+		if err != nil {
+			if !isBinary {
+				fmt.Fprintf(w, "CLIENT_ERROR %v\r\n", err)
+				w.Flush()
+			}
+			return
+		}
+		quit := cmd.Op == protocol.OpQuit
+		var readErr error
+		if !quit {
+			cmds = append(cmds, cmd)
+			for len(cmds) < maxPipeline && r.Buffered() > 0 {
+				c2, e := readCmd()
+				if e != nil {
+					readErr = e
+					break
+				}
+				if c2.Op == protocol.OpQuit {
+					quit = true
+					break
+				}
+				cmds = append(cmds, c2)
+			}
+		}
+		cs.dispatchShardedPipeline(cc, w, isBinary, cmds)
+		if readErr != nil && !isBinary {
+			fmt.Fprintf(w, "CLIENT_ERROR %v\r\n", readErr)
+		}
+		if quit || readErr != nil {
+			w.Flush()
+			return
+		}
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// opRef locates one batch op inside the per-shard partition: which shard
+// it went to and at which position in that shard's sub-batch.
+type opRef struct {
+	shard int
+	pos   int
+}
+
+// dispatchShardedPipeline executes a run of pipelined commands. Every
+// contiguous stretch of batchable commands is partitioned by owning shard
+// and each involved shard executes its share in one ExecBatch crossing;
+// replies are reassembled in command order. Non-batchable commands
+// (stats, version, flush_all) dispatch individually against the cluster.
+func (cs *ClusterServer) dispatchShardedPipeline(cc *connCtxs, w *bufio.Writer, binary bool, cmds []*protocol.Command) {
+	for i := 0; i < len(cmds); {
+		j := i
+		var refs []opRef  // flat op index → shard/pos
+		var spans []int   // batch ops consumed per command
+		perShard := make([][]core.BatchOp, cs.c.Shards())
+		for j < len(cmds) {
+			cOps := batchOpsFor(cmds[j])
+			if cOps == nil {
+				break
+			}
+			for _, op := range cOps {
+				sh := cs.c.ring.Shard(op.Key)
+				if op.Code == core.BatchGet {
+					// Feed the hot-key tracker so pipelined readers count
+					// toward detection; batched reads still serve from the
+					// primary (replica fall-through only exists on the
+					// routed single-get paths).
+					cs.c.hot[sh].observe(op.Key)
+				}
+				refs = append(refs, opRef{shard: sh, pos: len(perShard[sh])})
+				perShard[sh] = append(perShard[sh], op)
+			}
+			spans = append(spans, len(cOps))
+			j++
+		}
+		if len(refs) > 1 {
+			// One crossing per involved shard for the whole run.
+			perShardRes := make([][]core.BatchResult, cs.c.Shards())
+			for sh := range perShard {
+				if len(perShard[sh]) > 0 {
+					perShardRes[sh] = cc.ctx(sh).ExecBatch(perShard[sh])
+				}
+			}
+			flat := make([]core.BatchResult, len(refs))
+			for k, ref := range refs {
+				flat[k] = perShardRes[ref.shard][ref.pos]
+			}
+			off := 0
+			for k := i; k < j; k++ {
+				n := spans[k-i]
+				writeBatchedReply(w, binary, cmds[k], flat[off:off+n])
+				off += n
+			}
+			i = j
+			continue
+		}
+		// Lone or non-batchable command.
+		rep := cs.dispatchOne(cc, cmds[i])
+		if binary {
+			protocol.WriteBinaryReply(w, cmds[i], rep)
+		} else {
+			protocol.WriteASCIIReply(w, cmds[i], rep)
+		}
+		i++
+	}
+}
+
+// dispatchOne executes a single command against the cluster: keyed
+// commands route to the owning shard (a lone plain get additionally rides
+// the hot-key replica path); keyless commands fan out or aggregate.
+func (cs *ClusterServer) dispatchOne(cc *connCtxs, cmd *protocol.Command) *protocol.Reply {
+	c := cs.c
+	switch cmd.Op {
+	case protocol.OpFlushAll:
+		for sh := 0; sh < c.Shards(); sh++ {
+			cc.ctx(sh).FlushAll()
+		}
+		return &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque}
+	case protocol.OpStats:
+		return cs.statsReply(cc, cmd)
+	case protocol.OpVersion:
+		return &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque,
+			Version: fmt.Sprintf("1.6.0-plib-cluster/%d", c.Shards())}
+	case protocol.OpNoop:
+		return &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque}
+	case protocol.OpGet:
+		if len(cmd.Keys) == 0 {
+			return cs.hotGet(cc, cmd)
+		}
+	}
+	sh := c.ring.Shard(cmd.Key)
+	return DispatchCore(cc.ctx(sh), cmd, "1.6.0-plib-cluster")
+}
+
+// hotGet serves a lone plain get with the same hot-key replica policy as
+// ClusterSession.Get.
+func (cs *ClusterServer) hotGet(cc *connCtxs, cmd *protocol.Command) *protocol.Reply {
+	c := cs.c
+	key := cmd.Key
+	primary := c.ring.Shard(key)
+	rep := &protocol.Reply{Opaque: cmd.Opaque}
+	if c.cfg.HotKeyThreshold > 0 && c.Shards() > 1 && c.hot[primary].observe(key) {
+		replica := c.replicaOf(primary)
+		if v, f, cas, err := cc.ctx(replica).Get(key); err == nil {
+			c.replicaHits.Add(1)
+			rep.Status, rep.Value, rep.Flags, rep.CAS = protocol.StatusOK, v, f, cas
+			return rep
+		}
+		c.replicaMisses.Add(1)
+		v, f, cas, err := cc.ctx(primary).Get(key)
+		rep.Status = coreStatus(err)
+		if err != nil {
+			return rep
+		}
+		if cc.ctx(replica).Set(key, v, f, 0) == nil {
+			c.replications.Add(1)
+		}
+		rep.Value, rep.Flags, rep.CAS = v, f, cas
+		return rep
+	}
+	v, f, cas, err := cc.ctx(primary).Get(key)
+	rep.Status = coreStatus(err)
+	if err == nil {
+		rep.Value, rep.Flags, rep.CAS = v, f, cas
+	}
+	return rep
+}
+
+// statsReply aggregates the default counter set across shards; per-shard
+// counters are appended under a shard<N>: prefix so the routing tier stays
+// observable from a plain memcached client.
+func (cs *ClusterServer) statsReply(cc *connCtxs, cmd *protocol.Command) *protocol.Reply {
+	c := cs.c
+	if cmd.StatsArg != "" {
+		// Subcommand stats (latency, slabs, …) don't aggregate cleanly;
+		// serve every shard's lines under its prefix.
+		rep := &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque}
+		for sh := 0; sh < c.Shards(); sh++ {
+			sub := DispatchCore(cc.ctx(sh), cmd, "1.6.0-plib-cluster")
+			for _, kv := range sub.Stats {
+				rep.Stats = append(rep.Stats, [2]string{fmt.Sprintf("shard%d:%s", sh, kv[0]), kv[1]})
+			}
+		}
+		return rep
+	}
+	agg := c.Stats()
+	hm := c.Metrics().HotKey
+	rep := &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque}
+	rep.Stats = [][2]string{
+		{"shards", strconv.Itoa(c.Shards())},
+		{"cmd_get", strconv.FormatUint(agg.Gets, 10)},
+		{"get_hits", strconv.FormatUint(agg.GetHits, 10)},
+		{"get_misses", strconv.FormatUint(agg.GetMisses, 10)},
+		{"cmd_set", strconv.FormatUint(agg.Sets, 10)},
+		{"cmd_delete", strconv.FormatUint(agg.Deletes, 10)},
+		{"cmd_touch", strconv.FormatUint(agg.Touches, 10)},
+		{"curr_items", strconv.FormatUint(agg.CurrItems, 10)},
+		{"bytes", strconv.FormatUint(agg.Bytes, 10)},
+		{"evictions", strconv.FormatUint(agg.Evictions, 10)},
+		{"expired", strconv.FormatUint(agg.Expired, 10)},
+		{"hotkey_detected", strconv.FormatUint(hm.Detected, 10)},
+		{"hotkey_replica_hits", strconv.FormatUint(hm.ReplicaHits, 10)},
+	}
+	for sh := 0; sh < c.Shards(); sh++ {
+		st := c.Shard(sh).Stats()
+		rep.Stats = append(rep.Stats,
+			[2]string{fmt.Sprintf("shard%d:curr_items", sh), strconv.FormatUint(st.CurrItems, 10)},
+			[2]string{fmt.Sprintf("shard%d:cmd_get", sh), strconv.FormatUint(st.Gets, 10)},
+			[2]string{fmt.Sprintf("shard%d:cmd_set", sh), strconv.FormatUint(st.Sets, 10)},
+			[2]string{fmt.Sprintf("shard%d:state", sh), strconv.Itoa(int(c.State(sh)))},
+		)
+	}
+	return rep
+}

@@ -337,6 +337,14 @@ func (b *Bookkeeper) detachTenant(s *Session) {
 	s.ctx.FreePage(s.tenantPage)                       //nolint:errcheck
 }
 
+// Healthy reports whether the session can still carry calls: its process
+// is alive and its gate session has not been reaped by the watchdog. A
+// session that fails this check is permanently dead — every future call
+// returns ErrSessionReaped or ErrKilled — and must not be reused.
+func (s *Session) Healthy() bool {
+	return !s.hs.Reaped() && !s.th.Proc.Killed()
+}
+
 // Close returns the session's cached heap blocks to the shared pool and
 // tears down its tenant domain. A session whose process died or that the
 // watchdog reaped leaves teardown to the recovery sweep — a fenced context

@@ -1,0 +1,230 @@
+package plibmc
+
+// Shard fault isolation: each shard of a cluster is its own protection
+// domain — one backing file, one hodor gate, one repair coordinator. A
+// client crash inside one shard's store quarantines and repairs THAT
+// shard online; the other shards' fast lanes never notice. This test
+// pins the blast radius: a fault-injected kill mid-mutation on a 4-shard
+// cluster's victim shard must leave the survivor shards serving reads
+// with zero errors and zero repairs, and the victim must come back and
+// serve again.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plibmc/internal/faultpoint"
+	"plibmc/memcached"
+)
+
+func TestShardCrashIsolation(t *testing.T) {
+	defer faultpoint.DisarmAll()
+	const nShards = 4
+	c, err := memcached.CreateCluster(memcached.ClusterConfig{
+		Shards: nShards,
+		Store: memcached.Config{
+			HeapBytes: 16 << 20, HashPower: 8, NumItemLocks: 16,
+			CallTimeout: 50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	scc, err := c.NewClientProcess(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nSurv = 4
+	var survivors []*memcached.ClusterSession
+	for i := 0; i < nSurv; i++ {
+		s, err := scc.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		survivors = append(survivors, s)
+	}
+
+	// Populate across all shards and learn the key→shard layout.
+	perShard := make([][]string, nShards)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("iso%03d", i)
+		if err := survivors[0].Set([]byte(key), []byte("v0"), 7, 0); err != nil {
+			t.Fatalf("populate %s: %v", key, err)
+		}
+		sh := c.ShardFor([]byte(key))
+		perShard[sh] = append(perShard[sh], key)
+	}
+	for sh, keys := range perShard {
+		if len(keys) == 0 {
+			t.Fatalf("shard %d owns no keys; ring routing is degenerate", sh)
+		}
+	}
+	const victim = 0
+	var safeKeys []string // keys the survivors may touch while the mine is armed
+	for sh, keys := range perShard {
+		if sh != victim {
+			safeKeys = append(safeKeys, keys...)
+		}
+	}
+
+	// The doomed client mutates only victim-owned keys, so the armed
+	// fault point (the registry is process-global) can only fire inside
+	// the victim shard's store. Only the victim-shard client process is
+	// killed — the doomed client's sessions on healthy shards stay idle.
+	dcc, err := c.NewClientProcess(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsess, err := dcc.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Survivors hammer reads on the healthy shards throughout the crash
+	// and the online repair; every single read must succeed. Reads only:
+	// a survivor mutation would consume the one-shot fault handler meant
+	// for the doomed client.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var survOps, survErrs atomic.Uint64
+	for i, s := range survivors {
+		wg.Add(1)
+		go func(i int, s *memcached.ClusterSession) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := safeKeys[(n*7+i*13)%len(safeKeys)]
+				v, _, err := s.Get([]byte(key))
+				survOps.Add(1)
+				if err != nil {
+					survErrs.Add(1)
+					t.Errorf("survivor %d: Get(%s) during victim repair: %v", i, key, err)
+					return
+				}
+				if string(v) != "v0" {
+					survErrs.Add(1)
+					t.Errorf("survivor %d: Get(%s) = %q, want v0", i, key, v)
+					return
+				}
+			}
+		}(i, s)
+	}
+	// Don't arm until the survivor readers are demonstrably running, so
+	// the crash-and-repair window genuinely overlaps their traffic.
+	deadline := time.Now().Add(10 * time.Second)
+	for survOps.Load() < 100 {
+		if time.Now().After(deadline) {
+			t.Fatal("survivor readers never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var fired atomic.Bool
+	if err := faultpoint.Arm("ops.store.mid_swap", func() {
+		fired.Store(true)
+		dcc.Proc(victim).Kill()
+		panic("shardcrash: injected crash at ops.store.mid_swap")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; ; n++ {
+			key := perShard[victim][n%len(perShard[victim])]
+			if err := dsess.Set([]byte(key), []byte("doomed"), 7, 0); err != nil {
+				return // the injected kill surfaced; the client is dead
+			}
+		}
+	}()
+	for !fired.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("doomed mutations never reached ops.store.mid_swap")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	repairStart := time.Now()
+	vlib := c.Shard(victim).Library()
+	for {
+		if vlib.Poisoned() {
+			t.Fatal("victim shard poisoned after injected crash")
+		}
+		if m := vlib.Metrics(); m.Recoveries >= 1 && !vlib.Recovering() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim shard never finished online repair")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	repairWall := time.Since(repairStart)
+	close(stop)
+	wg.Wait()
+	faultpoint.Disarm("ops.store.mid_swap")
+
+	// The isolation claims.
+	if e := survErrs.Load(); e != 0 {
+		t.Fatalf("survivor shards returned %d errors during the victim's repair", e)
+	}
+	if ops := survOps.Load(); ops == 0 {
+		t.Fatal("survivors recorded no reads during the repair window")
+	}
+	for sh := 0; sh < nShards; sh++ {
+		if sh == victim {
+			continue
+		}
+		if m := c.Shard(sh).Library().Metrics(); m.Recoveries != 0 {
+			t.Fatalf("shard %d repaired %d times; the crash should be contained to shard %d",
+				sh, m.Recoveries, victim)
+		}
+		if c.State(sh) != memcached.ShardHealthy {
+			t.Fatalf("shard %d state = %d, want healthy", sh, c.State(sh))
+		}
+	}
+
+	// The victim resumes. Repair may drop the one in-flight item; every
+	// other victim-owned key must still be present.
+	missing := 0
+	for _, key := range perShard[victim] {
+		_, _, err := survivors[0].Get([]byte(key))
+		if err == memcached.ErrNotFound {
+			missing++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("victim shard Get(%s) after repair: %v", key, err)
+		}
+	}
+	if missing > 1 {
+		t.Fatalf("victim shard dropped %d keys; repair may drop at most the in-flight item", missing)
+	}
+
+	// Full mixed load across all shards against the repaired cluster.
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("post%03d", i)
+		if err := survivors[0].Set([]byte(key), []byte("v1"), 7, 0); err != nil {
+			t.Fatalf("post-repair Set(%s): %v", key, err)
+		}
+		v, _, err := survivors[0].Get([]byte(key))
+		if err != nil || string(v) != "v1" {
+			t.Fatalf("post-repair Get(%s) = %q, %v", key, v, err)
+		}
+	}
+	if err := survivors[0].Delete([]byte(perShard[victim][0])); err != nil &&
+		err != memcached.ErrNotFound {
+		t.Fatalf("post-repair Delete on victim shard: %v", err)
+	}
+	if _, err := c.Shard(victim).Allocator().Check(); err != nil {
+		t.Fatalf("victim heap fsck after repair: %v", err)
+	}
+	t.Logf("victim shard repaired online in %v (%d survivor reads, 0 errors, %d/%d victim keys intact)",
+		repairWall, survOps.Load(), len(perShard[victim])-missing, len(perShard[victim]))
+}

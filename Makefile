@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check faultmatrix corruptmatrix modelcheck modelcheck-long gatehard shardcheck bench-noisy bench-seqlock bench-recovery bench-checksum bench-batch
+.PHONY: build test check faultmatrix corruptmatrix modelcheck modelcheck-long gatehard shardcheck reshardcheck bench-noisy bench-seqlock bench-recovery bench-checksum bench-batch
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 # run the packages that carry the seqlock/grave protocol under the race
 # detector (which exercises the sync/atomic build of the relaxed accessors),
 # a short chaos soak, and the crash-at-every-point fault matrix.
-check: build faultmatrix corruptmatrix modelcheck gatehard shardcheck bench-noisy
+check: build faultmatrix corruptmatrix modelcheck gatehard shardcheck reshardcheck bench-noisy
 	$(GO) vet ./...
 	$(GO) test -race -count=1 ./internal/core ./internal/shm
 	$(GO) test -race -count=1 -short -run TestChaosKillsNeverCorrupt .
@@ -55,6 +55,19 @@ shardcheck:
 	$(GO) test -race -count=1 -short -run 'TestModelCheckSharded' .
 	$(GO) test -race -count=1 ./internal/ring
 	$(GO) test -race -count=1 -run 'TestCluster' ./memcached
+
+# The live-resharding gate (DESIGN.md §15): a mixed workload linearizes
+# exactly across a live 4→6 resize with zero client errors, the migrator
+# survives being killed mid-segment and crashing inside its own gate
+# crossing (both shards repair online and the migration resumes), the
+# batch plane keeps positional alignment when one shard's crossing fails,
+# the resized manifest wins over a stale config on reopen, and the
+# hot-key tracker's decay/floor/demotion fixes hold — all under the race
+# detector.
+reshardcheck:
+	$(GO) test -race -count=1 -short -run 'TestModelCheckResize|TestResizeCrashIsolation|TestClusterReopenAfterResize' .
+	$(GO) test -race -count=1 -run 'TestHotTracker|TestClusterHotKey|TestClusterExecBatchShardFailure' ./memcached
+	$(GO) test -race -count=1 ./internal/ring
 
 # The noisy-tenant fairness sweep: p99 latency of well-behaved tenants with
 # one hostile tenant pumping batched writes through its admission quota.

@@ -14,12 +14,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -143,12 +145,38 @@ func runCluster(network, addr string, shards int, dir string, vnodes int,
 		c.StartCheckpointing(time.Duration(ckptSec) * time.Second)
 	}
 	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", c.MetricsHandler())
+		// POST /admin/resize?shards=N — start a live resharding to N
+		// shards; the background migrator streams segments while the
+		// proxy keeps serving. GET /admin/migration reports progress.
+		mux.HandleFunc("/admin/resize", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			n, err := strconv.Atoi(r.URL.Query().Get("shards"))
+			if err != nil || n < 1 {
+				http.Error(w, "resize: ?shards=N (N >= 1) required", http.StatusBadRequest)
+				return
+			}
+			if err := c.Resize(n); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, "resizing to %d shards\n", n)
+		})
+		mux.HandleFunc("/admin/migration", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(c.MigrationStatus()) //nolint:errcheck
+		})
 		go func() {
-			if err := http.ListenAndServe(metricsAddr, c.MetricsHandler()); err != nil {
+			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "memcachedd: metrics server:", err)
 			}
 		}()
-		fmt.Printf("memcachedd: cluster metrics on http://%s/metrics\n", metricsAddr)
+		fmt.Printf("memcachedd: cluster metrics on http://%s/metrics, admin on /admin/resize and /admin/migration\n", metricsAddr)
 	}
 
 	<-sig
@@ -158,5 +186,5 @@ func runCluster(network, addr string, shards int, dir string, vnodes int,
 	}
 	agg := c.Stats()
 	fmt.Printf("memcachedd: cluster stopped; %d items, %d gets (%d hits), %d sets across %d shards\n",
-		agg.CurrItems, agg.Gets, agg.GetHits, agg.Sets, shards)
+		agg.CurrItems, agg.Gets, agg.GetHits, agg.Sets, c.Shards())
 }

@@ -19,10 +19,15 @@
 // Pointing -file at a directory switches to cluster mode: every
 // shard-*.img base in the directory (the layout memcachedd -shards
 // writes) is deep-verified with all its checkpoint slots, and the exit
-// code is nonzero if any shard has a corrupt slot.
+// code is nonzero if any shard has a corrupt slot. The cluster's
+// routing metadata is reported too: the ring.json manifest (shard count
+// and virtual nodes), and — when a reshard.json marker is present — the
+// fact that a live resize was interrupted mid-migration, which the next
+// OpenCluster repairs by sweeping stray keys.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -181,6 +186,7 @@ func verifyShardDir(dir string, max int) int {
 	}
 	sort.Strings(bases)
 	fmt.Printf("%s: %d shards\n", dir, len(bases))
+	describeRing(dir, len(bases))
 	exit := 0
 	bad := 0
 	for _, base := range bases {
@@ -195,6 +201,44 @@ func verifyShardDir(dir string, max int) int {
 		fmt.Printf("cluster: all %d shards verified OK\n", len(bases))
 	}
 	return exit
+}
+
+// describeRing reports the cluster's routing manifest (ring.json) and
+// whether a live resharding was cut short (reshard.json): a directory
+// with the marker present holds a consistent but interrupted migration —
+// every key is on its old or its new shard, possibly both — and the
+// next OpenCluster sweeps the strays. The shard *images* still verify
+// individually either way; this is routing metadata, not heap state.
+func describeRing(dir string, imgShards int) {
+	var manifest struct {
+		Shards       int `json:"shards"`
+		VirtualNodes int `json:"virtual_nodes"`
+	}
+	if b, err := os.ReadFile(filepath.Join(dir, "ring.json")); err == nil {
+		if json.Unmarshal(b, &manifest) == nil && manifest.Shards > 0 {
+			fmt.Printf("ring: %d shards, %d virtual nodes per shard\n",
+				manifest.Shards, manifest.VirtualNodes)
+			if manifest.Shards != imgShards {
+				fmt.Printf("ring: WARNING — manifest says %d shards but %d shard images present\n",
+					manifest.Shards, imgShards)
+			}
+		} else {
+			fmt.Println("ring: ring.json present but unreadable")
+		}
+	}
+	var marker struct {
+		FromShards int `json:"from_shards"`
+		ToShards   int `json:"to_shards"`
+	}
+	if b, err := os.ReadFile(filepath.Join(dir, "reshard.json")); err == nil {
+		if json.Unmarshal(b, &marker) == nil {
+			fmt.Printf("ring: MIGRATION IN PROGRESS — resize %d → %d shards was interrupted; "+
+				"keys may be duplicated across old and new owners until the next open sweeps them\n",
+				marker.FromShards, marker.ToShards)
+		} else {
+			fmt.Println("ring: reshard.json present but unreadable — a resize was interrupted")
+		}
+	}
 }
 
 // verifyOne runs one slot through the full verification chain, printing a

@@ -42,6 +42,15 @@ func TestFaultMatrix(t *testing.T) {
 				runPersistFaultAt(t, point)
 				return
 			}
+			if strings.HasPrefix(point, "migrate.") {
+				// Migrator points: the failing actor is the background
+				// segment migrator of a live resize, not a library client.
+				// Killed there, the migration must survive — both shards
+				// healthy, a fresh attempt resuming — which is what the
+				// resize runner asserts (reshard_test.go).
+				runMigrateFaultAt(t, point)
+				return
+			}
 			runFaultAt(t, point)
 		})
 	}

@@ -38,6 +38,14 @@ const (
 	BatchIncr
 	BatchDecr
 	BatchTouch
+	// Migration ops (live resharding). BatchExport is a read that does not
+	// bump the LRU and additionally returns the entry's absolute expiry;
+	// BatchInstall is an unconditional store that preserves an existing
+	// CAS generation and takes Exptime as already-absolute. Neither is
+	// reachable from the wire protocol — only the in-process migrator
+	// issues them.
+	BatchExport
+	BatchInstall
 )
 
 // BatchOp is one operation in a batch. Which fields matter depends on Code:
@@ -58,11 +66,12 @@ type BatchOp struct {
 // Err carries the operation's own failure (ErrNotFound, ErrCASMismatch, …)
 // without affecting its siblings.
 type BatchResult struct {
-	Value []byte // retrieved value (Get/GAT hits)
-	Flags uint32
-	CAS   uint64
-	Num   uint64 // new counter value (Incr/Decr)
-	Err   error
+	Value   []byte // retrieved value (Get/GAT hits)
+	Flags   uint32
+	CAS     uint64
+	Num     uint64 // new counter value (Incr/Decr)
+	Exptime int64  // absolute expiry (Export hits; 0 = never)
+	Err     error
 }
 
 // fpBatchMidDispatch crashes between two operations of a batch: the prefix
@@ -162,6 +171,11 @@ func (c *Ctx) execBatchOne(op *BatchOp, r *BatchResult, vbuf []byte, start *int)
 		r.Num, r.Err = c.Decrement(op.Key, op.Delta)
 	case BatchTouch:
 		r.Err = c.Touch(op.Key, op.Exptime)
+	case BatchExport:
+		*start = len(vbuf)
+		vbuf, r.Flags, r.CAS, r.Exptime, r.Err = c.ExportAppend(vbuf, op.Key)
+	case BatchInstall:
+		r.Err = c.Install(op.Key, op.Value, op.Flags, op.Exptime, op.CAS)
 	default:
 		r.Err = fmt.Errorf("core: unknown batch op code %d", op.Code)
 	}

@@ -79,6 +79,11 @@ func (r *Ring) Shard(key []byte) int {
 	return r.owner(Hash(key))
 }
 
+// Owner maps an already-computed hash position to its owning shard. The
+// dual-ring routing layer hashes a key once and then resolves it against
+// both rings and the migration plan, so it needs ownership by position.
+func (r *Ring) Owner(h uint64) int { return r.owner(h) }
+
 // owner returns the shard owning hash position h.
 func (r *Ring) owner(h uint64) int {
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
@@ -117,6 +122,17 @@ func Hash(key []byte) uint64 {
 type Segment struct {
 	Start, End uint64 // arc (Start, End], i.e. keys with Start < Hash(k) <= End
 	From, To   int
+}
+
+// Contains reports whether hash position h falls inside the segment's
+// arc (Start, End], honoring the Start > End wrap rule. A segment with
+// Start == End covers the full circle (it can only arise from merging
+// every arc, which requires every key to move).
+func (s Segment) Contains(h uint64) bool {
+	if s.Start < s.End {
+		return h > s.Start && h <= s.End
+	}
+	return h > s.Start || h <= s.End
 }
 
 // Plan computes the rebalance plan from ring a to ring b: the minimal set
@@ -165,6 +181,19 @@ func Plan(a, b *Ring) []Segment {
 			continue
 		}
 		plan = append(plan, Segment{Start: prev, End: cur, From: from, To: to})
+	}
+	// The i==0 arc starts at the *last* boundary (it wraps past the top of
+	// the circle), so it is emitted before the segment it may be adjacent
+	// to could exist. If the final segment ends exactly where the first one
+	// starts and carries the same movement, they are one arc across the
+	// top: fold the first into the last, producing a wrapped Start > End
+	// segment.
+	if n := len(plan); n > 1 {
+		first, last := plan[0], plan[n-1]
+		if first.Start == last.End && first.From == last.From && first.To == last.To {
+			plan[n-1].End = first.End
+			plan = plan[1:]
+		}
 	}
 	return plan
 }

@@ -136,6 +136,75 @@ func TestRingPlan(t *testing.T) {
 	}
 }
 
+// Property test over a matrix of ring pairs: the plan's arcs must cover
+// the moved keyspace exactly (owner changed ⟺ hash in some planned
+// segment with matching From/To, honoring the Start > End wrap rule) and
+// be minimal — no two adjacent segments with the same movement, treating
+// the plan as circular. The circular-adjacency half fails without the
+// wrap-around merge: the i==0 arc (which starts at the last boundary) was
+// emitted before the final segment it abuts across the top of the circle
+// could merge with it.
+func TestRingPlanCoversMovedKeyspaceExactly(t *testing.T) {
+	type pair struct{ a, b, vn int }
+	pairs := []pair{
+		// vn=2 pairs where the final segment abuts the i==0 wrap arc with
+		// the same movement — the wrap-around merge must fold them.
+		{1, 2, 2}, {1, 3, 2}, {1, 4, 2}, {2, 1, 2},
+		// Denser rings: coverage + minimality at realistic vnode counts.
+		{4, 6, 2}, {4, 6, 8}, {4, 5, 16}, {6, 4, 8}, {2, 3, 128},
+	}
+	sawWrapped := false
+	for _, pc := range pairs {
+		a, _ := New(pc.a, pc.vn)
+		b, _ := New(pc.b, pc.vn)
+		plan := Plan(a, b)
+		if len(plan) == 0 {
+			t.Fatalf("%d→%d vn=%d: empty plan for differing rings", pc.a, pc.b, pc.vn)
+		}
+		// Minimality: no circularly-adjacent same-movement segments.
+		for i := range plan {
+			next := plan[(i+1)%len(plan)]
+			if plan[i].End == next.Start && plan[i].From == next.From && plan[i].To == next.To &&
+				len(plan) > 1 {
+				t.Errorf("%d→%d vn=%d: segments %d and %d are adjacent with the same movement %d→%d — unmerged",
+					pc.a, pc.b, pc.vn, i, (i+1)%len(plan), plan[i].From, plan[i].To)
+			}
+			if plan[i].Start > plan[i].End {
+				sawWrapped = true
+			}
+		}
+		// Exact coverage on sampled keys.
+		for i := 0; i < 20000; i++ {
+			k := []byte(fmt.Sprintf("cover-%d-%d", pc.vn, i))
+			from, to := a.Shard(k), b.Shard(k)
+			h := Hash(k)
+			var got *Segment
+			for j := range plan {
+				if plan[j].Contains(h) {
+					got = &plan[j]
+					break
+				}
+			}
+			if from == to {
+				if got != nil {
+					t.Fatalf("%d→%d vn=%d: unmoved key %q covered by %+v", pc.a, pc.b, pc.vn, k, *got)
+				}
+				continue
+			}
+			if got == nil {
+				t.Fatalf("%d→%d vn=%d: moved key %q (%d→%d) not covered", pc.a, pc.b, pc.vn, k, from, to)
+			}
+			if got.From != from || got.To != to {
+				t.Fatalf("%d→%d vn=%d: key %q moves %d→%d but its segment says %d→%d",
+					pc.a, pc.b, pc.vn, k, from, to, got.From, got.To)
+			}
+		}
+	}
+	if !sawWrapped {
+		t.Fatal("no wrapped (Start > End) segment across the whole matrix — the wrap-merge fixture went stale")
+	}
+}
+
 // BenchmarkRingShard is the routing hot path: one hash + one binary
 // search over the vnode points.
 func BenchmarkRingShard(b *testing.B) {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -23,6 +24,14 @@ import (
 // hash ring (internal/ring) that the in-process fast lane, the socket
 // proxy (proxy.go), and offline tooling (plibdump over a shard directory)
 // all share.
+//
+// The ring, shard set, and hot-key trackers live together in one
+// immutable topology snapshot behind an atomic pointer: a live resize
+// (migrate.go) installs a wider shard set up front, streams the moved
+// hash segments between shards in the background, and swaps in the new
+// ring only when every segment has cut over. Routing is therefore always
+// one atomic load plus, during a migration, the dual-ring decision in
+// routeHash.
 
 // ShardImageName returns the backing-file name of shard i inside a
 // cluster directory — the naming contract between the cluster and
@@ -36,7 +45,9 @@ type ClusterConfig struct {
 	// VirtualNodes per shard on the ring (0 = ring.DefaultVirtualNodes).
 	VirtualNodes int
 	// Dir, when set, holds one backing file per shard (shard-000.img …);
-	// each shard gets its own A/B checkpoint slots beside its image.
+	// each shard gets its own A/B checkpoint slots beside its image, plus
+	// a ring.json manifest recording the authoritative ring geometry and,
+	// during a live resize, a reshard.json marker.
 	// Empty means every shard is in-memory only.
 	Dir string
 	// Store is the per-shard configuration template. Path is overridden
@@ -50,23 +61,54 @@ type ClusterConfig struct {
 	// HotKeyWindow is the decay period of the hot-key counters, in
 	// observed reads per shard (0 = 65536).
 	HotKeyWindow uint64
+
+	// Clock, when set, overrides every shard's wall clock — including
+	// shards created later by Resize. Tests that freeze time use this so
+	// a live resize doesn't mint shards with real clocks.
+	Clock func() int64
+}
+
+// topology is one immutable snapshot of the cluster's shape: the
+// authoritative ring plus the attachable shard set (which may be wider
+// than the ring mid-migration, and after a shrink keeps the drained
+// shards attachable until Shutdown). Swapped wholesale under routeMu.
+type topology struct {
+	ring   *ring.Ring
+	shards []*Bookkeeper
+	hot    []*hotTracker
 }
 
 // Cluster is the multi-store handle.
 type Cluster struct {
-	cfg    ClusterConfig
-	ring   *ring.Ring
-	shards []*Bookkeeper
-	hot    []*hotTracker
+	cfg  ClusterConfig
+	topo atomic.Pointer[topology]
+
+	// mig is the live migration, nil in steady state. Installed under
+	// routeMu's write lock so no operation can straddle the moment the
+	// dual-ring routing rules take effect; cleared lock-free when the
+	// last segment is done (at that point both routing modes agree).
+	mig     atomic.Pointer[migration]
+	lastMig atomic.Pointer[migration] // survives completion, for status/wait
+	routeMu sync.RWMutex
+	// resizeMu serializes Resize setup (one resize at a time).
+	resizeMu sync.Mutex
 
 	// Hot-key traffic accounting (cluster-wide).
 	replicaHits   atomic.Uint64 // hot reads served by the sibling shard
 	replicaMisses atomic.Uint64 // hot reads that fell through to the primary
 	replications  atomic.Uint64 // values copied to a sibling after a fall-through
 	invalidations atomic.Uint64 // replica deletes issued by the write path
+
+	// Migration accounting (cumulative across resizes).
+	resizes    atomic.Uint64 // Resize calls that started a migration
+	segsMoved  atomic.Uint64 // segments cut over
+	keysMoved  atomic.Uint64 // entries installed on their destination
+	migRetries atomic.Uint64 // migrator attempts restarted after a crash
 }
 
-func (cfg *ClusterConfig) ring() (*ring.Ring, error) {
+func (c *Cluster) top() *topology { return c.topo.Load() }
+
+func (cfg *ClusterConfig) buildRing() (*ring.Ring, error) {
 	return ring.New(cfg.Shards, cfg.VirtualNodes)
 }
 
@@ -80,9 +122,26 @@ func (cfg *ClusterConfig) shardConfig(i int) Config {
 	return sc
 }
 
+// setupShard applies the cluster-level invariants to a freshly created or
+// reopened shard: the disjoint CAS space and the (optional) test clock.
+func (cfg *ClusterConfig) setupShard(b *Bookkeeper, i int) {
+	b.Store().SeedCAS(shardCASBase(i)) // no-op past the base; see SeedCAS
+	if cfg.Clock != nil {
+		b.Store().SetClock(cfg.Clock)
+	}
+}
+
+func (cfg *ClusterConfig) newTrackers(n int) []*hotTracker {
+	hot := make([]*hotTracker, n)
+	for i := range hot {
+		hot[i] = newHotTracker(cfg.HotKeyThreshold, cfg.HotKeyWindow)
+	}
+	return hot
+}
+
 // CreateCluster formats N fresh shards.
 func CreateCluster(cfg ClusterConfig) (*Cluster, error) {
-	r, err := cfg.ring()
+	r, err := cfg.buildRing()
 	if err != nil {
 		return nil, err
 	}
@@ -91,83 +150,130 @@ func CreateCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, fmt.Errorf("memcached: cluster dir: %w", err)
 		}
 	}
-	c := &Cluster{cfg: cfg, ring: r}
+	var shards []*Bookkeeper
 	for i := 0; i < cfg.Shards; i++ {
 		b, err := CreateStore(cfg.shardConfig(i))
 		if err != nil {
-			c.Shutdown() //nolint:errcheck
+			for _, prev := range shards {
+				prev.Shutdown() //nolint:errcheck
+			}
 			return nil, fmt.Errorf("memcached: shard %d: %w", i, err)
 		}
-		b.Store().SeedCAS(shardCASBase(i))
-		c.shards = append(c.shards, b)
-		c.hot = append(c.hot, newHotTracker(cfg.HotKeyThreshold, cfg.HotKeyWindow))
+		cfg.setupShard(b, i)
+		shards = append(shards, b)
+	}
+	c := &Cluster{cfg: cfg}
+	c.topo.Store(&topology{ring: r, shards: shards, hot: cfg.newTrackers(cfg.Shards)})
+	if cfg.Dir != "" {
+		if err := writeRingManifest(cfg.Dir, r.Shards(), r.VirtualNodes()); err != nil {
+			c.Shutdown() //nolint:errcheck
+			return nil, err
+		}
 	}
 	return c, nil
 }
 
 // shardCASBase puts each shard's CAS generations in a disjoint space
 // (shard index in the top 16 bits of a 64-bit counter), so a CAS token
-// identifies one write cluster-wide. Per-shard traffic would need 2^48
-// mutations to spill into a neighbour's space.
+// identifies one write cluster-wide — which is also what lets the
+// segment migrator move an entry between shards with its generation
+// preserved: the token a client took before the move still validates on
+// the destination after it.
 func shardCASBase(i int) uint64 { return uint64(i) << 48 }
 
 // OpenCluster reloads every shard from its backing file under cfg.Dir.
 // Each shard goes through the candidate-fallback load (base image plus
 // A/B checkpoint slots, newest verifying generation first) independently.
+// The ring.json manifest, when present, overrides cfg's ring geometry —
+// a cluster resized while running reopens at its grown size regardless of
+// what the caller remembers. A leftover reshard.json marker (crash mid-
+// migration or mid-purge) triggers a placement sweep that deletes every
+// entry the manifest ring does not place on the shard holding it.
 func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("memcached: OpenCluster requires a directory")
 	}
-	r, err := cfg.ring()
+	if man, err := readRingManifest(cfg.Dir); err != nil {
+		return nil, err
+	} else if man != nil {
+		cfg.Shards = man.Shards
+		cfg.VirtualNodes = man.VirtualNodes
+	}
+	r, err := cfg.buildRing()
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, ring: r}
+	var shards []*Bookkeeper
 	for i := 0; i < cfg.Shards; i++ {
 		b, err := OpenStore(cfg.shardConfig(i))
 		if err != nil {
-			c.Shutdown() //nolint:errcheck
+			for _, prev := range shards {
+				prev.Shutdown() //nolint:errcheck
+			}
 			return nil, fmt.Errorf("memcached: shard %d: %w", i, err)
 		}
-		b.Store().SeedCAS(shardCASBase(i)) // no-op past the base; see SeedCAS
-		c.shards = append(c.shards, b)
-		c.hot = append(c.hot, newHotTracker(cfg.HotKeyThreshold, cfg.HotKeyWindow))
+		cfg.setupShard(b, i)
+		shards = append(shards, b)
+	}
+	c := &Cluster{cfg: cfg}
+	c.topo.Store(&topology{ring: r, shards: shards, hot: cfg.newTrackers(cfg.Shards)})
+	if hasReshardMarker(cfg.Dir) {
+		// An interrupted migration parked here. The sources never lose
+		// data before the manifest advances, so the manifest ring is
+		// always authoritative; sweeping strays (partial copies, orphaned
+		// hot-key replicas) restores the clean single-ring invariant.
+		c.purgeStale()
+		removeReshardMarker(cfg.Dir)
 	}
 	return c, nil
 }
 
-// Shards returns the shard count.
-func (c *Cluster) Shards() int { return len(c.shards) }
+// Shards returns the attachable shard count. During a grow migration this
+// already includes the new shards; after a shrink the drained shards stay
+// attachable (and counted) until Shutdown, while Ring().Shards() reflects
+// the routing width.
+func (c *Cluster) Shards() int { return len(c.top().shards) }
 
 // Shard exposes one shard's Bookkeeper (fault injection, per-shard
 // maintenance, direct inspection).
-func (c *Cluster) Shard(i int) *Bookkeeper { return c.shards[i] }
+func (c *Cluster) Shard(i int) *Bookkeeper { return c.top().shards[i] }
 
-// Ring exposes the placement ring.
-func (c *Cluster) Ring() *ring.Ring { return c.ring }
+// Ring exposes the authoritative placement ring.
+func (c *Cluster) Ring() *ring.Ring { return c.top().ring }
 
-// ShardFor returns the shard owning key.
-func (c *Cluster) ShardFor(key []byte) int { return c.ring.Shard(key) }
+// ShardFor returns the shard owning key on the authoritative ring. During
+// a live migration the instantaneous owner may differ per segment; use a
+// session's operations (which route with the migration rules) for access.
+func (c *Cluster) ShardFor(key []byte) int { return c.top().ring.Shard(key) }
 
 // StartMaintenance starts every shard's maintenance loop.
 func (c *Cluster) StartMaintenance(interval time.Duration) {
-	for _, b := range c.shards {
+	for _, b := range c.top().shards {
 		b.StartMaintenance(interval)
 	}
 }
 
 // StartCheckpointing starts every shard's checkpoint loop.
 func (c *Cluster) StartCheckpointing(interval time.Duration) {
-	for _, b := range c.shards {
+	for _, b := range c.top().shards {
 		b.StartCheckpointing(interval)
 	}
 }
 
-// Shutdown stops and flushes every shard. All shards are attempted; the
+// Shutdown stops and flushes every shard. A migration still in flight is
+// asked to park first (its marker stays on disk, so the next OpenCluster
+// sweeps and the resize can be reissued). All shards are attempted; the
 // first error is returned.
 func (c *Cluster) Shutdown() error {
+	if m := c.mig.Load(); m != nil {
+		m.stopped.Store(true)
+		select {
+		case <-m.finished:
+		case <-time.After(10 * time.Second):
+		}
+	}
 	var first error
-	for _, b := range c.shards {
+	for _, b := range c.top().shards {
 		if b == nil {
 			continue
 		}
@@ -181,7 +287,7 @@ func (c *Cluster) Shutdown() error {
 // Stats aggregates the operation counters across shards.
 func (c *Cluster) Stats() core.Stats {
 	var agg core.Stats
-	for _, b := range c.shards {
+	for _, b := range c.top().shards {
 		addStats(&agg, b.Stats())
 	}
 	return agg
@@ -197,31 +303,58 @@ func addStats(dst *core.Stats, s core.Stats) {
 	}
 }
 
-// ClusterClient is one application process attached to every shard: a
-// ClientProcess per shard, sharing one uid.
+// ClusterClient is one application process attached to the cluster: a
+// ClientProcess per shard, sharing one uid. Attachment to shards added by
+// a later Resize happens lazily on first route there.
 type ClusterClient struct {
-	c     *Cluster
+	c   *Cluster
+	uid int
+
+	mu    sync.Mutex
 	procs []*ClientProcess
 }
 
-// NewClientProcess attaches a client application to every shard.
+// NewClientProcess attaches a client application to every current shard.
 func (c *Cluster) NewClientProcess(uid int) (*ClusterClient, error) {
-	cc := &ClusterClient{c: c}
-	for i, b := range c.shards {
-		cp, err := b.NewClientProcess(uid)
+	cc := &ClusterClient{c: c, uid: uid}
+	for i := range c.top().shards {
+		if _, err := cc.proc(i); err != nil {
+			return nil, err
+		}
+	}
+	return cc, nil
+}
+
+// proc returns the per-shard client process, attaching on demand to
+// shards that joined after this client was created.
+func (cc *ClusterClient) proc(shard int) (*ClientProcess, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for len(cc.procs) <= shard {
+		i := len(cc.procs)
+		cp, err := cc.c.top().shards[i].NewClientProcess(cc.uid)
 		if err != nil {
 			return nil, fmt.Errorf("memcached: shard %d attach: %w", i, err)
 		}
 		cc.procs = append(cc.procs, cp)
 	}
-	return cc, nil
+	return cc.procs[shard], nil
 }
 
-// Proc exposes the per-shard client process (fault injection in tests).
-func (cc *ClusterClient) Proc(shard int) *ClientProcess { return cc.procs[shard] }
+// Proc exposes the per-shard client process (fault injection in tests),
+// attaching lazily like the data path does.
+func (cc *ClusterClient) Proc(shard int) *ClientProcess {
+	cp, err := cc.proc(shard)
+	if err != nil {
+		return nil
+	}
+	return cp
+}
 
-// Kill kills the client process on every shard.
+// Kill kills the client process on every attached shard.
 func (cc *ClusterClient) Kill() {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
 	for _, cp := range cc.procs {
 		cp.Kill()
 	}
@@ -231,14 +364,12 @@ func (cc *ClusterClient) Kill() {
 // the Session-shaped API. Like Session, a ClusterSession models a thread
 // and is not safe for concurrent use.
 func (cc *ClusterClient) NewSession() (*ClusterSession, error) {
-	cs := &ClusterSession{c: cc.c}
-	for i, cp := range cc.procs {
-		s, err := cp.NewSession()
-		if err != nil {
+	cs := &ClusterSession{c: cc.c, cc: cc}
+	for i := 0; i < cc.c.Shards(); i++ {
+		if _, err := cs.sess(i); err != nil {
 			cs.Close()
-			return nil, fmt.Errorf("memcached: shard %d session: %w", i, err)
+			return nil, err
 		}
-		cs.sessions = append(cs.sessions, s)
 	}
 	return cs, nil
 }
@@ -246,14 +377,36 @@ func (cc *ClusterClient) NewSession() (*ClusterSession, error) {
 // ClusterSession routes the Session API across shards: single-key ops go
 // to the owning shard's fast lane; MGet/ExecBatch split into per-shard
 // sub-batches so each shard still sees one gate crossing for its whole
-// share of the batch.
+// share of the batch. During a live resize every route goes through the
+// dual-ring rules in routeHash, holding the key's segment guard across
+// the shard access so a cutover can never slide under an in-flight op.
 type ClusterSession struct {
 	c        *Cluster
+	cc       *ClusterClient
 	sessions []*Session
 }
 
 // Session exposes the underlying per-shard session (tests, ablation).
 func (s *ClusterSession) Session(shard int) *Session { return s.sessions[shard] }
+
+// sess returns the per-shard session, attaching on demand to shards that
+// joined after this session was opened. ClusterSession models a thread,
+// so the slice needs no lock; the shared process table locks internally.
+func (s *ClusterSession) sess(shard int) (*Session, error) {
+	for len(s.sessions) <= shard {
+		i := len(s.sessions)
+		cp, err := s.cc.proc(i)
+		if err != nil {
+			return nil, err
+		}
+		ss, err := cp.NewSession()
+		if err != nil {
+			return nil, fmt.Errorf("memcached: shard %d session: %w", i, err)
+		}
+		s.sessions = append(s.sessions, ss)
+	}
+	return s.sessions[shard], nil
+}
 
 // Close closes every per-shard session.
 func (s *ClusterSession) Close() {
@@ -264,175 +417,240 @@ func (s *ClusterSession) Close() {
 	}
 }
 
-func (s *ClusterSession) shard(key []byte) int { return s.c.ring.Shard(key) }
-
 // replicaOf returns the sibling shard that carries hot-key replicas for
 // primary: the next shard on the ring.
-func (c *Cluster) replicaOf(primary int) int { return (primary + 1) % len(c.shards) }
+func (c *Cluster) replicaOf(primary int) int { return (primary + 1) % len(c.top().shards) }
 
 // Get retrieves a value, with hot-key read replication: once a key's read
 // rate crosses the configured threshold, reads try the sibling replica
 // first and re-replicate on a replica miss. Gets (CAS reads) never use
-// the replica — CAS generations are per-shard.
+// the replica — CAS generations are per-shard. During a migration the
+// replica path is suspended (trackers were reset at resize start) and
+// reads in a moving segment hold the segment guard across the access.
 func (s *ClusterSession) Get(key []byte) ([]byte, uint32, error) {
-	primary := s.shard(key)
-	if s.c.cfg.HotKeyThreshold > 0 && len(s.sessions) > 1 && s.c.hot[primary].observe(key) {
-		replica := s.c.replicaOf(primary)
-		if v, f, err := s.sessions[replica].Get(key); err == nil {
-			s.c.replicaHits.Add(1)
-			return v, f, nil
-		}
-		// Replica miss — or a replica shard mid-repair; either way the
-		// primary remains the source of truth.
-		s.c.replicaMisses.Add(1)
-		v, f, err := s.sessions[primary].Get(key)
+	s.c.routeMu.RLock()
+	defer s.c.routeMu.RUnlock()
+	p, g := s.c.routeKey(key)
+	if g != nil {
+		ss, err := s.sess(p)
 		if err != nil {
+			g.release()
 			return nil, 0, err
 		}
-		if s.sessions[replica].Set(key, v, f, 0) == nil {
-			s.c.replications.Add(1)
-		}
-		return v, f, nil
+		v, f, err := ss.Get(key)
+		g.release()
+		return v, f, err
 	}
-	return s.sessions[primary].Get(key)
+	top := s.c.top()
+	if s.c.cfg.HotKeyThreshold > 0 && len(top.shards) > 1 && s.c.mig.Load() == nil {
+		hot := top.hot[p].observe(key)
+		if d := top.hot[p].takeDemoted(); d != nil {
+			s.dropReplicas(p, d)
+		}
+		if hot {
+			replica := s.c.replicaOf(p)
+			rs, rerr := s.sess(replica)
+			if rerr == nil {
+				if v, f, err := rs.Get(key); err == nil {
+					s.c.replicaHits.Add(1)
+					return v, f, nil
+				}
+			}
+			// Replica miss — or a replica shard mid-repair; either way the
+			// primary remains the source of truth.
+			s.c.replicaMisses.Add(1)
+			ps, err := s.sess(p)
+			if err != nil {
+				return nil, 0, err
+			}
+			v, f, err := ps.Get(key)
+			if err != nil {
+				return nil, 0, err
+			}
+			if rerr == nil && rs.Set(key, v, f, 0) == nil {
+				s.c.replications.Add(1)
+			}
+			return v, f, nil
+		}
+	}
+	ss, err := s.sess(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ss.Get(key)
 }
 
 // invalidate drops the hot-key replica after a successful mutation of a
 // hot key, keeping the replica read path from serving the old value
 // indefinitely.
 func (s *ClusterSession) invalidate(primary int, key []byte) {
-	if s.c.cfg.HotKeyThreshold == 0 || len(s.sessions) < 2 {
+	top := s.c.top()
+	if s.c.cfg.HotKeyThreshold == 0 || len(top.shards) < 2 {
 		return
 	}
-	if !s.c.hot[primary].isHot(key) {
+	if !top.hot[primary].isHot(key) {
 		return
 	}
-	if s.sessions[s.c.replicaOf(primary)].Delete(key) == nil {
+	rs, err := s.sess(s.c.replicaOf(primary))
+	if err != nil {
+		return
+	}
+	if rs.Delete(key) == nil {
 		s.c.invalidations.Add(1)
 	}
 }
 
-// Gets also returns the CAS generation. Always served by the primary:
-// CAS generations are per-shard, so a replica's generation would never
-// validate against the primary.
+// dropReplicas deletes the ring-successor replicas of keys demoted from
+// hot: once isHot turns false the write path stops invalidating them, so
+// the copies must go before they can serve stale data to a later
+// re-promotion.
+func (s *ClusterSession) dropReplicas(primary int, keys []string) {
+	rs, err := s.sess(s.c.replicaOf(primary))
+	if err != nil {
+		return
+	}
+	for _, k := range keys {
+		if rs.Delete([]byte(k)) == nil {
+			s.c.invalidations.Add(1)
+		}
+	}
+}
+
+// mutate runs one keyed write against the key's authoritative shard. When
+// the key sits in a mid-migration segment, the write lands on the source
+// shard under the segment's shared guard and is dirty-marked so the
+// pre-cutover recopy carries it to the destination.
+func (s *ClusterSession) mutate(key []byte, op func(ss *Session) error) error {
+	s.c.routeMu.RLock()
+	defer s.c.routeMu.RUnlock()
+	p, g := s.c.routeKey(key)
+	ss, err := s.sess(p)
+	if err != nil {
+		if g != nil {
+			g.release()
+		}
+		return err
+	}
+	err = op(ss)
+	if g != nil {
+		// Conservatively dirty even on error: a failed op may still have
+		// observed state, and one extra recopy is cheaper than reasoning
+		// about which error paths mutate.
+		g.markDirty(key)
+		g.release()
+	}
+	if err == nil {
+		s.invalidate(p, key)
+	}
+	return err
+}
+
+// Gets also returns the CAS generation. Always served by the key's
+// authoritative shard: replicas are never consulted, and the migrator
+// preserves generations across a move, so the token stays valid.
 func (s *ClusterSession) Gets(key []byte) ([]byte, uint32, uint64, error) {
-	return s.sessions[s.shard(key)].Gets(key)
+	s.c.routeMu.RLock()
+	defer s.c.routeMu.RUnlock()
+	p, g := s.c.routeKey(key)
+	ss, err := s.sess(p)
+	if err != nil {
+		if g != nil {
+			g.release()
+		}
+		return nil, 0, 0, err
+	}
+	v, f, cas, err := ss.Gets(key)
+	if g != nil {
+		g.release()
+	}
+	return v, f, cas, err
 }
 
 // Set stores value under key on its owning shard.
 func (s *ClusterSession) Set(key, value []byte, flags uint32, exptime int64) error {
-	p := s.shard(key)
-	err := s.sessions[p].Set(key, value, flags, exptime)
-	if err == nil {
-		s.invalidate(p, key)
-	}
-	return err
+	return s.mutate(key, func(ss *Session) error { return ss.Set(key, value, flags, exptime) })
 }
 
 // Add stores only if key is absent.
 func (s *ClusterSession) Add(key, value []byte, flags uint32, exptime int64) error {
-	p := s.shard(key)
-	err := s.sessions[p].Add(key, value, flags, exptime)
-	if err == nil {
-		s.invalidate(p, key)
-	}
-	return err
+	return s.mutate(key, func(ss *Session) error { return ss.Add(key, value, flags, exptime) })
 }
 
 // Replace stores only if key is present.
 func (s *ClusterSession) Replace(key, value []byte, flags uint32, exptime int64) error {
-	p := s.shard(key)
-	err := s.sessions[p].Replace(key, value, flags, exptime)
-	if err == nil {
-		s.invalidate(p, key)
-	}
-	return err
+	return s.mutate(key, func(ss *Session) error { return ss.Replace(key, value, flags, exptime) })
 }
 
 // CAS stores only if the entry's generation matches on the owning shard.
 func (s *ClusterSession) CAS(key, value []byte, flags uint32, exptime int64, cas uint64) error {
-	p := s.shard(key)
-	err := s.sessions[p].CAS(key, value, flags, exptime, cas)
-	if err == nil {
-		s.invalidate(p, key)
-	}
-	return err
+	return s.mutate(key, func(ss *Session) error { return ss.CAS(key, value, flags, exptime, cas) })
 }
 
 // Delete removes key from its owning shard (and its replica, if hot).
 func (s *ClusterSession) Delete(key []byte) error {
-	p := s.shard(key)
-	err := s.sessions[p].Delete(key)
-	if err == nil {
-		s.invalidate(p, key)
-	}
-	return err
+	return s.mutate(key, func(ss *Session) error { return ss.Delete(key) })
 }
 
 // Increment adds delta to a numeric value on the owning shard.
 func (s *ClusterSession) Increment(key []byte, delta uint64) (uint64, error) {
-	p := s.shard(key)
-	v, err := s.sessions[p].Increment(key, delta)
-	if err == nil {
-		s.invalidate(p, key)
-	}
+	var v uint64
+	err := s.mutate(key, func(ss *Session) error {
+		var e error
+		v, e = ss.Increment(key, delta)
+		return e
+	})
 	return v, err
 }
 
 // Decrement subtracts delta, saturating at zero.
 func (s *ClusterSession) Decrement(key []byte, delta uint64) (uint64, error) {
-	p := s.shard(key)
-	v, err := s.sessions[p].Decrement(key, delta)
-	if err == nil {
-		s.invalidate(p, key)
-	}
+	var v uint64
+	err := s.mutate(key, func(ss *Session) error {
+		var e error
+		v, e = ss.Decrement(key, delta)
+		return e
+	})
 	return v, err
 }
 
 // Append concatenates data after the existing value.
 func (s *ClusterSession) Append(key, data []byte) error {
-	p := s.shard(key)
-	err := s.sessions[p].Append(key, data)
-	if err == nil {
-		s.invalidate(p, key)
-	}
-	return err
+	return s.mutate(key, func(ss *Session) error { return ss.Append(key, data) })
 }
 
 // Prepend concatenates data before the existing value.
 func (s *ClusterSession) Prepend(key, data []byte) error {
-	p := s.shard(key)
-	err := s.sessions[p].Prepend(key, data)
-	if err == nil {
-		s.invalidate(p, key)
-	}
-	return err
+	return s.mutate(key, func(ss *Session) error { return ss.Prepend(key, data) })
 }
 
 // Touch updates an entry's expiry.
 func (s *ClusterSession) Touch(key []byte, exptime int64) error {
-	p := s.shard(key)
-	err := s.sessions[p].Touch(key, exptime)
-	if err == nil {
-		s.invalidate(p, key)
-	}
-	return err
+	return s.mutate(key, func(ss *Session) error { return ss.Touch(key, exptime) })
 }
 
 // GetAndTouch retrieves a value and updates its expiry. Always primary:
 // it mutates the entry's expiry, which must land on the owning shard.
 func (s *ClusterSession) GetAndTouch(key []byte, exptime int64) ([]byte, uint32, error) {
-	p := s.shard(key)
-	v, f, err := s.sessions[p].GetAndTouch(key, exptime)
-	if err == nil {
-		s.invalidate(p, key)
-	}
+	var v []byte
+	var f uint32
+	err := s.mutate(key, func(ss *Session) error {
+		var e error
+		v, f, e = ss.GetAndTouch(key, exptime)
+		return e
+	})
 	return v, f, err
 }
 
-// FlushAll removes every entry on every shard.
+// FlushAll removes every entry on every shard (including shards still
+// receiving a migration).
 func (s *ClusterSession) FlushAll() error {
-	for _, ss := range s.sessions {
+	s.c.routeMu.RLock()
+	defer s.c.routeMu.RUnlock()
+	for i := 0; i < s.c.Shards(); i++ {
+		ss, err := s.sess(i)
+		if err != nil {
+			return err
+		}
 		if err := ss.FlushAll(); err != nil {
 			return err
 		}
@@ -443,7 +661,11 @@ func (s *ClusterSession) FlushAll() error {
 // Stats aggregates the store counters across shards.
 func (s *ClusterSession) Stats() (core.Stats, error) {
 	var agg core.Stats
-	for _, ss := range s.sessions {
+	for i := 0; i < s.c.Shards(); i++ {
+		ss, err := s.sess(i)
+		if err != nil {
+			return core.Stats{}, err
+		}
 		st, err := ss.Stats()
 		if err != nil {
 			return core.Stats{}, err
@@ -455,8 +677,9 @@ func (s *ClusterSession) Stats() (core.Stats, error) {
 
 // MGet retrieves many keys, split into one sub-batch per owning shard so
 // each involved shard pays exactly one gate crossing. Results come back
-// positionally, in request order. Like Session.MGet, a crossing-level
-// failure on any shard fails the whole call.
+// positionally, in request order. A crossing-level failure on one shard
+// no longer fails the whole call: that shard's keys report Found == false
+// while the surviving shards' results stay correctly aligned.
 func (s *ClusterSession) MGet(keys [][]byte) ([]core.GetResult, error) {
 	ops := make([]BatchOp, len(keys))
 	for i, k := range keys {
@@ -479,14 +702,40 @@ func (s *ClusterSession) MGet(keys [][]byte) ([]core.GetResult, error) {
 // shard: the one-crossing-per-shard amortization of the single-store
 // ExecBatch is preserved — a k-op batch over a cluster costs at most one
 // crossing per involved shard, not k. Results are reassembled into the
-// original op order. A crossing-level failure on any shard fails the
-// whole call (per-op outcomes still land in each BatchResult.Err).
+// original op order. A crossing-level failure on one shard (crash,
+// reaped session, dead process) fills that shard's result slots with the
+// wrapped error and the call continues: sibling shards' results stay
+// positionally aligned and the call itself returns nil. During a
+// migration, every touched segment's guard is acquired once (re-taking a
+// held RLock could deadlock against the migrator's pending cutover) and
+// held until every crossing retires.
 func (s *ClusterSession) ExecBatch(ops []BatchOp) ([]BatchResult, error) {
-	n := len(s.sessions)
+	s.c.routeMu.RLock()
+	defer s.c.routeMu.RUnlock()
+	n := s.c.Shards()
 	perShard := make([][]BatchOp, n)
 	perIdx := make([][]int, n) // original position of each sub-batch op
+	var held map[*migSeg]struct{}
+	var guards []*migSeg
+	if s.c.mig.Load() != nil {
+		held = make(map[*migSeg]struct{})
+	}
+	defer func() {
+		for _, g := range guards {
+			g.release()
+		}
+	}()
 	for i := range ops {
-		sh := s.shard(ops[i].Key)
+		sh, g := s.c.routeHash(ring.Hash(ops[i].Key), held)
+		if g != nil {
+			if _, ok := held[g]; !ok {
+				held[g] = struct{}{}
+				guards = append(guards, g)
+			}
+			if ops[i].Code != BatchGet && ops[i].Code != core.BatchExport {
+				g.markDirty(ops[i].Key)
+			}
+		}
 		perShard[sh] = append(perShard[sh], ops[i])
 		perIdx[sh] = append(perIdx[sh], i)
 	}
@@ -495,9 +744,17 @@ func (s *ClusterSession) ExecBatch(ops []BatchOp) ([]BatchResult, error) {
 		if len(perShard[sh]) == 0 {
 			continue
 		}
-		res, err := s.sessions[sh].ExecBatch(perShard[sh])
+		ss, err := s.sess(sh)
+		var res []BatchResult
+		if err == nil {
+			res, err = ss.ExecBatch(perShard[sh])
+		}
 		if err != nil {
-			return nil, fmt.Errorf("memcached: shard %d batch: %w", sh, err)
+			werr := fmt.Errorf("memcached: shard %d batch: %w", sh, err)
+			for _, idx := range perIdx[sh] {
+				out[idx].Err = werr
+			}
+			continue
 		}
 		for j, idx := range perIdx[sh] {
 			out[idx] = res[j]
@@ -506,10 +763,11 @@ func (s *ClusterSession) ExecBatch(ops []BatchOp) ([]BatchResult, error) {
 	return out, nil
 }
 
-// Healthy reports whether every per-shard session can still carry calls.
+// Healthy reports whether every attached per-shard session can still
+// carry calls.
 func (s *ClusterSession) Healthy() bool {
 	for _, ss := range s.sessions {
-		if !ss.Healthy() {
+		if ss != nil && !ss.Healthy() {
 			return false
 		}
 	}
@@ -528,7 +786,7 @@ const (
 
 // State reports shard i's coarse health.
 func (c *Cluster) State(i int) ShardState {
-	lib := c.shards[i].Library()
+	lib := c.top().shards[i].Library()
 	switch {
 	case lib.Poisoned():
 		return ShardPoisoned
@@ -548,26 +806,51 @@ type HotKeyMetrics struct {
 	Invalidations uint64
 }
 
-// ClusterMetrics is the per-shard metrics snapshot plus the hot-key
-// counters.
+// MigrationMetrics is the live-resharding snapshot: the cumulative
+// counters plus the current migration's progress (zero-valued when idle).
+type MigrationMetrics struct {
+	State         int // 0 idle, 1 migrating
+	Resizes       uint64
+	SegmentsMoved uint64 // segments cut over, cumulative
+	KeysMoved     uint64 // entries installed on a destination, cumulative
+	Retries       uint64 // migrator attempts restarted after a crash
+	SegmentsTotal int    // current migration's plan size
+	SegmentsDone  int    // current migration's cutovers so far
+}
+
+// ClusterMetrics is the per-shard metrics snapshot plus the hot-key and
+// migration counters.
 type ClusterMetrics struct {
-	Shards []Metrics
-	States []ShardState
-	HotKey HotKeyMetrics
+	Shards    []Metrics
+	States    []ShardState
+	HotKey    HotKeyMetrics
+	Migration MigrationMetrics
 }
 
 // Metrics collects every shard's merged snapshot.
 func (c *Cluster) Metrics() ClusterMetrics {
+	top := c.top()
 	cm := ClusterMetrics{HotKey: HotKeyMetrics{
 		ReplicaHits:   c.replicaHits.Load(),
 		ReplicaMisses: c.replicaMisses.Load(),
 		Replications:  c.replications.Load(),
 		Invalidations: c.invalidations.Load(),
 	}}
-	for i, b := range c.shards {
+	cm.Migration = MigrationMetrics{
+		Resizes:       c.resizes.Load(),
+		SegmentsMoved: c.segsMoved.Load(),
+		KeysMoved:     c.keysMoved.Load(),
+		Retries:       c.migRetries.Load(),
+	}
+	if m := c.mig.Load(); m != nil {
+		cm.Migration.State = 1
+		cm.Migration.SegmentsTotal = len(m.segs)
+		cm.Migration.SegmentsDone = m.segmentsDone()
+	}
+	for i, b := range top.shards {
 		cm.Shards = append(cm.Shards, b.Metrics())
 		cm.States = append(cm.States, c.State(i))
-		_, det := c.hot[i].snapshot()
+		_, det := top.hot[i].snapshot()
 		cm.HotKey.Detected += det
 	}
 	return cm
@@ -575,7 +858,7 @@ func (c *Cluster) Metrics() ClusterMetrics {
 
 // HotKeys returns shard i's tracked top-k read counts.
 func (c *Cluster) HotKeys(shard int) []HotKey {
-	hk, _ := c.hot[shard].snapshot()
+	hk, _ := c.top().hot[shard].snapshot()
 	return hk
 }
 
@@ -612,6 +895,11 @@ func (cm *ClusterMetrics) Samples() []metrics.Sample {
 		metrics.Sample{Name: "plibmc_hotkey_replica_misses_total", Value: float64(cm.HotKey.ReplicaMisses)},
 		metrics.Sample{Name: "plibmc_hotkey_replications_total", Value: float64(cm.HotKey.Replications)},
 		metrics.Sample{Name: "plibmc_hotkey_invalidations_total", Value: float64(cm.HotKey.Invalidations)},
+		metrics.Sample{Name: "plibmc_migration_state", Value: float64(cm.Migration.State)},
+		metrics.Sample{Name: "plibmc_migration_resizes_total", Value: float64(cm.Migration.Resizes)},
+		metrics.Sample{Name: "plibmc_migration_segments_moved_total", Value: float64(cm.Migration.SegmentsMoved)},
+		metrics.Sample{Name: "plibmc_migration_keys_moved_total", Value: float64(cm.Migration.KeysMoved)},
+		metrics.Sample{Name: "plibmc_migration_retries_total", Value: float64(cm.Migration.Retries)},
 	)
 	return out
 }
@@ -624,17 +912,22 @@ func (cm *ClusterMetrics) Vars() map[string]any {
 		addStats(&ops, cm.Shards[i].Ops)
 	}
 	v := map[string]any{
-		"shards":                len(cm.Shards),
-		"cmd_get":               ops.Gets,
-		"cmd_set":               ops.Sets,
-		"cmd_delete":            ops.Deletes,
-		"curr_items":            ops.CurrItems,
-		"bytes":                 ops.Bytes,
-		"hotkey_detected":       cm.HotKey.Detected,
-		"hotkey_replica_hits":   cm.HotKey.ReplicaHits,
-		"hotkey_replica_misses": cm.HotKey.ReplicaMisses,
-		"hotkey_replications":   cm.HotKey.Replications,
-		"hotkey_invalidations":  cm.HotKey.Invalidations,
+		"shards":                   len(cm.Shards),
+		"cmd_get":                  ops.Gets,
+		"cmd_set":                  ops.Sets,
+		"cmd_delete":               ops.Deletes,
+		"curr_items":               ops.CurrItems,
+		"bytes":                    ops.Bytes,
+		"hotkey_detected":          cm.HotKey.Detected,
+		"hotkey_replica_hits":      cm.HotKey.ReplicaHits,
+		"hotkey_replica_misses":    cm.HotKey.ReplicaMisses,
+		"hotkey_replications":      cm.HotKey.Replications,
+		"hotkey_invalidations":     cm.HotKey.Invalidations,
+		"migration_state":          cm.Migration.State,
+		"migration_resizes":        cm.Migration.Resizes,
+		"migration_segments_moved": cm.Migration.SegmentsMoved,
+		"migration_keys_moved":     cm.Migration.KeysMoved,
+		"migration_retries":        cm.Migration.Retries,
 	}
 	for i, st := range cm.States {
 		v[fmt.Sprintf("shard_%d_state", i)] = int(st)

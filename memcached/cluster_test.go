@@ -190,6 +190,103 @@ func TestClusterMGetSplitsAndReassembles(t *testing.T) {
 	}
 }
 
+// A batch whose ops span shards must keep positional alignment even when
+// one shard's crossing fails outright: the dead shard's slots carry
+// per-op errors, every other slot holds its own shard's result at the
+// position the caller asked for, and MGet reports the dead shard's keys
+// as plain misses. Before the per-shard error isolation, a failed
+// crossing aborted the whole batch — or worse, collapsed the failed
+// shard's slots and shifted every later result left.
+func TestClusterExecBatchShardFailureAlignment(t *testing.T) {
+	c := newTestCluster(t, 4, ClusterConfig{})
+	cc, err := c.NewClientProcess(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cc.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed keys and bucket them by owning shard.
+	byShard := make(map[int][]string)
+	covered := func() bool {
+		for sh := 0; sh < 4; sh++ {
+			if len(byShard[sh]) < 4 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; !covered(); i++ {
+		k := fmt.Sprintf("align-%03d", i)
+		if err := s.Set([]byte(k), []byte("val-"+k), uint32(i), 0); err != nil {
+			t.Fatal(err)
+		}
+		sh := c.ShardFor([]byte(k))
+		byShard[sh] = append(byShard[sh], k)
+		if i > 4096 {
+			t.Fatal("keys never spread over all 4 shards")
+		}
+	}
+	const dead = 2
+	// Interleave victim-shard and survivor-shard keys so any collapsing
+	// of the failed shard's slots would visibly shift later results.
+	var keys []string
+	for i := 0; i < 4; i++ {
+		keys = append(keys, byShard[dead][i])
+		keys = append(keys, byShard[(dead+1)%4][i], byShard[(dead+3)%4][i])
+	}
+	cc.Proc(dead).Kill()
+
+	ops := make([]BatchOp, len(keys))
+	for i, k := range keys {
+		ops[i] = BatchOp{Code: BatchGet, Key: []byte(k)}
+	}
+	res, err := s.ExecBatch(ops)
+	if err != nil {
+		t.Fatalf("ExecBatch must isolate a shard failure, got call error %v", err)
+	}
+	if len(res) != len(ops) {
+		t.Fatalf("got %d results for %d ops", len(res), len(ops))
+	}
+	for i, k := range keys {
+		if c.ShardFor([]byte(k)) == dead {
+			if res[i].Err == nil {
+				t.Fatalf("res[%d] (%s, dead shard) succeeded: %+v", i, k, res[i])
+			}
+			if !strings.Contains(res[i].Err.Error(), fmt.Sprintf("shard %d", dead)) {
+				t.Fatalf("res[%d] error does not name the failed shard: %v", i, res[i].Err)
+			}
+			continue
+		}
+		if res[i].Err != nil || string(res[i].Value) != "val-"+k {
+			t.Fatalf("res[%d] (%s, live shard) = %q err=%v — misaligned", i, k, res[i].Value, res[i].Err)
+		}
+	}
+
+	// MGet over the same interleaving: dead shard's keys degrade to
+	// misses, live keys stay found at their requested positions.
+	bkeys := make([][]byte, len(keys))
+	for i, k := range keys {
+		bkeys[i] = []byte(k)
+	}
+	mres, err := s.MGet(bkeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if c.ShardFor([]byte(k)) == dead {
+			if mres[i].Found {
+				t.Fatalf("mres[%d] (%s, dead shard) found", i, k)
+			}
+			continue
+		}
+		if !mres[i].Found || string(mres[i].Value) != "val-"+k {
+			t.Fatalf("mres[%d] (%s, live shard) = %+v — misaligned", i, k, mres[i])
+		}
+	}
+}
+
 func TestClusterExecBatchMixed(t *testing.T) {
 	c := newTestCluster(t, 3, ClusterConfig{})
 	s := newClusterSession(t, c)

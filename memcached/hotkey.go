@@ -13,9 +13,23 @@ import (
 //
 // The counter is the classic space-saving sketch: at most k tracked keys;
 // an untracked key evicts the minimum-count entry and inherits its count
-// (over-counting is possible, under-counting is not, which errs toward
-// detecting hot keys). Counts halve every window so yesterday's celebrity
-// decays back to cold.
+// as an error floor (over-counting is possible, under-counting is not).
+// Promotion to hot requires count − floor ≥ threshold — the sketch's
+// lower bound on the key's true read count — so an inherited count alone
+// can never mint an instantly-hot key. Counts halve every window so
+// yesterday's celebrity decays back to cold.
+//
+// Demotion (decay below threshold, or eviction from the sketch) queues
+// the key on a demotion list the cluster read path drains: the replica
+// copied to the ring successor is deleted when its key stops being hot,
+// because writes stop invalidating it the moment isHot turns false.
+
+// hotCount is one tracked key's windowed count and its space-saving
+// error floor (the count it inherited at eviction time).
+type hotCount struct {
+	n     uint64
+	floor uint64
+}
 
 // hotTracker is one shard's top-k read counter. Safe for concurrent use.
 type hotTracker struct {
@@ -24,9 +38,10 @@ type hotTracker struct {
 	threshold uint64 // reads per window that make a key hot; 0 = disabled
 	window    uint64 // observations between decay passes
 	seen      uint64 // observations since the last decay
-	counts    map[string]uint64
+	counts    map[string]hotCount
 	hot       map[string]struct{}
-	detected  uint64 // cumulative keys ever promoted to hot
+	detected  uint64   // cumulative keys ever promoted to hot
+	demoted   []string // hot keys dropped since the last drain; replicas to invalidate
 }
 
 // defaultHotKeyWindow is the decay period in observations.
@@ -43,7 +58,7 @@ func newHotTracker(threshold, window uint64) *hotTracker {
 		k:         hotTrackerK,
 		threshold: threshold,
 		window:    window,
-		counts:    make(map[string]uint64, hotTrackerK),
+		counts:    make(map[string]hotCount, hotTrackerK),
 		hot:       make(map[string]struct{}),
 	}
 }
@@ -56,30 +71,37 @@ func (h *hotTracker) observe(key []byte) bool {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.seen++
+	// Decay on the window boundary *before* recording this read, so the
+	// triggering observation lands fully inside the new window — both its
+	// count increment and its tick of `seen`. (Decaying after seen++ kept
+	// the increment but reset `seen` to zero, silently dropping the
+	// observation from the new window's budget and drifting the boundary
+	// by one per window.)
 	if h.seen >= h.window {
 		h.decayLocked()
 	}
+	h.seen++
 	k := string(key)
 	c, ok := h.counts[k]
 	if !ok {
 		if len(h.counts) >= h.k {
-			// Space-saving eviction: replace the minimum entry, inheriting
-			// its count as the new key's floor.
+			// Space-saving eviction: replace the minimum entry. The evicted
+			// count is inherited as both the starting count and the error
+			// floor — the new key may have been read up to minC times while
+			// untracked, but is only *guaranteed* n−floor reads.
 			minK, minC := "", ^uint64(0)
 			for ek, ec := range h.counts {
-				if ec < minC {
-					minK, minC = ek, ec
+				if ec.n < minC {
+					minK, minC = ek, ec.n
 				}
 			}
-			delete(h.counts, minK)
-			delete(h.hot, minK)
-			c = minC
+			h.dropLocked(minK)
+			c = hotCount{n: minC, floor: minC}
 		}
 	}
-	c++
+	c.n++
 	h.counts[k] = c
-	if c >= h.threshold {
+	if c.n >= h.threshold && c.n-c.floor >= h.threshold {
 		if _, was := h.hot[k]; !was {
 			h.hot[k] = struct{}{}
 			h.detected++
@@ -101,22 +123,50 @@ func (h *hotTracker) isHot(key []byte) bool {
 	return ok
 }
 
+// dropLocked removes k from the sketch, queueing it for replica
+// invalidation if it was hot. Called with h.mu held.
+func (h *hotTracker) dropLocked(k string) {
+	delete(h.counts, k)
+	if _, was := h.hot[k]; was {
+		delete(h.hot, k)
+		h.demoted = append(h.demoted, k)
+	}
+}
+
 // decayLocked halves every count and demotes keys that fell below the
 // threshold. Called with h.mu held.
 func (h *hotTracker) decayLocked() {
 	h.seen = 0
 	for k, c := range h.counts {
-		c /= 2
-		if c == 0 {
-			delete(h.counts, k)
-			delete(h.hot, k)
+		c.n /= 2
+		c.floor /= 2
+		if c.n == 0 {
+			h.dropLocked(k)
 			continue
 		}
 		h.counts[k] = c
-		if c < h.threshold {
-			delete(h.hot, k)
+		if c.n < h.threshold {
+			if _, was := h.hot[k]; was {
+				delete(h.hot, k)
+				h.demoted = append(h.demoted, k)
+			}
 		}
 	}
+}
+
+// takeDemoted drains the demotion queue: keys that stopped being hot
+// since the last drain and whose ring-successor replicas must be
+// deleted (writes no longer invalidate them). Returns nil when empty —
+// the common read path pays one nil check.
+func (h *hotTracker) takeDemoted() []string {
+	if h.threshold == 0 {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := h.demoted
+	h.demoted = nil
+	return d
 }
 
 // HotKey is one tracked key and its current windowed count.
@@ -134,7 +184,7 @@ func (h *hotTracker) snapshot() ([]HotKey, uint64) {
 	out := make([]HotKey, 0, len(h.counts))
 	for k, c := range h.counts {
 		_, isHot := h.hot[k]
-		out = append(out, HotKey{Key: k, Count: c, Hot: isHot})
+		out = append(out, HotKey{Key: k, Count: c.n, Hot: isHot})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {

@@ -1,0 +1,176 @@
+package memcached
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The decay pass fires when `seen` reaches the window, *before* the
+// triggering observation is recorded — so that observation lands wholly
+// inside the new window: its count survives the halving and it ticks
+// the new window's `seen` budget. The pre-fix ordering (increment, then
+// decay) halved the boundary read away and drifted the boundary by one
+// observation per window.
+func TestHotTrackerWindowBoundaryOrdering(t *testing.T) {
+	h := newHotTracker(100, 4) // threshold high: pure counting test
+
+	for i := 0; i < 4; i++ {
+		h.observe([]byte("a"))
+	}
+	// 5th observation crosses the boundary: decay halves a's 4 → 2, then
+	// the read itself records, leaving 3. The buggy order recorded first
+	// and halved (4+1)/2 → 2, losing the boundary read.
+	h.observe([]byte("a"))
+	keys, _ := h.snapshot()
+	if len(keys) != 1 || keys[0].Key != "a" || keys[0].Count != 3 {
+		t.Fatalf("post-boundary count = %+v, want a:3", keys)
+	}
+	if h.seen != 1 {
+		t.Fatalf("seen = %d after the boundary read, want 1 (the read belongs to the new window)", h.seen)
+	}
+
+	// Steady state: every further window is exactly `window` observations
+	// wide — no drift.
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 3; i++ {
+			h.observe([]byte("a"))
+		}
+		if h.seen != 4 {
+			t.Fatalf("window %d: seen = %d before boundary, want 4", w, h.seen)
+		}
+		h.observe([]byte("a"))
+		if h.seen != 1 {
+			t.Fatalf("window %d: seen = %d after boundary, want 1", w, h.seen)
+		}
+	}
+}
+
+// Decay demotes a key that falls below the threshold and queues it for
+// replica invalidation; takeDemoted drains the queue exactly once.
+func TestHotTrackerDecayDemotes(t *testing.T) {
+	h := newHotTracker(4, 8)
+	for i := 0; i < 4; i++ {
+		h.observe([]byte("star"))
+	}
+	if !h.isHot([]byte("star")) {
+		t.Fatal("star not hot after threshold reads")
+	}
+	// Pad to the boundary with other keys; the decay halves star to 2,
+	// below threshold.
+	for i := 0; i < 5; i++ {
+		h.observe([]byte(fmt.Sprintf("filler-%d", i)))
+	}
+	if h.isHot([]byte("star")) {
+		t.Fatal("star still hot after decaying below threshold")
+	}
+	d := h.takeDemoted()
+	if len(d) != 1 || d[0] != "star" {
+		t.Fatalf("demoted = %v, want [star]", d)
+	}
+	if d := h.takeDemoted(); d != nil {
+		t.Fatalf("second drain = %v, want nil", d)
+	}
+}
+
+// A key that enters a full sketch inherits the evicted minimum as an
+// error floor: the inherited count alone must never mint an instantly-
+// hot key. Promotion requires count − floor ≥ threshold — the sketch's
+// lower bound on reads the key actually received. The pre-fix check
+// compared the raw count against the threshold, so any newcomer landing
+// on a sketch whose minimum was already past the threshold was declared
+// hot on its first read ever.
+func TestHotTrackerNoInstantHotFromInheritedFloor(t *testing.T) {
+	const threshold = 4
+	h := newHotTracker(threshold, 1<<20) // window huge: no decay in this test
+
+	// Fill the sketch: every slot's count ends at 5 ≥ threshold.
+	for i := 0; i < hotTrackerK; i++ {
+		k := []byte(fmt.Sprintf("filler-%03d", i))
+		for r := 0; r < 5; r++ {
+			h.observe(k)
+		}
+	}
+	// A newcomer evicts a minimum entry and inherits n=5, floor=5.
+	newcomer := []byte("newcomer")
+	for r := 1; r < threshold; r++ {
+		if h.observe(newcomer) {
+			t.Fatalf("newcomer hot after %d genuine reads (inherited floor leaked into promotion)", r)
+		}
+		if h.isHot(newcomer) {
+			t.Fatalf("isHot(newcomer) after %d genuine reads", r)
+		}
+	}
+	// The threshold-th genuine read: n−floor reaches the threshold.
+	if !h.observe(newcomer) {
+		t.Fatal("newcomer not hot after threshold genuine reads")
+	}
+}
+
+// Cluster-level demotion regression: a key that was hot, got replicated,
+// and then decayed cold must have its ring-successor replica deleted by
+// the demotion drain. Before the fix the replica survived demotion —
+// writes stop invalidating it the moment the key turns cold — so when
+// the key later re-heated, reads were served the stale pre-demotion
+// value from the forgotten replica.
+func TestClusterHotKeyDemotionDropsReplica(t *testing.T) {
+	const threshold, window = 4, 32
+	c := newTestCluster(t, 4, ClusterConfig{HotKeyThreshold: threshold, HotKeyWindow: window})
+	s := newClusterSession(t, c)
+
+	hot := []byte("fallen-star")
+	if err := s.Set(hot, []byte("v1"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	primary := c.ShardFor(hot)
+	replica := c.replicaOf(primary)
+
+	// Same-shard filler keys drive the primary's tracker through decay
+	// windows without touching the hot key.
+	var fillers [][]byte
+	for i := 0; len(fillers) < 8; i++ {
+		k := []byte(fmt.Sprintf("ember-%04d", i))
+		if c.ShardFor(k) != primary {
+			continue
+		}
+		if err := s.Set(k, []byte("x"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		fillers = append(fillers, k)
+	}
+
+	// Heat the key until the replica physically holds v1.
+	for i := 0; i < 4*threshold; i++ {
+		if _, _, err := s.Get(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _, err := s.Session(replica).Get(hot); err != nil || string(v) != "v1" {
+		t.Fatalf("replica never materialized: %q %v", v, err)
+	}
+
+	// Let it fall: several windows of filler-only reads halve its count
+	// below the threshold; the drain on those same reads must delete the
+	// replica.
+	for w := 0; w < 8; w++ {
+		for i := 0; i < window; i++ {
+			if _, _, err := s.Get(fillers[i%len(fillers)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, _, err := s.Session(replica).Get(hot); err == nil {
+		t.Fatal("stale replica survived demotion")
+	}
+
+	// The full pre-fix failure: write while cold (no invalidation runs),
+	// re-heat, and confirm no reader is ever served the old value.
+	if err := s.Set(hot, []byte("v2"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8*threshold; i++ {
+		v, _, err := s.Get(hot)
+		if err != nil || string(v) != "v2" {
+			t.Fatalf("read #%d after re-heating = %q %v, want v2 (stale replica resurrected)", i, v, err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"plibmc/internal/core"
 	"plibmc/internal/protocol"
+	"plibmc/internal/ring"
 )
 
 // The cluster's socket proxy: baseline-protocol clients (ASCII or binary)
@@ -69,8 +70,13 @@ type connCtxs struct {
 }
 
 func (cc *connCtxs) ctx(shard int) *core.Ctx {
+	// A live resize can widen the cluster under a connection opened
+	// before it; the slice grows to match.
+	for len(cc.ctxs) <= shard {
+		cc.ctxs = append(cc.ctxs, nil)
+	}
 	if cc.ctxs[shard] == nil {
-		cc.ctxs[shard] = cc.c.shards[shard].store.NewCtx(cc.owner)
+		cc.ctxs[shard] = cc.c.Shard(shard).Store().NewCtx(cc.owner)
 	}
 	return cc.ctxs[shard]
 }
@@ -162,25 +168,48 @@ type opRef struct {
 // and each involved shard executes its share in one ExecBatch crossing;
 // replies are reassembled in command order. Non-batchable commands
 // (stats, version, flush_all) dispatch individually against the cluster.
+// During a live resize, routing goes through the dual-ring rules: every
+// touched mid-migration segment's guard is held (shared, acquired once)
+// until the run's crossings retire, and writes into such segments are
+// dirty-marked for the pre-cutover recopy.
 func (cs *ClusterServer) dispatchShardedPipeline(cc *connCtxs, w *bufio.Writer, binary bool, cmds []*protocol.Command) {
+	c := cs.c
 	for i := 0; i < len(cmds); {
 		j := i
-		var refs []opRef  // flat op index → shard/pos
-		var spans []int   // batch ops consumed per command
-		perShard := make([][]core.BatchOp, cs.c.Shards())
+		var refs []opRef // flat op index → shard/pos
+		var spans []int  // batch ops consumed per command
+		c.routeMu.RLock()
+		perShard := make([][]core.BatchOp, c.Shards())
+		migActive := c.mig.Load() != nil
+		var held map[*migSeg]struct{}
+		var guards []*migSeg
+		if migActive {
+			held = make(map[*migSeg]struct{})
+		}
 		for j < len(cmds) {
 			cOps := batchOpsFor(cmds[j])
 			if cOps == nil {
 				break
 			}
 			for _, op := range cOps {
-				sh := cs.c.ring.Shard(op.Key)
-				if op.Code == core.BatchGet {
+				sh, g := c.routeHash(ring.Hash(op.Key), held)
+				if g != nil {
+					if _, ok := held[g]; !ok {
+						held[g] = struct{}{}
+						guards = append(guards, g)
+					}
+					if op.Code != core.BatchGet {
+						g.markDirty(op.Key)
+					}
+				} else if op.Code == core.BatchGet && !migActive {
 					// Feed the hot-key tracker so pipelined readers count
 					// toward detection; batched reads still serve from the
 					// primary (replica fall-through only exists on the
-					// routed single-get paths).
-					cs.c.hot[sh].observe(op.Key)
+					// routed single-get paths). Suspended mid-migration,
+					// like every replica path.
+					top := c.top()
+					top.hot[sh].observe(op.Key)
+					cs.drainDemoted(cc, top, sh)
 				}
 				refs = append(refs, opRef{shard: sh, pos: len(perShard[sh])})
 				perShard[sh] = append(perShard[sh], op)
@@ -188,14 +217,21 @@ func (cs *ClusterServer) dispatchShardedPipeline(cc *connCtxs, w *bufio.Writer, 
 			spans = append(spans, len(cOps))
 			j++
 		}
+		release := func() {
+			for _, g := range guards {
+				g.release()
+			}
+			c.routeMu.RUnlock()
+		}
 		if len(refs) > 1 {
 			// One crossing per involved shard for the whole run.
-			perShardRes := make([][]core.BatchResult, cs.c.Shards())
+			perShardRes := make([][]core.BatchResult, len(perShard))
 			for sh := range perShard {
 				if len(perShard[sh]) > 0 {
 					perShardRes[sh] = cc.ctx(sh).ExecBatch(perShard[sh])
 				}
 			}
+			release()
 			flat := make([]core.BatchResult, len(refs))
 			for k, ref := range refs {
 				flat[k] = perShardRes[ref.shard][ref.pos]
@@ -209,7 +245,9 @@ func (cs *ClusterServer) dispatchShardedPipeline(cc *connCtxs, w *bufio.Writer, 
 			i = j
 			continue
 		}
-		// Lone or non-batchable command.
+		// Lone or non-batchable command: dispatchOne routes (and guards)
+		// on its own.
+		release()
 		rep := cs.dispatchOne(cc, cmds[i])
 		if binary {
 			protocol.WriteBinaryReply(w, cmds[i], rep)
@@ -217,6 +255,22 @@ func (cs *ClusterServer) dispatchShardedPipeline(cc *connCtxs, w *bufio.Writer, 
 			protocol.WriteASCIIReply(w, cmds[i], rep)
 		}
 		i++
+	}
+}
+
+// drainDemoted deletes the ring-successor replicas of keys the tracker
+// demoted from hot — the proxy-side half of the stale-replica fix (the
+// routed session path drains in ClusterSession.Get).
+func (cs *ClusterServer) drainDemoted(cc *connCtxs, top *topology, primary int) {
+	d := top.hot[primary].takeDemoted()
+	if d == nil {
+		return
+	}
+	rep := cs.c.replicaOf(primary)
+	for _, k := range d {
+		if cc.ctx(rep).Delete([]byte(k)) == nil {
+			cs.c.invalidations.Add(1)
+		}
 	}
 }
 
@@ -243,7 +297,15 @@ func (cs *ClusterServer) dispatchOne(cc *connCtxs, cmd *protocol.Command) *proto
 			return cs.hotGet(cc, cmd)
 		}
 	}
-	sh := c.ring.Shard(cmd.Key)
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	sh, g := c.routeKey(cmd.Key)
+	if g != nil {
+		if cmd.Op != protocol.OpGet {
+			g.markDirty(cmd.Key)
+		}
+		defer g.release()
+	}
 	return DispatchCore(cc.ctx(sh), cmd, "1.6.0-plib-cluster")
 }
 
@@ -252,26 +314,44 @@ func (cs *ClusterServer) dispatchOne(cc *connCtxs, cmd *protocol.Command) *proto
 func (cs *ClusterServer) hotGet(cc *connCtxs, cmd *protocol.Command) *protocol.Reply {
 	c := cs.c
 	key := cmd.Key
-	primary := c.ring.Shard(key)
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	primary, g := c.routeKey(key)
 	rep := &protocol.Reply{Opaque: cmd.Opaque}
-	if c.cfg.HotKeyThreshold > 0 && c.Shards() > 1 && c.hot[primary].observe(key) {
-		replica := c.replicaOf(primary)
-		if v, f, cas, err := cc.ctx(replica).Get(key); err == nil {
-			c.replicaHits.Add(1)
-			rep.Status, rep.Value, rep.Flags, rep.CAS = protocol.StatusOK, v, f, cas
-			return rep
-		}
-		c.replicaMisses.Add(1)
+	if g != nil {
+		// Mid-migration segment: plain primary read under the guard, no
+		// replica involvement.
 		v, f, cas, err := cc.ctx(primary).Get(key)
+		g.release()
 		rep.Status = coreStatus(err)
-		if err != nil {
+		if err == nil {
+			rep.Value, rep.Flags, rep.CAS = v, f, cas
+		}
+		return rep
+	}
+	top := c.top()
+	if c.cfg.HotKeyThreshold > 0 && len(top.shards) > 1 && c.mig.Load() == nil {
+		hot := top.hot[primary].observe(key)
+		cs.drainDemoted(cc, top, primary)
+		if hot {
+			replica := c.replicaOf(primary)
+			if v, f, cas, err := cc.ctx(replica).Get(key); err == nil {
+				c.replicaHits.Add(1)
+				rep.Status, rep.Value, rep.Flags, rep.CAS = protocol.StatusOK, v, f, cas
+				return rep
+			}
+			c.replicaMisses.Add(1)
+			v, f, cas, err := cc.ctx(primary).Get(key)
+			rep.Status = coreStatus(err)
+			if err != nil {
+				return rep
+			}
+			if cc.ctx(replica).Set(key, v, f, 0) == nil {
+				c.replications.Add(1)
+			}
+			rep.Value, rep.Flags, rep.CAS = v, f, cas
 			return rep
 		}
-		if cc.ctx(replica).Set(key, v, f, 0) == nil {
-			c.replications.Add(1)
-		}
-		rep.Value, rep.Flags, rep.CAS = v, f, cas
-		return rep
 	}
 	v, f, cas, err := cc.ctx(primary).Get(key)
 	rep.Status = coreStatus(err)
@@ -299,7 +379,9 @@ func (cs *ClusterServer) statsReply(cc *connCtxs, cmd *protocol.Command) *protoc
 		return rep
 	}
 	agg := c.Stats()
-	hm := c.Metrics().HotKey
+	cm := c.Metrics()
+	hm := cm.HotKey
+	mm := cm.Migration
 	rep := &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque}
 	rep.Stats = [][2]string{
 		{"shards", strconv.Itoa(c.Shards())},
@@ -315,6 +397,10 @@ func (cs *ClusterServer) statsReply(cc *connCtxs, cmd *protocol.Command) *protoc
 		{"expired", strconv.FormatUint(agg.Expired, 10)},
 		{"hotkey_detected", strconv.FormatUint(hm.Detected, 10)},
 		{"hotkey_replica_hits", strconv.FormatUint(hm.ReplicaHits, 10)},
+		{"migration_state", strconv.Itoa(mm.State)},
+		{"migration_resizes", strconv.FormatUint(mm.Resizes, 10)},
+		{"migration_segments_moved", strconv.FormatUint(mm.SegmentsMoved, 10)},
+		{"migration_keys_moved", strconv.FormatUint(mm.KeysMoved, 10)},
 	}
 	for sh := 0; sh < c.Shards(); sh++ {
 		st := c.Shard(sh).Stats()

@@ -45,6 +45,8 @@ const (
 	BatchIncr    = core.BatchIncr
 	BatchDecr    = core.BatchDecr
 	BatchTouch   = core.BatchTouch
+	BatchExport  = core.BatchExport  // migration read: no LRU bump, carries expiry
+	BatchInstall = core.BatchInstall // migration store: preserves CAS, absolute expiry
 )
 
 // entryNames is the library's export table (HODOR_FUNC_EXPORT analog).
@@ -350,10 +352,11 @@ func (s *Session) Healthy() bool {
 // watchdog reaped leaves teardown to the recovery sweep — a fenced context
 // must not touch the allocator.
 func (s *Session) Close() {
-	if s.tenantDom != nil {
-		if !s.hs.Reaped() && !s.th.Proc.Killed() {
-			s.b.detachTenant(s)
-		}
+	if s.tenantDom != nil && !s.hs.Reaped() && !s.th.Proc.Killed() {
+		s.b.detachTenant(s)
+		// Cleared only on the live path: a dead session stays registered
+		// in b.tenants, and the recovery sweep needs the domain pointer to
+		// revoke its key and reclaim its arena page.
 		s.tenantDom = nil
 	}
 	s.ctx.Close()

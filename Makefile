@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check faultmatrix corruptmatrix modelcheck modelcheck-long gatehard shardcheck reshardcheck bench-noisy bench-seqlock bench-recovery bench-checksum bench-batch
+.PHONY: build test check faultmatrix corruptmatrix modelcheck modelcheck-long gatehard shardcheck reshardcheck survivecheck diskfault bench-noisy bench-seqlock bench-recovery bench-checksum bench-batch
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 # run the packages that carry the seqlock/grave protocol under the race
 # detector (which exercises the sync/atomic build of the relaxed accessors),
 # a short chaos soak, and the crash-at-every-point fault matrix.
-check: build faultmatrix corruptmatrix modelcheck gatehard shardcheck reshardcheck bench-noisy
+check: build faultmatrix corruptmatrix modelcheck gatehard shardcheck reshardcheck survivecheck diskfault bench-noisy
 	$(GO) vet ./...
 	$(GO) test -race -count=1 ./internal/core ./internal/shm
 	$(GO) test -race -count=1 -short -run TestChaosKillsNeverCorrupt .
@@ -68,6 +68,29 @@ reshardcheck:
 	$(GO) test -race -count=1 -short -run 'TestModelCheckResize|TestResizeCrashIsolation|TestClusterReopenAfterResize' .
 	$(GO) test -race -count=1 -run 'TestHotTracker|TestClusterHotKey|TestClusterExecBatchShardFailure' ./memcached
 	$(GO) test -race -count=1 ./internal/ring
+
+# The shard-lifecycle gate (DESIGN.md §16): an unrepairable crash poisons
+# one shard of a 4-shard cluster and the supervisor must rebuild it with
+# no operator action — survivors serve a full mixed workload with zero
+# errors and their merged history linearizes exactly, the rebuilt shard
+# reopens from its checkpoint and serves fresh writes past the dead
+# heap's CAS mark — plus the breaker state machine, the degraded open,
+# the fail-fast frames on the proxy wire, and the session-pool recovery
+# classification, all under the race detector. The survivor-latency half
+# of the claim is a self-gated benchmark (2x the quiet-baseline p99).
+survivecheck:
+	$(GO) test -race -count=1 -run 'TestSurviveCheck' .
+	$(GO) test -race -count=1 -run 'TestSupervisor|TestBreakerStateMachine|TestShardAllowFastFailsWhileRebuilding|TestOpenClusterDegraded|TestProxyReportsShardDownFrames|TestRebuildShardAdmin|TestSessionFatalClassifiesRecoveryErrors|TestSessionPoolKeepsSessionOnShardDown' ./memcached
+	$(GO) test -run xxx -bench BenchmarkRebuildSurvivor -benchtime 1x .
+
+# The disk-fault gate (DESIGN.md §16): inject EIO/ENOSPC/torn-rename at
+# every step of the image-write path (create, write, sync, close, rename)
+# and require containment — the prior checkpoint generation stays the
+# loadable state, no half-built temp survives, the failure is counted and
+# exported, and the store itself stays healthy and keeps serving.
+diskfault:
+	$(GO) test -race -count=1 -run 'TestWriteImageFault|TestWriteImageTornRename|TestCheckpointSlotsSurviveFaults' ./internal/shm
+	$(GO) test -race -count=1 -run 'TestDiskFaultCheckpointDegrades' ./memcached
 
 # The noisy-tenant fairness sweep: p99 latency of well-behaved tenants with
 # one hostile tenant pumping batched writes through its admission quota.

@@ -141,6 +141,7 @@ func runCluster(network, addr string, shards int, dir string, vnodes int,
 	fmt.Printf("memcachedd: %d-shard cluster proxy on %s:%s (reopened=%v, hotkey-threshold=%d)\n",
 		shards, network, addr, open, hotThr)
 	c.StartMaintenance(time.Second)
+	c.StartSupervisor(time.Second)
 	if ckptSec > 0 && dir != "" {
 		c.StartCheckpointing(time.Duration(ckptSec) * time.Second)
 	}
@@ -171,12 +172,18 @@ func runCluster(network, addr string, shards int, dir string, vnodes int,
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(c.MigrationStatus()) //nolint:errcheck
 		})
+		// GET /admin/shards — per-shard lifecycle state: breaker position,
+		// rebuild counters, whether the shard came up empty at open.
+		mux.HandleFunc("/admin/shards", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(c.ShardStatuses()) //nolint:errcheck
+		})
 		go func() {
 			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "memcachedd: metrics server:", err)
 			}
 		}()
-		fmt.Printf("memcachedd: cluster metrics on http://%s/metrics, admin on /admin/resize and /admin/migration\n", metricsAddr)
+		fmt.Printf("memcachedd: cluster metrics on http://%s/metrics, admin on /admin/resize, /admin/migration, /admin/shards\n", metricsAddr)
 	}
 
 	<-sig

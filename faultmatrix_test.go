@@ -42,6 +42,14 @@ func TestFaultMatrix(t *testing.T) {
 				runPersistFaultAt(t, point)
 				return
 			}
+			if point == "recover.repair_fail" {
+				// The point that fails the repair pass itself: hodor's
+				// ladder ends in poison *by design*, so the recovery
+				// asserted here is the shard supervisor's rebuild of the
+				// poisoned store, not online repair (DESIGN.md §16).
+				runRepairFailFaultAt(t)
+				return
+			}
 			if strings.HasPrefix(point, "migrate.") {
 				// Migrator points: the failing actor is the background
 				// segment migrator of a live resize, not a library client.
@@ -164,6 +172,79 @@ func runPersistFaultAt(t *testing.T, point string) {
 	}
 	if err := book2.Checkpoint(); err != nil {
 		t.Fatalf("checkpoint after reload: %v", err)
+	}
+}
+
+// runRepairFailFaultAt covers recover.repair_fail, the one point whose
+// firing is *supposed* to end in poison: the repair routine dies before
+// touching anything, hodor's ladder terminates, and recovery means the
+// shard supervisor detaching the dead store and rebuilding it. One shard
+// of two is poisoned; the survivor must never notice, and the rebuilt
+// shard must serve fresh writes.
+func runRepairFailFaultAt(t *testing.T) {
+	defer faultpoint.DisarmAll()
+	c, err := memcached.CreateCluster(memcached.ClusterConfig{
+		Shards: 2,
+		Store: memcached.Config{
+			HeapBytes: 16 << 20, HashPower: 8, NumItemLocks: 16,
+			CallTimeout: 50 * time.Millisecond, RecoveryGrace: 200 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	doomKey := []byte("doom-key-0")
+	victim := c.ShardFor(doomKey)
+	var safeKey []byte
+	for i := 0; safeKey == nil; i++ {
+		if k := []byte(fmt.Sprintf("safe-%d", i)); c.ShardFor(k) != victim {
+			safeKey = k
+		}
+	}
+	scc, err := c.NewClientProcess(1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := scc.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := survivor.Set(safeKey, []byte("v0"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	poisonClusterShard(t, c, victim, doomKey)
+	faultpoint.DisarmAll()
+
+	// The supervisor pass is the recovery: detach, rebuild (empty — the
+	// shards are in-memory), re-attach.
+	c.SuperviseOnce(time.Now())
+	deadline := time.Now().Add(5 * time.Second)
+	for c.State(victim) != memcached.ShardHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim shard never healthy after rebuild (state %v)", c.State(victim))
+		}
+		c.SuperviseOnce(time.Now())
+		time.Sleep(time.Millisecond)
+	}
+	if sm := c.Metrics().Supervisor; sm.Rebuilds < 1 {
+		t.Fatalf("no rebuild recorded: %+v", sm)
+	}
+
+	// Full service on both sides of the rebuild.
+	if v, _, err := survivor.Get(safeKey); err != nil || string(v) != "v0" {
+		t.Fatalf("survivor key after rebuild = %q, %v", v, err)
+	}
+	if err := survivor.Set(doomKey, []byte("fresh"), 0, 0); err != nil {
+		t.Fatalf("fresh write on rebuilt shard: %v", err)
+	}
+	if v, _, err := survivor.Get(doomKey); err != nil || string(v) != "fresh" {
+		t.Fatalf("rebuilt shard get = %q, %v", v, err)
+	}
+	if _, err := c.Shard(victim).Allocator().Check(); err != nil {
+		t.Fatalf("rebuilt heap verification: %v", err)
 	}
 }
 

@@ -144,30 +144,30 @@ func (o *Options) fill(cap uint64) {
 
 // Config-block field offsets (relative to the block's base).
 const (
-	cfgNumItemLocks = 0
-	cfgNumLRUs      = 8
-	cfgMemLimit     = 16
-	cfgCASCounter   = 24 // atomic
-	cfgItemLocks    = 32 // pptr
-	cfgLRULocks     = 40 // pptr
-	cfgLRUData      = 48 // pptr: per-LRU {head pptr, tail pptr}
-	cfgStats        = 56 // pptr
-	cfgHTStorage    = 64 // pptr to the Fig. 3 storage cell
-	cfgFixedSize    = 72
-	cfgStatSlots    = 80
-	cfgLockedStats  = 88
-	cfgStatsLock    = 96  // heap-resident lock word for LockedStats mode
-	cfgGate         = 104 // checkpoint gate: barrier bit + active-op count
-	cfgSeqLocks     = 112 // pptr: per-stripe seqlock array (one word per item lock)
-	cfgReaders      = 120 // pptr: optimistic-reader slot array
-	cfgNumReaders   = 128
-	cfgGraveHead    = 136 // atomic: head of the deferred-free list (raw item offset)
-	cfgGraveLen     = 144 // atomic: number of quarantined items
-	cfgLatency      = 152 // pptr: scattered latency-histogram matrix
-	cfgLatSlots     = 160
+	cfgNumItemLocks  = 0
+	cfgNumLRUs       = 8
+	cfgMemLimit      = 16
+	cfgCASCounter    = 24 // atomic
+	cfgItemLocks     = 32 // pptr
+	cfgLRULocks      = 40 // pptr
+	cfgLRUData       = 48 // pptr: per-LRU {head pptr, tail pptr}
+	cfgStats         = 56 // pptr
+	cfgHTStorage     = 64 // pptr to the Fig. 3 storage cell
+	cfgFixedSize     = 72
+	cfgStatSlots     = 80
+	cfgLockedStats   = 88
+	cfgStatsLock     = 96  // heap-resident lock word for LockedStats mode
+	cfgGate          = 104 // checkpoint gate: barrier bit + active-op count
+	cfgSeqLocks      = 112 // pptr: per-stripe seqlock array (one word per item lock)
+	cfgReaders       = 120 // pptr: optimistic-reader slot array
+	cfgNumReaders    = 128
+	cfgGraveHead     = 136 // atomic: head of the deferred-free list (raw item offset)
+	cfgGraveLen      = 144 // atomic: number of quarantined items
+	cfgLatency       = 152 // pptr: scattered latency-histogram matrix
+	cfgLatSlots      = 160
 	cfgLatSampleMask = 168 // sample period minus one (period is a power of two)
-	cfgLatEnabled   = 176
-	cfgSize         = 184
+	cfgLatEnabled    = 176
+	cfgSize          = 184
 )
 
 // Hash-table storage cell (Fig. 3): the movable table behind one more pptr.
@@ -399,6 +399,14 @@ func (s *Store) seqOff(h uint64) uint64 {
 
 func (s *Store) nextCAS() uint64 {
 	return s.H.Add64(s.cfg+cfgCASCounter, 1)
+}
+
+// CASCounter reads the current CAS generation counter. It is a plain
+// atomic load with no gate crossing, so it stays safe on a poisoned
+// store — the shard supervisor uses it to carry the dead store's CAS
+// high-water mark into a rebuilt replacement.
+func (s *Store) CASCounter() uint64 {
+	return s.H.AtomicLoad64(s.cfg + cfgCASCounter)
 }
 
 // SeedCAS raises the CAS generation counter to at least base. A sharded

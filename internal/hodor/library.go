@@ -244,13 +244,22 @@ var ErrTenantQuota = fmt.Errorf("%w: per-tenant admission quota exhausted", ErrO
 // re-entry attack, so the refusal is counted as a contained attack.
 var ErrSessionReaped = errors.New("hodor: session was reaped by the watchdog; re-attach to continue")
 
+// Retryable reports whether an admission error is transient: the gate
+// refused or timed out, but the library itself is expected to come back
+// (repair in flight, backpressure) so the caller should retry rather
+// than discard its session. Poison, reaped sessions, and killed
+// processes are not retryable — those sessions are dead.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrRecoveryTimeout) || errors.Is(err, ErrOverloaded)
+}
+
 // overloadedError wraps a transient resource-exhaustion cause (hardware-key
 // pin exhaustion) so callers can match both the backpressure class
 // (ErrOverloaded) and the specific cause (pku.ErrAllKeysPinned).
 type overloadedError struct{ cause error }
 
-func (e *overloadedError) Error() string { return "hodor: gate overloaded: " + e.cause.Error() }
-func (e *overloadedError) Unwrap() error { return e.cause }
+func (e *overloadedError) Error() string        { return "hodor: gate overloaded: " + e.cause.Error() }
+func (e *overloadedError) Unwrap() error        { return e.cause }
 func (e *overloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // Session binds one client thread to one library: the per-thread state a

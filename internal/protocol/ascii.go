@@ -143,6 +143,17 @@ func WriteASCIIReply(w *bufio.Writer, c *Command, rep *Reply) error {
 	if c.Quiet {
 		return nil // noreply
 	}
+	if rep.Status == StatusTempFailure {
+		// A shard-down condition is not a miss: even reads report
+		// SERVER_ERROR (never a bare END) so clients can tell "key
+		// absent" from "key's shard temporarily unavailable — retry".
+		msg := rep.Message
+		if msg == "" {
+			msg = "temporary failure"
+		}
+		_, err := fmt.Fprintf(w, "SERVER_ERROR %s\r\n", msg)
+		return err
+	}
 	switch c.Op {
 	case OpGet, OpGAT:
 		if rep.Status == StatusOK {

@@ -209,6 +209,11 @@ func WriteBinaryReply(w *bufio.Writer, c *Command, rep *Reply) error {
 	case OpVersion:
 		value = []byte(rep.Version)
 	}
+	if rep.Status == StatusTempFailure && rep.Message != "" {
+		// Binary error frames carry their detail in the value, matching
+		// memcached's convention for non-OK statuses.
+		value = []byte(rep.Message)
+	}
 	return writeBinaryResFrame(w, opcode, rep.Status, nil, value, extras, rep.Opaque, rep.CAS)
 }
 

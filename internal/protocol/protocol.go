@@ -66,6 +66,11 @@ const (
 	StatusNonNumeric     Status = 0x0006
 	StatusUnknownCommand Status = 0x0081
 	StatusOutOfMemory    Status = 0x0082
+	// StatusTempFailure mirrors memcached's binary 0x0086 "temporary
+	// failure": the server cannot serve this key right now but expects
+	// to again — the proxy uses it while a shard's circuit breaker is
+	// open or the supervisor is rebuilding the shard. Retryable.
+	StatusTempFailure Status = 0x0086
 )
 
 func (s Status) String() string {
@@ -88,6 +93,8 @@ func (s Status) String() string {
 		return "ERROR"
 	case StatusOutOfMemory:
 		return "SERVER_ERROR out of memory"
+	case StatusTempFailure:
+		return "SERVER_ERROR temporary failure"
 	default:
 		return fmt.Sprintf("status(%d)", uint16(s))
 	}
@@ -132,6 +139,12 @@ type Reply struct {
 	Numeric uint64      // incr/decr result
 	Stats   [][2]string // stats responses
 	Version string
+	// Message carries human-readable error detail for server-side
+	// failure statuses (e.g. "shard 2 rebuilding" under
+	// StatusTempFailure). ASCII renders it as "SERVER_ERROR <Message>";
+	// binary ships it as the error frame's value. Empty falls back to
+	// the status's canonical text.
+	Message string
 }
 
 // MaxKeyLen and MaxBodyLen bound what either codec will accept, defending

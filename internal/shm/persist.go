@@ -130,9 +130,19 @@ func (h *Heap) WriteImage(path string, generation uint64) error {
 	binary.LittleEndian.PutUint64(hdr[88:], crc64.Checksum(hdr[:88], crcTable))
 
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+	fs := currentImageFS()
+	// A failed write must not leave a half-built temp file behind: the
+	// prior image (and its .a/.b slots) stay the loadable state, and the
+	// next attempt starts clean. Rename failures leave tmp for the same
+	// reason a crash there would — it is complete and synced — unless the
+	// injected fault already destroyed it.
+	werr := func(err error) error {
+		fs.Remove(tmp) //nolint:errcheck // best-effort cleanup of a torn temp
 		return fmt.Errorf("shm: write image: %w", err)
+	}
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return werr(err)
 	}
 	// A fault-point handler panics out of this function mid-write (the
 	// simulated crash); close the descriptor on that unwind too so the
@@ -145,32 +155,32 @@ func (h *Heap) WriteImage(path string, generation uint64) error {
 	}()
 	w := bufio.NewWriterSize(f, 1<<20)
 	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("shm: write image: %w", err)
+		return werr(err)
 	}
 	fpPersistHeader.Maybe()
 	if _, err := w.Write(table); err != nil {
-		return fmt.Errorf("shm: write image: %w", err)
+		return werr(err)
 	}
 	for r := uint64(0); r < nRegions; r++ {
 		if r == nRegions/2 {
 			fpPersistMidImage.Maybe()
 		}
 		if _, err := w.Write(h.regionBytes(r, buf)); err != nil {
-			return fmt.Errorf("shm: write image: %w", err)
+			return werr(err)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		return fmt.Errorf("shm: write image: %w", err)
+		return werr(err)
 	}
 	if err := f.Sync(); err != nil {
-		return fmt.Errorf("shm: write image: %w", err)
+		return werr(err)
 	}
 	closed = true
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("shm: write image: %w", err)
+		return werr(err)
 	}
 	fpPersistRename.Maybe()
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fs.Rename(tmp, path); err != nil {
 		return fmt.Errorf("shm: write image: %w", err)
 	}
 	return nil

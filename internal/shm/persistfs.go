@@ -1,0 +1,163 @@
+package shm
+
+import (
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// ImageFS is the filesystem slice WriteImage depends on. The default is
+// the real os layer; tests swap in a FaultFS to inject EIO/ENOSPC/torn
+// renames at every step of the create → write → sync → close → rename
+// sequence and prove checkpointing degrades (prior slot kept, failure
+// counted) instead of poisoning a healthy store. The faultpoint package
+// cannot model these — its handlers panic (simulated crashes), while a
+// failing disk returns errors the persistence path must handle inline.
+type ImageFS interface {
+	Create(name string) (ImageFile, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// ImageFile is the open-file slice of the image-write path.
+type ImageFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (ImageFile, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+// imageFS is read once per WriteImage call. Atomic because background
+// checkpoint goroutines may race a test's SetImageFS under -race.
+var imageFS atomic.Pointer[ImageFS]
+
+func init() {
+	var fs ImageFS = osFS{}
+	imageFS.Store(&fs)
+}
+
+// SetImageFS swaps the filesystem used by WriteImage and returns a
+// restore function. Passing nil restores the real os layer. Test-only:
+// the swap is process-global.
+func SetImageFS(fs ImageFS) (restore func()) {
+	if fs == nil {
+		fs = osFS{}
+	}
+	prev := imageFS.Swap(&fs)
+	return func() { imageFS.Store(prev) }
+}
+
+func currentImageFS() ImageFS { return *imageFS.Load() }
+
+// FaultStep names one step of the image-write sequence.
+type FaultStep int
+
+const (
+	FaultCreate FaultStep = iota // os.Create of the temp file
+	FaultWrite                   // the Nth Write call (header=0, table=1, regions after)
+	FaultSync                    // fsync before close
+	FaultClose                   // close after sync
+	FaultRename                  // atomic rename into place
+)
+
+func (s FaultStep) String() string {
+	switch s {
+	case FaultCreate:
+		return "create"
+	case FaultWrite:
+		return "write"
+	case FaultSync:
+		return "sync"
+	case FaultClose:
+		return "close"
+	case FaultRename:
+		return "rename"
+	}
+	return "unknown"
+}
+
+// FaultFS wraps the real filesystem and fails exactly one step of each
+// image write with a chosen error. With Torn set on a FaultRename fault
+// it also deletes the temp file before failing — the worst torn-rename
+// outcome on a non-atomic filesystem: the new image is gone entirely and
+// only the prior checkpoint slot can carry the store.
+type FaultFS struct {
+	Step   FaultStep
+	Err    error
+	WriteN int  // for FaultWrite: which Write call fails (0-based)
+	Torn   bool // for FaultRename: destroy the temp file too
+
+	faults atomic.Uint64 // injected failures, for test assertions
+}
+
+// Faults reports how many failures the wrapper has injected.
+func (f *FaultFS) Faults() uint64 { return f.faults.Load() }
+
+func (f *FaultFS) fail() error {
+	f.faults.Add(1)
+	return f.Err
+}
+
+func (f *FaultFS) Create(name string) (ImageFile, error) {
+	if f.Step == FaultCreate {
+		return nil, f.fail()
+	}
+	real, err := osFS{}.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: real}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.Step == FaultRename {
+		if f.Torn {
+			os.Remove(oldpath)
+		}
+		return f.fail()
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error { return os.Remove(name) }
+
+type faultFile struct {
+	fs     *FaultFS
+	f      ImageFile
+	writes int
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.fs.Step == FaultWrite && ff.writes == ff.fs.WriteN {
+		ff.writes++
+		return 0, ff.fs.fail()
+	}
+	ff.writes++
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.fs.Step == FaultSync {
+		return ff.fs.fail()
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	if ff.fs.Step == FaultClose {
+		ff.f.Close() // release the descriptor; report the injected error
+		return ff.fs.fail()
+	}
+	return ff.f.Close()
+}

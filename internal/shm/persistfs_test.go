@@ -1,0 +1,164 @@
+package shm
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Disk-fault matrix for the image-write path: inject a failure at every
+// step of create → write → sync → close → rename and require, for each,
+// that WriteImage reports the error, the previous image is untouched and
+// still verifies, no half-built temp file survives (except a failed
+// rename, where the temp is complete and synced), and a clean retry
+// succeeds once the fault clears.
+func TestWriteImageFaultMatrix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.img")
+	h := New(2 * PageSize)
+	h.Store64(0, 0xdeadbeef)
+	h.WriteBytes(PageSize, []byte("generation one"))
+	if err := h.WriteImage(path, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	steps := []FaultStep{FaultCreate, FaultWrite, FaultSync, FaultClose, FaultRename}
+	for _, step := range steps {
+		t.Run(step.String(), func(t *testing.T) {
+			h.Store64(0, 0xfeedface) // the doomed generation's content
+			ffs := &FaultFS{Step: step, Err: errors.New("injected disk fault")}
+			restore := SetImageFS(ffs)
+			err := h.WriteImage(path, 2)
+			restore()
+			if err == nil {
+				t.Fatalf("WriteImage with %v fault should fail", step)
+			}
+			if ffs.Faults() == 0 {
+				t.Fatalf("%v fault never injected", step)
+			}
+
+			// The prior image is still the loadable state.
+			info, err := ReadImageInfo(path)
+			if err != nil || info.Generation != 1 {
+				t.Fatalf("prior image after %v fault: gen=%d err=%v", step, info.Generation, err)
+			}
+			rep, err := VerifyImage(path)
+			if err != nil || !rep.OK() {
+				t.Fatalf("prior image no longer verifies after %v fault: %+v %v", step, rep, err)
+			}
+			back, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Load64(0) != 0xdeadbeef {
+				t.Fatalf("%v fault leaked doomed content into the prior image", step)
+			}
+
+			// No half-built temp file survives. A failed rename keeps the
+			// temp — it is complete and synced, exactly like a crash at
+			// that instruction — so exempt it.
+			if step != FaultRename {
+				if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+					t.Fatalf("%v fault left a temp file behind", step)
+				}
+			} else {
+				os.Remove(path + ".tmp")
+			}
+
+			// The fault was transient: a clean retry lands generation 2,
+			// then restore generation 1 state for the next matrix row.
+			if err := h.WriteImage(path, 2); err != nil {
+				t.Fatalf("retry after %v fault: %v", step, err)
+			}
+			h.Store64(0, 0xdeadbeef)
+			if err := h.WriteImage(path, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// A mid-image write fault (not just the first buffered flush) must be
+// contained the same way: WriteN targets a later underlying write.
+func TestWriteImageFaultMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.img")
+	h := New(8 << 20) // several 1 MiB buffered flushes
+	h.WriteBytes(0, []byte("first"))
+	if err := h.WriteImage(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	ffs := &FaultFS{Step: FaultWrite, WriteN: 3, Err: errors.New("injected mid-image EIO")}
+	restore := SetImageFS(ffs)
+	err := h.WriteImage(path, 2)
+	restore()
+	if err == nil || ffs.Faults() == 0 {
+		t.Fatalf("mid-image write fault not injected (err=%v faults=%d)", err, ffs.Faults())
+	}
+	if info, err := ReadImageInfo(path); err != nil || info.Generation != 1 {
+		t.Fatalf("prior image after mid-write fault: %+v %v", info, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("mid-write fault left a temp file behind")
+	}
+}
+
+// The torn rename — the worst non-atomic-filesystem outcome, where the
+// temp vanishes and the target was never replaced — must leave the prior
+// checkpoint slot carrying the store.
+func TestWriteImageTornRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.img")
+	h := New(PageSize)
+	h.Store64(0, 7)
+	if err := h.WriteImage(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	ffs := &FaultFS{Step: FaultRename, Torn: true, Err: errors.New("injected torn rename")}
+	restore := SetImageFS(ffs)
+	err := h.WriteImage(path, 2)
+	restore()
+	if err == nil {
+		t.Fatal("torn rename should fail")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("torn rename should have destroyed the temp file")
+	}
+	back, err := Load(path)
+	if err != nil || back.Load64(0) != 7 {
+		t.Fatalf("prior image lost after torn rename: %v", err)
+	}
+}
+
+// The A/B slot scheme composes with disk faults: a fault while writing
+// slot B leaves slot A the best candidate; ImageCandidates never offers
+// the torn slot.
+func TestCheckpointSlotsSurviveFaults(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "shard.img")
+	h := New(PageSize)
+	h.Store64(0, 1)
+	if err := h.WriteImage(CheckpointSlot(base, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	h.Store64(0, 2)
+	ffs := &FaultFS{Step: FaultSync, Err: errors.New("injected ENOSPC")}
+	restore := SetImageFS(ffs)
+	err := h.WriteImage(CheckpointSlot(base, 2), 2)
+	restore()
+	if err == nil {
+		t.Fatal("faulted slot write should fail")
+	}
+	cands := ImageCandidates(base)
+	if len(cands) == 0 || cands[0].Generation != 1 || cands[0].Err != nil {
+		t.Fatalf("best candidate after faulted slot write = %+v, want intact gen 1", cands)
+	}
+	// The disk recovers: the next slot write wins the candidate race.
+	if err := h.WriteImage(CheckpointSlot(base, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	if cands := ImageCandidates(base); cands[0].Generation != 2 {
+		t.Fatalf("recovered slot write not best candidate: %+v", cands)
+	}
+}

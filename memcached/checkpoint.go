@@ -64,6 +64,8 @@ func (b *Bookkeeper) Checkpoint() error {
 	b.repairReportMu.Lock()
 	if err != nil {
 		b.ckptFailures++
+		b.ckptLastErr = err.Error()
+		b.ckptLastErrAt = time.Now()
 	} else {
 		b.ckpts++
 		b.ckptLastGen = gen

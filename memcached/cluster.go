@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +67,16 @@ type ClusterConfig struct {
 	// shards created later by Resize. Tests that freeze time use this so
 	// a live resize doesn't mint shards with real clocks.
 	Clock func() int64
+
+	// BreakerThreshold is the run of consecutive crossing-level failures
+	// (recovery timeouts, crashed crossings) that trips a shard's
+	// circuit breaker; poison trips it immediately regardless.
+	// 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker stays open before the
+	// supervisor lets a half-open probe through, measured on the
+	// supervisor's clock. 0 means 1s.
+	BreakerCooldown time.Duration
 }
 
 // topology is one immutable snapshot of the cluster's shape: the
@@ -104,6 +115,22 @@ type Cluster struct {
 	segsMoved  atomic.Uint64 // segments cut over
 	keysMoved  atomic.Uint64 // entries installed on their destination
 	migRetries atomic.Uint64 // migrator attempts restarted after a crash
+
+	// Lifecycle plane (supervisor.go): per-shard breaker + rebuild
+	// records, grown lazily, kept outside topology so they survive
+	// rebuilds and resizes.
+	health   atomic.Pointer[[]*shardHealth]
+	healthMu sync.Mutex
+
+	// Background-loop cadences, recorded so a rebuilt shard resumes its
+	// maintenance and checkpoint loops at the cluster's rate.
+	maintEvery atomic.Int64 // nanoseconds; 0 = not running
+	ckptEvery  atomic.Int64
+
+	// Supervisor loop handle.
+	supMu   sync.Mutex
+	supStop chan struct{}
+	supDone chan struct{}
 }
 
 func (c *Cluster) top() *topology { return c.topo.Load() }
@@ -203,20 +230,44 @@ func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A shard whose images are all corrupt or missing no longer fails
+	// the whole open: it degrades to an empty rebuild (flagged in stats)
+	// so the surviving shards' data comes back online. Only when *every*
+	// shard fails to open is the error surfaced — that shape means the
+	// directory itself is wrong, not one damaged failure domain.
 	var shards []*Bookkeeper
+	var degraded []int
+	var openErrs []string
 	for i := 0; i < cfg.Shards; i++ {
 		b, err := OpenStore(cfg.shardConfig(i))
 		if err != nil {
-			for _, prev := range shards {
-				prev.Shutdown() //nolint:errcheck
+			openErrs = append(openErrs, fmt.Sprintf("shard %d: %v", i, err))
+			b, err = createShardPastCandidates(cfg.shardConfig(i))
+			if err != nil {
+				for _, prev := range shards {
+					prev.Shutdown() //nolint:errcheck
+				}
+				return nil, fmt.Errorf("memcached: shard %d: %w", i, err)
 			}
-			return nil, fmt.Errorf("memcached: shard %d: %w", i, err)
+			degraded = append(degraded, i)
 		}
 		cfg.setupShard(b, i)
 		shards = append(shards, b)
 	}
+	if len(degraded) == cfg.Shards {
+		for _, prev := range shards {
+			prev.Shutdown() //nolint:errcheck
+		}
+		return nil, fmt.Errorf("memcached: no shard opened from %s: %s",
+			cfg.Dir, strings.Join(openErrs, "; "))
+	}
 	c := &Cluster{cfg: cfg}
 	c.topo.Store(&topology{ring: r, shards: shards, hot: cfg.newTrackers(cfg.Shards)})
+	for _, i := range degraded {
+		h := c.shardHealth(i)
+		h.rebuiltAtOpen.Store(true)
+		h.rebuiltEmpty.Add(1)
+	}
 	if hasReshardMarker(cfg.Dir) {
 		// An interrupted migration parked here. The sources never lose
 		// data before the manifest advances, so the manifest ring is
@@ -246,15 +297,19 @@ func (c *Cluster) Ring() *ring.Ring { return c.top().ring }
 // session's operations (which route with the migration rules) for access.
 func (c *Cluster) ShardFor(key []byte) int { return c.top().ring.Shard(key) }
 
-// StartMaintenance starts every shard's maintenance loop.
+// StartMaintenance starts every shard's maintenance loop. The cadence is
+// recorded so a shard rebuilt by the supervisor resumes it.
 func (c *Cluster) StartMaintenance(interval time.Duration) {
+	c.maintEvery.Store(int64(interval))
 	for _, b := range c.top().shards {
 		b.StartMaintenance(interval)
 	}
 }
 
-// StartCheckpointing starts every shard's checkpoint loop.
+// StartCheckpointing starts every shard's checkpoint loop. The cadence is
+// recorded so a shard rebuilt by the supervisor resumes it.
 func (c *Cluster) StartCheckpointing(interval time.Duration) {
+	c.ckptEvery.Store(int64(interval))
 	for _, b := range c.top().shards {
 		b.StartCheckpointing(interval)
 	}
@@ -265,6 +320,7 @@ func (c *Cluster) StartCheckpointing(interval time.Duration) {
 // sweeps and the resize can be reissued). All shards are attempted; the
 // first error is returned.
 func (c *Cluster) Shutdown() error {
+	c.StopSupervisor()
 	if m := c.mig.Load(); m != nil {
 		m.stopped.Store(true)
 		select {
@@ -312,6 +368,11 @@ type ClusterClient struct {
 
 	mu    sync.Mutex
 	procs []*ClientProcess
+	// books records which Bookkeeper each proc is attached to. When the
+	// supervisor rebuilds a shard the topology entry changes identity;
+	// the next access re-attaches to the replacement instead of carrying
+	// calls into the dropped (poisoned) store forever.
+	books []*Bookkeeper
 }
 
 // NewClientProcess attaches a client application to every current shard.
@@ -326,17 +387,27 @@ func (c *Cluster) NewClientProcess(uid int) (*ClusterClient, error) {
 }
 
 // proc returns the per-shard client process, attaching on demand to
-// shards that joined after this client was created.
+// shards that joined after this client was created and re-attaching when
+// the supervisor has replaced the shard's Bookkeeper.
 func (cc *ClusterClient) proc(shard int) (*ClientProcess, error) {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	for len(cc.procs) <= shard {
 		i := len(cc.procs)
-		cp, err := cc.c.top().shards[i].NewClientProcess(cc.uid)
+		b := cc.c.top().shards[i]
+		cp, err := b.NewClientProcess(cc.uid)
 		if err != nil {
 			return nil, fmt.Errorf("memcached: shard %d attach: %w", i, err)
 		}
 		cc.procs = append(cc.procs, cp)
+		cc.books = append(cc.books, b)
+	}
+	if b := cc.c.top().shards[shard]; cc.books[shard] != b {
+		cp, err := b.NewClientProcess(cc.uid)
+		if err != nil {
+			return nil, fmt.Errorf("memcached: shard %d re-attach: %w", shard, err)
+		}
+		cc.procs[shard], cc.books[shard] = cp, b
 	}
 	return cc.procs[shard], nil
 }
@@ -384,6 +455,10 @@ type ClusterSession struct {
 	c        *Cluster
 	cc       *ClusterClient
 	sessions []*Session
+	// books mirrors ClusterClient.books at session granularity: a
+	// rebuilt shard's old session is dropped and a fresh one opened on
+	// the replacement store.
+	books []*Bookkeeper
 }
 
 // Session exposes the underlying per-shard session (tests, ablation).
@@ -404,6 +479,22 @@ func (s *ClusterSession) sess(shard int) (*Session, error) {
 			return nil, fmt.Errorf("memcached: shard %d session: %w", i, err)
 		}
 		s.sessions = append(s.sessions, ss)
+		s.books = append(s.books, s.c.top().shards[i])
+	}
+	if b := s.c.top().shards[shard]; s.books[shard] != b {
+		// The supervisor replaced this shard. proc() re-attaches at the
+		// process level first; then open a fresh session on it. The old
+		// session belongs to a poisoned store — dropped, not closed
+		// (teardown would touch the dead heap's allocator).
+		cp, err := s.cc.proc(shard)
+		if err != nil {
+			return nil, err
+		}
+		ss, err := cp.NewSession()
+		if err != nil {
+			return nil, fmt.Errorf("memcached: shard %d session re-attach: %w", shard, err)
+		}
+		s.sessions[shard], s.books[shard] = ss, b
 	}
 	return s.sessions[shard], nil
 }
@@ -431,13 +522,21 @@ func (s *ClusterSession) Get(key []byte) ([]byte, uint32, error) {
 	s.c.routeMu.RLock()
 	defer s.c.routeMu.RUnlock()
 	p, g := s.c.routeKey(key)
+	if err := s.c.shardAllow(p); err != nil {
+		if g != nil {
+			g.release()
+		}
+		return nil, 0, err
+	}
 	if g != nil {
 		ss, err := s.sess(p)
 		if err != nil {
+			s.c.shardReport(p, err)
 			g.release()
 			return nil, 0, err
 		}
 		v, f, err := ss.Get(key)
+		s.c.shardReport(p, err)
 		g.release()
 		return v, f, err
 	}
@@ -449,9 +548,20 @@ func (s *ClusterSession) Get(key []byte) ([]byte, uint32, error) {
 		}
 		if hot {
 			replica := s.c.replicaOf(p)
-			rs, rerr := s.sess(replica)
+			// A replica behind an open breaker is skipped, not failed:
+			// the primary stays the source of truth.
+			rerr := s.c.shardAllow(replica)
+			var rs *Session
 			if rerr == nil {
-				if v, f, err := rs.Get(key); err == nil {
+				rs, rerr = s.sess(replica)
+				if rerr != nil {
+					s.c.shardReport(replica, rerr)
+				}
+			}
+			if rerr == nil {
+				v, f, err := rs.Get(key)
+				s.c.shardReport(replica, err)
+				if err == nil {
 					s.c.replicaHits.Add(1)
 					return v, f, nil
 				}
@@ -461,9 +571,11 @@ func (s *ClusterSession) Get(key []byte) ([]byte, uint32, error) {
 			s.c.replicaMisses.Add(1)
 			ps, err := s.sess(p)
 			if err != nil {
+				s.c.shardReport(p, err)
 				return nil, 0, err
 			}
 			v, f, err := ps.Get(key)
+			s.c.shardReport(p, err)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -475,9 +587,12 @@ func (s *ClusterSession) Get(key []byte) ([]byte, uint32, error) {
 	}
 	ss, err := s.sess(p)
 	if err != nil {
+		s.c.shardReport(p, err)
 		return nil, 0, err
 	}
-	return ss.Get(key)
+	v, f, err := ss.Get(key)
+	s.c.shardReport(p, err)
+	return v, f, err
 }
 
 // invalidate drops the hot-key replica after a successful mutation of a
@@ -524,14 +639,24 @@ func (s *ClusterSession) mutate(key []byte, op func(ss *Session) error) error {
 	s.c.routeMu.RLock()
 	defer s.c.routeMu.RUnlock()
 	p, g := s.c.routeKey(key)
+	if err := s.c.shardAllow(p); err != nil {
+		if g != nil {
+			g.release()
+		}
+		return err
+	}
 	ss, err := s.sess(p)
 	if err != nil {
+		// Attach failures feed the breaker too (a probe admitted by
+		// allow must always be reported, or the probe slot leaks).
+		s.c.shardReport(p, err)
 		if g != nil {
 			g.release()
 		}
 		return err
 	}
 	err = op(ss)
+	s.c.shardReport(p, err)
 	if g != nil {
 		// Conservatively dirty even on error: a failed op may still have
 		// observed state, and one extra recopy is cheaper than reasoning
@@ -552,14 +677,22 @@ func (s *ClusterSession) Gets(key []byte) ([]byte, uint32, uint64, error) {
 	s.c.routeMu.RLock()
 	defer s.c.routeMu.RUnlock()
 	p, g := s.c.routeKey(key)
+	if err := s.c.shardAllow(p); err != nil {
+		if g != nil {
+			g.release()
+		}
+		return nil, 0, 0, err
+	}
 	ss, err := s.sess(p)
 	if err != nil {
+		s.c.shardReport(p, err)
 		if g != nil {
 			g.release()
 		}
 		return nil, 0, 0, err
 	}
 	v, f, cas, err := ss.Gets(key)
+	s.c.shardReport(p, err)
 	if g != nil {
 		g.release()
 	}
@@ -744,10 +877,21 @@ func (s *ClusterSession) ExecBatch(ops []BatchOp) ([]BatchResult, error) {
 		if len(perShard[sh]) == 0 {
 			continue
 		}
-		ss, err := s.sess(sh)
+		// An open breaker fills this shard's slots with the typed
+		// fast-fail without paying a crossing; sibling shards' results
+		// keep their positional alignment either way.
+		err := s.c.shardAllow(sh)
+		crossed := err == nil
 		var res []BatchResult
 		if err == nil {
-			res, err = ss.ExecBatch(perShard[sh])
+			var ss *Session
+			ss, err = s.sess(sh)
+			if err == nil {
+				res, err = ss.ExecBatch(perShard[sh])
+			}
+		}
+		if crossed {
+			s.c.shardReport(sh, err)
 		}
 		if err != nil {
 			werr := fmt.Errorf("memcached: shard %d batch: %w", sh, err)
@@ -782,10 +926,17 @@ const (
 	ShardHealthy    ShardState = 0
 	ShardRecovering ShardState = 1
 	ShardPoisoned   ShardState = 2
+	// ShardRebuilding: the supervisor is running the recovery ladder on
+	// this shard (detach → reopen from image → rebuild empty). Calls
+	// fail fast behind the breaker until the replacement is attached.
+	ShardRebuilding ShardState = 3
 )
 
 // State reports shard i's coarse health.
 func (c *Cluster) State(i int) ShardState {
+	if hs := c.health.Load(); hs != nil && i < len(*hs) && (*hs)[i].rebuilding.Load() {
+		return ShardRebuilding
+	}
 	lib := c.top().shards[i].Library()
 	switch {
 	case lib.Poisoned():
@@ -821,10 +972,11 @@ type MigrationMetrics struct {
 // ClusterMetrics is the per-shard metrics snapshot plus the hot-key and
 // migration counters.
 type ClusterMetrics struct {
-	Shards    []Metrics
-	States    []ShardState
-	HotKey    HotKeyMetrics
-	Migration MigrationMetrics
+	Shards     []Metrics
+	States     []ShardState
+	HotKey     HotKeyMetrics
+	Migration  MigrationMetrics
+	Supervisor SupervisorMetrics
 }
 
 // Metrics collects every shard's merged snapshot.
@@ -847,6 +999,7 @@ func (c *Cluster) Metrics() ClusterMetrics {
 		cm.Migration.SegmentsTotal = len(m.segs)
 		cm.Migration.SegmentsDone = m.segmentsDone()
 	}
+	cm.Supervisor = c.supervisorMetrics()
 	for i, b := range top.shards {
 		cm.Shards = append(cm.Shards, b.Metrics())
 		cm.States = append(cm.States, c.State(i))
@@ -888,6 +1041,7 @@ func (cm *ClusterMetrics) Samples() []metrics.Sample {
 		g("plibmc_shard_bytes", float64(m.Ops.Bytes))
 		g("plibmc_shard_repairs_total", float64(m.Recovery.Repairs))
 		g("plibmc_shard_checkpoint_last_generation", float64(m.Checkpoint.LastGeneration))
+		g("plibmc_shard_checkpoint_failures_total", float64(m.Checkpoint.Failures))
 	}
 	out = append(out,
 		metrics.Sample{Name: "plibmc_hotkey_detected_total", Value: float64(cm.HotKey.Detected)},
@@ -900,6 +1054,13 @@ func (cm *ClusterMetrics) Samples() []metrics.Sample {
 		metrics.Sample{Name: "plibmc_migration_segments_moved_total", Value: float64(cm.Migration.SegmentsMoved)},
 		metrics.Sample{Name: "plibmc_migration_keys_moved_total", Value: float64(cm.Migration.KeysMoved)},
 		metrics.Sample{Name: "plibmc_migration_retries_total", Value: float64(cm.Migration.Retries)},
+		metrics.Sample{Name: "plibmc_shard_rebuilds_total", Value: float64(cm.Supervisor.Rebuilds)},
+		metrics.Sample{Name: "plibmc_shard_rebuilt_empty_total", Value: float64(cm.Supervisor.RebuiltEmpty)},
+		metrics.Sample{Name: "plibmc_shard_rebuild_failures_total", Value: float64(cm.Supervisor.RebuildFailures)},
+		metrics.Sample{Name: "plibmc_shard_rebuilt_at_open", Value: float64(cm.Supervisor.RebuiltAtOpen)},
+		metrics.Sample{Name: "plibmc_breaker_trips_total", Value: float64(cm.Supervisor.BreakerTrips)},
+		metrics.Sample{Name: "plibmc_breaker_fast_fails_total", Value: float64(cm.Supervisor.BreakerFastFails)},
+		metrics.Sample{Name: "plibmc_shard_rebuild_last_seconds", Value: cm.Supervisor.LastRebuildDuration.Seconds()},
 	)
 	return out
 }
@@ -928,6 +1089,12 @@ func (cm *ClusterMetrics) Vars() map[string]any {
 		"migration_segments_moved": cm.Migration.SegmentsMoved,
 		"migration_keys_moved":     cm.Migration.KeysMoved,
 		"migration_retries":        cm.Migration.Retries,
+		"shard_rebuilds":           cm.Supervisor.Rebuilds,
+		"shard_rebuilt_empty":      cm.Supervisor.RebuiltEmpty,
+		"shard_rebuild_failures":   cm.Supervisor.RebuildFailures,
+		"shard_rebuilt_at_open":    cm.Supervisor.RebuiltAtOpen,
+		"breaker_trips":            cm.Supervisor.BreakerTrips,
+		"breaker_fast_fails":       cm.Supervisor.BreakerFastFails,
 	}
 	for i, st := range cm.States {
 		v[fmt.Sprintf("shard_%d_state", i)] = int(st)

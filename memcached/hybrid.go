@@ -214,12 +214,22 @@ func batchOpsFor(cmd *protocol.Command) []core.BatchOp {
 func writeBatchedReply(w *bufio.Writer, binary bool, cmd *protocol.Command, res []core.BatchResult) {
 	if !binary && cmd.Op == protocol.OpGet && len(cmd.Keys) > 0 {
 		keys := cmd.AllKeys()
+		// A key whose shard is down must not masquerade as a miss: the
+		// response ends with the SERVER_ERROR line instead of END so the
+		// client knows the multiget was partial.
+		var downFrame string
 		for i := range res {
 			if res[i].Err == nil {
 				fmt.Fprintf(w, "VALUE %s %d %d %d\r\n", keys[i], res[i].Flags, len(res[i].Value), res[i].CAS)
 				w.Write(res[i].Value)
 				w.WriteString("\r\n")
+			} else if f, ok := ShardDownFrame(res[i].Err); ok && downFrame == "" {
+				downFrame = f
 			}
+		}
+		if downFrame != "" {
+			fmt.Fprintf(w, "SERVER_ERROR %s\r\n", downFrame)
+			return
 		}
 		w.WriteString("END\r\n")
 		return
@@ -228,6 +238,8 @@ func writeBatchedReply(w *bufio.Writer, binary bool, cmd *protocol.Command, res 
 	rep := &protocol.Reply{Status: coreStatus(r.Err), Opaque: cmd.Opaque}
 	if r.Err == nil {
 		rep.Value, rep.Flags, rep.CAS, rep.Numeric = r.Value, r.Flags, r.CAS, r.Num
+	} else if f, ok := ShardDownFrame(r.Err); ok {
+		rep.Message = f
 	}
 	if binary {
 		protocol.WriteBinaryReply(w, cmd, rep)
@@ -251,6 +263,8 @@ func coreStatus(err error) protocol.Status {
 		return protocol.StatusValueTooLarge
 	case errors.Is(err, core.ErrNoSpace):
 		return protocol.StatusOutOfMemory
+	case errors.Is(err, ErrShardDown):
+		return protocol.StatusTempFailure
 	default:
 		return protocol.StatusInvalidArgs
 	}

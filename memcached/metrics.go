@@ -35,6 +35,8 @@ type RecoveryMetrics struct {
 type CheckpointMetrics struct {
 	Checkpoints    int           // images written durably
 	Failures       int           // attempts that failed mid-write
+	LastError      string        // message of the most recent failure ("" if none)
+	LastFailureAt  time.Time     // when the most recent failure happened
 	LastGeneration uint64        // generation stamp of the newest image
 	LastDuration   time.Duration // wall-clock cost of the newest image
 	LastAt         time.Time     // when the newest image landed
@@ -50,7 +52,7 @@ type Metrics struct {
 	SampleEvery uint64
 	// Library is hodor's call accounting; Crossing the per-crossing
 	// trampoline latency distribution (empty unless Library profiling on).
-	Library  hodor.Metrics
+	Library    hodor.Metrics
 	Crossing   histogram.Snapshot
 	Recovery   RecoveryMetrics
 	Checkpoint CheckpointMetrics
@@ -105,6 +107,8 @@ func (b *Bookkeeper) Metrics() Metrics {
 	m.Checkpoint = CheckpointMetrics{
 		Checkpoints:    b.ckpts,
 		Failures:       b.ckptFailures,
+		LastError:      b.ckptLastErr,
+		LastFailureAt:  b.ckptLastErrAt,
 		LastGeneration: b.ckptLastGen,
 		LastDuration:   b.ckptLastTime,
 		LastAt:         b.ckptLastAt,
@@ -241,6 +245,7 @@ func (m *Metrics) Vars() map[string]any {
 		"corruption_quarantined":   m.Ops.ItemsQuarantined,
 		"checkpoints":              uint64(m.Checkpoint.Checkpoints),
 		"checkpoint_failures":      uint64(m.Checkpoint.Failures),
+		"checkpoint_last_error":    m.Checkpoint.LastError,
 		"checkpoint_last_gen":      m.Checkpoint.LastGeneration,
 	}
 	for class := 0; class < core.NumLatClasses; class++ {

@@ -105,8 +105,20 @@ func (p *SessionPool) With(fn func(*Session) error) error {
 // sessionFatal reports whether an error from a session operation means the
 // session itself is unusable (as opposed to a per-key outcome like
 // ErrNotFound or transient backpressure).
+//
+// Recovery-class errors are explicitly NOT fatal, and the check runs
+// first because they can wrap fatal-looking causes: a tripped shard
+// breaker (ErrShardDown) carries ErrPoisoned as its cause, yet the
+// borrower's session is attached to the caller's process, not the dying
+// shard — it stays perfectly usable once the supervisor swaps in the
+// rebuilt store. Discarding it on every shard hiccup would churn the
+// pool exactly when the system is trying to ride out a failure.
 func sessionFatal(err error) bool {
 	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrShardDown) || errors.Is(err, ErrRecovering) ||
+		hodor.Retryable(err) {
 		return false
 	}
 	var killed *proc.ErrKilled

@@ -1,12 +1,15 @@
 package memcached
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"plibmc/internal/gatehard"
+	"plibmc/internal/hodor"
+	"plibmc/internal/proc"
 )
 
 func TestSessionPoolReuse(t *testing.T) {
@@ -202,5 +205,63 @@ func TestSessionPoolClose(t *testing.T) {
 	p.Put(s) // returning after close releases the session
 	if total, _ := p.Stats(); total != 0 {
 		t.Fatalf("total after close = %d", total)
+	}
+}
+
+// Recovery-class errors are retryable, not session-fatal: a breaker
+// fast-fail wraps ErrPoisoned (its cause), but the borrower's session is
+// attached to the caller's process, not the dying shard — discarding it
+// would churn the pool exactly when the supervisor is riding out a
+// failure. Before the carve-out, sessionFatal(shardDown(...)) was true
+// via the wrapped poison cause.
+func TestSessionFatalClassifiesRecoveryErrors(t *testing.T) {
+	retryable := []error{
+		shardDown(1, ShardRebuilding), // wraps ErrPoisoned — the regression lever
+		shardDown(2, ShardRecovering), // wraps ErrRecoveryTimeout
+		ErrShardDown,
+		ErrRecovering,
+		hodor.ErrRecoveryTimeout,
+		hodor.ErrOverloaded,
+		fmt.Errorf("memcached: shard 3 batch: %w", shardDown(3, ShardRebuilding)),
+	}
+	for _, err := range retryable {
+		if sessionFatal(err) {
+			t.Errorf("sessionFatal(%v) = true, want retryable", err)
+		}
+	}
+	fatal := []error{hodor.ErrPoisoned, hodor.ErrSessionReaped, &proc.ErrKilled{PID: 1}}
+	for _, err := range fatal {
+		if !sessionFatal(err) {
+			t.Errorf("sessionFatal(%v) = false, want fatal", err)
+		}
+	}
+	if sessionFatal(nil) || sessionFatal(ErrNotFound) {
+		t.Error("nil / per-key outcomes must not be fatal")
+	}
+}
+
+// With re-pools a session whose callback failed with a breaker fast-fail.
+func TestSessionPoolKeepsSessionOnShardDown(t *testing.T) {
+	b := newTestStore(t)
+	cp, err := b.NewClientProcess(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cp.NewSessionPool(0)
+	defer p.Close()
+	werr := p.With(func(s *Session) error {
+		return shardDown(0, ShardRebuilding)
+	})
+	if !errors.Is(werr, ErrShardDown) {
+		t.Fatalf("With = %v", werr)
+	}
+	if total, idle := p.Stats(); total != 1 || idle != 1 {
+		t.Fatalf("shard-down discarded the session: total=%d idle=%d, want 1/1", total, idle)
+	}
+	// The recycled session still works.
+	if err := p.With(func(s *Session) error {
+		return s.Set([]byte("k"), []byte("v"), 0, 0)
+	}); err != nil {
+		t.Fatal(err)
 	}
 }

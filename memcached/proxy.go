@@ -67,6 +67,10 @@ type connCtxs struct {
 	c     *Cluster
 	owner uint64
 	ctxs  []*core.Ctx
+	// books pins each context to the Bookkeeper it was opened on: when
+	// the supervisor rebuilds a shard, the stale context (bound to the
+	// dropped store's heap) is replaced on next use.
+	books []*Bookkeeper
 }
 
 func (cc *connCtxs) ctx(shard int) *core.Ctx {
@@ -74,18 +78,30 @@ func (cc *connCtxs) ctx(shard int) *core.Ctx {
 	// before it; the slice grows to match.
 	for len(cc.ctxs) <= shard {
 		cc.ctxs = append(cc.ctxs, nil)
+		cc.books = append(cc.books, nil)
 	}
-	if cc.ctxs[shard] == nil {
-		cc.ctxs[shard] = cc.c.Shard(shard).Store().NewCtx(cc.owner)
+	b := cc.c.Shard(shard)
+	if cc.ctxs[shard] == nil || cc.books[shard] != b {
+		// A replaced shard's old context is dropped, not closed: Close
+		// walks the old heap's allocator, and that heap is the poisoned
+		// one the rebuild just abandoned.
+		cc.ctxs[shard] = b.Store().NewCtx(cc.owner)
+		cc.books[shard] = b
 	}
 	return cc.ctxs[shard]
 }
 
 func (cc *connCtxs) close() {
-	for _, ctx := range cc.ctxs {
-		if ctx != nil {
-			ctx.Close()
+	for i, ctx := range cc.ctxs {
+		if ctx == nil {
+			continue
 		}
+		// Contexts on a dropped or poisoned store are leaked on purpose:
+		// their teardown would touch the dead heap.
+		if cc.books[i] != nil && cc.books[i].Library().Poisoned() {
+			continue
+		}
+		ctx.Close()
 	}
 }
 
@@ -96,7 +112,9 @@ func (cs *ClusterServer) handle(c net.Conn) {
 	cs.seq++
 	owner := uint64(1)<<41 | cs.seq // distinct from local and hybrid owners
 	cs.mu.Unlock()
-	cc := &connCtxs{c: cs.c, owner: owner, ctxs: make([]*core.Ctx, cs.c.Shards())}
+	nsh := cs.c.Shards()
+	cc := &connCtxs{c: cs.c, owner: owner,
+		ctxs: make([]*core.Ctx, nsh), books: make([]*Bookkeeper, nsh)}
 	defer cc.close()
 
 	r := bufio.NewReaderSize(c, 64<<10)
@@ -224,12 +242,25 @@ func (cs *ClusterServer) dispatchShardedPipeline(cc *connCtxs, w *bufio.Writer, 
 			c.routeMu.RUnlock()
 		}
 		if len(refs) > 1 {
-			// One crossing per involved shard for the whole run.
+			// One crossing per involved shard for the whole run. A shard
+			// behind an open breaker (or poisoned/rebuilding — the direct
+			// contexts bypass the hodor gate, so the proxy must check)
+			// fills its slots with the typed fast-fail; sibling shards'
+			// results keep their positional alignment.
 			perShardRes := make([][]core.BatchResult, len(perShard))
 			for sh := range perShard {
-				if len(perShard[sh]) > 0 {
-					perShardRes[sh] = cc.ctx(sh).ExecBatch(perShard[sh])
+				if len(perShard[sh]) == 0 {
+					continue
 				}
+				if err := c.proxyAllow(sh); err != nil {
+					down := make([]core.BatchResult, len(perShard[sh]))
+					for k := range down {
+						down[k].Err = err
+					}
+					perShardRes[sh] = down
+					continue
+				}
+				perShardRes[sh] = cc.ctx(sh).ExecBatch(perShard[sh])
 			}
 			release()
 			flat := make([]core.BatchResult, len(refs))
@@ -267,6 +298,9 @@ func (cs *ClusterServer) drainDemoted(cc *connCtxs, top *topology, primary int) 
 		return
 	}
 	rep := cs.c.replicaOf(primary)
+	if cs.c.proxyAllow(rep) != nil {
+		return // replica shard down; its rebuild purge clears strays
+	}
 	for _, k := range d {
 		if cc.ctx(rep).Delete([]byte(k)) == nil {
 			cs.c.invalidations.Add(1)
@@ -282,6 +316,11 @@ func (cs *ClusterServer) dispatchOne(cc *connCtxs, cmd *protocol.Command) *proto
 	switch cmd.Op {
 	case protocol.OpFlushAll:
 		for sh := 0; sh < c.Shards(); sh++ {
+			if err := c.proxyAllow(sh); err != nil {
+				// A flush that cannot reach every shard must not claim
+				// it flushed the cluster.
+				return shardDownReply(cmd, err)
+			}
 			cc.ctx(sh).FlushAll()
 		}
 		return &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque}
@@ -306,7 +345,21 @@ func (cs *ClusterServer) dispatchOne(cc *connCtxs, cmd *protocol.Command) *proto
 		}
 		defer g.release()
 	}
+	if err := c.proxyAllow(sh); err != nil {
+		return shardDownReply(cmd, err)
+	}
 	return DispatchCore(cc.ctx(sh), cmd, "1.6.0-plib-cluster")
+}
+
+// shardDownReply renders a breaker fast-fail as a wire reply: ASCII
+// clients see "SERVER_ERROR shard N recovering|rebuilding", binary
+// clients the temporary-failure status with the frame as the value.
+func shardDownReply(cmd *protocol.Command, err error) *protocol.Reply {
+	rep := &protocol.Reply{Status: protocol.StatusTempFailure, Opaque: cmd.Opaque}
+	if f, ok := ShardDownFrame(err); ok {
+		rep.Message = f
+	}
+	return rep
 }
 
 // hotGet serves a lone plain get with the same hot-key replica policy as
@@ -318,6 +371,12 @@ func (cs *ClusterServer) hotGet(cc *connCtxs, cmd *protocol.Command) *protocol.R
 	defer c.routeMu.RUnlock()
 	primary, g := c.routeKey(key)
 	rep := &protocol.Reply{Opaque: cmd.Opaque}
+	if err := c.proxyAllow(primary); err != nil {
+		if g != nil {
+			g.release()
+		}
+		return shardDownReply(cmd, err)
+	}
 	if g != nil {
 		// Mid-migration segment: plain primary read under the guard, no
 		// replica involvement.
@@ -335,10 +394,14 @@ func (cs *ClusterServer) hotGet(cc *connCtxs, cmd *protocol.Command) *protocol.R
 		cs.drainDemoted(cc, top, primary)
 		if hot {
 			replica := c.replicaOf(primary)
-			if v, f, cas, err := cc.ctx(replica).Get(key); err == nil {
-				c.replicaHits.Add(1)
-				rep.Status, rep.Value, rep.Flags, rep.CAS = protocol.StatusOK, v, f, cas
-				return rep
+			// A replica behind an open breaker (or poisoned) is skipped,
+			// never dispatched into: fall through to the primary.
+			if c.proxyAllow(replica) == nil {
+				if v, f, cas, err := cc.ctx(replica).Get(key); err == nil {
+					c.replicaHits.Add(1)
+					rep.Status, rep.Value, rep.Flags, rep.CAS = protocol.StatusOK, v, f, cas
+					return rep
+				}
 			}
 			c.replicaMisses.Add(1)
 			v, f, cas, err := cc.ctx(primary).Get(key)
@@ -346,7 +409,7 @@ func (cs *ClusterServer) hotGet(cc *connCtxs, cmd *protocol.Command) *protocol.R
 			if err != nil {
 				return rep
 			}
-			if cc.ctx(replica).Set(key, v, f, 0) == nil {
+			if c.proxyAllow(replica) == nil && cc.ctx(replica).Set(key, v, f, 0) == nil {
 				c.replications.Add(1)
 			}
 			rep.Value, rep.Flags, rep.CAS = v, f, cas
@@ -371,6 +434,12 @@ func (cs *ClusterServer) statsReply(cc *connCtxs, cmd *protocol.Command) *protoc
 		// serve every shard's lines under its prefix.
 		rep := &protocol.Reply{Status: protocol.StatusOK, Opaque: cmd.Opaque}
 		for sh := 0; sh < c.Shards(); sh++ {
+			if err := c.proxyAllow(sh); err != nil {
+				if f, ok := ShardDownFrame(err); ok {
+					rep.Stats = append(rep.Stats, [2]string{fmt.Sprintf("shard%d:down", sh), f})
+				}
+				continue
+			}
 			sub := DispatchCore(cc.ctx(sh), cmd, "1.6.0-plib-cluster")
 			for _, kv := range sub.Stats {
 				rep.Stats = append(rep.Stats, [2]string{fmt.Sprintf("shard%d:%s", sh, kv[0]), kv[1]})
@@ -401,14 +470,21 @@ func (cs *ClusterServer) statsReply(cc *connCtxs, cmd *protocol.Command) *protoc
 		{"migration_resizes", strconv.FormatUint(mm.Resizes, 10)},
 		{"migration_segments_moved", strconv.FormatUint(mm.SegmentsMoved, 10)},
 		{"migration_keys_moved", strconv.FormatUint(mm.KeysMoved, 10)},
+		{"shard_rebuilds", strconv.FormatUint(cm.Supervisor.Rebuilds, 10)},
+		{"shard_rebuilt_empty", strconv.FormatUint(cm.Supervisor.RebuiltEmpty, 10)},
+		{"breaker_trips", strconv.FormatUint(cm.Supervisor.BreakerTrips, 10)},
+		{"breaker_fast_fails", strconv.FormatUint(cm.Supervisor.BreakerFastFails, 10)},
 	}
 	for sh := 0; sh < c.Shards(); sh++ {
+		status := c.ShardStatuses()[sh]
 		st := c.Shard(sh).Stats()
 		rep.Stats = append(rep.Stats,
 			[2]string{fmt.Sprintf("shard%d:curr_items", sh), strconv.FormatUint(st.CurrItems, 10)},
 			[2]string{fmt.Sprintf("shard%d:cmd_get", sh), strconv.FormatUint(st.Gets, 10)},
 			[2]string{fmt.Sprintf("shard%d:cmd_set", sh), strconv.FormatUint(st.Sets, 10)},
 			[2]string{fmt.Sprintf("shard%d:state", sh), strconv.Itoa(int(c.State(sh)))},
+			[2]string{fmt.Sprintf("shard%d:breaker", sh), status.Breaker},
+			[2]string{fmt.Sprintf("shard%d:rebuilds", sh), strconv.FormatUint(status.Rebuilds, 10)},
 		)
 	}
 	return rep

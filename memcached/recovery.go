@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"plibmc/internal/core"
+	"plibmc/internal/faultpoint"
 	"plibmc/internal/hodor"
 	"plibmc/internal/proc"
 	"plibmc/internal/shm"
@@ -61,10 +62,18 @@ func (b *Bookkeeper) registerProc(p *proc.Process) {
 	b.procMu.Unlock()
 }
 
+// fpRepairFail simulates an unrepairable crash: an armed handler panics
+// out of the repair routine before it touches any lock, so hodor's
+// runRepair poisons the library — the terminal state the shard
+// supervisor's rebuild ladder exists to recover from. It sits above the
+// repairMu acquisition so the simulated failure never leaks a mutex.
+var fpRepairFail = faultpoint.New("recover.repair_fail")
+
 // repairStore is the repair routine registered with hodor.OnRecover. It
 // runs on hodor's recovery goroutine while the library is in the
 // Recovering state (new calls parked, crashed call already unwound).
 func (b *Bookkeeper) repairStore(cause *hodor.CrashError) error {
+	fpRepairFail.Maybe()
 	dead := b.ownerDefunct
 	grace := b.lib.RecoveryGrace
 	if grace <= 0 {

@@ -127,11 +127,13 @@ type Bookkeeper struct {
 	lastRepair     core.RepairReport
 	repairs        int
 	// Checkpoint accounting (exported through the metrics plane).
-	ckpts        int
-	ckptFailures int
-	ckptLastGen  uint64
-	ckptLastTime time.Duration
-	ckptLastAt   time.Time
+	ckpts         int
+	ckptFailures  int
+	ckptLastErr   string
+	ckptLastErrAt time.Time
+	ckptLastGen   uint64
+	ckptLastTime  time.Duration
+	ckptLastAt    time.Time
 	// Cumulative recovery-event counters across all repair passes, and the
 	// wall-clock cost of the most recent quarantine→repair→resume cycle.
 	locksBroken    int

@@ -80,7 +80,7 @@ reshardcheck:
 # of the claim is a self-gated benchmark (2x the quiet-baseline p99).
 survivecheck:
 	$(GO) test -race -count=1 -run 'TestSurviveCheck' .
-	$(GO) test -race -count=1 -run 'TestSupervisor|TestBreakerStateMachine|TestShardAllowFastFailsWhileRebuilding|TestOpenClusterDegraded|TestProxyReportsShardDownFrames|TestRebuildShardAdmin|TestSessionFatalClassifiesRecoveryErrors|TestSessionPoolKeepsSessionOnShardDown' ./memcached
+	$(GO) test -race -count=1 -run 'TestSupervisor|TestBreaker|TestUnsupervisedBreakerRecovers|TestShardAllowFastFailsWhileRebuilding|TestOpenClusterDegraded|TestProxyReportsShardDownFrames|TestProxyAllowDoesNotConsumeProbe|TestRebuildShard|TestSessionFatalClassifiesRecoveryErrors|TestSessionPoolKeepsSessionOnShardDown' ./memcached
 	$(GO) test -run xxx -bench BenchmarkRebuildSurvivor -benchtime 1x .
 
 # The disk-fault gate (DESIGN.md §16): inject EIO/ENOSPC/torn-rename at

@@ -131,6 +131,12 @@ type Cluster struct {
 	supMu   sync.Mutex
 	supStop chan struct{}
 	supDone chan struct{}
+	// supSeen flips true the first time a supervisor attends this cluster
+	// (StartSupervisor or a direct SuperviseOnce pass); until then the
+	// breaker refusal path runs the clock transitions inline, so an
+	// embedder that never starts the supervisor still gets half-open
+	// probes instead of a permanent fast-fail.
+	supSeen atomic.Bool
 }
 
 func (c *Cluster) top() *topology { return c.topo.Load() }

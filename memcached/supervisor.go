@@ -149,6 +149,12 @@ type shardBreaker struct {
 	// the open state (0 = not yet observed); the cooldown runs on the
 	// supervisor's injectable clock, never the data path's.
 	openedAt atomic.Int64
+	// probedAt is the same discipline for the probe state: zeroed when a
+	// caller takes the probe slot, stamped by the supervisor on its first
+	// observation, and a probe that outlives the cooldown without ever
+	// reporting (caller died mid-crossing) is reverted to open so the
+	// breaker cannot wedge in probe.
+	probedAt atomic.Int64
 
 	trips     atomic.Uint64
 	fastFails atomic.Uint64
@@ -156,16 +162,34 @@ type shardBreaker struct {
 }
 
 // allow is the data-path admission check: nil means proceed (and report
-// the outcome via report); an error is the typed fast-fail.
+// the outcome via report); an error is the typed fast-fail. Callers that
+// cannot report MUST use allowPeek instead — a probe admitted here and
+// never reported strands the breaker until the supervisor times it out.
 func (br *shardBreaker) allow(shard int) error {
 	switch br.state.Load() {
 	case breakerClosed:
 		return nil
 	case breakerHalfOpen:
 		if br.state.CompareAndSwap(breakerHalfOpen, breakerProbe) {
+			br.probedAt.Store(0) // fresh probe: the supervisor restamps
 			br.probes.Add(1)
 			return nil // this caller is the probe
 		}
+	}
+	br.fastFails.Add(1)
+	return shardDown(shard, ShardState(br.reason.Load()))
+}
+
+// allowPeek is the non-probing admission check, for callers that cannot
+// feed an outcome back (the proxy's direct contexts bypass the hodor
+// gate, so a dispatched call produces no crossing verdict to report).
+// Closed and half-open pass — a half-open breaker keeps its probe slot
+// for a reporting caller — while open and an in-flight probe fail fast.
+// A report-less path can therefore never strand the breaker in probe.
+func (br *shardBreaker) allowPeek(shard int) error {
+	switch br.state.Load() {
+	case breakerClosed, breakerHalfOpen:
+		return nil
 	}
 	br.fastFails.Add(1)
 	return shardDown(shard, ShardState(br.reason.Load()))
@@ -279,20 +303,47 @@ func (c *Cluster) shardAllow(i int) error {
 		h.br.fastFails.Add(1)
 		return shardDown(i, ShardRebuilding)
 	}
-	return h.br.allow(i)
+	err := h.br.allow(i)
+	if err != nil && !c.supSeen.Load() {
+		// No supervisor has ever attended this cluster (an embedder that
+		// never calls StartSupervisor): run the clock transitions inline
+		// so the breaker still half-opens after the cooldown instead of
+		// fast-failing forever. Refusal path only — the healthy fast
+		// path never reads a clock.
+		c.breakerTick(&h.br, time.Now())
+		if h.br.state.Load() == breakerHalfOpen {
+			err = h.br.allow(i)
+		}
+	}
+	return err
 }
 
 // proxyAllow is the proxy tier's pre-dispatch check. The proxy reaches
 // shards through direct core contexts — no hodor gate — so a poisoned
 // store would never refuse it; the explicit state check stands in for
 // the gate, and trips the breaker so later dispatches skip the check's
-// library load too.
+// library load too. Admission is peek-only: proxy dispatches carry no
+// crossing verdict to report, so they must never take the probe slot.
 func (c *Cluster) proxyAllow(sh int) error {
-	if err := c.shardAllow(sh); err != nil {
+	h := c.shardHealth(sh)
+	if h.rebuilding.Load() {
+		h.br.fastFails.Add(1)
+		return shardDown(sh, ShardRebuilding)
+	}
+	err := h.br.allowPeek(sh)
+	if err != nil && !c.supSeen.Load() {
+		// Same unsupervised fallback as shardAllow; a half-opened
+		// breaker passes the peek.
+		c.breakerTick(&h.br, time.Now())
+		if h.br.state.Load() == breakerHalfOpen {
+			err = nil
+		}
+	}
+	if err != nil {
 		return err
 	}
 	if st := c.State(sh); st == ShardPoisoned || st == ShardRebuilding {
-		c.shardHealth(sh).br.trip(ShardRebuilding)
+		h.br.trip(ShardRebuilding)
 		return shardDown(sh, st)
 	}
 	return nil
@@ -313,6 +364,7 @@ func (c *Cluster) shardReport(i int, err error) {
 // injectable-clock discipline as WatchdogSweep); production uses
 // StartSupervisor.
 func (c *Cluster) SuperviseOnce(now time.Time) {
+	c.supSeen.Store(true)
 	top := c.top()
 	for i := range top.shards {
 		h := c.shardHealth(i)
@@ -329,18 +381,34 @@ func (c *Cluster) SuperviseOnce(now time.Time) {
 
 // breakerTick runs the clock-based breaker transitions for one shard.
 func (c *Cluster) breakerTick(br *shardBreaker, now time.Time) {
-	if br.state.Load() != breakerOpen {
-		return
-	}
-	opened := br.openedAt.Load()
-	if opened == 0 {
-		// First observation after the trip: the cooldown starts on the
-		// supervisor's clock, not the data path's.
-		br.openedAt.Store(now.UnixNano())
-		return
-	}
-	if now.Sub(time.Unix(0, opened)) >= c.breakerCooldown() {
-		br.state.CompareAndSwap(breakerOpen, breakerHalfOpen)
+	switch br.state.Load() {
+	case breakerOpen:
+		opened := br.openedAt.Load()
+		if opened == 0 {
+			// First observation after the trip: the cooldown starts on the
+			// supervisor's clock, not the data path's.
+			br.openedAt.Store(now.UnixNano())
+			return
+		}
+		if now.Sub(time.Unix(0, opened)) >= c.breakerCooldown() {
+			br.state.CompareAndSwap(breakerOpen, breakerHalfOpen)
+		}
+	case breakerProbe:
+		// A probe whose caller never reports (died mid-crossing, or
+		// parked on a gate that outlived the cooldown) must not wedge
+		// the breaker: revert the stale probe to open and restart the
+		// cooldown. A late report from the timed-out caller finds the
+		// state already open and leaves it for the next cycle.
+		started := br.probedAt.Load()
+		if started == 0 {
+			br.probedAt.Store(now.UnixNano())
+			return
+		}
+		if now.Sub(time.Unix(0, started)) >= c.breakerCooldown() {
+			if br.state.CompareAndSwap(breakerProbe, breakerOpen) {
+				br.openedAt.Store(0)
+			}
+		}
 	}
 }
 
@@ -349,6 +417,7 @@ func (c *Cluster) breakerTick(br *shardBreaker, now time.Time) {
 func (c *Cluster) StartSupervisor(interval time.Duration) {
 	c.supMu.Lock()
 	defer c.supMu.Unlock()
+	c.supSeen.Store(true)
 	if c.supStop != nil {
 		return
 	}
@@ -404,11 +473,14 @@ func (c *Cluster) rebuildShard(i int, now time.Time) error {
 	// Exclude a concurrent resize: both reshape the topology. A live
 	// migration keeps the shard set in flux — park until it finishes
 	// (the poisoned shard keeps failing fast behind its open breaker).
+	// Checked under resizeMu: Resize installs the migration while holding
+	// the same lock, so a check before Lock() could race a Resize that
+	// slips in between and leave the rebuild swapping topology mid-flight.
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
 	if c.mig.Load() != nil {
 		return fmt.Errorf("memcached: shard %d rebuild deferred: migration in flight", i)
 	}
-	c.resizeMu.Lock()
-	defer c.resizeMu.Unlock()
 
 	h := c.shardHealth(i)
 	if !h.rebuilding.CompareAndSwap(false, true) {
@@ -418,6 +490,16 @@ func (c *Cluster) rebuildShard(i int, now time.Time) error {
 	start := time.Now()
 
 	old := c.top().shards[i]
+	// Re-verify poison now that the lock is held: a caller whose
+	// Poisoned() precheck passed but then queued behind a completed
+	// rebuild (manual RebuildShard racing the supervisor, or two
+	// supervisor passes) must not re-run the ladder on the healthy
+	// replacement — detaching it would silently discard every write it
+	// accepted since. Close the breaker the caller tripped and keep it.
+	if lib := old.Library(); lib == nil || !lib.Poisoned() {
+		h.br.close()
+		return nil
+	}
 	// The dead store's CAS high-water mark survives poison in memory.
 	preCAS := old.Store().CASCounter()
 	old.StopMaintenance()

@@ -257,6 +257,10 @@ func TestBreakerStateMachine(t *testing.T) {
 	cfg := ClusterConfig{BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond}
 	c := newTestCluster(t, 1, cfg)
 	h := c.shardHealth(0)
+	// Attend the cluster up front: this test drives every clock transition
+	// explicitly, so the unsupervised data-path fallback (which reads the
+	// real clock) must stay out of the way.
+	c.SuperviseOnce(time.Now())
 
 	if err := c.shardAllow(0); err != nil {
 		t.Fatalf("closed breaker refused: %v", err)
@@ -333,6 +337,186 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 	if h.br.trips.Load() < 2 {
 		t.Fatalf("trips = %d, want every open transition counted", h.br.trips.Load())
+	}
+}
+
+// Proxy admission is peek-only: it never consumes the half-open probe
+// slot. The proxy's direct contexts bypass the gate and report no
+// outcome, so a probe taken there would strand the breaker in probe
+// forever — half-open must survive any amount of proxy traffic until a
+// reporting caller takes the probe.
+func TestProxyAllowDoesNotConsumeProbe(t *testing.T) {
+	cfg := ClusterConfig{BreakerThreshold: 1, BreakerCooldown: 50 * time.Millisecond}
+	c := newTestCluster(t, 2, cfg)
+	h := c.shardHealth(0)
+	t0 := time.Now()
+	c.SuperviseOnce(t0) // attended: the fallback clock stays out
+
+	c.shardReport(0, hodor.ErrRecoveryTimeout)
+	if h.br.state.Load() != breakerOpen {
+		t.Fatal("threshold-1 failure did not open the breaker")
+	}
+	if err := c.proxyAllow(0); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("proxy admission while open = %v, want fast-fail", err)
+	}
+	c.SuperviseOnce(t0.Add(10 * time.Millisecond))  // stamp the cooldown
+	c.SuperviseOnce(t0.Add(100 * time.Millisecond)) // past it: half-open
+	if h.br.state.Load() != breakerHalfOpen {
+		t.Fatal("breaker did not half-open")
+	}
+
+	// Any amount of proxy traffic passes through half-open without
+	// taking the probe slot.
+	for i := 0; i < 5; i++ {
+		if err := c.proxyAllow(0); err != nil {
+			t.Fatalf("proxy admission during half-open: %v", err)
+		}
+	}
+	if h.br.state.Load() != breakerHalfOpen {
+		t.Fatal("proxyAllow consumed the probe slot")
+	}
+
+	// The probe belongs to a reporting caller; while it is in flight the
+	// proxy fails fast (one probe total), and a clean report closes.
+	if err := c.shardAllow(0); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	if h.br.state.Load() != breakerProbe {
+		t.Fatal("reporting caller did not take the probe")
+	}
+	if err := c.proxyAllow(0); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("proxy admission during probe = %v, want fast-fail", err)
+	}
+	c.shardReport(0, nil)
+	if h.br.state.Load() != breakerClosed {
+		t.Fatal("clean probe did not close the breaker")
+	}
+	if err := c.proxyAllow(0); err != nil {
+		t.Fatalf("proxy admission after close: %v", err)
+	}
+}
+
+// A probe whose caller never reports (died mid-crossing) cannot wedge
+// the breaker: the supervisor times the stale probe back to open and the
+// next cooldown hands the slot to a fresh caller.
+func TestBreakerStaleProbeTimesOut(t *testing.T) {
+	cfg := ClusterConfig{BreakerThreshold: 1, BreakerCooldown: 50 * time.Millisecond}
+	c := newTestCluster(t, 1, cfg)
+	h := c.shardHealth(0)
+	t0 := time.Now()
+	c.SuperviseOnce(t0)
+
+	c.shardReport(0, hodor.ErrRecoveryTimeout)
+	c.SuperviseOnce(t0.Add(10 * time.Millisecond))
+	c.SuperviseOnce(t0.Add(100 * time.Millisecond))
+	if err := c.shardAllow(0); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	if h.br.state.Load() != breakerProbe {
+		t.Fatal("probe not taken")
+	}
+
+	// The probe never reports. Supervisor passes: stamp, hold inside the
+	// window, then time the stale probe back to open.
+	c.SuperviseOnce(t0.Add(110 * time.Millisecond))
+	if h.br.state.Load() != breakerProbe {
+		t.Fatal("stamping pass changed the probe state")
+	}
+	c.SuperviseOnce(t0.Add(120 * time.Millisecond))
+	if h.br.state.Load() != breakerProbe {
+		t.Fatal("probe timed out inside the cooldown window")
+	}
+	c.SuperviseOnce(t0.Add(200 * time.Millisecond))
+	if h.br.state.Load() != breakerOpen {
+		t.Fatal("stale probe did not revert to open")
+	}
+
+	// The next cooldown re-arms a fresh probe, which closes cleanly.
+	c.SuperviseOnce(t0.Add(210 * time.Millisecond))
+	c.SuperviseOnce(t0.Add(300 * time.Millisecond))
+	if err := c.shardAllow(0); err != nil {
+		t.Fatalf("fresh probe refused: %v", err)
+	}
+	c.shardReport(0, nil)
+	if h.br.state.Load() != breakerClosed {
+		t.Fatal("fresh probe did not close the breaker")
+	}
+}
+
+// An embedder that never starts the supervisor still recovers: when no
+// supervisor has ever attended the cluster, the breaker refusal path
+// runs the clock transitions inline, so a tripped breaker half-opens
+// after the cooldown instead of fast-failing forever.
+func TestUnsupervisedBreakerRecovers(t *testing.T) {
+	cfg := ClusterConfig{BreakerThreshold: 1, BreakerCooldown: 20 * time.Millisecond}
+	c := newTestCluster(t, 1, cfg)
+	h := c.shardHealth(0)
+
+	c.shardReport(0, hodor.ErrRecoveryTimeout)
+	if h.br.state.Load() != breakerOpen {
+		t.Fatal("failure did not open the breaker")
+	}
+	// The first refusal stamps the cooldown on the data path's clock;
+	// refusals past the cooldown half-open it and admit a probe.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := c.shardAllow(0)
+		if err == nil {
+			break // the fallback half-opened; this caller is the probe
+		}
+		if !errors.Is(err, ErrShardDown) {
+			t.Fatalf("refusal = %v, want ErrShardDown", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never half-opened without a supervisor")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.shardReport(0, nil)
+	if h.br.state.Load() != breakerClosed {
+		t.Fatal("clean probe did not close the breaker")
+	}
+	if err := c.shardAllow(0); err != nil {
+		t.Fatalf("allow after unsupervised recovery: %v", err)
+	}
+	c.shardReport(0, nil)
+}
+
+// A rebuild request that queued behind a completed rebuild must not
+// re-run the ladder on the healthy replacement — that would detach it
+// and silently discard every write accepted since the first rebuild.
+// rebuildShard re-verifies poison under resizeMu and returns early.
+func TestRebuildShardSkipsHealthyReplacement(t *testing.T) {
+	defer faultpoint.DisarmAll()
+	c := newTestCluster(t, 2, supervisorTestConfig())
+	s := newClusterSession(t, c)
+
+	poisonShard(t, c, 0)
+	c.SuperviseOnce(time.Now())
+	rebuilt := c.Shard(0)
+	key := keyOwnedBy(t, c, 0, "post")
+	if err := s.Set(key, []byte("survives"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A manual RebuildShard whose Poisoned() precheck passed before the
+	// supervisor won the race reaches the ladder only now; it must see
+	// the healthy replacement and stand down.
+	c.shardHealth(0).br.trip(ShardRebuilding)
+	if err := c.rebuildShard(0, time.Now()); err != nil {
+		t.Fatalf("queued rebuild on healthy shard: %v", err)
+	}
+	if c.Shard(0) != rebuilt {
+		t.Fatal("queued rebuild detached the healthy replacement")
+	}
+	if m := c.supervisorMetrics(); m.Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1 (no second ladder run)", m.Rebuilds)
+	}
+	if v, _, err := s.Get(key); err != nil || string(v) != "survives" {
+		t.Fatalf("write accepted after the first rebuild was lost: %q %v", v, err)
+	}
+	if st := c.ShardStatuses()[0]; st.Breaker != "closed" {
+		t.Fatalf("breaker after the stand-down = %s, want closed", st.Breaker)
 	}
 }
 
